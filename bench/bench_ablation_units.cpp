@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Ablation: how many compressor/decompressor units an SM needs. The
+ * paper sizes 2 compressors + 4 decompressors for its dual-issue SM
+ * (Sec. 5.1); this sweeps the pool sizes and reports the performance
+ * cost of under-provisioning.
+ */
+
+#include "bench_common.hpp"
+
+using namespace warpcomp;
+
+int
+main(int argc, char **argv)
+{
+    const HarnessOptions opt = parseHarnessArgs(argc, argv);
+    bench::banner("Compressor/decompressor pool sizing",
+                  "the Sec. 5.1 sizing argument");
+
+    ExperimentConfig base_cfg;
+    base_cfg.scheme = CompressionScheme::None;
+    const auto base = bench::runSelected(opt, base_cfg);
+
+    struct Sizing
+    {
+        u32 comp;
+        u32 decomp;
+    };
+    const Sizing sizings[] = {{1, 1}, {1, 2}, {2, 2}, {2, 4}, {4, 8}};
+
+    TextTable t({"compressors", "decompressors", "cycles vs baseline",
+                 "energy vs baseline"});
+    for (const Sizing &s : sizings) {
+        ExperimentConfig cfg;
+        cfg.numCompressors = s.comp;
+        cfg.numDecompressors = s.decomp;
+        const auto wc = bench::runSelected(opt, cfg);
+        std::vector<double> cyc, en;
+        for (std::size_t i = 0; i < base.size(); ++i) {
+            cyc.push_back(static_cast<double>(wc[i].run.cycles) /
+                          static_cast<double>(base[i].run.cycles));
+            en.push_back(wc[i].run.meter.breakdown().totalPj() /
+                         base[i].run.meter.breakdown().totalPj());
+        }
+        t.addRow({std::to_string(s.comp), std::to_string(s.decomp),
+                  fmtDouble(mean(cyc), 3), fmtDouble(mean(en), 3)});
+    }
+    t.print(std::cout);
+
+    std::cout << "\n(paper: 2 compressors + 4 decompressors suffice for "
+                 "two warp instructions per cycle)\n";
+    return 0;
+}

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Shared scaffolding for the per-figure bench binaries: suite runners
+ * with benchmark filtering, and the normalized-energy helpers every
+ * energy figure uses.
+ */
+
+#ifndef WARPCOMP_BENCH_BENCH_COMMON_HPP
+#define WARPCOMP_BENCH_BENCH_COMMON_HPP
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "harness/experiment.hpp"
+#include "power/report.hpp"
+
+namespace warpcomp {
+namespace bench {
+
+/** Workload list honouring --only. */
+inline std::vector<std::string>
+selectedWorkloads(const HarnessOptions &opt)
+{
+    if (opt.only.empty())
+        return workloadNames();
+    return {opt.only};
+}
+
+/** Run the selected workloads under one config. */
+inline std::vector<ExperimentResult>
+runSelected(const HarnessOptions &opt, ExperimentConfig cfg)
+{
+    cfg.scale = opt.scale;
+    cfg.numSms = opt.numSms;
+    std::vector<ExperimentResult> out;
+    for (const std::string &name : selectedWorkloads(opt))
+        out.push_back(runWorkload(name, cfg));
+    return out;
+}
+
+/** Total register-file energy of one run under given constants. */
+inline double
+totalEnergy(const ExperimentResult &r, const EnergyParams &params)
+{
+    return r.run.meter.breakdownWith(params).totalPj();
+}
+
+/** Standard figure banner. */
+inline void
+banner(const std::string &title, const std::string &paper_ref)
+{
+    std::cout << "== " << title << " ==\n"
+              << "(reproduces " << paper_ref << " of Lee et al., "
+              << "Warped-Compression, ISCA 2015)\n\n";
+}
+
+} // namespace bench
+} // namespace warpcomp
+
+#endif // WARPCOMP_BENCH_BENCH_COMMON_HPP

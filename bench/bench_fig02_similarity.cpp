@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Fig 2: characterization of register values — every write's
+ * successive-lane arithmetic distances binned into zero / 128 / 32K /
+ * random, split into non-divergent and divergent phases.
+ */
+
+#include "bench_common.hpp"
+
+using namespace warpcomp;
+
+int
+main(int argc, char **argv)
+{
+    const HarnessOptions opt = parseHarnessArgs(argc, argv);
+    bench::banner("Register value similarity", "Figure 2");
+
+    ExperimentConfig cfg;   // default warped-compression configuration
+    const auto results = bench::runSelected(opt, cfg);
+
+    TextTable t({"bench", "nd.zero", "nd.128", "nd.32K", "nd.rand",
+                 "d.zero", "d.128", "d.32K", "d.rand"});
+    double nd_not_random_sum = 0.0;
+    std::vector<double> col_sums(8, 0.0);
+    for (const auto &r : results) {
+        const SimilarityBins &bins = r.run.stats.simBins;
+        std::vector<double> row;
+        for (Phase ph : {kNonDivergent, kDivergent}) {
+            for (u32 bin = 0; bin < kNumDistanceBins; ++bin) {
+                row.push_back(bins.fraction(
+                    ph, static_cast<DistanceBin>(bin)));
+            }
+        }
+        for (std::size_t i = 0; i < row.size(); ++i)
+            col_sums[i] += row[i];
+        nd_not_random_sum += 1.0 - bins.fraction(kNonDivergent,
+                                                 DistanceBin::Random);
+        t.addRow(r.workload, row, 3);
+    }
+    std::vector<double> avg;
+    for (double s : col_sums)
+        avg.push_back(s / static_cast<double>(results.size()));
+    t.addRow("average", avg, 3);
+    t.print(std::cout);
+
+    std::cout << "\nnon-random fraction during non-divergent execution: "
+              << fmtPercent(nd_not_random_sum / results.size())
+              << "  (paper: ~79%)\n";
+    return 0;
+}

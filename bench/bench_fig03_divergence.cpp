@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Fig 3: ratio of non-divergent warp instructions per benchmark.
+ */
+
+#include "bench_common.hpp"
+
+using namespace warpcomp;
+
+int
+main(int argc, char **argv)
+{
+    const HarnessOptions opt = parseHarnessArgs(argc, argv);
+    bench::banner("Non-divergent warp instruction ratio", "Figure 3");
+
+    ExperimentConfig cfg;
+    const auto results = bench::runSelected(opt, cfg);
+
+    TextTable t({"bench", "non-divergent", "divergent"});
+    std::vector<double> nd;
+    for (const auto &r : results) {
+        const double div = static_cast<double>(
+            r.run.stats.issuedDivergent) /
+            static_cast<double>(r.run.stats.issued);
+        nd.push_back(1.0 - div);
+        t.addRow(r.workload, {1.0 - div, div}, 3);
+    }
+    t.addRow("average", {mean(nd), 1.0 - mean(nd)}, 3);
+    t.print(std::cout);
+
+    std::cout << "\naverage non-divergent ratio: " << fmtPercent(mean(nd))
+              << "  (paper: 79%)\n";
+    return 0;
+}

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Fig 5: breakdown of the <base,delta> pair the original-BDI explorer
+ * would pick for each register write (fraction of total writes).
+ * Motivates dropping the 8-byte bases from the hardware.
+ */
+
+#include "bench_common.hpp"
+
+#include "compress/bdi.hpp"
+
+using namespace warpcomp;
+
+int
+main(int argc, char **argv)
+{
+    const HarnessOptions opt = parseHarnessArgs(argc, argv);
+    bench::banner("Best <base,delta> selection breakdown", "Figure 5");
+
+    ExperimentConfig cfg;
+    cfg.collectBdiBreakdown = true;
+    const auto results = bench::runSelected(opt, cfg);
+
+    const auto cands = fullBdiCandidates();
+    std::vector<std::string> headers = {"bench"};
+    for (const BdiParams &p : cands) {
+        headers.push_back("<" + std::to_string(p.baseBytes) + "," +
+                          std::to_string(p.deltaBytes) + ">");
+    }
+    headers.push_back("uncomp");
+
+    TextTable t(headers);
+    std::vector<double> col_sums(8, 0.0);
+    double eight_byte_sum = 0.0;
+    for (const auto &r : results) {
+        u64 total = 0;
+        for (u32 i = 0; i < 8; ++i)
+            total += r.run.stats.bdiSelect[i];
+        std::vector<double> row;
+        for (u32 i = 0; i < 8; ++i) {
+            const double frac = total == 0 ? 0.0
+                : static_cast<double>(r.run.stats.bdiSelect[i]) /
+                      static_cast<double>(total);
+            row.push_back(frac);
+            col_sums[i] += frac;
+            if (i < cands.size() && cands[i].baseBytes == 8)
+                eight_byte_sum += frac;
+        }
+        t.addRow(r.workload, row, 3);
+    }
+    std::vector<double> avg;
+    for (double s : col_sums)
+        avg.push_back(s / static_cast<double>(results.size()));
+    t.addRow("average", avg, 3);
+    t.print(std::cout);
+
+    std::cout << "\n8-byte-base selections (average): "
+              << fmtPercent(eight_byte_sum / results.size())
+              << "  (paper: rarely selected -> <4,Y> only in hardware)\n";
+    return 0;
+}

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Fig 8: compression ratio in divergent vs non-divergent regions,
+ * measured with the decompress-update-recompress assumption the paper
+ * uses for divergent writes.
+ */
+
+#include "bench_common.hpp"
+
+using namespace warpcomp;
+
+int
+main(int argc, char **argv)
+{
+    const HarnessOptions opt = parseHarnessArgs(argc, argv);
+    bench::banner("Compression ratio by execution phase", "Figure 8");
+
+    ExperimentConfig cfg;
+    const auto results = bench::runSelected(opt, cfg);
+
+    TextTable t({"bench", "non-divergent", "divergent"});
+    std::vector<double> nd, d;
+    for (const auto &r : results) {
+        const double rn = r.run.stats.ratio.ratio(kNonDivergent);
+        const double rd = r.run.stats.ratio.writes(kDivergent) > 0
+            ? r.run.stats.ratio.ratio(kDivergent) : 1.0;
+        nd.push_back(rn);
+        if (r.run.stats.ratio.writes(kDivergent) > 0)
+            d.push_back(rd);
+        std::vector<std::string> row = {r.workload, fmtDouble(rn, 2),
+            r.run.stats.ratio.writes(kDivergent) > 0 ? fmtDouble(rd, 2)
+                                                     : "N/A"};
+        t.addRow(row);
+    }
+    t.addRow("average", {mean(nd), mean(d)}, 2);
+    t.print(std::cout);
+
+    std::cout << "\naverage ratio non-divergent " << fmtDouble(mean(nd), 2)
+              << " vs divergent " << fmtDouble(mean(d), 2)
+              << "  (paper: 2.5 vs 1.3)\n";
+    return 0;
+}

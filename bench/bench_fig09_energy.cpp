@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Fig 9: total register-file energy of warped-compression, broken into
+ * dynamic / leakage / compression / decompression, normalized to the
+ * no-compression baseline per benchmark.
+ */
+
+#include "bench_common.hpp"
+
+using namespace warpcomp;
+
+int
+main(int argc, char **argv)
+{
+    const HarnessOptions opt = parseHarnessArgs(argc, argv);
+    bench::banner("Register file energy consumption", "Figure 9");
+
+    ExperimentConfig base_cfg;
+    base_cfg.scheme = CompressionScheme::None;
+    ExperimentConfig wc_cfg;
+    const auto base = bench::runSelected(opt, base_cfg);
+    const auto wc = bench::runSelected(opt, wc_cfg);
+
+    TextTable t({"bench", "base.dyn", "base.leak", "wc.dyn", "wc.leak",
+                 "wc.comp", "wc.decomp", "wc.total"});
+    std::vector<double> totals, dyn_savings, leak_savings;
+    std::vector<double> col_sums(7, 0.0);
+    for (std::size_t i = 0; i < base.size(); ++i) {
+        const EnergyBreakdown eb = base[i].run.meter.breakdown();
+        const EnergyBreakdown ew = wc[i].run.meter.breakdown();
+        const double bt = eb.totalPj();
+        const std::vector<double> row = {
+            eb.dynamicPj() / bt, eb.leakagePj() / bt,
+            ew.dynamicPj() / bt, ew.leakagePj() / bt,
+            ew.compressionPj / bt, ew.decompressionPj / bt,
+            ew.totalPj() / bt};
+        for (std::size_t c = 0; c < row.size(); ++c)
+            col_sums[c] += row[c];
+        t.addRow(base[i].workload, row, 3);
+        totals.push_back(ew.totalPj() / bt);
+        dyn_savings.push_back(1.0 - ew.dynamicPj() / eb.dynamicPj());
+        leak_savings.push_back(1.0 - ew.leakagePj() / eb.leakagePj());
+    }
+    std::vector<double> col_avg;
+    for (double s : col_sums)
+        col_avg.push_back(s / static_cast<double>(base.size()));
+    t.addRow("average", col_avg, 3);
+    t.print(std::cout);
+
+    std::cout << "\naverage register-file energy reduction: "
+              << fmtPercent(1.0 - mean(totals))
+              << "  (paper: 25%)\n"
+              << "average dynamic energy reduction: "
+              << fmtPercent(mean(dyn_savings)) << "  (paper: 35%)\n"
+              << "average leakage energy reduction: "
+              << fmtPercent(mean(leak_savings)) << "  (paper: 10%)\n";
+    return 0;
+}

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Fig 11: dummy decompress-MOV instructions as a fraction of the total
+ * instruction count.
+ */
+
+#include "bench_common.hpp"
+
+using namespace warpcomp;
+
+int
+main(int argc, char **argv)
+{
+    const HarnessOptions opt = parseHarnessArgs(argc, argv);
+    bench::banner("Dummy MOV instruction overhead", "Figure 11");
+
+    ExperimentConfig cfg;
+    const auto results = bench::runSelected(opt, cfg);
+
+    TextTable t({"bench", "MOV fraction"});
+    std::vector<double> fracs;
+    for (const auto &r : results) {
+        const double f = static_cast<double>(r.run.stats.dummyMovs) /
+            static_cast<double>(r.run.stats.issued);
+        fracs.push_back(f);
+        t.addRow({r.workload, fmtPercent(f, 2)});
+    }
+    t.addRow({"average", fmtPercent(mean(fracs), 2)});
+    t.print(std::cout);
+
+    std::cout << "\naverage dummy-MOV fraction: "
+              << fmtPercent(mean(fracs), 2) << "  (paper: < 2%)\n";
+    return 0;
+}

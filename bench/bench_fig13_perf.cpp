@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Fig 13: execution-time impact of warped-compression (cycles
+ * normalized to the no-compression baseline).
+ */
+
+#include "bench_common.hpp"
+
+using namespace warpcomp;
+
+int
+main(int argc, char **argv)
+{
+    const HarnessOptions opt = parseHarnessArgs(argc, argv);
+    bench::banner("Execution time impact", "Figure 13");
+
+    ExperimentConfig base_cfg;
+    base_cfg.scheme = CompressionScheme::None;
+    ExperimentConfig wc_cfg;
+    const auto base = bench::runSelected(opt, base_cfg);
+    const auto wc = bench::runSelected(opt, wc_cfg);
+
+    TextTable t({"bench", "base cycles", "wc cycles", "normalized"});
+    std::vector<double> norms;
+    for (std::size_t i = 0; i < base.size(); ++i) {
+        const double n = static_cast<double>(wc[i].run.cycles) /
+            static_cast<double>(base[i].run.cycles);
+        norms.push_back(n);
+        t.addRow({base[i].workload,
+                  std::to_string(base[i].run.cycles),
+                  std::to_string(wc[i].run.cycles), fmtDouble(n, 3)});
+    }
+    t.addRow({"average", "", "", fmtDouble(mean(norms), 3)});
+    t.print(std::cout);
+
+    std::cout << "\naverage execution-time overhead: "
+              << fmtPercent(mean(norms) - 1.0)
+              << "  (paper: 0.1%)\n";
+    return 0;
+}

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Fig 14: energy reduction under the GTO and LRR warp schedulers, each
+ * normalized to its own no-compression baseline.
+ */
+
+#include "bench_common.hpp"
+
+using namespace warpcomp;
+
+int
+main(int argc, char **argv)
+{
+    const HarnessOptions opt = parseHarnessArgs(argc, argv);
+    bench::banner("Energy reduction: GTO vs LRR schedulers",
+                  "Figure 14");
+
+    TextTable t({"bench", "GTO", "LRR"});
+    std::vector<double> gto_norm, lrr_norm;
+    std::vector<std::vector<double>> rows;
+
+    for (SchedPolicy pol : {SchedPolicy::Gto, SchedPolicy::Lrr}) {
+        ExperimentConfig base_cfg;
+        base_cfg.scheme = CompressionScheme::None;
+        base_cfg.sched = pol;
+        ExperimentConfig wc_cfg;
+        wc_cfg.sched = pol;
+        const auto base = bench::runSelected(opt, base_cfg);
+        const auto wc = bench::runSelected(opt, wc_cfg);
+        for (std::size_t i = 0; i < base.size(); ++i) {
+            const double n = wc[i].run.meter.breakdown().totalPj() /
+                base[i].run.meter.breakdown().totalPj();
+            if (pol == SchedPolicy::Gto) {
+                rows.push_back({n});
+                gto_norm.push_back(n);
+            } else {
+                rows[i].push_back(n);
+                lrr_norm.push_back(n);
+            }
+        }
+    }
+
+    const auto names = bench::selectedWorkloads(opt);
+    for (std::size_t i = 0; i < names.size(); ++i)
+        t.addRow(names[i], rows[i], 3);
+    t.addRow("average", {mean(gto_norm), mean(lrr_norm)}, 3);
+    t.print(std::cout);
+
+    std::cout << "\naverage energy reduction: GTO "
+              << fmtPercent(1.0 - mean(gto_norm)) << ", LRR "
+              << fmtPercent(1.0 - mean(lrr_norm))
+              << "  (paper: 25% GTO, 26% LRR)\n";
+    return 0;
+}

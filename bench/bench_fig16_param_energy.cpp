@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Fig 16: register-file energy for the single-choice static schemes,
+ * normalized to the no-compression baseline.
+ */
+
+#include "bench_common.hpp"
+
+using namespace warpcomp;
+
+int
+main(int argc, char **argv)
+{
+    const HarnessOptions opt = parseHarnessArgs(argc, argv);
+    bench::banner("Energy per compression parameter choice", "Figure 16");
+
+    ExperimentConfig base_cfg;
+    base_cfg.scheme = CompressionScheme::None;
+    const auto base = bench::runSelected(opt, base_cfg);
+
+    const CompressionScheme schemes[] = {
+        CompressionScheme::Warped, CompressionScheme::Fixed40,
+        CompressionScheme::Fixed41, CompressionScheme::Fixed42};
+
+    const auto names = bench::selectedWorkloads(opt);
+    std::vector<std::vector<double>> rows(names.size());
+    std::vector<double> col_means;
+    for (CompressionScheme s : schemes) {
+        ExperimentConfig cfg;
+        cfg.scheme = s;
+        const auto results = bench::runSelected(opt, cfg);
+        std::vector<double> norms;
+        for (std::size_t i = 0; i < results.size(); ++i) {
+            const double n = results[i].run.meter.breakdown().totalPj() /
+                base[i].run.meter.breakdown().totalPj();
+            rows[i].push_back(n);
+            norms.push_back(n);
+        }
+        col_means.push_back(mean(norms));
+    }
+
+    TextTable t({"bench", "warped", "<4,0>", "<4,1>", "<4,2>"});
+    for (std::size_t i = 0; i < names.size(); ++i)
+        t.addRow(names[i], rows[i], 3);
+    t.addRow("average", col_means, 3);
+    t.print(std::cout);
+
+    std::cout << "\n(paper: the dynamic scheme consumes the least energy; "
+                 "<4,0>-only loses part of the dynamic-energy savings)\n";
+    return 0;
+}

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Fig 18: sensitivity to register bank access energy — both designs
+ * re-priced with access energy at 1.0x/1.5x/2.0x/2.5x (an optimistic
+ * view where data movement dominates).
+ */
+
+#include "bench_common.hpp"
+
+using namespace warpcomp;
+
+int
+main(int argc, char **argv)
+{
+    const HarnessOptions opt = parseHarnessArgs(argc, argv);
+    bench::banner("Energy vs per-bank access energy", "Figure 18");
+
+    ExperimentConfig base_cfg;
+    base_cfg.scheme = CompressionScheme::None;
+    ExperimentConfig wc_cfg;
+    const auto base = bench::runSelected(opt, base_cfg);
+    const auto wc = bench::runSelected(opt, wc_cfg);
+
+    const double scales[] = {1.0, 1.5, 2.0, 2.5};
+    TextTable t({"bench", "1.0x", "1.5x", "2.0x", "2.5x"});
+    std::vector<double> col_means(4, 0.0);
+    for (std::size_t i = 0; i < base.size(); ++i) {
+        std::vector<double> row;
+        for (std::size_t s = 0; s < 4; ++s) {
+            EnergyParams p;
+            p.accessScale = scales[s];
+            const double n = bench::totalEnergy(wc[i], p) /
+                bench::totalEnergy(base[i], p);
+            row.push_back(n);
+            col_means[s] += n;
+        }
+        t.addRow(base[i].workload, row, 3);
+    }
+    for (double &m : col_means)
+        m /= static_cast<double>(base.size());
+    t.addRow("average", col_means, 3);
+    t.print(std::cout);
+
+    std::cout << "\nat 2.5x access energy, savings grow to "
+              << fmtPercent(1.0 - col_means[3])
+              << "  (paper: 35% under the optimistic assumption)\n";
+    return 0;
+}

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Fig 20: execution-time sensitivity to compression latency (2/4/8
+ * cycles), normalized to the no-compression baseline.
+ */
+
+#include "bench_common.hpp"
+
+using namespace warpcomp;
+
+int
+main(int argc, char **argv)
+{
+    const HarnessOptions opt = parseHarnessArgs(argc, argv);
+    bench::banner("Execution time vs compression latency", "Figure 20");
+
+    ExperimentConfig base_cfg;
+    base_cfg.scheme = CompressionScheme::None;
+    const auto base = bench::runSelected(opt, base_cfg);
+
+    const u32 latencies[] = {2, 4, 8};
+    const auto names = bench::selectedWorkloads(opt);
+    std::vector<std::vector<double>> rows(names.size());
+    std::vector<double> col_means(3, 0.0);
+    for (std::size_t s = 0; s < 3; ++s) {
+        ExperimentConfig cfg;
+        cfg.compressLatency = latencies[s];
+        const auto results = bench::runSelected(opt, cfg);
+        for (std::size_t i = 0; i < results.size(); ++i) {
+            const double n = static_cast<double>(results[i].run.cycles) /
+                static_cast<double>(base[i].run.cycles);
+            rows[i].push_back(n);
+            col_means[s] += n;
+        }
+    }
+    for (double &m : col_means)
+        m /= static_cast<double>(names.size());
+
+    TextTable t({"bench", "lat=2", "lat=4", "lat=8"});
+    for (std::size_t i = 0; i < names.size(); ++i)
+        t.addRow(names[i], rows[i], 3);
+    t.addRow("average", col_means, 3);
+    t.print(std::cout);
+
+    std::cout << "\naverage slowdown at 8-cycle compression latency: "
+              << fmtPercent(col_means[2] - 1.0)
+              << "  (paper: longer latencies cost up to ~14% with both "
+                 "latencies at 8)\n";
+    return 0;
+}

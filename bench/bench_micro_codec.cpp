@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks of the hot paths: the BDI codec
+ * (hardware-critical path under a 1-2 cycle budget), bank arbitration,
+ * and the SIMT stack. These size the simulator's own cost, not the
+ * paper's results.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "compress/bdi.hpp"
+#include "sim/arbiter.hpp"
+#include "sim/simt_stack.hpp"
+
+namespace warpcomp {
+namespace {
+
+WarpRegValue
+strideValue(u32 base, u32 stride)
+{
+    WarpRegValue v{};
+    for (u32 i = 0; i < kWarpSize; ++i)
+        v[i] = base + stride * i;
+    return v;
+}
+
+void
+BM_BdiCompressUniform(benchmark::State &state)
+{
+    const auto img = toBytes(strideValue(42, 0));
+    for (auto _ : state) {
+        auto enc = bdiCompress(img, warpedCandidates());
+        benchmark::DoNotOptimize(enc);
+    }
+}
+BENCHMARK(BM_BdiCompressUniform);
+
+void
+BM_BdiCompressStride(benchmark::State &state)
+{
+    const auto img = toBytes(strideValue(1000, 1));
+    for (auto _ : state) {
+        auto enc = bdiCompress(img, warpedCandidates());
+        benchmark::DoNotOptimize(enc);
+    }
+}
+BENCHMARK(BM_BdiCompressStride);
+
+void
+BM_BdiCompressRandom(benchmark::State &state)
+{
+    Rng rng(1);
+    WarpRegValue v{};
+    for (u32 i = 0; i < kWarpSize; ++i)
+        v[i] = static_cast<u32>(rng.next());
+    const auto img = toBytes(v);
+    for (auto _ : state) {
+        auto enc = bdiCompress(img, warpedCandidates());
+        benchmark::DoNotOptimize(enc);
+    }
+}
+BENCHMARK(BM_BdiCompressRandom);
+
+void
+BM_BdiDecompress(benchmark::State &state)
+{
+    const auto img = toBytes(strideValue(1000, 1));
+    const BdiEncoded enc = bdiCompress(img, warpedCandidates());
+    for (auto _ : state) {
+        auto out = bdiDecompress(enc);
+        benchmark::DoNotOptimize(out);
+    }
+}
+BENCHMARK(BM_BdiDecompress);
+
+void
+BM_BdiExplorerFullCandidates(benchmark::State &state)
+{
+    const auto img = toBytes(strideValue(7, 300));
+    for (auto _ : state) {
+        auto best = bdiBestParams(img, fullBdiCandidates());
+        benchmark::DoNotOptimize(best);
+    }
+}
+BENCHMARK(BM_BdiExplorerFullCandidates);
+
+void
+BM_ArbiterCycle(benchmark::State &state)
+{
+    BankArbiter arb(32);
+    for (auto _ : state) {
+        arb.newCycle();
+        for (u32 b = 0; b < 32; ++b)
+            benchmark::DoNotOptimize(arb.tryRead(b));
+        benchmark::DoNotOptimize(arb.tryWriteRange(0, 8));
+    }
+}
+BENCHMARK(BM_ArbiterCycle);
+
+void
+BM_SimtStackDivergeReconverge(benchmark::State &state)
+{
+    for (auto _ : state) {
+        SimtStack s;
+        s.reset(kFullMask);
+        s.branch(10, 20, 0x0000FFFFu, 1);
+        s.advance(20);
+        s.popReconverged();
+        s.advance(20);
+        s.popReconverged();
+        benchmark::DoNotOptimize(s);
+    }
+}
+BENCHMARK(BM_SimtStackDivergeReconverge);
+
+} // namespace
+} // namespace warpcomp
+
+BENCHMARK_MAIN();

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Table 1: possible <base,delta> chunk-size combinations, their
+ * compressed sizes per Eq. (1), the register banks each needs, and
+ * whether warped-compression uses them. Computed from the codec, not
+ * hard-coded, so any formula regression shows up here.
+ */
+
+#include "bench_common.hpp"
+
+#include "compress/bdi.hpp"
+
+using namespace warpcomp;
+
+int
+main()
+{
+    bench::banner("Chunk-size combinations", "Table 1");
+
+    struct Row
+    {
+        BdiParams p;
+        bool used;
+    };
+    const Row rows[] = {
+        {{1, 0}, false}, {{2, 1}, false}, {{4, 0}, true},
+        {{4, 1}, true},  {{4, 2}, true},  {{8, 0}, false},
+        {{8, 1}, false}, {{8, 2}, false}, {{8, 4}, false},
+    };
+
+    TextTable t({"base(B)", "delta(B)", "comp.size(B)", "banks(16B)",
+                 "used?"});
+    for (const Row &r : rows) {
+        const u32 size = bdiCompressedSize(r.p);
+        t.addRow({std::to_string(r.p.baseBytes),
+                  std::to_string(r.p.deltaBytes), std::to_string(size),
+                  std::to_string(banksForBytes(size)),
+                  r.used ? "Y" : "N"});
+    }
+    t.print(std::cout);
+
+    std::cout << "\npaper: <4,0>/<4,1>/<4,2> selected as the three fixed"
+                 " choices (Sec. 4).\n";
+    return 0;
+}

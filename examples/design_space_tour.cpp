@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Design-space tour — the Sec. 6.6-6.8 exploration on one workload:
+ * compression-parameter choices, comp/decomp latency sweeps, and
+ * energy-constant scaling, all against the same baseline. Demonstrates
+ * driving ExperimentConfig and re-pricing meters without re-simulating.
+ */
+
+#include <iostream>
+
+#include "harness/experiment.hpp"
+#include "power/report.hpp"
+
+using namespace warpcomp;
+
+int
+main(int argc, char **argv)
+{
+    const HarnessOptions opt = parseHarnessArgs(argc, argv);
+    const std::string name = opt.only.empty() ? "hotspot" : opt.only;
+
+    std::cout << "design-space tour on '" << name << "'\n"
+              << "====================================\n\n";
+
+    ExperimentConfig base_cfg;
+    base_cfg.scheme = CompressionScheme::None;
+    const ExperimentResult base = runWorkload(name, base_cfg);
+    const double base_total = base.run.meter.breakdown().totalPj();
+
+    // 1. Compression scheme choices (Fig 15/16 axis).
+    std::cout << "1) compression parameter choices\n";
+    TextTable t1({"scheme", "ratio", "energy vs baseline",
+                  "cycles vs baseline"});
+    for (CompressionScheme s :
+         {CompressionScheme::Warped, CompressionScheme::Fixed40,
+          CompressionScheme::Fixed41, CompressionScheme::Fixed42,
+          CompressionScheme::FullBdi}) {
+        ExperimentConfig cfg;
+        cfg.scheme = s;
+        const ExperimentResult r = runWorkload(name, cfg);
+        t1.addRow({schemeName(s),
+                   fmtDouble(r.run.stats.ratio.overallRatio(), 2),
+                   fmtPercent(r.run.meter.breakdown().totalPj() /
+                              base_total),
+                   fmtDouble(static_cast<double>(r.run.cycles) /
+                                 base.run.cycles, 3)});
+    }
+    t1.print(std::cout);
+
+    // 2. Latency sensitivity (Fig 20/21 axis).
+    std::cout << "\n2) compression/decompression latency\n";
+    TextTable t2({"comp.lat", "decomp.lat", "cycles vs baseline"});
+    for (u32 cl : {2u, 4u, 8u}) {
+        for (u32 dl : {1u, 4u, 8u}) {
+            ExperimentConfig cfg;
+            cfg.compressLatency = cl;
+            cfg.decompressLatency = dl;
+            const ExperimentResult r = runWorkload(name, cfg);
+            t2.addRow({std::to_string(cl), std::to_string(dl),
+                       fmtDouble(static_cast<double>(r.run.cycles) /
+                                     base.run.cycles, 3)});
+        }
+    }
+    t2.print(std::cout);
+
+    // 3. Energy-constant scaling, re-priced from one simulation
+    //    (Fig 17/18/19 axis).
+    std::cout << "\n3) energy-constant scaling (no re-simulation)\n";
+    ExperimentConfig wc_cfg;
+    const ExperimentResult wc = runWorkload(name, wc_cfg);
+    TextTable t3({"knob", "value", "wc energy vs baseline"});
+    for (double s : {1.0, 1.5, 2.0, 2.5}) {
+        EnergyParams p;
+        p.compDecompScale = s;
+        t3.addRow({"comp/decomp energy", fmtDouble(s, 1) + "x",
+                   fmtPercent(wc.run.meter.breakdownWith(p).totalPj() /
+                              base_total)});
+    }
+    for (double a : {0.0, 0.5, 1.0}) {
+        EnergyParams p;
+        p.wireActivity = a;
+        const double b = base.run.meter.breakdownWith(p).totalPj();
+        t3.addRow({"wire activity", fmtPercent(a, 0),
+                   fmtPercent(wc.run.meter.breakdownWith(p).totalPj() /
+                              b)});
+    }
+    t3.print(std::cout);
+    return 0;
+}

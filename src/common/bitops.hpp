@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Small branch-free bit helpers used by the SIMT stack, bank arbiter and
+ * compression codec.
+ */
+
+#ifndef WARPCOMP_COMMON_BITOPS_HPP
+#define WARPCOMP_COMMON_BITOPS_HPP
+
+#include <bit>
+
+#include "common/types.hpp"
+
+namespace warpcomp {
+
+/** Number of set bits in a lane mask. */
+inline u32
+popcount(LaneMask m)
+{
+    return static_cast<u32>(std::popcount(m));
+}
+
+/** Index of the lowest set bit; undefined when m == 0. */
+inline u32
+lowestLane(LaneMask m)
+{
+    return static_cast<u32>(std::countr_zero(m));
+}
+
+/** True when lane @p lane is active in @p m. */
+inline bool
+laneActive(LaneMask m, u32 lane)
+{
+    return (m >> lane) & 1u;
+}
+
+/** Mask with only the first @p n lanes active. */
+inline LaneMask
+firstLanes(u32 n)
+{
+    return n >= 32 ? kFullMask : ((1u << n) - 1u);
+}
+
+/** Ceiling division for unsigned quantities. */
+template <typename T>
+constexpr T
+ceilDiv(T a, T b)
+{
+    return (a + b - 1) / b;
+}
+
+/** True when a signed value fits in @p bytes bytes (two's complement). */
+inline bool
+fitsSigned(i64 value, u32 bytes)
+{
+    if (bytes >= 8)
+        return true;
+    const i64 lo = -(i64{1} << (8 * bytes - 1));
+    const i64 hi = (i64{1} << (8 * bytes - 1)) - 1;
+    return value >= lo && value <= hi;
+}
+
+} // namespace warpcomp
+
+#endif // WARPCOMP_COMMON_BITOPS_HPP

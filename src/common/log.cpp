@@ -1,0 +1,51 @@
+#include "common/log.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace warpcomp {
+
+namespace {
+
+LogLevel gLevel = LogLevel::Warn;
+
+} // namespace
+
+LogLevel
+logLevel()
+{
+    return gLevel;
+}
+
+void
+setLogLevel(LogLevel level)
+{
+    gLevel = level;
+}
+
+namespace detail {
+
+void
+panicImpl(const char *file, int line, const std::string &msg)
+{
+    std::fprintf(stderr, "panic: %s (%s:%d)\n", msg.c_str(), file, line);
+    std::abort();
+}
+
+void
+fatalImpl(const std::string &msg)
+{
+    std::fprintf(stderr, "fatal: %s\n", msg.c_str());
+    std::exit(1);
+}
+
+void
+logImpl(LogLevel level, const std::string &msg)
+{
+    const char *tag = level == LogLevel::Warn ? "warn" : "info";
+    std::fprintf(stderr, "%s: %s\n", tag, msg.c_str());
+}
+
+} // namespace detail
+
+} // namespace warpcomp

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Minimal logging / fatal-error facility in the spirit of gem5's
+ * logging.hh: panic() for simulator bugs, fatal() for user errors.
+ */
+
+#ifndef WARPCOMP_COMMON_LOG_HPP
+#define WARPCOMP_COMMON_LOG_HPP
+
+#include <sstream>
+#include <string>
+
+namespace warpcomp {
+
+/** Verbosity levels, most severe first. */
+enum class LogLevel { Quiet, Warn, Info, Debug };
+
+/** Process-wide log verbosity; defaults to Warn. */
+LogLevel logLevel();
+
+/** Set the process-wide log verbosity. */
+void setLogLevel(LogLevel level);
+
+namespace detail {
+
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+[[noreturn]] void fatalImpl(const std::string &msg);
+void logImpl(LogLevel level, const std::string &msg);
+
+} // namespace detail
+
+/**
+ * Report an internal simulator invariant violation and abort.
+ * Use for conditions that indicate a warpcomp bug, never user error.
+ */
+#define WC_PANIC(msg)                                                       \
+    do {                                                                    \
+        std::ostringstream wc_panic_ss_;                                    \
+        wc_panic_ss_ << msg;                                                \
+        ::warpcomp::detail::panicImpl(__FILE__, __LINE__,                   \
+                                      wc_panic_ss_.str());                  \
+    } while (0)
+
+/**
+ * Report an unusable user configuration and exit(1).
+ */
+#define WC_FATAL(msg)                                                       \
+    do {                                                                    \
+        std::ostringstream wc_fatal_ss_;                                    \
+        wc_fatal_ss_ << msg;                                                \
+        ::warpcomp::detail::fatalImpl(wc_fatal_ss_.str());                  \
+    } while (0)
+
+/** Panic unless @p cond holds. */
+#define WC_ASSERT(cond, msg)                                                \
+    do {                                                                    \
+        if (!(cond))                                                        \
+            WC_PANIC("assertion failed: " #cond ": " << msg);               \
+    } while (0)
+
+/** Informational message, shown at Info verbosity and above. */
+#define WC_INFO(msg)                                                        \
+    do {                                                                    \
+        if (::warpcomp::logLevel() >= ::warpcomp::LogLevel::Info) {         \
+            std::ostringstream wc_info_ss_;                                 \
+            wc_info_ss_ << msg;                                             \
+            ::warpcomp::detail::logImpl(::warpcomp::LogLevel::Info,         \
+                                        wc_info_ss_.str());                 \
+        }                                                                   \
+    } while (0)
+
+/** Warning message, shown at Warn verbosity and above. */
+#define WC_WARN(msg)                                                        \
+    do {                                                                    \
+        if (::warpcomp::logLevel() >= ::warpcomp::LogLevel::Warn) {         \
+            std::ostringstream wc_warn_ss_;                                 \
+            wc_warn_ss_ << msg;                                             \
+            ::warpcomp::detail::logImpl(::warpcomp::LogLevel::Warn,         \
+                                        wc_warn_ss_.str());                 \
+        }                                                                   \
+    } while (0)
+
+} // namespace warpcomp
+
+#endif // WARPCOMP_COMMON_LOG_HPP

@@ -1,0 +1,70 @@
+#include "common/rng.hpp"
+
+#include "common/log.hpp"
+
+namespace warpcomp {
+
+namespace {
+
+u64
+splitmix64(u64 &x)
+{
+    x += 0x9E3779B97F4A7C15ull;
+    u64 z = x;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+}
+
+} // namespace
+
+Rng::Rng(u64 seed)
+{
+    u64 x = seed;
+    s0_ = splitmix64(x);
+    s1_ = splitmix64(x);
+    if (s0_ == 0 && s1_ == 0)
+        s1_ = 1;
+}
+
+u64
+Rng::next()
+{
+    u64 x = s0_;
+    const u64 y = s1_;
+    s0_ = y;
+    x ^= x << 23;
+    s1_ = x ^ y ^ (x >> 17) ^ (y >> 26);
+    return s1_ + y;
+}
+
+u32
+Rng::nextU32(u32 bound)
+{
+    WC_ASSERT(bound > 0, "nextU32 bound must be positive");
+    return static_cast<u32>(next() % bound);
+}
+
+i32
+Rng::nextRange(i32 lo, i32 hi)
+{
+    WC_ASSERT(lo <= hi, "nextRange lo > hi");
+    const u64 span = static_cast<u64>(static_cast<i64>(hi) -
+                                      static_cast<i64>(lo)) + 1;
+    return static_cast<i32>(static_cast<i64>(lo) +
+                            static_cast<i64>(next() % span));
+}
+
+double
+Rng::nextDouble()
+{
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+bool
+Rng::nextBool(double p)
+{
+    return nextDouble() < p;
+}
+
+} // namespace warpcomp

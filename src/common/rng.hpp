@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Deterministic xorshift128+ pseudo-random generator. All workload input
+ * generation uses this so every experiment is bit-reproducible without
+ * depending on libstdc++'s distribution implementations.
+ */
+
+#ifndef WARPCOMP_COMMON_RNG_HPP
+#define WARPCOMP_COMMON_RNG_HPP
+
+#include "common/types.hpp"
+
+namespace warpcomp {
+
+/** xorshift128+ generator with splitmix64 seeding. */
+class Rng
+{
+  public:
+    explicit Rng(u64 seed = 0x9E3779B97F4A7C15ull);
+
+    /** Next raw 64-bit value. */
+    u64 next();
+
+    /** Uniform in [0, bound) for bound > 0. */
+    u32 nextU32(u32 bound);
+
+    /** Uniform in [lo, hi] inclusive. */
+    i32 nextRange(i32 lo, i32 hi);
+
+    /** Uniform double in [0, 1). */
+    double nextDouble();
+
+    /** Bernoulli with probability p. */
+    bool nextBool(double p);
+
+  private:
+    u64 s0_;
+    u64 s1_;
+};
+
+} // namespace warpcomp
+
+#endif // WARPCOMP_COMMON_RNG_HPP

@@ -1,0 +1,46 @@
+#include "common/stats.hpp"
+
+#include "common/log.hpp"
+
+namespace warpcomp {
+
+void
+StatGroup::dump(std::ostream &os) const
+{
+    for (const auto &kv : counters_)
+        os << name_ << '.' << kv.first << ' ' << kv.second.value() << '\n';
+}
+
+void
+Histogram::add(std::size_t bin, u64 v)
+{
+    WC_ASSERT(bin < bins_.size(), "histogram bin " << bin << " out of "
+              << bins_.size());
+    bins_[bin] += v;
+}
+
+u64
+Histogram::total() const
+{
+    u64 sum = 0;
+    for (u64 b : bins_)
+        sum += b;
+    return sum;
+}
+
+double
+Histogram::fraction(std::size_t i) const
+{
+    const u64 t = total();
+    return t == 0 ? 0.0 : static_cast<double>(bins_.at(i)) /
+        static_cast<double>(t);
+}
+
+void
+Histogram::reset()
+{
+    for (u64 &b : bins_)
+        b = 0;
+}
+
+} // namespace warpcomp

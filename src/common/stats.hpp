@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Lightweight named-statistics registry. Components register scalar
+ * counters and distributions; harness code dumps or queries them after a
+ * simulation run. Inspired by gem5's stats package, radically simplified.
+ */
+
+#ifndef WARPCOMP_COMMON_STATS_HPP
+#define WARPCOMP_COMMON_STATS_HPP
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace warpcomp {
+
+/** A named scalar counter. */
+class Counter
+{
+  public:
+    Counter() = default;
+
+    Counter &operator+=(u64 v) { value_ += v; return *this; }
+    Counter &operator++() { ++value_; return *this; }
+    void reset() { value_ = 0; }
+
+    u64 value() const { return value_; }
+
+  private:
+    u64 value_ = 0;
+};
+
+/**
+ * Collection of named counters owned by one component. Counters are
+ * created on first access; lookups of absent counters in const context
+ * return zero.
+ */
+class StatGroup
+{
+  public:
+    explicit StatGroup(std::string name) : name_(std::move(name)) {}
+
+    /** Counter by name, creating it if needed. */
+    Counter &counter(const std::string &name) { return counters_[name]; }
+
+    /** Read-only value; zero when the counter was never touched. */
+    u64
+    get(const std::string &name) const
+    {
+        auto it = counters_.find(name);
+        return it == counters_.end() ? 0 : it->second.value();
+    }
+
+    /** Zero every counter in the group. */
+    void
+    reset()
+    {
+        for (auto &kv : counters_)
+            kv.second.reset();
+    }
+
+    /** Dump "group.name value" lines. */
+    void dump(std::ostream &os) const;
+
+    const std::string &name() const { return name_; }
+
+  private:
+    std::string name_;
+    std::map<std::string, Counter> counters_;
+};
+
+/**
+ * Fixed-bin histogram for distributions such as the per-bank gated-cycle
+ * counts and value-similarity bins.
+ */
+class Histogram
+{
+  public:
+    explicit Histogram(std::size_t bins) : bins_(bins, 0) {}
+
+    void add(std::size_t bin, u64 v = 1);
+
+    u64 bin(std::size_t i) const { return bins_.at(i); }
+    std::size_t size() const { return bins_.size(); }
+    u64 total() const;
+    /** Bin value as a fraction of the histogram total (0 when empty). */
+    double fraction(std::size_t i) const;
+    void reset();
+
+  private:
+    std::vector<u64> bins_;
+};
+
+} // namespace warpcomp
+
+#endif // WARPCOMP_COMMON_STATS_HPP

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Fundamental scalar types and widths shared by every warpcomp module.
+ */
+
+#ifndef WARPCOMP_COMMON_TYPES_HPP
+#define WARPCOMP_COMMON_TYPES_HPP
+
+#include <cstdint>
+#include <cstddef>
+
+namespace warpcomp {
+
+using u8 = std::uint8_t;
+using u16 = std::uint16_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+using i8 = std::int8_t;
+using i16 = std::int16_t;
+using i32 = std::int32_t;
+using i64 = std::int64_t;
+
+/** Simulation time measured in SM clock cycles. */
+using Cycle = u64;
+
+/** 32-wide SIMT lane mask; bit i set means lane i is active. */
+using LaneMask = u32;
+
+/** Number of threads in a warp (CUDA terminology, Sec. 2.1). */
+inline constexpr u32 kWarpSize = 32;
+
+/** Mask with every lane of a warp active. */
+inline constexpr LaneMask kFullMask = 0xFFFFFFFFu;
+
+/** Bytes in one thread register (32-bit architectural registers). */
+inline constexpr u32 kThreadRegBytes = 4;
+
+/** Bytes in one warp register: 32 lanes x 4 B = 128 B. */
+inline constexpr u32 kWarpRegBytes = kWarpSize * kThreadRegBytes;
+
+/** Width of one register bank entry in bytes (128-bit banks, Table 2). */
+inline constexpr u32 kBankEntryBytes = 16;
+
+/** Banks spanned by one uncompressed warp register (128 B / 16 B). */
+inline constexpr u32 kBanksPerWarpReg = kWarpRegBytes / kBankEntryBytes;
+
+} // namespace warpcomp
+
+#endif // WARPCOMP_COMMON_TYPES_HPP

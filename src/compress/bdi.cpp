@@ -1,0 +1,203 @@
+#include "compress/bdi.hpp"
+
+#include <cstring>
+
+#include "common/bitops.hpp"
+#include "common/log.hpp"
+
+namespace warpcomp {
+
+namespace {
+
+/** Load a little-endian chunk of 1/2/4/8 bytes as a signed value. */
+i64
+loadChunk(std::span<const u8> data, u32 index, u32 chunk_bytes)
+{
+    u64 raw = 0;
+    std::memcpy(&raw, data.data() + index * chunk_bytes, chunk_bytes);
+    // Sign-extend from chunk_bytes * 8 bits.
+    const u32 bits = chunk_bytes * 8;
+    if (bits < 64) {
+        const u64 sign = u64{1} << (bits - 1);
+        raw = (raw ^ sign) - sign;
+    }
+    return static_cast<i64>(raw);
+}
+
+/** Store the low @p bytes bytes of @p value little-endian. */
+void
+storeBytes(std::vector<u8> &out, i64 value, u32 bytes)
+{
+    u64 raw = static_cast<u64>(value);
+    for (u32 i = 0; i < bytes; ++i) {
+        out.push_back(static_cast<u8>(raw & 0xFF));
+        raw >>= 8;
+    }
+}
+
+/** Sign-extend @p bytes little-endian bytes at @p p. */
+i64
+loadSigned(const u8 *p, u32 bytes)
+{
+    u64 raw = 0;
+    std::memcpy(&raw, p, bytes);
+    const u32 bits = bytes * 8;
+    if (bits < 64) {
+        const u64 sign = u64{1} << (bits - 1);
+        raw = (raw ^ sign) - sign;
+    }
+    return static_cast<i64>(raw);
+}
+
+constexpr BdiParams kFullCandidates[] = {
+    {4, 0}, {4, 1}, {4, 2}, {8, 0}, {8, 1}, {8, 2}, {8, 4},
+};
+
+constexpr BdiParams kWarpedCandidates[] = {
+    {4, 0}, {4, 1}, {4, 2},
+};
+
+} // namespace
+
+std::span<const BdiParams>
+fullBdiCandidates()
+{
+    return kFullCandidates;
+}
+
+std::span<const BdiParams>
+warpedCandidates()
+{
+    return kWarpedCandidates;
+}
+
+std::array<u8, kWarpRegBytes>
+toBytes(const WarpRegValue &value)
+{
+    std::array<u8, kWarpRegBytes> out{};
+    std::memcpy(out.data(), value.data(), kWarpRegBytes);
+    return out;
+}
+
+WarpRegValue
+fromBytes(std::span<const u8> bytes)
+{
+    WC_ASSERT(bytes.size() == kWarpRegBytes, "warp register image must be "
+              << kWarpRegBytes << " bytes, got " << bytes.size());
+    WarpRegValue v{};
+    std::memcpy(v.data(), bytes.data(), kWarpRegBytes);
+    return v;
+}
+
+bool
+bdiCompressible(std::span<const u8> data, BdiParams params)
+{
+    WC_ASSERT(data.size() % params.baseBytes == 0,
+              "data not a multiple of the chunk size");
+    WC_ASSERT(params.baseBytes == 1 || params.baseBytes == 2 ||
+              params.baseBytes == 4 || params.baseBytes == 8,
+              "unsupported base size " << params.baseBytes);
+    WC_ASSERT(params.deltaBytes < params.baseBytes,
+              "delta must be narrower than the base");
+
+    const u32 chunks = static_cast<u32>(data.size()) / params.baseBytes;
+    const i64 base = loadChunk(data, 0, params.baseBytes);
+    for (u32 i = 1; i < chunks; ++i) {
+        const i64 delta = loadChunk(data, i, params.baseBytes) - base;
+        if (params.deltaBytes == 0) {
+            if (delta != 0)
+                return false;
+        } else if (!fitsSigned(delta, params.deltaBytes)) {
+            return false;
+        }
+    }
+    return true;
+}
+
+BdiEncoded
+bdiCompress(std::span<const u8> data, std::span<const BdiParams> candidates)
+{
+    WC_ASSERT(data.size() == kWarpRegBytes,
+              "register compression operates on 128-byte warp registers");
+
+    const BdiParams *best = nullptr;
+    u32 best_size = kWarpRegBytes;
+    for (const BdiParams &p : candidates) {
+        const u32 size = bdiCompressedSize(p);
+        if (size < best_size && bdiCompressible(data, p)) {
+            best = &p;
+            best_size = size;
+        }
+    }
+
+    BdiEncoded enc;
+    if (best == nullptr) {
+        enc.compressed = false;
+        enc.bytes.assign(data.begin(), data.end());
+        return enc;
+    }
+
+    enc.compressed = true;
+    enc.params = *best;
+    enc.bytes.reserve(best_size);
+    const u32 chunks = kWarpRegBytes / best->baseBytes;
+    const i64 base = loadChunk(data, 0, best->baseBytes);
+    storeBytes(enc.bytes, base, best->baseBytes);
+    for (u32 i = 1; i < chunks; ++i) {
+        const i64 delta = loadChunk(data, i, best->baseBytes) - base;
+        storeBytes(enc.bytes, delta, best->deltaBytes);
+    }
+    WC_ASSERT(enc.bytes.size() == best_size, "compressed size mismatch");
+    return enc;
+}
+
+std::array<u8, kWarpRegBytes>
+bdiDecompress(const BdiEncoded &enc)
+{
+    std::array<u8, kWarpRegBytes> out{};
+    if (!enc.compressed) {
+        WC_ASSERT(enc.bytes.size() == kWarpRegBytes,
+                  "uncompressed payload must be 128 bytes");
+        std::memcpy(out.data(), enc.bytes.data(), kWarpRegBytes);
+        return out;
+    }
+
+    const BdiParams p = enc.params;
+    const u32 chunks = kWarpRegBytes / p.baseBytes;
+    const i64 base = loadSigned(enc.bytes.data(), p.baseBytes);
+    // Base chunk.
+    u64 raw = static_cast<u64>(base);
+    std::memcpy(out.data(), &raw, p.baseBytes);
+    // Delta chunks.
+    for (u32 i = 1; i < chunks; ++i) {
+        i64 delta = 0;
+        if (p.deltaBytes > 0) {
+            delta = loadSigned(enc.bytes.data() + p.baseBytes +
+                               (i - 1) * p.deltaBytes, p.deltaBytes);
+        }
+        raw = static_cast<u64>(base + delta);
+        std::memcpy(out.data() + i * p.baseBytes, &raw, p.baseBytes);
+    }
+    return out;
+}
+
+std::optional<BdiParams>
+bdiBestParams(std::span<const u8> data, std::span<const BdiParams> candidates)
+{
+    const BdiParams *best = nullptr;
+    u32 best_size = ~0u;
+    for (const BdiParams &p : candidates) {
+        const u32 size = bdiCompressedSize(
+            p, static_cast<u32>(data.size()));
+        if (size < best_size && size < data.size() &&
+            bdiCompressible(data, p)) {
+            best = &p;
+            best_size = size;
+        }
+    }
+    if (best == nullptr)
+        return std::nullopt;
+    return *best;
+}
+
+} // namespace warpcomp

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Base-delta-immediate (BDI) codec for 128-byte warp registers (Sec. 4).
+ *
+ * The data is split into chunks of `baseBytes`; the first chunk is the
+ * base and every chunk is stored as a signed delta of `deltaBytes` bytes
+ * against it. `deltaBytes == 0` is the special all-chunks-equal case.
+ * A register compresses under <X,Y> iff every delta fits in Y bytes.
+ *
+ * The compressed length follows Eq. (1) of the paper:
+ *   Lcomp = Lbase + Ldelta * (Linput / Lbase - 1)
+ */
+
+#ifndef WARPCOMP_COMPRESS_BDI_HPP
+#define WARPCOMP_COMPRESS_BDI_HPP
+
+#include <array>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace warpcomp {
+
+/** A warp register's functional value: one 32-bit word per lane. */
+using WarpRegValue = std::array<u32, kWarpSize>;
+
+/** One <base,delta> parameter choice, in bytes. */
+struct BdiParams
+{
+    u32 baseBytes = 4;
+    u32 deltaBytes = 0;
+
+    bool operator==(const BdiParams &) const = default;
+};
+
+/** The seven candidates the paper's design-space explorer considers. */
+std::span<const BdiParams> fullBdiCandidates();
+
+/** The three fixed choices warped-compression uses: <4,0> <4,1> <4,2>. */
+std::span<const BdiParams> warpedCandidates();
+
+/** Compressed length in bytes per Eq. (1); input defaults to 128 B. */
+constexpr u32
+bdiCompressedSize(BdiParams p, u32 input_bytes = kWarpRegBytes)
+{
+    return p.baseBytes + p.deltaBytes * (input_bytes / p.baseBytes - 1);
+}
+
+/** Register banks (16-B each) needed to hold @p bytes. */
+constexpr u32
+banksForBytes(u32 bytes)
+{
+    return (bytes + kBankEntryBytes - 1) / kBankEntryBytes;
+}
+
+/** Serialize a warp register value to its 128-byte memory image. */
+std::array<u8, kWarpRegBytes> toBytes(const WarpRegValue &value);
+/** Rebuild a warp register value from its 128-byte image. */
+WarpRegValue fromBytes(std::span<const u8> bytes);
+
+/** True when @p data compresses under @p params. */
+bool bdiCompressible(std::span<const u8> data, BdiParams params);
+
+/** Result of attempting compression on a warp register. */
+struct BdiEncoded
+{
+    /** Parameters used; meaningless when !compressed. */
+    BdiParams params{};
+    bool compressed = false;
+    /** Compressed bytes (size == bdiCompressedSize(params)) when
+     *  compressed, else the raw 128-byte image. */
+    std::vector<u8> bytes;
+
+    u32 sizeBytes() const { return static_cast<u32>(bytes.size()); }
+    u32 banks() const { return banksForBytes(sizeBytes()); }
+};
+
+/**
+ * Compress @p data with the smallest-footprint candidate that fits (ties
+ * broken toward the earlier candidate). Falls back to uncompressed.
+ */
+BdiEncoded bdiCompress(std::span<const u8> data,
+                       std::span<const BdiParams> candidates);
+
+/** Invert bdiCompress; always returns the original 128 bytes. */
+std::array<u8, kWarpRegBytes> bdiDecompress(const BdiEncoded &enc);
+
+/**
+ * The original-BDI explorer used for Fig 5: among @p candidates, the
+ * parameter pair giving the smallest compressed size, or nullopt when
+ * nothing fits.
+ */
+std::optional<BdiParams> bdiBestParams(std::span<const u8> data,
+                                       std::span<const BdiParams> candidates);
+
+} // namespace warpcomp
+
+#endif // WARPCOMP_COMPRESS_BDI_HPP

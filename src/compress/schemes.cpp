@@ -1,0 +1,84 @@
+#include "compress/schemes.hpp"
+
+#include "common/log.hpp"
+
+namespace warpcomp {
+
+namespace {
+
+constexpr BdiParams kFixed40[] = {{4, 0}};
+constexpr BdiParams kFixed41[] = {{4, 1}};
+constexpr BdiParams kFixed42[] = {{4, 2}};
+
+} // namespace
+
+std::span<const BdiParams>
+schemeCandidates(CompressionScheme scheme)
+{
+    switch (scheme) {
+      case CompressionScheme::None: return {};
+      case CompressionScheme::Warped: return warpedCandidates();
+      case CompressionScheme::Fixed40: return kFixed40;
+      case CompressionScheme::Fixed41: return kFixed41;
+      case CompressionScheme::Fixed42: return kFixed42;
+      case CompressionScheme::FullBdi: return fullBdiCandidates();
+      default: WC_PANIC("unknown compression scheme");
+    }
+}
+
+std::string
+schemeName(CompressionScheme scheme)
+{
+    switch (scheme) {
+      case CompressionScheme::None: return "baseline";
+      case CompressionScheme::Warped: return "warped-compression";
+      case CompressionScheme::Fixed40: return "<4,0>";
+      case CompressionScheme::Fixed41: return "<4,1>";
+      case CompressionScheme::Fixed42: return "<4,2>";
+      case CompressionScheme::FullBdi: return "full-bdi";
+      default: WC_PANIC("unknown compression scheme");
+    }
+}
+
+u32
+indicatorBanks(RangeIndicator ind)
+{
+    switch (ind) {
+      case RangeIndicator::Base40: return 1;
+      case RangeIndicator::Base41: return 3;
+      case RangeIndicator::Base42: return 5;
+      case RangeIndicator::Uncompressed: return kBanksPerWarpReg;
+      default: WC_PANIC("unknown range indicator");
+    }
+}
+
+u32
+indicatorBytes(RangeIndicator ind)
+{
+    switch (ind) {
+      case RangeIndicator::Base40: return bdiCompressedSize({4, 0});
+      case RangeIndicator::Base41: return bdiCompressedSize({4, 1});
+      case RangeIndicator::Base42: return bdiCompressedSize({4, 2});
+      case RangeIndicator::Uncompressed: return kWarpRegBytes;
+      default: WC_PANIC("unknown range indicator");
+    }
+}
+
+RangeIndicator
+indicatorFor(const BdiEncoded &enc)
+{
+    if (!enc.compressed)
+        return RangeIndicator::Uncompressed;
+    if (enc.params == BdiParams{4, 0})
+        return RangeIndicator::Base40;
+    if (enc.params == BdiParams{4, 1})
+        return RangeIndicator::Base41;
+    if (enc.params == BdiParams{4, 2})
+        return RangeIndicator::Base42;
+    // Non-warped parameter (e.g. an <8,Y> from the FullBdi explorer):
+    // represent by footprint only; the indicator is a warped-scheme
+    // concept and the closest bucket is uncompressed.
+    return RangeIndicator::Uncompressed;
+}
+
+} // namespace warpcomp

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Named compression schemes used across the evaluation: the dynamic
+ * warped-compression scheme, the single-choice static variants from the
+ * Sec. 6.6 design-space exploration, and the full-BDI explorer.
+ */
+
+#ifndef WARPCOMP_COMPRESS_SCHEMES_HPP
+#define WARPCOMP_COMPRESS_SCHEMES_HPP
+
+#include <span>
+#include <string>
+
+#include "compress/bdi.hpp"
+
+namespace warpcomp {
+
+/** Compression scheme selector. */
+enum class CompressionScheme : u8 {
+    None,       ///< baseline: registers always uncompressed
+    Warped,     ///< dynamic choice among <4,0> <4,1> <4,2> (default)
+    Fixed40,    ///< static <4,0> only (the scalarization comparator)
+    Fixed41,    ///< static <4,1> only
+    Fixed42,    ///< static <4,2> only
+    FullBdi     ///< all seven candidates (original-BDI explorer)
+};
+
+/** Candidate parameter list for a scheme (empty for None). */
+std::span<const BdiParams> schemeCandidates(CompressionScheme scheme);
+
+/** Human-readable scheme name. */
+std::string schemeName(CompressionScheme scheme);
+
+/**
+ * The 2-bit compression-range indicator the bank arbiter stores per warp
+ * register (Sec. 4): which of the three choices compressed the register,
+ * or uncompressed.
+ */
+enum class RangeIndicator : u8 {
+    Base40 = 0,         ///< <4,0>: 1 bank
+    Base41 = 1,         ///< <4,1>: 3 banks
+    Base42 = 2,         ///< <4,2>: 5 banks
+    Uncompressed = 3    ///< 8 banks
+};
+
+/** Banks occupied for a range-indicator value. */
+u32 indicatorBanks(RangeIndicator ind);
+
+/** Payload bytes stored for a range-indicator value (4/35/66/128). */
+u32 indicatorBytes(RangeIndicator ind);
+
+/** Indicator for a compression outcome under the Warped scheme. */
+RangeIndicator indicatorFor(const BdiEncoded &enc);
+
+} // namespace warpcomp
+
+#endif // WARPCOMP_COMPRESS_SCHEMES_HPP

@@ -1,0 +1,33 @@
+#include "compress/unit.hpp"
+
+#include "common/log.hpp"
+
+namespace warpcomp {
+
+UnitPool::UnitPool(u32 count, u32 latency)
+    : count_(count), latency_(latency)
+{
+    WC_ASSERT(count > 0, "unit pool must have at least one unit");
+}
+
+bool
+UnitPool::canIssue(Cycle now) const
+{
+    return lastCycle_ != now || issuedThisCycle_ < count_;
+}
+
+Cycle
+UnitPool::tryIssue(Cycle now)
+{
+    if (lastCycle_ != now) {
+        lastCycle_ = now;
+        issuedThisCycle_ = 0;
+    }
+    if (issuedThisCycle_ >= count_)
+        return 0;
+    ++issuedThisCycle_;
+    ++activations_;
+    return now + latency_;
+}
+
+} // namespace warpcomp

@@ -1,0 +1,98 @@
+#include "harness/experiment.hpp"
+
+#include <cmath>
+#include <cstring>
+
+#include "common/log.hpp"
+
+namespace warpcomp {
+
+GpuParams
+makeGpuParams(const ExperimentConfig &cfg)
+{
+    GpuParams gp;
+    gp.numSms = cfg.numSms;
+    gp.energy = cfg.energy;
+    gp.sm.scheme = cfg.scheme;
+    gp.sm.sched = cfg.sched;
+    gp.sm.divPolicy = cfg.divPolicy;
+    gp.sm.compressLatency = cfg.compressLatency;
+    gp.sm.decompressLatency = cfg.decompressLatency;
+    gp.sm.numCompressors = cfg.numCompressors;
+    gp.sm.numDecompressors = cfg.numDecompressors;
+    gp.sm.applyScheme();
+    gp.sm.regfile.wakeupLatency = cfg.wakeupLatency;
+    if (!cfg.enableGating)
+        gp.sm.regfile.gatingEnabled = false;
+    gp.sm.regfile.drowsyEnabled = cfg.drowsy;
+    gp.sm.regfile.drowsyAfterCycles = cfg.drowsyAfterCycles;
+    gp.sm.rfcEntriesPerWarp = cfg.rfcEntries;
+    return gp;
+}
+
+ExperimentResult
+runWorkload(const std::string &name, const ExperimentConfig &cfg)
+{
+    WorkloadInstance wl = makeWorkload(name, cfg.scale);
+    const GpuParams gp = makeGpuParams(cfg);
+    Gpu gpu(gp, *wl.gmem, *wl.cmem);
+    RunResult run = gpu.run(wl.kernel, wl.dims, cfg.collectBdiBreakdown);
+    return ExperimentResult{wl.name, std::move(run)};
+}
+
+std::vector<ExperimentResult>
+runSuite(const ExperimentConfig &cfg)
+{
+    std::vector<ExperimentResult> results;
+    results.reserve(workloadNames().size());
+    for (const std::string &name : workloadNames())
+        results.push_back(runWorkload(name, cfg));
+    return results;
+}
+
+HarnessOptions
+parseHarnessArgs(int argc, char **argv)
+{
+    HarnessOptions opt;
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        if (std::strncmp(arg, "--scale=", 8) == 0) {
+            opt.scale = static_cast<u32>(std::atoi(arg + 8));
+            if (opt.scale < 1)
+                WC_FATAL("--scale must be >= 1");
+        } else if (std::strncmp(arg, "--sms=", 6) == 0) {
+            opt.numSms = static_cast<u32>(std::atoi(arg + 6));
+            if (opt.numSms < 1)
+                WC_FATAL("--sms must be >= 1");
+        } else if (std::strncmp(arg, "--only=", 7) == 0) {
+            opt.only = arg + 7;
+        }
+    }
+    return opt;
+}
+
+double
+geomean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double log_sum = 0.0;
+    for (double v : values) {
+        WC_ASSERT(v > 0.0, "geomean over non-positive value");
+        log_sum += std::log(v);
+    }
+    return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+double
+mean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (double v : values)
+        sum += v;
+    return sum / static_cast<double>(values.size());
+}
+
+} // namespace warpcomp

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Experiment harness: runs a workload under a named configuration and
+ * returns the merged results. Every bench binary (one per paper
+ * table/figure) and example builds on this.
+ */
+
+#ifndef WARPCOMP_HARNESS_EXPERIMENT_HPP
+#define WARPCOMP_HARNESS_EXPERIMENT_HPP
+
+#include <string>
+#include <vector>
+
+#include "sim/gpu.hpp"
+#include "workloads/registry.hpp"
+
+namespace warpcomp {
+
+/** One experiment configuration (Table 2 defaults unless overridden). */
+struct ExperimentConfig
+{
+    CompressionScheme scheme = CompressionScheme::Warped;
+    SchedPolicy sched = SchedPolicy::Gto;
+    DivergencePolicy divPolicy = DivergencePolicy::WriteUncompressed;
+    u32 compressLatency = 2;
+    u32 decompressLatency = 1;
+    u32 numSms = 15;
+    u32 scale = 1;                  ///< workload problem-size multiplier
+    bool collectBdiBreakdown = false;
+    /** Ablation: disable bank power gating in the compressed design. */
+    bool enableGating = true;
+    /** Comparator: drowsy-mode register banks (related work [9]). */
+    bool drowsy = false;
+    /** Idle cycles before a bank drops to drowsy state. */
+    u32 drowsyAfterCycles = 64;
+    /** Comparator: register-file-cache entries per warp (related work
+     *  [21]); 0 disables. */
+    u32 rfcEntries = 0;
+    /** Bank wakeup latency in cycles (Table 2 default: 10). */
+    u32 wakeupLatency = 10;
+    u32 numCompressors = 2;
+    u32 numDecompressors = 4;
+    EnergyParams energy{};
+};
+
+/** Result of one (workload, config) simulation. */
+struct ExperimentResult
+{
+    std::string workload;
+    RunResult run;
+};
+
+/** Assemble GpuParams from an ExperimentConfig. */
+GpuParams makeGpuParams(const ExperimentConfig &cfg);
+
+/** Run one workload under @p cfg. */
+ExperimentResult runWorkload(const std::string &name,
+                             const ExperimentConfig &cfg);
+
+/** Run the full 15-benchmark suite under @p cfg. */
+std::vector<ExperimentResult> runSuite(const ExperimentConfig &cfg);
+
+/** Command-line options shared by the bench binaries. */
+struct HarnessOptions
+{
+    u32 scale = 1;
+    u32 numSms = 15;
+    /** Restrict to a single workload (empty = all). */
+    std::string only;
+};
+
+/** Parse --scale=N --sms=N --only=name; ignores unknown arguments. */
+HarnessOptions parseHarnessArgs(int argc, char **argv);
+
+/** Geometric-mean helper used for figure averages. */
+double geomean(const std::vector<double> &values);
+
+/** Arithmetic mean (the paper reports arithmetic averages). */
+double mean(const std::vector<double> &values);
+
+} // namespace warpcomp
+
+#endif // WARPCOMP_HARNESS_EXPERIMENT_HPP

@@ -1,0 +1,472 @@
+#include "isa/builder.hpp"
+
+#include <bit>
+
+#include "common/log.hpp"
+
+namespace warpcomp {
+
+KernelBuilder::KernelBuilder(std::string name, u32 smem_bytes)
+    : name_(std::move(name)), smemBytes_(smem_bytes)
+{
+}
+
+Reg
+KernelBuilder::newReg()
+{
+    WC_ASSERT(nextReg_ < kMaxRegsPerThread,
+              "kernel " << name_ << " exceeds " << kMaxRegsPerThread
+              << " registers");
+    return Reg{static_cast<u8>(nextReg_++)};
+}
+
+Pred
+KernelBuilder::newPred()
+{
+    WC_ASSERT(nextPred_ < kMaxPredsPerThread,
+              "kernel " << name_ << " exceeds " << kMaxPredsPerThread
+              << " predicates");
+    return Pred{static_cast<u8>(nextPred_++)};
+}
+
+u32
+KernelBuilder::emit(Instruction inst)
+{
+    if (guardPred_ != kNoPred && inst.guardPred == kNoPred) {
+        inst.guardPred = guardPred_;
+        inst.guardNegate = guardNegate_;
+    }
+    code_.push_back(inst);
+    return static_cast<u32>(code_.size()) - 1;
+}
+
+void
+KernelBuilder::emit3(Opcode op, Reg d, Operand a, Operand b, Operand c)
+{
+    Instruction in;
+    in.op = op;
+    in.dst = d.idx;
+    in.src[0] = a;
+    in.src[1] = b;
+    in.src[2] = c;
+    emit(in);
+}
+
+void
+KernelBuilder::s2r(Reg d, SpecialReg sr)
+{
+    Instruction in;
+    in.op = Opcode::S2R;
+    in.dst = d.idx;
+    in.sreg = sr;
+    emit(in);
+}
+
+void
+KernelBuilder::movImm(Reg d, i32 v)
+{
+    Instruction in;
+    in.op = Opcode::MovImm;
+    in.dst = d.idx;
+    in.src[0] = Operand::fromImm(v);
+    emit(in);
+}
+
+void
+KernelBuilder::mov(Reg d, Operand a)
+{
+    emit3(Opcode::Mov, d, a, Operand::none(), Operand::none());
+}
+
+void
+KernelBuilder::iadd(Reg d, Operand a, Operand b)
+{
+    emit3(Opcode::IAdd, d, a, b, Operand::none());
+}
+
+void
+KernelBuilder::isub(Reg d, Operand a, Operand b)
+{
+    emit3(Opcode::ISub, d, a, b, Operand::none());
+}
+
+void
+KernelBuilder::imul(Reg d, Operand a, Operand b)
+{
+    emit3(Opcode::IMul, d, a, b, Operand::none());
+}
+
+void
+KernelBuilder::imad(Reg d, Operand a, Operand b, Operand c)
+{
+    emit3(Opcode::IMad, d, a, b, c);
+}
+
+void
+KernelBuilder::imin(Reg d, Operand a, Operand b)
+{
+    emit3(Opcode::IMin, d, a, b, Operand::none());
+}
+
+void
+KernelBuilder::imax(Reg d, Operand a, Operand b)
+{
+    emit3(Opcode::IMax, d, a, b, Operand::none());
+}
+
+void
+KernelBuilder::iabs(Reg d, Operand a)
+{
+    emit3(Opcode::IAbs, d, a, Operand::none(), Operand::none());
+}
+
+void
+KernelBuilder::and_(Reg d, Operand a, Operand b)
+{
+    emit3(Opcode::And, d, a, b, Operand::none());
+}
+
+void
+KernelBuilder::or_(Reg d, Operand a, Operand b)
+{
+    emit3(Opcode::Or, d, a, b, Operand::none());
+}
+
+void
+KernelBuilder::xor_(Reg d, Operand a, Operand b)
+{
+    emit3(Opcode::Xor, d, a, b, Operand::none());
+}
+
+void
+KernelBuilder::not_(Reg d, Operand a)
+{
+    emit3(Opcode::Not, d, a, Operand::none(), Operand::none());
+}
+
+void
+KernelBuilder::shl(Reg d, Operand a, Operand b)
+{
+    emit3(Opcode::Shl, d, a, b, Operand::none());
+}
+
+void
+KernelBuilder::shr(Reg d, Operand a, Operand b)
+{
+    emit3(Opcode::Shr, d, a, b, Operand::none());
+}
+
+void
+KernelBuilder::sra(Reg d, Operand a, Operand b)
+{
+    emit3(Opcode::Sra, d, a, b, Operand::none());
+}
+
+void
+KernelBuilder::isetp(Pred p, CmpOp c, Operand a, Operand b)
+{
+    Instruction in;
+    in.op = Opcode::ISetP;
+    in.dstPred = p.idx;
+    in.cmp = c;
+    in.src[0] = a;
+    in.src[1] = b;
+    emit(in);
+}
+
+void
+KernelBuilder::fsetp(Pred p, CmpOp c, Operand a, Operand b)
+{
+    Instruction in;
+    in.op = Opcode::FSetP;
+    in.dstPred = p.idx;
+    in.cmp = c;
+    in.src[0] = a;
+    in.src[1] = b;
+    emit(in);
+}
+
+void
+KernelBuilder::selp(Reg d, Pred p, Operand a, Operand b)
+{
+    Instruction in;
+    in.op = Opcode::SelP;
+    in.dst = d.idx;
+    in.srcPred = p.idx;
+    in.src[0] = a;
+    in.src[1] = b;
+    emit(in);
+}
+
+void
+KernelBuilder::pand(Pred d, Pred a, Pred b)
+{
+    Instruction in;
+    in.op = Opcode::PAnd;
+    in.dstPred = d.idx;
+    in.srcPred = a.idx;
+    in.srcPred2 = b.idx;
+    emit(in);
+}
+
+void
+KernelBuilder::por(Pred d, Pred a, Pred b)
+{
+    Instruction in;
+    in.op = Opcode::POr;
+    in.dstPred = d.idx;
+    in.srcPred = a.idx;
+    in.srcPred2 = b.idx;
+    emit(in);
+}
+
+void
+KernelBuilder::pnot(Pred d, Pred a)
+{
+    Instruction in;
+    in.op = Opcode::PNot;
+    in.dstPred = d.idx;
+    in.srcPred = a.idx;
+    emit(in);
+}
+
+void
+KernelBuilder::fadd(Reg d, Operand a, Operand b)
+{
+    emit3(Opcode::FAdd, d, a, b, Operand::none());
+}
+
+void
+KernelBuilder::fmul(Reg d, Operand a, Operand b)
+{
+    emit3(Opcode::FMul, d, a, b, Operand::none());
+}
+
+void
+KernelBuilder::ffma(Reg d, Operand a, Operand b, Operand c)
+{
+    emit3(Opcode::FFma, d, a, b, c);
+}
+
+void
+KernelBuilder::fmin(Reg d, Operand a, Operand b)
+{
+    emit3(Opcode::FMin, d, a, b, Operand::none());
+}
+
+void
+KernelBuilder::fmax(Reg d, Operand a, Operand b)
+{
+    emit3(Opcode::FMax, d, a, b, Operand::none());
+}
+
+void
+KernelBuilder::i2f(Reg d, Operand a)
+{
+    emit3(Opcode::I2F, d, a, Operand::none(), Operand::none());
+}
+
+void
+KernelBuilder::f2i(Reg d, Operand a)
+{
+    emit3(Opcode::F2I, d, a, Operand::none(), Operand::none());
+}
+
+void
+KernelBuilder::frcp(Reg d, Operand a)
+{
+    emit3(Opcode::FRcp, d, a, Operand::none(), Operand::none());
+}
+
+void
+KernelBuilder::movFloat(Reg d, float v)
+{
+    movImm(d, std::bit_cast<i32>(v));
+}
+
+void
+KernelBuilder::ldg(Reg d, Reg addr, i32 offset)
+{
+    Instruction in;
+    in.op = Opcode::Ldg;
+    in.dst = d.idx;
+    in.src[0] = addr;
+    in.memOffset = offset;
+    emit(in);
+}
+
+void
+KernelBuilder::stg(Reg addr, Operand value, i32 offset)
+{
+    Instruction in;
+    in.op = Opcode::Stg;
+    in.src[0] = addr;
+    in.src[1] = value;
+    in.memOffset = offset;
+    emit(in);
+}
+
+void
+KernelBuilder::lds(Reg d, Reg addr, i32 offset)
+{
+    Instruction in;
+    in.op = Opcode::Lds;
+    in.dst = d.idx;
+    in.src[0] = addr;
+    in.memOffset = offset;
+    emit(in);
+}
+
+void
+KernelBuilder::sts(Reg addr, Operand value, i32 offset)
+{
+    Instruction in;
+    in.op = Opcode::Sts;
+    in.src[0] = addr;
+    in.src[1] = value;
+    in.memOffset = offset;
+    emit(in);
+}
+
+void
+KernelBuilder::ldc(Reg d, Operand addr, i32 offset)
+{
+    Instruction in;
+    in.op = Opcode::Ldc;
+    in.dst = d.idx;
+    in.src[0] = addr;
+    in.memOffset = offset;
+    emit(in);
+}
+
+void
+KernelBuilder::bar()
+{
+    Instruction in;
+    in.op = Opcode::Bar;
+    emit(in);
+}
+
+u32
+KernelBuilder::emitBranch(u8 guard_pred, bool negate)
+{
+    WC_ASSERT(!inPredicated_,
+              "control flow inside predicated() block in " << name_);
+    Instruction in;
+    in.op = Opcode::Bra;
+    in.guardPred = guard_pred;
+    in.guardNegate = negate;
+    in.target = 0;
+    in.reconv = 0;
+    code_.push_back(in); // bypass guard inheritance in emit()
+    return static_cast<u32>(code_.size()) - 1;
+}
+
+void
+KernelBuilder::patchBranch(u32 pc, u32 target, u32 reconv)
+{
+    WC_ASSERT(pc < code_.size() && code_[pc].isBranch(),
+              "patching a non-branch at pc " << pc);
+    code_[pc].target = target;
+    code_[pc].reconv = reconv;
+}
+
+void
+KernelBuilder::if_(Pred p, const std::function<void()> &then)
+{
+    // @!p BRA Lend (reconv = Lend); then-block; Lend:
+    const u32 bra = emitBranch(p.idx, true);
+    then();
+    const u32 end = nextPc();
+    patchBranch(bra, end, end);
+}
+
+void
+KernelBuilder::ifNot_(Pred p, const std::function<void()> &then)
+{
+    const u32 bra = emitBranch(p.idx, false);
+    then();
+    const u32 end = nextPc();
+    patchBranch(bra, end, end);
+}
+
+void
+KernelBuilder::ifElse_(Pred p, const std::function<void()> &then,
+                       const std::function<void()> &otherwise)
+{
+    // @!p BRA Lelse (reconv = Lend); then; BRA Lend; Lelse: else; Lend:
+    const u32 bra = emitBranch(p.idx, true);
+    then();
+    const u32 jmp = emitBranch(kNoPred, false);
+    const u32 else_start = nextPc();
+    otherwise();
+    const u32 end = nextPc();
+    patchBranch(bra, else_start, end);
+    patchBranch(jmp, end, end);
+}
+
+void
+KernelBuilder::while_(const std::function<Pred()> &cond,
+                      const std::function<void()> &body)
+{
+    // Lcond: cond -> p; @!p BRA Lend (reconv = Lend); body;
+    //        BRA Lcond; Lend:
+    const u32 cond_start = nextPc();
+    const Pred p = cond();
+    const u32 exit_bra = emitBranch(p.idx, true);
+    body();
+    const u32 back = emitBranch(kNoPred, false);
+    const u32 end = nextPc();
+    patchBranch(back, cond_start, cond_start);
+    patchBranch(exit_bra, end, end);
+}
+
+void
+KernelBuilder::forRange(Reg counter, Operand start, Operand end, i32 step,
+                        const std::function<void()> &body)
+{
+    WC_ASSERT(step != 0, "forRange step must be nonzero in " << name_);
+    mov(counter, start);
+    const Pred p = newPred();
+    const CmpOp cmp = step > 0 ? CmpOp::Lt : CmpOp::Gt;
+    while_(
+        [&] {
+            isetp(p, cmp, counter, end);
+            return p;
+        },
+        [&] {
+            body();
+            iadd(counter, counter, imm(step));
+        });
+}
+
+void
+KernelBuilder::predicated(Pred p, bool negate,
+                          const std::function<void()> &fn)
+{
+    WC_ASSERT(!inPredicated_, "nested predicated() in " << name_);
+    guardPred_ = p.idx;
+    guardNegate_ = negate;
+    inPredicated_ = true;
+    fn();
+    inPredicated_ = false;
+    guardPred_ = kNoPred;
+    guardNegate_ = false;
+}
+
+Kernel
+KernelBuilder::build()
+{
+    Instruction exit;
+    exit.op = Opcode::Exit;
+    code_.push_back(exit);
+
+    Kernel k(name_, nextReg_ == 0 ? 1 : nextReg_,
+             nextPred_ == 0 ? 1 : nextPred_, smemBytes_);
+    for (const Instruction &in : code_)
+        k.append(in);
+    k.validate();
+    return k;
+}
+
+} // namespace warpcomp

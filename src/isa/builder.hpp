@@ -1,0 +1,188 @@
+/**
+ * @file
+ * KernelBuilder: a small structured-control-flow DSL for authoring
+ * kernels in the warpcomp ISA.
+ *
+ * The builder computes branch targets and SIMT reconvergence points
+ * (immediate post-dominators) for its `if_` / `ifElse_` / `while_` /
+ * `forRange` constructs, so kernels written through it can never build a
+ * malformed reconvergence stack. Workload ports in src/workloads are all
+ * written against this API.
+ */
+
+#ifndef WARPCOMP_ISA_BUILDER_HPP
+#define WARPCOMP_ISA_BUILDER_HPP
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "isa/instruction.hpp"
+#include "isa/kernel.hpp"
+
+namespace warpcomp {
+
+/** Handle to an allocated general-purpose register. */
+struct Reg
+{
+    u8 idx = kNoReg;
+
+    /** Registers convert implicitly to register operands. */
+    operator Operand() const { return Operand::fromReg(idx); }
+};
+
+/** Handle to an allocated predicate register. */
+struct Pred
+{
+    u8 idx = kNoPred;
+};
+
+/**
+ * Builder for one kernel. Typical use:
+ *
+ * @code
+ * KernelBuilder b("saxpy");
+ * Reg tid = b.newReg(), x = b.newReg(), y = b.newReg();
+ * b.s2r(tid, SpecialReg::TidX);
+ * ...
+ * Kernel k = b.build();
+ * @endcode
+ */
+class KernelBuilder
+{
+  public:
+    explicit KernelBuilder(std::string name, u32 smem_bytes = 0);
+
+    /** Allocate a fresh general-purpose register. */
+    Reg newReg();
+    /** Allocate a fresh predicate register. */
+    Pred newPred();
+    /** Immediate operand shorthand. */
+    static Operand imm(i32 v) { return Operand::fromImm(v); }
+
+    // ------------------------------------------------------------------
+    // Data movement
+    // ------------------------------------------------------------------
+    void s2r(Reg d, SpecialReg sr);
+    void movImm(Reg d, i32 v);
+    void mov(Reg d, Operand a);
+
+    // ------------------------------------------------------------------
+    // Integer arithmetic / logic
+    // ------------------------------------------------------------------
+    void iadd(Reg d, Operand a, Operand b);
+    void isub(Reg d, Operand a, Operand b);
+    void imul(Reg d, Operand a, Operand b);
+    /** d = a * b + c */
+    void imad(Reg d, Operand a, Operand b, Operand c);
+    void imin(Reg d, Operand a, Operand b);
+    void imax(Reg d, Operand a, Operand b);
+    void iabs(Reg d, Operand a);
+    void and_(Reg d, Operand a, Operand b);
+    void or_(Reg d, Operand a, Operand b);
+    void xor_(Reg d, Operand a, Operand b);
+    void not_(Reg d, Operand a);
+    void shl(Reg d, Operand a, Operand b);
+    void shr(Reg d, Operand a, Operand b);
+    void sra(Reg d, Operand a, Operand b);
+
+    // ------------------------------------------------------------------
+    // Predicates / select
+    // ------------------------------------------------------------------
+    void isetp(Pred p, CmpOp c, Operand a, Operand b);
+    void fsetp(Pred p, CmpOp c, Operand a, Operand b);
+    /** d = p ? a : b */
+    void selp(Reg d, Pred p, Operand a, Operand b);
+    /** d = a && b */
+    void pand(Pred d, Pred a, Pred b);
+    /** d = a || b */
+    void por(Pred d, Pred a, Pred b);
+    /** d = !a */
+    void pnot(Pred d, Pred a);
+
+    // ------------------------------------------------------------------
+    // Floating point
+    // ------------------------------------------------------------------
+    void fadd(Reg d, Operand a, Operand b);
+    void fmul(Reg d, Operand a, Operand b);
+    /** d = a * b + c */
+    void ffma(Reg d, Operand a, Operand b, Operand c);
+    void fmin(Reg d, Operand a, Operand b);
+    void fmax(Reg d, Operand a, Operand b);
+    void i2f(Reg d, Operand a);
+    void f2i(Reg d, Operand a);
+    /** d = 1.0f / a */
+    void frcp(Reg d, Operand a);
+    /** Immediate float load (bit pattern through MOV32I). */
+    void movFloat(Reg d, float v);
+
+    // ------------------------------------------------------------------
+    // Memory (byte addressing; offsets in bytes)
+    // ------------------------------------------------------------------
+    void ldg(Reg d, Reg addr, i32 offset = 0);
+    void stg(Reg addr, Operand value, i32 offset = 0);
+    void lds(Reg d, Reg addr, i32 offset = 0);
+    void sts(Reg addr, Operand value, i32 offset = 0);
+    /** Constant-bank load from [addr + offset]; addr may be immediate. */
+    void ldc(Reg d, Operand addr, i32 offset = 0);
+
+    // ------------------------------------------------------------------
+    // Control
+    // ------------------------------------------------------------------
+    /** CTA-wide barrier. */
+    void bar();
+
+    /** Execute @p then in lanes where @p p holds. */
+    void if_(Pred p, const std::function<void()> &then);
+    /** Execute @p then in lanes where @p p does NOT hold. */
+    void ifNot_(Pred p, const std::function<void()> &then);
+    /** Two-sided conditional. */
+    void ifElse_(Pred p, const std::function<void()> &then,
+                 const std::function<void()> &otherwise);
+    /**
+     * while (cond()) body(). @p cond emits compare code and returns the
+     * continue predicate; it is re-evaluated every iteration.
+     */
+    void while_(const std::function<Pred()> &cond,
+                const std::function<void()> &body);
+    /**
+     * for (counter = start; counter < end; counter += step) body().
+     * With negative @p step the loop runs while counter > end.
+     */
+    void forRange(Reg counter, Operand start, Operand end, i32 step,
+                  const std::function<void()> &body);
+
+    /**
+     * Emit the instructions produced by @p fn under guard predicate
+     * @p p (if-conversion; no divergence, inactive lanes are masked).
+     * Structured control flow may not be used inside.
+     */
+    void predicated(Pred p, bool negate, const std::function<void()> &fn);
+
+    /** Number of instructions emitted so far (== pc of next emission). */
+    u32 nextPc() const { return static_cast<u32>(code_.size()); }
+
+    /** Finalize: appends EXIT, validates, and returns the kernel. */
+    Kernel build();
+
+  private:
+    u32 emit(Instruction inst);
+    void emit3(Opcode op, Reg d, Operand a, Operand b, Operand c);
+    /** Emit a branch with placeholder target/reconv; returns its pc. */
+    u32 emitBranch(u8 guard_pred, bool negate);
+    void patchBranch(u32 pc, u32 target, u32 reconv);
+
+    std::string name_;
+    u32 smemBytes_;
+    u32 nextReg_ = 0;
+    u32 nextPred_ = 0;
+    u8 guardPred_ = kNoPred;
+    bool guardNegate_ = false;
+    bool inPredicated_ = false;
+    std::vector<Instruction> code_;
+};
+
+} // namespace warpcomp
+
+#endif // WARPCOMP_ISA_BUILDER_HPP

@@ -1,0 +1,85 @@
+#include "isa/disasm.hpp"
+
+#include <sstream>
+
+namespace warpcomp {
+
+namespace {
+
+void
+appendOperand(std::ostringstream &os, const Operand &o)
+{
+    if (o.isReg())
+        os << "r" << static_cast<int>(o.reg);
+    else if (o.isImm())
+        os << "#" << o.imm;
+}
+
+} // namespace
+
+std::string
+disassemble(const Instruction &in)
+{
+    std::ostringstream os;
+    if (in.hasGuard()) {
+        os << '@' << (in.guardNegate ? "!" : "")
+           << 'p' << static_cast<int>(in.guardPred) << ' ';
+    }
+    os << opcodeName(in.op);
+    if (in.op == Opcode::ISetP || in.op == Opcode::FSetP)
+        os << '.' << cmpName(in.cmp);
+
+    bool first = true;
+    auto sep = [&] {
+        os << (first ? " " : ", ");
+        first = false;
+    };
+
+    if (in.dstPred != kNoPred) {
+        sep();
+        os << 'p' << static_cast<int>(in.dstPred);
+    }
+    if (in.hasDst()) {
+        sep();
+        os << 'r' << static_cast<int>(in.dst);
+    }
+    if (in.op == Opcode::S2R) {
+        sep();
+        os << sregName(in.sreg);
+    }
+    if (in.srcPred != kNoPred) {
+        sep();
+        os << 'p' << static_cast<int>(in.srcPred);
+    }
+    if (in.srcPred2 != kNoPred) {
+        sep();
+        os << 'p' << static_cast<int>(in.srcPred2);
+    }
+    for (const Operand &o : in.src) {
+        if (o.isNone())
+            continue;
+        sep();
+        appendOperand(os, o);
+    }
+    if (in.isMemory() && in.memOffset != 0)
+        os << " +" << in.memOffset;
+    if (in.isBranch()) {
+        sep();
+        os << "->" << in.target << " (reconv " << in.reconv << ")";
+    }
+    return os.str();
+}
+
+std::string
+disassemble(const Kernel &kernel)
+{
+    std::ostringstream os;
+    os << ".kernel " << kernel.name() << "  regs=" << kernel.numRegs()
+       << " preds=" << kernel.numPreds()
+       << " smem=" << kernel.smemBytes() << "B\n";
+    for (u32 pc = 0; pc < kernel.size(); ++pc)
+        os << "  " << pc << ":\t" << disassemble(kernel.at(pc)) << '\n';
+    return os.str();
+}
+
+} // namespace warpcomp

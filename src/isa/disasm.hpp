@@ -1,0 +1,23 @@
+/**
+ * @file
+ * Textual disassembly of kernels, for debugging and example output.
+ */
+
+#ifndef WARPCOMP_ISA_DISASM_HPP
+#define WARPCOMP_ISA_DISASM_HPP
+
+#include <string>
+
+#include "isa/kernel.hpp"
+
+namespace warpcomp {
+
+/** One-line disassembly of a single instruction. */
+std::string disassemble(const Instruction &inst);
+
+/** Full kernel listing with pc prefixes. */
+std::string disassemble(const Kernel &kernel);
+
+} // namespace warpcomp
+
+#endif // WARPCOMP_ISA_DISASM_HPP

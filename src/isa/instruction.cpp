@@ -1,0 +1,46 @@
+#include "isa/instruction.hpp"
+
+#include "common/log.hpp"
+
+namespace warpcomp {
+
+u32
+Instruction::numRegSources() const
+{
+    u32 n = 0;
+    std::array<u8, 3> seen{kNoReg, kNoReg, kNoReg};
+    for (const Operand &o : src) {
+        if (!o.isReg())
+            continue;
+        bool dup = false;
+        for (u32 j = 0; j < n; ++j) {
+            if (seen[j] == o.reg)
+                dup = true;
+        }
+        if (!dup)
+            seen[n++] = o.reg;
+    }
+    return n;
+}
+
+u8
+Instruction::regSource(u32 i) const
+{
+    u32 n = 0;
+    std::array<u8, 3> seen{kNoReg, kNoReg, kNoReg};
+    for (const Operand &o : src) {
+        if (!o.isReg())
+            continue;
+        bool dup = false;
+        for (u32 j = 0; j < n; ++j) {
+            if (seen[j] == o.reg)
+                dup = true;
+        }
+        if (!dup)
+            seen[n++] = o.reg;
+    }
+    WC_ASSERT(i < n, "regSource index out of range");
+    return seen[i];
+}
+
+} // namespace warpcomp

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Instruction encoding: operands, predication, branch metadata.
+ */
+
+#ifndef WARPCOMP_ISA_INSTRUCTION_HPP
+#define WARPCOMP_ISA_INSTRUCTION_HPP
+
+#include <array>
+#include <string>
+
+#include "common/types.hpp"
+#include "isa/opcode.hpp"
+
+namespace warpcomp {
+
+/** Sentinel register / predicate numbers meaning "unused". */
+inline constexpr u8 kNoReg = 0xFF;
+inline constexpr u8 kNoPred = 0xFF;
+
+/** Architectural limits of the ISA. */
+inline constexpr u32 kMaxRegsPerThread = 64;
+inline constexpr u32 kMaxPredsPerThread = 8;
+
+/** A source operand: a register, an immediate, or absent. */
+struct Operand
+{
+    enum class Kind : u8 { None, Reg, Imm };
+
+    Kind kind = Kind::None;
+    u8 reg = kNoReg;
+    i32 imm = 0;
+
+    static Operand none() { return {}; }
+
+    static Operand
+    fromReg(u8 r)
+    {
+        Operand o;
+        o.kind = Kind::Reg;
+        o.reg = r;
+        return o;
+    }
+
+    static Operand
+    fromImm(i32 v)
+    {
+        Operand o;
+        o.kind = Kind::Imm;
+        o.imm = v;
+        return o;
+    }
+
+    bool isReg() const { return kind == Kind::Reg; }
+    bool isImm() const { return kind == Kind::Imm; }
+    bool isNone() const { return kind == Kind::None; }
+};
+
+/**
+ * One static instruction. Program counters are instruction indices into
+ * the owning kernel's code vector (not byte addresses).
+ */
+struct Instruction
+{
+    Opcode op = Opcode::Nop;
+
+    /** Destination GPR; kNoReg when the opcode writes none. */
+    u8 dst = kNoReg;
+    /** Destination predicate for ISetP / FSetP. */
+    u8 dstPred = kNoPred;
+
+    /** Up to three source operands (FFMA/IMAD use all three). */
+    std::array<Operand, 3> src{};
+
+    /** Guard predicate: instruction executes only in lanes where the
+     *  predicate (xor negation) holds. kNoPred means unguarded. */
+    u8 guardPred = kNoPred;
+    bool guardNegate = false;
+
+    /** Comparison operator for ISetP / FSetP, or select pred for SelP. */
+    CmpOp cmp = CmpOp::Eq;
+    /** Select / source predicate for SelP, PAnd, POr, PNot. */
+    u8 srcPred = kNoPred;
+    /** Second source predicate for PAnd / POr. */
+    u8 srcPred2 = kNoPred;
+
+    /** Special register selector for S2R. */
+    SpecialReg sreg = SpecialReg::TidX;
+
+    /** Branch target (instruction index) for Bra. */
+    u32 target = 0;
+    /** Immediate-post-dominator reconvergence point for Bra. */
+    u32 reconv = 0;
+
+    /** Byte offset immediate for memory operations. */
+    i32 memOffset = 0;
+
+    bool isBranch() const { return op == Opcode::Bra; }
+    bool isExit() const { return op == Opcode::Exit; }
+    bool isBarrier() const { return op == Opcode::Bar; }
+    bool isLoad() const
+    {
+        return op == Opcode::Ldg || op == Opcode::Lds || op == Opcode::Ldc;
+    }
+    bool isStore() const { return op == Opcode::Stg || op == Opcode::Sts; }
+    bool isMemory() const { return isLoad() || isStore(); }
+
+    bool hasDst() const { return dst != kNoReg && writesGpr(op); }
+    bool hasGuard() const { return guardPred != kNoPred; }
+
+    /** Number of distinct GPR source registers read. */
+    u32 numRegSources() const;
+    /** i-th GPR source register read (0 <= i < numRegSources()). */
+    u8 regSource(u32 i) const;
+};
+
+} // namespace warpcomp
+
+#endif // WARPCOMP_ISA_INSTRUCTION_HPP

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Kernel container: static code plus resource declaration.
+ */
+
+#ifndef WARPCOMP_ISA_KERNEL_HPP
+#define WARPCOMP_ISA_KERNEL_HPP
+
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "isa/instruction.hpp"
+
+namespace warpcomp {
+
+/**
+ * A compiled kernel: straight-line instruction vector with branch targets
+ * expressed as instruction indices, plus the per-thread register demand
+ * and per-CTA shared memory demand used for occupancy and register-file
+ * allocation.
+ */
+class Kernel
+{
+  public:
+    Kernel(std::string name, u32 num_regs, u32 num_preds,
+           u32 smem_bytes = 0);
+
+    const std::string &name() const { return name_; }
+    u32 numRegs() const { return numRegs_; }
+    u32 numPreds() const { return numPreds_; }
+    u32 smemBytes() const { return smemBytes_; }
+
+    /** Append an instruction; returns its pc. */
+    u32 append(const Instruction &inst);
+
+    const Instruction &at(u32 pc) const;
+    Instruction &at(u32 pc);
+    u32 size() const { return static_cast<u32>(code_.size()); }
+    const std::vector<Instruction> &code() const { return code_; }
+
+    /**
+     * Structural sanity checks: branch targets and reconvergence points
+     * in range, register/predicate numbers within declared demand, kernel
+     * terminates with Exit on every path end. Panics on violation.
+     */
+    void validate() const;
+
+  private:
+    std::string name_;
+    u32 numRegs_;
+    u32 numPreds_;
+    u32 smemBytes_;
+    std::vector<Instruction> code_;
+};
+
+} // namespace warpcomp
+
+#endif // WARPCOMP_ISA_KERNEL_HPP

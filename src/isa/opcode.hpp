@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Opcode set for the SASS-like SIMT ISA executed by the warpcomp SM model.
+ *
+ * The set is deliberately close to the integer/FP/memory/control core of
+ * NVIDIA SASS so that the register traffic of ported Rodinia/Parboil
+ * kernels matches the originals: every value a kernel materializes flows
+ * through a 32-bit architectural register exactly as it would on hardware.
+ */
+
+#ifndef WARPCOMP_ISA_OPCODE_HPP
+#define WARPCOMP_ISA_OPCODE_HPP
+
+#include "common/types.hpp"
+
+namespace warpcomp {
+
+/** Instruction opcodes. */
+enum class Opcode : u8 {
+    Nop,
+
+    // Data movement
+    S2R,        ///< read special register (tid, ctaid, ...)
+    Mov,        ///< register-to-register move
+    MovImm,     ///< 32-bit immediate load
+
+    // Integer arithmetic / logic
+    IAdd, ISub, IMul, IMad, IMin, IMax, IAbs,
+    And, Or, Xor, Not, Shl, Shr, Sra,
+
+    // Predicates and select
+    ISetP,      ///< integer compare, writes a predicate
+    SelP,       ///< dst = pred ? src0 : src1
+    PAnd,       ///< dstPred = srcPred & srcPred2
+    POr,        ///< dstPred = srcPred | srcPred2
+    PNot,       ///< dstPred = !srcPred
+
+    // Floating point (IEEE-754 binary32 carried in 32-bit registers)
+    FAdd, FMul, FFma, FMin, FMax, FSetP, I2F, F2I, FRcp,
+
+    // Memory
+    Ldg,        ///< global load,  dst   = [src0 + imm]
+    Stg,        ///< global store, [src0 + imm] = src1
+    Lds,        ///< shared load
+    Sts,        ///< shared store
+    Ldc,        ///< constant-bank load
+
+    // Control
+    Bra,        ///< (optionally guarded) branch; divergence point
+    Bar,        ///< CTA-wide barrier
+    Exit,       ///< thread exit
+
+    NumOpcodes
+};
+
+/** Integer / FP comparison operators for ISetP / FSetP. */
+enum class CmpOp : u8 { Lt, Le, Gt, Ge, Eq, Ne };
+
+/** Special registers readable through S2R. */
+enum class SpecialReg : u8 {
+    TidX,       ///< thread index within the CTA
+    CtaIdX,     ///< CTA (block) index within the grid
+    NTidX,      ///< CTA size in threads
+    NCtaIdX,    ///< grid size in CTAs
+    LaneId      ///< lane index within the warp
+};
+
+/** Execution-resource class an opcode dispatches to. */
+enum class ExecClass : u8 {
+    Alu,        ///< simple integer / logic, 4-cycle latency
+    Mul,        ///< integer multiply / mad, 6-cycle latency
+    Fpu,        ///< floating point, 6-cycle latency
+    Mem,        ///< memory pipeline, variable latency
+    Ctrl        ///< branches / barriers / exit, 2-cycle latency
+};
+
+/** Mnemonic string for disassembly. */
+const char *opcodeName(Opcode op);
+
+/** Resource class the opcode executes on. */
+ExecClass execClass(Opcode op);
+
+/** Result latency in cycles for non-memory classes. */
+u32 execLatency(ExecClass cls);
+
+/** True when the opcode writes a general-purpose destination register. */
+bool writesGpr(Opcode op);
+
+/** True when the opcode writes a predicate register. */
+bool writesPred(Opcode op);
+
+/** Mnemonic for a comparison operator. */
+const char *cmpName(CmpOp op);
+
+/** Mnemonic for a special register. */
+const char *sregName(SpecialReg sr);
+
+} // namespace warpcomp
+
+#endif // WARPCOMP_ISA_OPCODE_HPP

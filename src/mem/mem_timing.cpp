@@ -1,0 +1,76 @@
+#include "mem/mem_timing.hpp"
+
+#include <algorithm>
+#include <array>
+
+#include "common/bitops.hpp"
+#include "common/log.hpp"
+
+namespace warpcomp {
+
+u32
+coalescedSegments(std::span<const u64> addrs, LaneMask mask)
+{
+    WC_ASSERT(addrs.size() >= kWarpSize, "need one address per lane");
+    // Collect distinct 128-B segment ids among active lanes. 32 entries
+    // max, so a small sorted array beats a hash set.
+    std::array<u64, kWarpSize> segs{};
+    u32 n = 0;
+    for (u32 lane = 0; lane < kWarpSize; ++lane) {
+        if (!laneActive(mask, lane))
+            continue;
+        const u64 seg = addrs[lane] >> 7;
+        bool found = false;
+        for (u32 i = 0; i < n; ++i) {
+            if (segs[i] == seg)
+                found = true;
+        }
+        if (!found)
+            segs[n++] = seg;
+    }
+    return std::max<u32>(n, 1);
+}
+
+u32
+sharedConflictDegree(std::span<const u64> addrs, LaneMask mask)
+{
+    WC_ASSERT(addrs.size() >= kWarpSize, "need one address per lane");
+    // 32 banks, 4-byte interleave. Same word -> broadcast, no conflict.
+    std::array<u32, kWarpSize> count{};
+    std::array<u64, kWarpSize> firstAddr{};
+    std::array<bool, kWarpSize> multi{};
+    for (u32 lane = 0; lane < kWarpSize; ++lane) {
+        if (!laneActive(mask, lane))
+            continue;
+        const u32 bank = static_cast<u32>((addrs[lane] >> 2) % kWarpSize);
+        if (count[bank] == 0) {
+            firstAddr[bank] = addrs[lane];
+            count[bank] = 1;
+        } else if (addrs[lane] != firstAddr[bank] || multi[bank]) {
+            // Distinct word in the same bank: serialized replay. Once a
+            // bank sees two distinct words, later matches still replay.
+            multi[bank] = true;
+            ++count[bank];
+        }
+    }
+    u32 degree = 1;
+    for (u32 bank = 0; bank < kWarpSize; ++bank)
+        degree = std::max(degree, count[bank]);
+    return degree;
+}
+
+u32
+globalAccessLatency(const MemTimingParams &p, u32 segments)
+{
+    WC_ASSERT(segments >= 1, "segments must be positive");
+    return p.globalLatency + (segments - 1) * p.globalPerSegment;
+}
+
+u32
+sharedAccessLatency(const MemTimingParams &p, u32 degree)
+{
+    WC_ASSERT(degree >= 1, "degree must be positive");
+    return p.sharedLatency + (degree - 1) * p.sharedPerConflict;
+}
+
+} // namespace warpcomp

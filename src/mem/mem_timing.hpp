@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Memory access timing: coalescing and latency model for the SM's
+ * load/store unit. Purely combinational helpers plus the tunable
+ * parameter block; the SM pipeline owns the in-flight request queue.
+ */
+
+#ifndef WARPCOMP_MEM_MEM_TIMING_HPP
+#define WARPCOMP_MEM_MEM_TIMING_HPP
+
+#include <span>
+
+#include "common/types.hpp"
+
+namespace warpcomp {
+
+/** Latency parameters for the three memory spaces. */
+struct MemTimingParams
+{
+    u32 globalLatency = 300;    ///< first-segment global round trip
+    u32 globalPerSegment = 4;   ///< extra cycles per additional 128-B segment
+    u32 sharedLatency = 24;     ///< shared scratchpad latency
+    u32 sharedPerConflict = 1;  ///< extra cycles per bank-conflict replay
+    u32 constLatency = 20;      ///< constant-cache hit latency
+    u32 maxOutstanding = 48;    ///< per-SM MSHR budget
+};
+
+/**
+ * Number of distinct 128-byte segments touched by the active lanes'
+ * addresses — the coalescing cost of a global access.
+ *
+ * @param addrs one address per lane
+ * @param mask active lanes
+ */
+u32 coalescedSegments(std::span<const u64> addrs, LaneMask mask);
+
+/**
+ * Maximum shared-memory bank conflict degree across 32 4-byte banks.
+ * Lanes hitting the same bank at the same address broadcast (degree 1).
+ */
+u32 sharedConflictDegree(std::span<const u64> addrs, LaneMask mask);
+
+/** Total latency of a global access touching @p segments segments. */
+u32 globalAccessLatency(const MemTimingParams &p, u32 segments);
+
+/** Total latency of a shared access with conflict degree @p degree. */
+u32 sharedAccessLatency(const MemTimingParams &p, u32 degree);
+
+} // namespace warpcomp
+
+#endif // WARPCOMP_MEM_MEM_TIMING_HPP

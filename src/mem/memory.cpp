@@ -1,0 +1,114 @@
+#include "mem/memory.hpp"
+
+#include <bit>
+#include <cstring>
+
+#include "common/log.hpp"
+
+namespace warpcomp {
+
+GlobalMemory::GlobalMemory(u64 bytes) : data_(bytes, 0)
+{
+}
+
+u64
+GlobalMemory::alloc(u64 bytes, u64 align)
+{
+    WC_ASSERT(align != 0 && (align & (align - 1)) == 0,
+              "alignment must be a power of two");
+    const u64 base = (brk_ + align - 1) & ~(align - 1);
+    WC_ASSERT(base + bytes <= data_.size(),
+              "global memory exhausted: need " << base + bytes
+              << " have " << data_.size());
+    brk_ = base + bytes;
+    return base;
+}
+
+void
+GlobalMemory::checkAddr(u64 addr) const
+{
+    WC_ASSERT(addr + 4 <= data_.size(),
+              "global access at " << addr << " beyond " << data_.size());
+    WC_ASSERT((addr & 3) == 0, "unaligned 32-bit global access at " << addr);
+}
+
+u32
+GlobalMemory::read32(u64 addr) const
+{
+    checkAddr(addr);
+    u32 v;
+    std::memcpy(&v, data_.data() + addr, 4);
+    return v;
+}
+
+void
+GlobalMemory::write32(u64 addr, u32 value)
+{
+    checkAddr(addr);
+    std::memcpy(data_.data() + addr, &value, 4);
+}
+
+float
+GlobalMemory::readF32(u64 addr) const
+{
+    return std::bit_cast<float>(read32(addr));
+}
+
+void
+GlobalMemory::writeF32(u64 addr, float value)
+{
+    write32(addr, std::bit_cast<u32>(value));
+}
+
+SharedMemory::SharedMemory(u32 bytes) : data_(bytes, 0)
+{
+}
+
+u32
+SharedMemory::read32(u32 addr) const
+{
+    WC_ASSERT(addr + 4 <= data_.size(),
+              "shared access at " << addr << " beyond " << data_.size());
+    u32 v;
+    std::memcpy(&v, data_.data() + addr, 4);
+    return v;
+}
+
+void
+SharedMemory::write32(u32 addr, u32 value)
+{
+    WC_ASSERT(addr + 4 <= data_.size(),
+              "shared access at " << addr << " beyond " << data_.size());
+    std::memcpy(data_.data() + addr, &value, 4);
+}
+
+ConstantMemory::ConstantMemory(u32 bytes) : data_(bytes, 0)
+{
+}
+
+void
+ConstantMemory::write32(u32 addr, u32 value)
+{
+    WC_ASSERT(addr + 4 <= data_.size(), "constant write out of range");
+    std::memcpy(data_.data() + addr, &value, 4);
+}
+
+u32
+ConstantMemory::read32(u32 addr) const
+{
+    WC_ASSERT(addr + 4 <= data_.size(), "constant read out of range");
+    u32 v;
+    std::memcpy(&v, data_.data() + addr, 4);
+    return v;
+}
+
+u32
+ConstantMemory::push(u32 value)
+{
+    const u32 addr = brk_;
+    write32(addr, value);
+    brk_ += 4;
+    return addr;
+}
+
+} // namespace warpcomp

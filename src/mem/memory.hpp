@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Functional memory spaces: flat global memory, per-CTA shared memory,
+ * and a read-only constant bank. All spaces are byte-addressed and
+ * accessed in 32-bit words, matching the ISA's LDG/STG/LDS/STS/LDC.
+ */
+
+#ifndef WARPCOMP_MEM_MEMORY_HPP
+#define WARPCOMP_MEM_MEMORY_HPP
+
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace warpcomp {
+
+/**
+ * Flat global memory with a bump allocator. Workloads allocate named
+ * buffers at setup; addresses handed to kernels through the constant
+ * bank or immediates.
+ */
+class GlobalMemory
+{
+  public:
+    explicit GlobalMemory(u64 bytes);
+
+    /** Allocate @p bytes aligned to @p align; returns the base address. */
+    u64 alloc(u64 bytes, u64 align = 128);
+
+    u32 read32(u64 addr) const;
+    void write32(u64 addr, u32 value);
+
+    float readF32(u64 addr) const;
+    void writeF32(u64 addr, float value);
+
+    u64 size() const { return data_.size(); }
+
+  private:
+    void checkAddr(u64 addr) const;
+
+    std::vector<u8> data_;
+    u64 brk_ = 0;
+};
+
+/** Per-CTA scratchpad. */
+class SharedMemory
+{
+  public:
+    explicit SharedMemory(u32 bytes);
+
+    u32 read32(u32 addr) const;
+    void write32(u32 addr, u32 value);
+    u32 size() const { return static_cast<u32>(data_.size()); }
+
+  private:
+    std::vector<u8> data_;
+};
+
+/**
+ * Read-only constant bank; kernel parameters (buffer base addresses,
+ * problem sizes, scalar inputs) live here, mirroring CUDA's param space.
+ */
+class ConstantMemory
+{
+  public:
+    explicit ConstantMemory(u32 bytes = 4096);
+
+    void write32(u32 addr, u32 value);
+    u32 read32(u32 addr) const;
+
+    /** Append one 32-bit parameter; returns its byte address. */
+    u32 push(u32 value);
+    void reset() { brk_ = 0; }
+
+  private:
+    std::vector<u8> data_;
+    u32 brk_ = 0;
+};
+
+} // namespace warpcomp
+
+#endif // WARPCOMP_MEM_MEMORY_HPP

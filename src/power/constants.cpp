@@ -1,0 +1,9 @@
+// Intentionally (almost) empty: EnergyParams/EnergyBreakdown are
+// header-only aggregates; this TU anchors the module in the build.
+#include "power/constants.hpp"
+
+namespace warpcomp {
+
+static_assert(sizeof(EnergyParams) > 0);
+
+} // namespace warpcomp

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Energy and power constants from Table 3 of the paper (45 nm, 1.0 V),
+ * plus the scaling knobs the Sec. 6.7/6.8 design-space exploration
+ * sweeps. All energies in picojoules, powers in milliwatts.
+ */
+
+#ifndef WARPCOMP_POWER_CONSTANTS_HPP
+#define WARPCOMP_POWER_CONSTANTS_HPP
+
+#include "common/types.hpp"
+
+namespace warpcomp {
+
+/** Table 3 defaults and exploration multipliers. */
+struct EnergyParams
+{
+    /** SM clock (Table 2): 1.4 GHz. */
+    double clockGhz = 1.4;
+
+    /** SRAM access energy per bank access (pJ). */
+    double bankAccessPj = 7.0;
+    /** 128-bit wire transfer energy per mm at 100% activity (pJ).
+     *  300 fF/mm x 1 V^2 x 128 wires = 38.4 pJ/mm. */
+    double wirePjPerMmFull = 38.4;
+    /** Wire distance register bank -> operand collector (mm). */
+    double wireMm = 1.0;
+    /** Default wire activity: Table 3's 9.6 pJ / 38.4 pJ = 25%. */
+    double wireActivity = 0.25;
+    /** Bank leakage power (mW). */
+    double bankLeakMw = 5.8;
+    /** Drowsy-state leakage as a fraction of full bank leakage (the
+     *  related-work drowsy register file comparator). */
+    double drowsyLeakFraction = 0.1;
+    /** Compression unit activation energy (pJ). */
+    double compPj = 23.0;
+    /** Decompression unit activation energy (pJ). */
+    double decompPj = 21.0;
+    /** Compression unit leakage (mW, per unit). */
+    double compLeakMw = 0.12;
+    /** Decompression unit leakage (mW, per unit). */
+    double decompLeakMw = 0.08;
+    /** Register-file-cache access energy (pJ per 128-B operand; small
+     *  per-warp RAM close to the operand collector). */
+    double rfcAccessPj = 1.2;
+    /** Register-file-cache leakage when present (mW, whole structure). */
+    double rfcLeakMw = 0.3;
+
+    /** Sec. 6.7 sweep: scale comp/decomp activation energy. */
+    double compDecompScale = 1.0;
+    /** Sec. 6.7 sweep: scale register bank access energy (incl. wire). */
+    double accessScale = 1.0;
+
+    /** Energy of one 128-bit wire transfer over wireMm at the configured
+     *  activity (pJ); 9.6 pJ at defaults. */
+    double
+    wirePjPerBankTransfer() const
+    {
+        return wirePjPerMmFull * wireMm * wireActivity;
+    }
+
+    /** Seconds per SM cycle. */
+    double cycleSeconds() const { return 1e-9 / clockGhz; }
+};
+
+/** Energy totals of one simulation, in picojoules. */
+struct EnergyBreakdown
+{
+    double bankDynamicPj = 0;   ///< SRAM array access energy
+    double wireDynamicPj = 0;   ///< bank <-> collector wire energy
+    double rfcDynamicPj = 0;    ///< register-file-cache accesses
+    double compressionPj = 0;   ///< compressor activations
+    double decompressionPj = 0; ///< decompressor activations
+    double bankLeakagePj = 0;   ///< non-gated bank leakage
+    double unitLeakagePj = 0;   ///< comp/decomp + RFC leakage
+
+    double
+    dynamicPj() const
+    {
+        return bankDynamicPj + wireDynamicPj + rfcDynamicPj;
+    }
+
+    double
+    leakagePj() const
+    {
+        return bankLeakagePj + unitLeakagePj;
+    }
+
+    double
+    totalPj() const
+    {
+        return dynamicPj() + compressionPj + decompressionPj + leakagePj();
+    }
+};
+
+} // namespace warpcomp
+
+#endif // WARPCOMP_POWER_CONSTANTS_HPP

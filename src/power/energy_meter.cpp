@@ -1,0 +1,65 @@
+#include "power/energy_meter.hpp"
+
+namespace warpcomp {
+
+EnergyMeter::EnergyMeter(const EnergyParams &params, u32 num_compressors,
+                         u32 num_decompressors)
+    : params_(params), numCompressors_(num_compressors),
+      numDecompressors_(num_decompressors)
+{
+}
+
+void
+EnergyMeter::merge(const EnergyMeter &other)
+{
+    bankReads_ += other.bankReads_;
+    bankWrites_ += other.bankWrites_;
+    rfcAccesses_ += other.rfcAccesses_;
+    rfcPresent_ = rfcPresent_ || other.rfcPresent_;
+    compActs_ += other.compActs_;
+    decompActs_ += other.decompActs_;
+    awakeBankCycles_ += other.awakeBankCycles_;
+    drowsyBankCycles_ += other.drowsyBankCycles_;
+    cycles_ += other.cycles_;
+}
+
+EnergyBreakdown
+EnergyMeter::breakdown() const
+{
+    return breakdownWith(params_);
+}
+
+EnergyBreakdown
+EnergyMeter::breakdownWith(const EnergyParams &p) const
+{
+    EnergyBreakdown e;
+
+    const double accesses = static_cast<double>(bankAccesses());
+    e.bankDynamicPj = accesses * p.bankAccessPj * p.accessScale;
+    e.wireDynamicPj = accesses * p.wirePjPerBankTransfer() * p.accessScale;
+
+    e.rfcDynamicPj = static_cast<double>(rfcAccesses_) * p.rfcAccessPj;
+
+    e.compressionPj = static_cast<double>(compActs_) * p.compPj *
+        p.compDecompScale;
+    e.decompressionPj = static_cast<double>(decompActs_) * p.decompPj *
+        p.compDecompScale;
+
+    // mW x s = mJ; x 1e9 converts to pJ.
+    const double cycle_s = p.cycleSeconds();
+    e.bankLeakagePj = static_cast<double>(awakeBankCycles_) * cycle_s *
+        p.bankLeakMw * 1e9;
+    e.bankLeakagePj += static_cast<double>(drowsyBankCycles_) * cycle_s *
+        p.bankLeakMw * p.drowsyLeakFraction * 1e9;
+    double unit_leak_mw =
+        static_cast<double>(numCompressors_) * p.compLeakMw +
+        static_cast<double>(numDecompressors_) * p.decompLeakMw;
+    if (rfcPresent_)
+        unit_leak_mw += p.rfcLeakMw;
+    e.unitLeakagePj = static_cast<double>(cycles_) * cycle_s *
+        unit_leak_mw * 1e9;
+
+    return e;
+}
+
+} // namespace warpcomp

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Event-based energy accounting for one SM's register file subsystem.
+ * The simulator reports raw events (bank accesses, unit activations,
+ * awake-bank cycles); the meter turns them into the Fig 9 breakdown.
+ */
+
+#ifndef WARPCOMP_POWER_ENERGY_METER_HPP
+#define WARPCOMP_POWER_ENERGY_METER_HPP
+
+#include "common/types.hpp"
+#include "power/constants.hpp"
+
+namespace warpcomp {
+
+/** Accumulates register-file energy events for one SM. */
+class EnergyMeter
+{
+  public:
+    /**
+     * @param params energy constants / scaling knobs
+     * @param num_compressors compressor units present (0 for baseline)
+     * @param num_decompressors decompressor units present
+     */
+    EnergyMeter(const EnergyParams &params, u32 num_compressors,
+                u32 num_decompressors);
+
+    void addBankReads(u64 n) { bankReads_ += n; }
+    void addBankWrites(u64 n) { bankWrites_ += n; }
+    /** Register-file-cache hits/fills (comparator mode). */
+    void addRfcAccesses(u64 n) { rfcAccesses_ += n; }
+    /** Mark the RFC structure present so its leakage is charged. */
+    void setRfcPresent(bool present) { rfcPresent_ = present; }
+    void addCompActivations(u64 n) { compActs_ += n; }
+    void addDecompActivations(u64 n) { decompActs_ += n; }
+    /** Call once per simulated cycle with the number of non-gated banks. */
+    void addAwakeBankCycles(u64 n) { awakeBankCycles_ += n; }
+    /** Banks in the state-retentive drowsy mode this cycle. */
+    void addDrowsyBankCycles(u64 n) { drowsyBankCycles_ += n; }
+    void addCycles(u64 n) { cycles_ += n; }
+
+    u64 bankReads() const { return bankReads_; }
+    u64 bankWrites() const { return bankWrites_; }
+    u64 bankAccesses() const { return bankReads_ + bankWrites_; }
+    u64 rfcAccesses() const { return rfcAccesses_; }
+    u64 compActivations() const { return compActs_; }
+    u64 decompActivations() const { return decompActs_; }
+    u64 awakeBankCycles() const { return awakeBankCycles_; }
+    u64 drowsyBankCycles() const { return drowsyBankCycles_; }
+    u64 cycles() const { return cycles_; }
+
+    const EnergyParams &params() const { return params_; }
+
+    /** Merge another meter's events (multi-SM aggregation). */
+    void merge(const EnergyMeter &other);
+
+    /** Total energy consumed, broken down as in Fig 9. */
+    EnergyBreakdown breakdown() const;
+
+    /**
+     * Recompute the breakdown under different energy constants without
+     * re-simulating (the Sec. 6.7-6.8 sweeps are post-processing over
+     * the same event counts).
+     */
+    EnergyBreakdown breakdownWith(const EnergyParams &params) const;
+
+  private:
+    EnergyParams params_;
+    u32 numCompressors_;
+    u32 numDecompressors_;
+    u64 bankReads_ = 0;
+    u64 bankWrites_ = 0;
+    u64 rfcAccesses_ = 0;
+    bool rfcPresent_ = false;
+    u64 compActs_ = 0;
+    u64 decompActs_ = 0;
+    u64 awakeBankCycles_ = 0;
+    u64 drowsyBankCycles_ = 0;
+    u64 cycles_ = 0;
+};
+
+} // namespace warpcomp
+
+#endif // WARPCOMP_POWER_ENERGY_METER_HPP

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * One SRAM register bank: 256 entries x 128 bit, one read and one write
+ * port, a valid bit per entry, and a power gate (Table 2 / Sec. 5.3).
+ */
+
+#ifndef WARPCOMP_REGFILE_BANK_HPP
+#define WARPCOMP_REGFILE_BANK_HPP
+
+#include <vector>
+
+#include "common/types.hpp"
+#include "regfile/powergate.hpp"
+
+namespace warpcomp {
+
+/** A single register bank. */
+class Bank
+{
+  public:
+    /**
+     * @param entries rows in the bank
+     * @param wakeup_latency power-gate wakeup cycles
+     * @param gating_enabled false for the baseline configuration
+     */
+    Bank(u32 entries, u32 wakeup_latency, bool gating_enabled);
+
+    u32 entries() const { return static_cast<u32>(valid_.size()); }
+    bool valid(u32 entry) const;
+    u32 validCount() const { return validCount_; }
+
+    /**
+     * Mark one entry valid/invalid. Gates the bank when the last valid
+     * entry disappears. Marking an entry valid requires the bank to be
+     * powered; the caller wakes it first (see RegisterFile::recordWrite).
+     */
+    void setValid(u32 entry, bool v, Cycle now);
+
+    PowerGate &gate() { return gate_; }
+    const PowerGate &gate() const { return gate_; }
+
+    /** Access counters (reads/writes of this bank, for stats) and the
+     *  last-access timestamp driving the drowsy-mode comparator. */
+    void
+    noteRead(Cycle now)
+    {
+        ++reads_;
+        lastAccess_ = now;
+    }
+
+    void
+    noteWrite(Cycle now)
+    {
+        ++writes_;
+        lastAccess_ = now;
+    }
+
+    u64 reads() const { return reads_; }
+    u64 writes() const { return writes_; }
+
+    /** Cycle of the most recent read or write. */
+    Cycle lastAccess() const { return lastAccess_; }
+
+  private:
+    std::vector<bool> valid_;
+    u32 validCount_ = 0;
+    PowerGate gate_;
+    u64 reads_ = 0;
+    u64 writes_ = 0;
+    Cycle lastAccess_ = 0;
+};
+
+} // namespace warpcomp
+
+#endif // WARPCOMP_REGFILE_BANK_HPP

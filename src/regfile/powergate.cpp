@@ -1,0 +1,67 @@
+#include "regfile/powergate.hpp"
+
+#include "common/log.hpp"
+
+namespace warpcomp {
+
+PowerGate::PowerGate(u32 wakeup_latency, bool enabled)
+    : wakeupLatency_(wakeup_latency), enabled_(enabled)
+{
+    // A gating-capable bank holds no valid data at reset, so it starts
+    // gated; the first write pays the wakeup. Baseline banks stay on.
+    if (enabled_) {
+        state_ = State::Off;
+        offSince_ = 0;
+    }
+}
+
+PowerGate::State
+PowerGate::state(Cycle now) const
+{
+    if (state_ == State::Waking && now >= wakeReady_)
+        return State::On;
+    return state_;
+}
+
+void
+PowerGate::sleep(Cycle now)
+{
+    if (!enabled_)
+        return;
+    if (state(now) != State::On)
+        return;
+    state_ = State::Off;
+    offSince_ = now;
+}
+
+Cycle
+PowerGate::wake(Cycle now)
+{
+    switch (state(now)) {
+      case State::On:
+        state_ = State::On;
+        return now;
+      case State::Waking:
+        // A wake is already in flight; latch onto it.
+        return wakeReady_;
+      case State::Off:
+        WC_ASSERT(now >= offSince_, "time went backwards in power gate");
+        accumOff_ += now - offSince_;
+        state_ = State::Waking;
+        wakeReady_ = now + wakeupLatency_;
+        return wakeReady_;
+      default:
+        WC_PANIC("unreachable power gate state");
+    }
+}
+
+u64
+PowerGate::gatedCycles(Cycle now) const
+{
+    u64 total = accumOff_;
+    if (state_ == State::Off && now > offSince_)
+        total += now - offSince_;
+    return total;
+}
+
+} // namespace warpcomp

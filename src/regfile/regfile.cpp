@@ -1,0 +1,302 @@
+#include "regfile/regfile.hpp"
+
+#include <algorithm>
+
+#include "common/log.hpp"
+
+namespace warpcomp {
+
+RegisterFile::RegisterFile(const RegFileParams &params) : params_(params)
+{
+    WC_ASSERT(params.numBanks % kBanksPerWarpReg == 0,
+              "bank count must be a multiple of " << kBanksPerWarpReg);
+    WC_ASSERT(params.numBanks > 0 && params.entriesPerBank > 0,
+              "degenerate register file");
+    banks_.reserve(params.numBanks);
+    for (u32 i = 0; i < params.numBanks; ++i) {
+        banks_.emplace_back(params.entriesPerBank, params.wakeupLatency,
+                            params.gatingEnabled);
+    }
+    regs_.resize(params.totalWarpRegs());
+    freeRanges_.emplace_back(0, params.totalWarpRegs());
+}
+
+bool
+RegisterFile::canAllocate(u32 num_regs) const
+{
+    for (const auto &[base, count] : freeRanges_) {
+        (void)base;
+        if (count >= num_regs)
+            return true;
+    }
+    return false;
+}
+
+bool
+RegisterFile::allocate(u32 warp_slot, u32 num_regs, Cycle now)
+{
+    WC_ASSERT(num_regs > 0, "allocating zero registers");
+    if (warp_slot >= slots_.size())
+        slots_.resize(warp_slot + 1);
+    WC_ASSERT(!slots_[warp_slot].active,
+              "warp slot " << warp_slot << " already allocated");
+
+    for (auto it = freeRanges_.begin(); it != freeRanges_.end(); ++it) {
+        if (it->second < num_regs)
+            continue;
+        const u32 base = it->first;
+        it->first += num_regs;
+        it->second -= num_regs;
+        if (it->second == 0)
+            freeRanges_.erase(it);
+
+        slots_[warp_slot] = {base, num_regs, true};
+        allocatedRegs_ += num_regs;
+
+        if (params_.validAtAlloc) {
+            // Baseline: every register occupies its full 8-bank stripe
+            // from allocation on.
+            for (u32 r = 0; r < num_regs; ++r) {
+                const RegSlot s = slotOf(base + r);
+                for (u32 b = 0; b < kBanksPerWarpReg; ++b) {
+                    Bank &bank = banks_[s.firstBank() + b];
+                    bank.gate().wake(now);
+                    bank.setValid(s.entry, true, now);
+                }
+            }
+        }
+        return true;
+    }
+    return false;
+}
+
+void
+RegisterFile::release(u32 warp_slot, Cycle now)
+{
+    WC_ASSERT(warp_slot < slots_.size() && slots_[warp_slot].active,
+              "releasing inactive warp slot " << warp_slot);
+    SlotAlloc &slot = slots_[warp_slot];
+
+    for (u32 r = 0; r < slot.count; ++r) {
+        const u32 id = slot.base + r;
+        const RegSlot s = slotOf(id);
+        for (u32 b = 0; b < kBanksPerWarpReg; ++b) {
+            Bank &bank = banks_[s.firstBank() + b];
+            if (bank.valid(s.entry))
+                bank.setValid(s.entry, false, now);
+        }
+        if (regs_[id].written) {
+            --writtenCount_;
+            if (regs_[id].ind != RangeIndicator::Uncompressed)
+                --compressedCount_;
+        }
+        regs_[id] = RegState{};
+    }
+
+    // Return the range, keeping the free list sorted and coalesced.
+    auto pos = std::lower_bound(
+        freeRanges_.begin(), freeRanges_.end(),
+        std::make_pair(slot.base, 0u),
+        [](const auto &a, const auto &b) { return a.first < b.first; });
+    pos = freeRanges_.insert(pos, {slot.base, slot.count});
+    // Coalesce with successor, then predecessor.
+    if (auto next = std::next(pos); next != freeRanges_.end() &&
+        pos->first + pos->second == next->first) {
+        pos->second += next->second;
+        freeRanges_.erase(next);
+    }
+    if (pos != freeRanges_.begin()) {
+        auto prev = std::prev(pos);
+        if (prev->first + prev->second == pos->first) {
+            prev->second += pos->second;
+            freeRanges_.erase(pos);
+        }
+    }
+
+    WC_ASSERT(allocatedRegs_ >= slot.count, "allocation underflow");
+    allocatedRegs_ -= slot.count;
+    slot = SlotAlloc{};
+}
+
+u32
+RegisterFile::regId(u32 warp_slot, u32 reg) const
+{
+    WC_ASSERT(warp_slot < slots_.size() && slots_[warp_slot].active,
+              "access to inactive warp slot " << warp_slot);
+    const SlotAlloc &slot = slots_[warp_slot];
+    WC_ASSERT(reg < slot.count, "register r" << reg
+              << " beyond slot allocation of " << slot.count);
+    return slot.base + reg;
+}
+
+RegSlot
+RegisterFile::slotOf(u32 id) const
+{
+    const u32 clusters = params_.numClusters();
+    return RegSlot{id % clusters, id / clusters};
+}
+
+RegSlot
+RegisterFile::locate(u32 warp_slot, u32 reg) const
+{
+    return slotOf(regId(warp_slot, reg));
+}
+
+RangeIndicator
+RegisterFile::indicator(u32 warp_slot, u32 reg) const
+{
+    return regs_[regId(warp_slot, reg)].ind;
+}
+
+bool
+RegisterFile::isCompressed(u32 warp_slot, u32 reg) const
+{
+    const RegState &st = regs_[regId(warp_slot, reg)];
+    return st.written && st.ind != RangeIndicator::Uncompressed;
+}
+
+bool
+RegisterFile::isWritten(u32 warp_slot, u32 reg) const
+{
+    return regs_[regId(warp_slot, reg)].written;
+}
+
+u32
+RegisterFile::footprintBanks(u32 id) const
+{
+    const RegState &st = regs_[id];
+    if (st.written)
+        return indicatorBanks(st.ind);
+    return params_.validAtAlloc ? kBanksPerWarpReg : 0;
+}
+
+RegAccess
+RegisterFile::readAccess(u32 warp_slot, u32 reg) const
+{
+    const u32 id = regId(warp_slot, reg);
+    const RegSlot s = slotOf(id);
+    const RegState &st = regs_[id];
+
+    RegAccess a;
+    a.firstBank = s.firstBank();
+    a.entry = s.entry;
+    a.numBanks = footprintBanks(id);
+    a.compressed = st.written && st.ind != RangeIndicator::Uncompressed;
+    a.bytes = st.written ? indicatorBytes(st.ind)
+                         : (params_.validAtAlloc ? kWarpRegBytes : 0);
+    return a;
+}
+
+std::pair<Cycle, RegAccess>
+RegisterFile::recordWrite(u32 warp_slot, u32 reg, const BdiEncoded &enc,
+                          Cycle now)
+{
+    const u32 id = regId(warp_slot, reg);
+    const RegSlot s = slotOf(id);
+    RegState &st = regs_[id];
+
+    const u32 old_banks = footprintBanks(id);
+    const RangeIndicator ind = indicatorFor(enc);
+    const u32 new_banks = params_.validAtAlloc ? kBanksPerWarpReg
+                                               : indicatorBanks(ind);
+
+    // Wake every bank the write touches; the write completes when the
+    // slowest wakeup finishes.
+    Cycle ready = now;
+    for (u32 b = 0; b < new_banks; ++b) {
+        Bank &bank = banks_[s.firstBank() + b];
+        ready = std::max(ready, bank.gate().wake(now));
+    }
+    for (u32 b = 0; b < new_banks; ++b) {
+        Bank &bank = banks_[s.firstBank() + b];
+        bank.noteWrite(now);
+        bank.setValid(s.entry, true, now);
+    }
+    // A shrinking footprint frees the banks beyond the new extent.
+    for (u32 b = new_banks; b < old_banks; ++b) {
+        Bank &bank = banks_[s.firstBank() + b];
+        if (bank.valid(s.entry))
+            bank.setValid(s.entry, false, now);
+    }
+
+    if (!st.written) {
+        ++writtenCount_;
+        if (ind != RangeIndicator::Uncompressed)
+            ++compressedCount_;
+    } else {
+        const bool was = st.ind != RangeIndicator::Uncompressed;
+        const bool is = ind != RangeIndicator::Uncompressed;
+        if (was && !is)
+            --compressedCount_;
+        else if (!was && is)
+            ++compressedCount_;
+    }
+    st.written = true;
+    st.ind = ind;
+
+    RegAccess a;
+    a.firstBank = s.firstBank();
+    a.entry = s.entry;
+    a.numBanks = new_banks;
+    a.compressed = ind != RangeIndicator::Uncompressed;
+    a.bytes = enc.sizeBytes();
+    return {ready, a};
+}
+
+void
+RegisterFile::noteRead(const RegAccess &access, Cycle now)
+{
+    for (u32 b = 0; b < access.numBanks; ++b)
+        banks_[access.firstBank + b].noteRead(now);
+}
+
+u32
+RegisterFile::awakeBanks(Cycle now) const
+{
+    u32 n = 0;
+    for (const Bank &b : banks_) {
+        if (!b.gate().isOff(now))
+            ++n;
+    }
+    return n;
+}
+
+RegisterFile::BankActivity
+RegisterFile::bankActivity(Cycle now) const
+{
+    BankActivity act;
+    for (const Bank &b : banks_) {
+        if (b.gate().isOff(now))
+            continue;
+        if (params_.drowsyEnabled &&
+            now > b.lastAccess() + params_.drowsyAfterCycles) {
+            ++act.drowsy;
+        } else {
+            ++act.active;
+        }
+    }
+    return act;
+}
+
+u64
+RegisterFile::gatedCycles(u32 bank, Cycle now) const
+{
+    WC_ASSERT(bank < banks_.size(), "bank index out of range");
+    return banks_[bank].gate().gatedCycles(now);
+}
+
+Bank &
+RegisterFile::bank(u32 i)
+{
+    WC_ASSERT(i < banks_.size(), "bank index out of range");
+    return banks_[i];
+}
+
+const Bank &
+RegisterFile::bank(u32 i) const
+{
+    WC_ASSERT(i < banks_.size(), "bank index out of range");
+    return banks_[i];
+}
+
+} // namespace warpcomp

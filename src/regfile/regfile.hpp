@@ -1,0 +1,184 @@
+/**
+ * @file
+ * The banked GPU register file (Fig 1 / Table 2): 32 banks organized as
+ * 4 clusters of 8, warp registers allocated on the 8 consecutive banks of
+ * one cluster at one entry index, with per-register compression state
+ * (the 2-bit range indicator of Sec. 4) and bank-level power gating.
+ */
+
+#ifndef WARPCOMP_REGFILE_REGFILE_HPP
+#define WARPCOMP_REGFILE_REGFILE_HPP
+
+#include <optional>
+#include <vector>
+
+#include "common/types.hpp"
+#include "compress/schemes.hpp"
+#include "regfile/bank.hpp"
+
+namespace warpcomp {
+
+/** Register file organization and policy parameters. */
+struct RegFileParams
+{
+    u32 numBanks = 32;
+    u32 entriesPerBank = 256;
+    u32 wakeupLatency = 10;
+    /** Power gating only exists in the compressed design. */
+    bool gatingEnabled = true;
+    /**
+     * Baseline behaviour: a register occupies all 8 banks from
+     * allocation, removing every gating opportunity (Sec. 6.2).
+     */
+    bool validAtAlloc = false;
+    /**
+     * Drowsy-mode comparator (the paper's related work [9], Warped
+     * Register File): a bank idle for `drowsyAfterCycles` drops to a
+     * state-retentive low-leakage mode. Orthogonal to power gating and
+     * composable with compression.
+     */
+    bool drowsyEnabled = false;
+    u32 drowsyAfterCycles = 64;
+
+    u32 numClusters() const { return numBanks / kBanksPerWarpReg; }
+    u32 totalWarpRegs() const { return numClusters() * entriesPerBank; }
+};
+
+/** Physical location of one warp register. */
+struct RegSlot
+{
+    u32 cluster;
+    u32 entry;
+
+    /** Global index of the first bank of the cluster. */
+    u32 firstBank() const { return cluster * kBanksPerWarpReg; }
+};
+
+/** Bank footprint of one register access. */
+struct RegAccess
+{
+    u32 firstBank = 0;      ///< global id of the first bank touched
+    u32 numBanks = 0;       ///< banks accessed (0: register never written)
+    u32 entry = 0;          ///< row within each bank
+    u32 bytes = 0;          ///< payload bytes moved over the wires
+    bool compressed = false;
+};
+
+/**
+ * The register file. Warp slots allocate a contiguous range of warp
+ * registers at block launch and release it at block completion; ids
+ * interleave across clusters (id % clusters) so consecutive registers
+ * spread over banks exactly as the baseline design requires.
+ */
+class RegisterFile
+{
+  public:
+    explicit RegisterFile(const RegFileParams &params);
+
+    const RegFileParams &params() const { return params_; }
+
+    /** True when @p num_regs warp registers can still be allocated. */
+    bool canAllocate(u32 num_regs) const;
+
+    /**
+     * Allocate @p num_regs contiguous warp registers for @p warp_slot.
+     * Returns false when capacity or the slot is unavailable.
+     */
+    bool allocate(u32 warp_slot, u32 num_regs, Cycle now);
+
+    /** Release a slot's registers and invalidate their bank entries. */
+    void release(u32 warp_slot, Cycle now);
+
+    /** Physical location of (slot, architectural register). */
+    RegSlot locate(u32 warp_slot, u32 reg) const;
+
+    /** Current range indicator of a register. */
+    RangeIndicator indicator(u32 warp_slot, u32 reg) const;
+
+    /** True when the register currently holds compressed data. */
+    bool isCompressed(u32 warp_slot, u32 reg) const;
+
+    /** True when the register has been written since allocation. */
+    bool isWritten(u32 warp_slot, u32 reg) const;
+
+    /** Footprint a read of this register touches right now. */
+    RegAccess readAccess(u32 warp_slot, u32 reg) const;
+
+    /**
+     * Record a write with compression outcome @p enc. Updates valid
+     * bits, shrinks/grows the footprint, wakes gated banks the write
+     * needs, bumps bank write counters. Returns the cycle the write can
+     * complete (now, or later when a wakeup was required) and the
+     * resulting access footprint.
+     */
+    std::pair<Cycle, RegAccess> recordWrite(u32 warp_slot, u32 reg,
+                                            const BdiEncoded &enc,
+                                            Cycle now);
+
+    /** Bump bank read counters for a read access at @p now. */
+    void noteRead(const RegAccess &access, Cycle now);
+
+    /** Banks currently not fully gated (for leakage integration). */
+    u32 awakeBanks(Cycle now) const;
+
+    /** Per-cycle leakage census: fully-on and drowsy bank counts. */
+    struct BankActivity
+    {
+        u32 active = 0;     ///< powered and recently accessed
+        u32 drowsy = 0;     ///< powered, idle past the drowsy threshold
+    };
+
+    /** Leakage census at @p now (drowsy == 0 unless drowsyEnabled). */
+    BankActivity bankActivity(Cycle now) const;
+
+    /** Cumulative gated cycles of one bank (Fig 10). */
+    u64 gatedCycles(u32 bank, Cycle now) const;
+
+    Bank &bank(u32 i);
+    const Bank &bank(u32 i) const;
+    u32 numBanks() const { return static_cast<u32>(banks_.size()); }
+
+    /** Warp registers currently allocated (occupancy accounting). */
+    u32 allocatedRegs() const { return allocatedRegs_; }
+
+    /**
+     * Count of (currently compressed, currently written) registers.
+     * Maintained incrementally; O(1).
+     */
+    std::pair<u32, u32> compressedCensus() const
+    {
+        return {compressedCount_, writtenCount_};
+    }
+
+  private:
+    struct RegState
+    {
+        RangeIndicator ind = RangeIndicator::Uncompressed;
+        bool written = false;
+    };
+
+    struct SlotAlloc
+    {
+        u32 base = 0;
+        u32 count = 0;
+        bool active = false;
+    };
+
+    u32 regId(u32 warp_slot, u32 reg) const;
+    RegSlot slotOf(u32 id) const;
+    u32 footprintBanks(u32 id) const;
+
+    RegFileParams params_;
+    std::vector<Bank> banks_;
+    std::vector<RegState> regs_;
+    std::vector<SlotAlloc> slots_;
+    /** Free-range list over warp-register ids, kept sorted/coalesced. */
+    std::vector<std::pair<u32, u32>> freeRanges_; // (base, count)
+    u32 allocatedRegs_ = 0;
+    u32 compressedCount_ = 0;
+    u32 writtenCount_ = 0;
+};
+
+} // namespace warpcomp
+
+#endif // WARPCOMP_REGFILE_REGFILE_HPP

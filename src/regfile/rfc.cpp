@@ -1,0 +1,60 @@
+#include "regfile/rfc.hpp"
+
+#include <algorithm>
+
+#include "common/log.hpp"
+
+namespace warpcomp {
+
+RegFileCache::RegFileCache(u32 max_warps, u32 entries_per_warp)
+    : entriesPerWarp_(entries_per_warp), lru_(max_warps)
+{
+    for (auto &set : lru_)
+        set.reserve(entries_per_warp);
+}
+
+bool
+RegFileCache::lookup(u32 warp, u8 reg)
+{
+    if (!enabled())
+        return false;
+    WC_ASSERT(warp < lru_.size(), "warp slot out of range");
+    auto &set = lru_[warp];
+    auto it = std::find(set.begin(), set.end(), reg);
+    if (it == set.end()) {
+        ++misses_;
+        return false;
+    }
+    // Move to the MRU position.
+    set.erase(it);
+    set.insert(set.begin(), reg);
+    ++hits_;
+    return true;
+}
+
+void
+RegFileCache::fill(u32 warp, u8 reg)
+{
+    if (!enabled())
+        return;
+    WC_ASSERT(warp < lru_.size(), "warp slot out of range");
+    auto &set = lru_[warp];
+    auto it = std::find(set.begin(), set.end(), reg);
+    if (it != set.end())
+        set.erase(it);
+    else if (set.size() >= entriesPerWarp_)
+        set.pop_back();                 // evict LRU (write-through: no
+                                        // writeback traffic)
+    set.insert(set.begin(), reg);
+}
+
+void
+RegFileCache::clearWarp(u32 warp)
+{
+    if (!enabled())
+        return;
+    WC_ASSERT(warp < lru_.size(), "warp slot out of range");
+    lru_[warp].clear();
+}
+
+} // namespace warpcomp

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Register-file-cache comparator (Gebhart et al., ISCA'11 — reference
+ * [21] of the paper): a small per-warp LRU cache in front of the main
+ * register banks. Writes allocate (write-through keeps the banks
+ * authoritative); operand reads that hit skip every bank access.
+ */
+
+#ifndef WARPCOMP_REGFILE_RFC_HPP
+#define WARPCOMP_REGFILE_RFC_HPP
+
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace warpcomp {
+
+/** Per-warp LRU register cache. */
+class RegFileCache
+{
+  public:
+    /**
+     * @param max_warps warp slots on the SM
+     * @param entries_per_warp cache capacity per warp; 0 disables
+     */
+    RegFileCache(u32 max_warps, u32 entries_per_warp);
+
+    bool enabled() const { return entriesPerWarp_ > 0; }
+    u32 entriesPerWarp() const { return entriesPerWarp_; }
+
+    /** Lookup; refreshes LRU position on hit. */
+    bool lookup(u32 warp, u8 reg);
+
+    /** Allocate on write; evicts the LRU entry when full. */
+    void fill(u32 warp, u8 reg);
+
+    /** Drop every entry of a warp (slot teardown / relaunch). */
+    void clearWarp(u32 warp);
+
+    u64 hits() const { return hits_; }
+    u64 misses() const { return misses_; }
+
+    double
+    hitRate() const
+    {
+        const u64 total = hits_ + misses_;
+        return total == 0 ? 0.0
+                          : static_cast<double>(hits_) /
+                                static_cast<double>(total);
+    }
+
+  private:
+    u32 entriesPerWarp_;
+    /** Front = most recently used. */
+    std::vector<std::vector<u8>> lru_;
+    u64 hits_ = 0;
+    u64 misses_ = 0;
+};
+
+} // namespace warpcomp
+
+#endif // WARPCOMP_REGFILE_RFC_HPP

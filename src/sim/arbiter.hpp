@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Bank port arbiter: each register bank has one read port and one write
+ * port (Table 2). The arbiter hands out per-cycle port grants; requests
+ * that lose arbitration retry the next cycle (bank conflicts).
+ */
+
+#ifndef WARPCOMP_SIM_ARBITER_HPP
+#define WARPCOMP_SIM_ARBITER_HPP
+
+#include "common/types.hpp"
+
+namespace warpcomp {
+
+/** Per-cycle read/write port allocation over up to 64 banks. */
+class BankArbiter
+{
+  public:
+    explicit BankArbiter(u32 num_banks);
+
+    /** Forget all grants; call at the start of every cycle. */
+    void newCycle();
+
+    /** Claim the read port of @p bank; false when already taken. */
+    bool tryRead(u32 bank);
+
+    /**
+     * Claim the write ports of banks [first, first+count) atomically;
+     * false (and no ports claimed) when any is taken.
+     */
+    bool tryWriteRange(u32 first, u32 count);
+
+    u32 numBanks() const { return numBanks_; }
+
+  private:
+    u32 numBanks_;
+    u64 readUsed_ = 0;
+    u64 writeUsed_ = 0;
+};
+
+} // namespace warpcomp
+
+#endif // WARPCOMP_SIM_ARBITER_HPP

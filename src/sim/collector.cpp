@@ -1,0 +1,52 @@
+#include "sim/collector.hpp"
+
+#include <algorithm>
+
+#include "common/log.hpp"
+
+namespace warpcomp {
+
+CollectorPool::CollectorPool(u32 num_units) : units_(num_units)
+{
+    WC_ASSERT(num_units > 0, "need at least one collector unit");
+    order_.reserve(num_units);
+}
+
+bool
+CollectorPool::hasFree() const
+{
+    return order_.size() < units_.size();
+}
+
+u32
+CollectorPool::insert(InFlight &&entry)
+{
+    for (u32 i = 0; i < units_.size(); ++i) {
+        if (!units_[i].has_value()) {
+            units_[i] = std::move(entry);
+            order_.push_back(i);
+            return i;
+        }
+    }
+    WC_PANIC("insert into a full collector pool");
+}
+
+InFlight
+CollectorPool::take(u32 index)
+{
+    WC_ASSERT(index < units_.size() && units_[index].has_value(),
+              "taking an empty collector unit " << index);
+    InFlight out = std::move(*units_[index]);
+    units_[index].reset();
+    order_.erase(std::find(order_.begin(), order_.end(), index));
+    return out;
+}
+
+InFlight *
+CollectorPool::at(u32 index)
+{
+    WC_ASSERT(index < units_.size(), "collector index out of range");
+    return units_[index].has_value() ? &*units_[index] : nullptr;
+}
+
+} // namespace warpcomp

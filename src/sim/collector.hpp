@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Operand collector units (Fig 1): each holds one in-flight warp
+ * instruction while its register source operands are fetched from the
+ * banks and, when compressed, routed through a decompressor.
+ */
+
+#ifndef WARPCOMP_SIM_COLLECTOR_HPP
+#define WARPCOMP_SIM_COLLECTOR_HPP
+
+#include <array>
+#include <optional>
+#include <vector>
+
+#include "common/types.hpp"
+#include "compress/bdi.hpp"
+#include "isa/instruction.hpp"
+#include "regfile/regfile.hpp"
+
+namespace warpcomp {
+
+/** One warp instruction moving through the SM pipeline. */
+struct InFlight
+{
+    /** Pipeline position. */
+    enum class Stage : u8 {
+        Collect,    ///< fetching source operands (in a collector unit)
+        Exec,       ///< executing; readyAt = completion cycle
+        Writeback,  ///< compressing / waking banks / claiming write ports
+        Done
+    };
+
+    /** Source-operand fetch progress. */
+    struct OpFetch
+    {
+        RegAccess acc{};
+        u32 granted = 0;
+
+        bool done() const { return granted >= acc.numBanks; }
+    };
+
+    Instruction inst{};         ///< copy (synthetic for dummy MOVs)
+    u32 warpSlot = 0;
+    LaneMask effMask = 0;
+    bool dummyMov = false;
+    /** Write must be stored uncompressed (divergent/partial mask). */
+    bool divergentWrite = false;
+
+    /** Up to three register sources plus, under the MergeRecompress
+     *  divergence policy, a read of the destination's old content. */
+    std::array<OpFetch, 4> ops{};
+    u32 numOps = 0;
+    u32 compressedSrcs = 0;     ///< decompressor activations required
+    u32 decompIssued = 0;
+    Cycle decompReadyAt = 0;
+
+    Stage stage = Stage::Collect;
+    Cycle readyAt = 0;
+    u32 memLatency = 0;         ///< load/store round trip (mem ops)
+    bool writesBack = false;    ///< a GPR write reaches the banks
+    bool memReleased = false;   ///< MSHR slot returned
+    bool wbRecorded = false;    ///< RegisterFile::recordWrite performed
+    RegAccess writeAcc{};
+    BdiEncoded encoded{};
+
+    /** All source banks granted? */
+    bool
+    collected() const
+    {
+        for (u32 i = 0; i < numOps; ++i) {
+            if (!ops[i].done())
+                return false;
+        }
+        return true;
+    }
+};
+
+/**
+ * Fixed pool of collector units. An instruction occupies a unit from
+ * issue until it dispatches to an execution unit.
+ */
+class CollectorPool
+{
+  public:
+    explicit CollectorPool(u32 num_units);
+
+    bool hasFree() const;
+
+    /** Claim a unit; returns its index. Requires hasFree(). */
+    u32 insert(InFlight &&entry);
+
+    /** Release unit @p index; returns the entry by move. */
+    InFlight take(u32 index);
+
+    InFlight *at(u32 index);
+    u32 size() const { return static_cast<u32>(units_.size()); }
+
+    /** Indices of occupied units, oldest allocation first. */
+    const std::vector<u32> &occupiedOrder() const { return order_; }
+
+  private:
+    std::vector<std::optional<InFlight>> units_;
+    std::vector<u32> order_;
+};
+
+} // namespace warpcomp
+
+#endif // WARPCOMP_SIM_COLLECTOR_HPP

@@ -1,0 +1,331 @@
+#include "sim/functional.hpp"
+
+#include <bit>
+#include <cmath>
+
+#include "common/bitops.hpp"
+#include "common/log.hpp"
+
+namespace warpcomp {
+
+namespace {
+
+/** Read a source operand's value in one lane. */
+u32
+operandValue(const Warp &warp, const Operand &o, u32 lane)
+{
+    switch (o.kind) {
+      case Operand::Kind::Reg:
+        return warp.reg(o.reg)[lane];
+      case Operand::Kind::Imm:
+        return static_cast<u32>(o.imm);
+      default:
+        WC_PANIC("reading an absent operand");
+    }
+}
+
+bool
+compareI(CmpOp op, i32 a, i32 b)
+{
+    switch (op) {
+      case CmpOp::Lt: return a < b;
+      case CmpOp::Le: return a <= b;
+      case CmpOp::Gt: return a > b;
+      case CmpOp::Ge: return a >= b;
+      case CmpOp::Eq: return a == b;
+      case CmpOp::Ne: return a != b;
+      default: WC_PANIC("unknown compare op");
+    }
+}
+
+bool
+compareF(CmpOp op, float a, float b)
+{
+    switch (op) {
+      case CmpOp::Lt: return a < b;
+      case CmpOp::Le: return a <= b;
+      case CmpOp::Gt: return a > b;
+      case CmpOp::Ge: return a >= b;
+      case CmpOp::Eq: return a == b;
+      case CmpOp::Ne: return a != b;
+      default: WC_PANIC("unknown compare op");
+    }
+}
+
+float
+asF(u32 v)
+{
+    return std::bit_cast<float>(v);
+}
+
+u32
+asU(float v)
+{
+    return std::bit_cast<u32>(v);
+}
+
+} // namespace
+
+FunctionalExecutor::FunctionalExecutor(GlobalMemory &gmem,
+                                       ConstantMemory &cmem)
+    : gmem_(gmem), cmem_(cmem)
+{
+}
+
+ExecOutcome
+FunctionalExecutor::execute(Warp &warp, u32 pc, SharedMemory *smem,
+                            const LaunchDims &dims)
+{
+    const Kernel &kernel = *warp.kernel();
+    const Instruction &in = kernel.at(pc);
+    WC_ASSERT(pc == warp.stack().pc(), "functional execute out of order");
+
+    const LaneMask active = warp.stack().mask();
+    const LaneMask eff = warp.guardLanes(in, active);
+
+    ExecOutcome out;
+    out.effMask = eff;
+
+    // Per-lane ALU helper: applies fn over effective lanes, merging into
+    // the destination register (inactive lanes keep their old value).
+    auto lanewise = [&](auto &&fn) {
+        if (in.dst == kNoReg)
+            return;
+        WarpRegValue &d = warp.reg(in.dst);
+        for (u32 lane = 0; lane < kWarpSize; ++lane) {
+            if (laneActive(eff, lane))
+                d[lane] = fn(lane);
+        }
+        out.wroteReg = eff != 0;
+    };
+    auto s0 = [&](u32 lane) { return operandValue(warp, in.src[0], lane); };
+    auto s1 = [&](u32 lane) { return operandValue(warp, in.src[1], lane); };
+    auto s2 = [&](u32 lane) { return operandValue(warp, in.src[2], lane); };
+
+    switch (in.op) {
+      case Opcode::Nop:
+        break;
+      case Opcode::S2R:
+        lanewise([&](u32 lane) -> u32 {
+            switch (in.sreg) {
+              case SpecialReg::TidX: return warp.tid(lane);
+              case SpecialReg::CtaIdX: return warp.ctaId();
+              case SpecialReg::NTidX: return dims.blockDim;
+              case SpecialReg::NCtaIdX: return dims.gridDim;
+              case SpecialReg::LaneId: return lane;
+              default: WC_PANIC("unknown special register");
+            }
+        });
+        break;
+      case Opcode::Mov:
+      case Opcode::MovImm:
+        lanewise([&](u32 lane) { return s0(lane); });
+        break;
+      case Opcode::IAdd:
+        lanewise([&](u32 lane) { return s0(lane) + s1(lane); });
+        break;
+      case Opcode::ISub:
+        lanewise([&](u32 lane) { return s0(lane) - s1(lane); });
+        break;
+      case Opcode::IMul:
+        lanewise([&](u32 lane) { return s0(lane) * s1(lane); });
+        break;
+      case Opcode::IMad:
+        lanewise([&](u32 lane) { return s0(lane) * s1(lane) + s2(lane); });
+        break;
+      case Opcode::IMin:
+        lanewise([&](u32 lane) {
+            const i32 a = static_cast<i32>(s0(lane));
+            const i32 b = static_cast<i32>(s1(lane));
+            return static_cast<u32>(a < b ? a : b);
+        });
+        break;
+      case Opcode::IMax:
+        lanewise([&](u32 lane) {
+            const i32 a = static_cast<i32>(s0(lane));
+            const i32 b = static_cast<i32>(s1(lane));
+            return static_cast<u32>(a > b ? a : b);
+        });
+        break;
+      case Opcode::IAbs:
+        lanewise([&](u32 lane) {
+            const i32 a = static_cast<i32>(s0(lane));
+            return static_cast<u32>(a < 0 ? -a : a);
+        });
+        break;
+      case Opcode::And:
+        lanewise([&](u32 lane) { return s0(lane) & s1(lane); });
+        break;
+      case Opcode::Or:
+        lanewise([&](u32 lane) { return s0(lane) | s1(lane); });
+        break;
+      case Opcode::Xor:
+        lanewise([&](u32 lane) { return s0(lane) ^ s1(lane); });
+        break;
+      case Opcode::Not:
+        lanewise([&](u32 lane) { return ~s0(lane); });
+        break;
+      case Opcode::Shl:
+        lanewise([&](u32 lane) { return s0(lane) << (s1(lane) & 31); });
+        break;
+      case Opcode::Shr:
+        lanewise([&](u32 lane) { return s0(lane) >> (s1(lane) & 31); });
+        break;
+      case Opcode::Sra:
+        lanewise([&](u32 lane) {
+            return static_cast<u32>(static_cast<i32>(s0(lane)) >>
+                                    (s1(lane) & 31));
+        });
+        break;
+      case Opcode::ISetP: {
+        LaneMask result = 0;
+        for (u32 lane = 0; lane < kWarpSize; ++lane) {
+            if (!laneActive(eff, lane))
+                continue;
+            if (compareI(in.cmp, static_cast<i32>(s0(lane)),
+                         static_cast<i32>(s1(lane)))) {
+                result |= 1u << lane;
+            }
+        }
+        warp.setPred(in.dstPred, result, eff);
+        break;
+      }
+      case Opcode::FSetP: {
+        LaneMask result = 0;
+        for (u32 lane = 0; lane < kWarpSize; ++lane) {
+            if (!laneActive(eff, lane))
+                continue;
+            if (compareF(in.cmp, asF(s0(lane)), asF(s1(lane))))
+                result |= 1u << lane;
+        }
+        warp.setPred(in.dstPred, result, eff);
+        break;
+      }
+      case Opcode::PAnd:
+        warp.setPred(in.dstPred,
+                     warp.pred(in.srcPred) & warp.pred(in.srcPred2), eff);
+        break;
+      case Opcode::POr:
+        warp.setPred(in.dstPred,
+                     warp.pred(in.srcPred) | warp.pred(in.srcPred2), eff);
+        break;
+      case Opcode::PNot:
+        warp.setPred(in.dstPred, ~warp.pred(in.srcPred), eff);
+        break;
+      case Opcode::SelP: {
+        const LaneMask p = warp.pred(in.srcPred);
+        lanewise([&](u32 lane) {
+            return laneActive(p, lane) ? s0(lane) : s1(lane);
+        });
+        break;
+      }
+      case Opcode::FAdd:
+        lanewise([&](u32 lane) {
+            return asU(asF(s0(lane)) + asF(s1(lane)));
+        });
+        break;
+      case Opcode::FMul:
+        lanewise([&](u32 lane) {
+            return asU(asF(s0(lane)) * asF(s1(lane)));
+        });
+        break;
+      case Opcode::FFma:
+        lanewise([&](u32 lane) {
+            return asU(asF(s0(lane)) * asF(s1(lane)) + asF(s2(lane)));
+        });
+        break;
+      case Opcode::FMin:
+        lanewise([&](u32 lane) {
+            return asU(std::fmin(asF(s0(lane)), asF(s1(lane))));
+        });
+        break;
+      case Opcode::FMax:
+        lanewise([&](u32 lane) {
+            return asU(std::fmax(asF(s0(lane)), asF(s1(lane))));
+        });
+        break;
+      case Opcode::I2F:
+        lanewise([&](u32 lane) {
+            return asU(static_cast<float>(static_cast<i32>(s0(lane))));
+        });
+        break;
+      case Opcode::F2I:
+        lanewise([&](u32 lane) {
+            return static_cast<u32>(static_cast<i32>(asF(s0(lane))));
+        });
+        break;
+      case Opcode::FRcp:
+        lanewise([&](u32 lane) { return asU(1.0f / asF(s0(lane))); });
+        break;
+      case Opcode::Ldg:
+      case Opcode::Stg:
+      case Opcode::Lds:
+      case Opcode::Sts:
+      case Opcode::Ldc: {
+        out.isMem = true;
+        const bool shared = in.op == Opcode::Lds || in.op == Opcode::Sts;
+        if (shared) {
+            WC_ASSERT(smem != nullptr,
+                      "shared access in a kernel with no shared memory");
+        }
+        for (u32 lane = 0; lane < kWarpSize; ++lane) {
+            if (!laneActive(eff, lane))
+                continue;
+            const u64 addr = static_cast<u64>(s0(lane)) +
+                static_cast<i64>(in.memOffset);
+            out.addrs[lane] = addr;
+            switch (in.op) {
+              case Opcode::Ldg:
+                warp.reg(in.dst)[lane] = gmem_.read32(addr);
+                break;
+              case Opcode::Stg:
+                gmem_.write32(addr, s1(lane));
+                break;
+              case Opcode::Lds:
+                warp.reg(in.dst)[lane] =
+                    smem->read32(static_cast<u32>(addr));
+                break;
+              case Opcode::Sts:
+                smem->write32(static_cast<u32>(addr), s1(lane));
+                break;
+              case Opcode::Ldc:
+                warp.reg(in.dst)[lane] =
+                    cmem_.read32(static_cast<u32>(addr));
+                break;
+              default:
+                WC_PANIC("unreachable");
+            }
+        }
+        out.wroteReg = in.isLoad() && eff != 0;
+        break;
+      }
+      case Opcode::Bra: {
+        // Guard selects the taken lanes; unguarded branches are taken
+        // by every active lane.
+        out.diverged = warp.stack().branch(in.target, in.reconv, eff,
+                                           pc + 1);
+        out.warpFinished = warp.stack().empty();
+        return out;
+      }
+      case Opcode::Bar:
+        break;
+      case Opcode::Exit: {
+        // Lanes failing the guard stay alive; if every lane of the top
+        // entry exits, the entry disappears and the next entry's pc must
+        // not be disturbed.
+        const LaneMask remaining = active & ~eff;
+        warp.stack().exitLanes(eff);
+        out.warpFinished = warp.stack().empty();
+        if (!out.warpFinished && remaining != 0)
+            warp.stack().advance(pc + 1);
+        return out;
+      }
+      default:
+        WC_PANIC("unhandled opcode in functional execution");
+    }
+
+    warp.stack().advance(pc + 1);
+    return out;
+}
+
+} // namespace warpcomp

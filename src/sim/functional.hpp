@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Functional execution of one warp instruction at issue time. The
+ * timing pipeline moves the access through collectors/banks/exec units,
+ * but lane values are computed here, eagerly, so compression always sees
+ * exact register contents (the standard functional/timing split).
+ */
+
+#ifndef WARPCOMP_SIM_FUNCTIONAL_HPP
+#define WARPCOMP_SIM_FUNCTIONAL_HPP
+
+#include <array>
+
+#include "common/types.hpp"
+#include "mem/memory.hpp"
+#include "sim/warp.hpp"
+
+namespace warpcomp {
+
+/** Grid/block dimensions of the running launch. */
+struct LaunchDims
+{
+    u32 blockDim = 0;   ///< threads per CTA
+    u32 gridDim = 0;    ///< CTAs in the grid
+};
+
+/** What an instruction did, as needed by the timing model. */
+struct ExecOutcome
+{
+    LaneMask effMask = 0;       ///< lanes that executed (guard applied)
+    bool wroteReg = false;      ///< destination GPR updated
+    bool diverged = false;      ///< branch split the warp
+    bool warpFinished = false;  ///< all lanes exited
+    bool isMem = false;         ///< needs the memory pipeline
+    /** Per-lane byte addresses for memory timing (valid when isMem). */
+    std::array<u64, kWarpSize> addrs{};
+};
+
+/** Executes instructions against warp + memory functional state. */
+class FunctionalExecutor
+{
+  public:
+    FunctionalExecutor(GlobalMemory &gmem, ConstantMemory &cmem);
+
+    /**
+     * Execute the instruction at @p pc of the warp's kernel, applying
+     * guards, updating lane values and the SIMT stack (pc advance /
+     * branch / exit).
+     *
+     * @param warp warp to execute on
+     * @param pc instruction index (must equal warp.stack().pc())
+     * @param smem the warp's CTA shared memory (may be null when the
+     *             kernel declares none)
+     * @param dims launch dimensions for S2R
+     */
+    ExecOutcome execute(Warp &warp, u32 pc, SharedMemory *smem,
+                        const LaunchDims &dims);
+
+  private:
+    GlobalMemory &gmem_;
+    ConstantMemory &cmem_;
+};
+
+} // namespace warpcomp
+
+#endif // WARPCOMP_SIM_FUNCTIONAL_HPP

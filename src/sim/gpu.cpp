@@ -1,0 +1,85 @@
+#include "sim/gpu.hpp"
+
+#include <memory>
+
+#include "common/log.hpp"
+
+namespace warpcomp {
+
+namespace {
+
+/** Hard deadlock guard: no workload in the suite runs this long. */
+constexpr Cycle kMaxCycles = 200'000'000;
+
+} // namespace
+
+Gpu::Gpu(const GpuParams &params, GlobalMemory &gmem, ConstantMemory &cmem)
+    : params_(params), gmem_(gmem), cmem_(cmem)
+{
+    WC_ASSERT(params_.numSms >= 1, "GPU needs at least one SM");
+}
+
+RunResult
+Gpu::run(const Kernel &kernel, const LaunchDims &dims,
+         bool collect_bdi_breakdown)
+{
+    kernel.validate();
+    WC_ASSERT(dims.gridDim >= 1, "empty grid");
+
+    std::vector<std::unique_ptr<Sm>> sms;
+    sms.reserve(params_.numSms);
+    for (u32 i = 0; i < params_.numSms; ++i) {
+        sms.push_back(std::make_unique<Sm>(
+            params_.sm, params_.energy, gmem_, cmem_, kernel, dims,
+            collect_bdi_breakdown));
+    }
+
+    u32 next_cta = 0;
+    Cycle now = 0;
+    while (true) {
+        // Each SM may accept one new CTA per cycle.
+        for (auto &sm : sms) {
+            if (next_cta < dims.gridDim && sm->tryLaunchCta(next_cta))
+                ++next_cta;
+        }
+
+        bool any_busy = next_cta < dims.gridDim;
+        for (auto &sm : sms) {
+            sm->cycle(now);
+            any_busy = any_busy || sm->busy();
+        }
+        ++now;
+        if (!any_busy)
+            break;
+        WC_ASSERT(now < kMaxCycles,
+                  "simulation exceeded " << kMaxCycles
+                  << " cycles; likely a deadlock in kernel "
+                  << kernel.name());
+    }
+
+    RunResult result(params_.energy);
+    result.cycles = now;
+    const u32 num_banks = params_.sm.regfile.numBanks;
+    result.bankGatedFraction.assign(num_banks, 0.0);
+    for (auto &sm : sms) {
+        result.meter.merge(sm->meter());
+        result.stats.merge(sm->stats());
+        result.ctas += sm->ctasCompleted();
+        result.rfcHits += sm->rfc().hits();
+        result.rfcMisses += sm->rfc().misses();
+        for (u32 b = 0; b < num_banks; ++b) {
+            result.bankGatedFraction[b] +=
+                static_cast<double>(sm->regfile().gatedCycles(b, now)) /
+                static_cast<double>(now);
+        }
+    }
+    for (u32 b = 0; b < num_banks; ++b)
+        result.bankGatedFraction[b] /= static_cast<double>(sms.size());
+
+    WC_ASSERT(result.ctas == dims.gridDim,
+              "grid did not fully execute: " << result.ctas << " of "
+              << dims.gridDim);
+    return result;
+}
+
+} // namespace warpcomp

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Whole-GPU simulation: a set of SMs fed from a global CTA queue,
+ * run in lockstep until the grid drains. Produces the merged energy /
+ * statistics results every experiment consumes.
+ */
+
+#ifndef WARPCOMP_SIM_GPU_HPP
+#define WARPCOMP_SIM_GPU_HPP
+
+#include <vector>
+
+#include "power/energy_meter.hpp"
+#include "sim/sm.hpp"
+
+namespace warpcomp {
+
+/** Outcome of one kernel launch. */
+struct RunResult
+{
+    Cycle cycles = 0;               ///< wall-clock cycles to drain the grid
+    EnergyMeter meter;              ///< merged over all SMs
+    SimStats stats;                 ///< merged over all SMs
+    /** Per-bank fraction of cycles spent power-gated (Fig 10),
+     *  averaged over SMs. */
+    std::vector<double> bankGatedFraction;
+    u64 ctas = 0;                   ///< CTAs executed
+    u64 rfcHits = 0;                ///< register-file-cache hits
+    u64 rfcMisses = 0;              ///< register-file-cache misses
+
+    explicit RunResult(const EnergyParams &energy) : meter(energy, 0, 0) {}
+};
+
+/** The GPU: numSms SMs sharing global/constant memory. */
+class Gpu
+{
+  public:
+    Gpu(const GpuParams &params, GlobalMemory &gmem, ConstantMemory &cmem);
+
+    /**
+     * Launch @p kernel over @p dims and simulate to completion.
+     *
+     * @param collect_bdi_breakdown enable Fig 5 explorer stats
+     * @return merged results
+     */
+    RunResult run(const Kernel &kernel, const LaunchDims &dims,
+                  bool collect_bdi_breakdown = false);
+
+    const GpuParams &params() const { return params_; }
+
+  private:
+    GpuParams params_;
+    GlobalMemory &gmem_;
+    ConstantMemory &cmem_;
+};
+
+} // namespace warpcomp
+
+#endif // WARPCOMP_SIM_GPU_HPP

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Simulator configuration: Table 2 microarchitectural parameters plus
+ * the compression scheme and scheduler policy under evaluation.
+ */
+
+#ifndef WARPCOMP_SIM_PARAMS_HPP
+#define WARPCOMP_SIM_PARAMS_HPP
+
+#include "common/types.hpp"
+#include "compress/schemes.hpp"
+#include "mem/mem_timing.hpp"
+#include "power/constants.hpp"
+#include "regfile/regfile.hpp"
+
+namespace warpcomp {
+
+/** Warp scheduling policy (Sec. 6.5). */
+enum class SchedPolicy : u8 {
+    Gto,    ///< greedy-then-oldest (default)
+    Lrr     ///< loose round-robin
+};
+
+/**
+ * How writes from divergent warp instructions are handled (Sec. 5.2).
+ * The paper evaluates both and ships WriteUncompressed; MergeRecompress
+ * is the rejected buffered alternative, kept here as an ablation: the
+ * destination's current content is read (and decompressed) alongside
+ * the sources, merged with the active lanes, and recompressed.
+ */
+enum class DivergencePolicy : u8 {
+    WriteUncompressed,  ///< store uncompressed; dummy MOV decompresses
+    MergeRecompress     ///< read-merge-recompress through a buffer
+};
+
+/** Per-SM configuration (Table 2 defaults). */
+struct SmParams
+{
+    u32 numSchedulers = 2;
+    u32 maxWarps = 48;
+    u32 maxThreads = 1536;
+    u32 maxCtas = 8;
+    u32 smemBytes = 48 * 1024;
+
+    u32 numCollectors = 8;      ///< operand collector units
+    u32 simtDispatch = 2;       ///< ALU/MUL/FPU instructions issued to exec per cycle
+    u32 memDispatch = 1;        ///< memory instructions accepted per cycle
+
+    u32 numCompressors = 2;
+    u32 numDecompressors = 4;
+    u32 compressLatency = 2;
+    u32 decompressLatency = 1;
+
+    SchedPolicy sched = SchedPolicy::Gto;
+    CompressionScheme scheme = CompressionScheme::Warped;
+    DivergencePolicy divPolicy = DivergencePolicy::WriteUncompressed;
+
+    /**
+     * Register-file-cache comparator (the paper's related work [21],
+     * Gebhart et al. ISCA'11): a small per-warp cache in front of the
+     * banks that filters operand reads. 0 disables it. Writes allocate
+     * (write-through to the banks); reads that hit skip every bank
+     * access and pay one small-RAM access instead.
+     */
+    u32 rfcEntriesPerWarp = 0;
+
+    RegFileParams regfile{};
+    MemTimingParams mem{};
+
+    /**
+     * Make the register-file policy consistent with the compression
+     * scheme: the baseline marks registers valid at allocation and never
+     * gates; compressed designs gate and validate lazily. Call after
+     * setting `scheme`.
+     */
+    void
+    applyScheme()
+    {
+        const bool compressed = scheme != CompressionScheme::None;
+        regfile.gatingEnabled = compressed;
+        regfile.validAtAlloc = !compressed;
+    }
+
+    bool compressionEnabled() const
+    {
+        return scheme != CompressionScheme::None;
+    }
+};
+
+/** Whole-GPU configuration. */
+struct GpuParams
+{
+    u32 numSms = 15;
+    SmParams sm{};
+    EnergyParams energy{};
+};
+
+} // namespace warpcomp
+
+#endif // WARPCOMP_SIM_PARAMS_HPP

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Warp schedulers (Sec. 6.5): greedy-then-oldest (GTO) keeps issuing
+ * from the last warp until it stalls, then falls back to the oldest
+ * ready warp; loose round-robin (LRR) rotates every cycle.
+ */
+
+#ifndef WARPCOMP_SIM_SCHEDULER_HPP
+#define WARPCOMP_SIM_SCHEDULER_HPP
+
+#include <functional>
+#include <vector>
+
+#include "common/types.hpp"
+#include "sim/params.hpp"
+
+namespace warpcomp {
+
+/** One warp scheduler, owning a fixed subset of the SM's warp slots. */
+class WarpScheduler
+{
+  public:
+    /**
+     * @param policy GTO or LRR
+     * @param slots warp slots this scheduler issues from
+     */
+    WarpScheduler(SchedPolicy policy, std::vector<u32> slots);
+
+    /**
+     * Pick the next warp to issue.
+     *
+     * @param ready predicate: can this slot issue right now?
+     * @param age slot -> age stamp (smaller = older), used by GTO
+     * @return chosen slot, or -1 when nothing is ready
+     */
+    i32 pick(const std::function<bool(u32)> &ready,
+             const std::function<u64(u32)> &age);
+
+    /** Inform the scheduler which slot actually issued. */
+    void noteIssued(u32 slot);
+
+    const std::vector<u32> &slots() const { return slots_; }
+
+  private:
+    SchedPolicy policy_;
+    std::vector<u32> slots_;
+    i32 lastIssued_ = -1;   ///< GTO greedy candidate
+    u32 rrCursor_ = 0;      ///< LRR rotation point
+};
+
+} // namespace warpcomp
+
+#endif // WARPCOMP_SIM_SCHEDULER_HPP

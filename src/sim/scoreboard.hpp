@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Per-warp scoreboard: destination registers and predicates are reserved
+ * at issue and released at writeback, blocking dependent issue (RAW) and
+ * same-destination reissue (WAW).
+ */
+
+#ifndef WARPCOMP_SIM_SCOREBOARD_HPP
+#define WARPCOMP_SIM_SCOREBOARD_HPP
+
+#include <vector>
+
+#include "common/types.hpp"
+#include "isa/instruction.hpp"
+
+namespace warpcomp {
+
+/** Pending-register tracker for every warp slot of an SM. */
+class Scoreboard
+{
+  public:
+    explicit Scoreboard(u32 max_warps);
+
+    /** True when no operand of @p inst conflicts with pending writes. */
+    bool canIssue(u32 warp, const Instruction &inst) const;
+
+    /** Reserve the destinations of @p inst. */
+    void reserve(u32 warp, const Instruction &inst);
+
+    /** Release one destination register. */
+    void releaseReg(u32 warp, u32 reg);
+    /** Release one destination predicate. */
+    void releasePred(u32 warp, u32 pred);
+
+    bool regPending(u32 warp, u32 reg) const;
+    bool predPending(u32 warp, u32 pred) const;
+
+    /** Drop every reservation of a warp (slot teardown). */
+    void clearWarp(u32 warp);
+
+    /** True when the warp has no reservations at all. */
+    bool idle(u32 warp) const;
+
+  private:
+    std::vector<u64> regBits_;
+    std::vector<u8> predBits_;
+};
+
+} // namespace warpcomp
+
+#endif // WARPCOMP_SIM_SCOREBOARD_HPP

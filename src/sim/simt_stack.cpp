@@ -1,0 +1,89 @@
+#include "sim/simt_stack.hpp"
+
+#include "common/log.hpp"
+
+namespace warpcomp {
+
+void
+SimtStack::reset(LaneMask initial)
+{
+    WC_ASSERT(initial != 0, "warp must start with at least one lane");
+    stack_.clear();
+    stack_.push_back({0, kNoRpc, initial});
+}
+
+u32
+SimtStack::pc() const
+{
+    WC_ASSERT(!stack_.empty(), "pc() on an empty SIMT stack");
+    return stack_.back().pc;
+}
+
+LaneMask
+SimtStack::mask() const
+{
+    WC_ASSERT(!stack_.empty(), "mask() on an empty SIMT stack");
+    return stack_.back().mask;
+}
+
+void
+SimtStack::advance(u32 next)
+{
+    WC_ASSERT(!stack_.empty(), "advance() on an empty SIMT stack");
+    stack_.back().pc = next;
+}
+
+bool
+SimtStack::branch(u32 target, u32 reconv, LaneMask taken, u32 fallthrough)
+{
+    WC_ASSERT(!stack_.empty(), "branch() on an empty SIMT stack");
+    Entry &top = stack_.back();
+    WC_ASSERT((taken & ~top.mask) == 0,
+              "taken lanes must be a subset of the active mask");
+    const LaneMask not_taken = top.mask & ~taken;
+
+    if (taken == 0) {
+        top.pc = fallthrough;
+        return false;
+    }
+    if (not_taken == 0) {
+        top.pc = target;
+        return false;
+    }
+
+    // Divergence: the current entry becomes the reconvergence entry and
+    // keeps the union mask; the two sides execute from pushed entries.
+    top.pc = reconv;
+    stack_.push_back({fallthrough, reconv, not_taken});
+    stack_.push_back({target, reconv, taken});
+    return true;
+}
+
+void
+SimtStack::exitLanes(LaneMask lanes)
+{
+    for (Entry &e : stack_)
+        e.mask &= ~lanes;
+    while (!stack_.empty() && stack_.back().mask == 0)
+        stack_.pop_back();
+    // Interior entries with empty masks are removed as well: they could
+    // otherwise resurface as zero-mask tops and stall the warp.
+    std::vector<Entry> kept;
+    kept.reserve(stack_.size());
+    for (const Entry &e : stack_) {
+        if (e.mask != 0)
+            kept.push_back(e);
+    }
+    stack_ = std::move(kept);
+}
+
+void
+SimtStack::popReconverged()
+{
+    while (!stack_.empty() && stack_.back().rpc != kNoRpc &&
+           stack_.back().pc == stack_.back().rpc) {
+        stack_.pop_back();
+    }
+}
+
+} // namespace warpcomp

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * SIMT reconvergence stack (immediate post-dominator scheme, Sec. 5.2
+ * background). Entries are {pc, rpc, mask}; a divergent branch rewrites
+ * the top entry's pc to the reconvergence point and pushes the two
+ * sides; entries pop when their pc reaches their rpc.
+ */
+
+#ifndef WARPCOMP_SIM_SIMT_STACK_HPP
+#define WARPCOMP_SIM_SIMT_STACK_HPP
+
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace warpcomp {
+
+/** Sentinel rpc for the bottom-of-stack entry (never reconverges). */
+inline constexpr u32 kNoRpc = ~u32{0};
+
+/** Per-warp SIMT reconvergence stack. */
+class SimtStack
+{
+  public:
+    struct Entry
+    {
+        u32 pc;
+        u32 rpc;
+        LaneMask mask;
+    };
+
+    /** Reset to a single bottom entry at pc 0 with @p initial lanes. */
+    void reset(LaneMask initial);
+
+    bool empty() const { return stack_.empty(); }
+    std::size_t depth() const { return stack_.size(); }
+
+    /** Current fetch pc (top entry). */
+    u32 pc() const;
+    /** Current active mask (top entry). */
+    LaneMask mask() const;
+
+    /** Advance the top entry to @p next (non-branch instructions). */
+    void advance(u32 next);
+
+    /**
+     * Apply a branch outcome. @p taken is the subset of the current
+     * mask that takes the branch; the rest falls through.
+     *
+     * @param target branch target pc
+     * @param reconv immediate post-dominator pc
+     * @param taken lanes taking the branch (subset of mask())
+     * @param fallthrough pc of the next sequential instruction
+     * @return true when the branch diverged (both sides non-empty)
+     */
+    bool branch(u32 target, u32 reconv, LaneMask taken, u32 fallthrough);
+
+    /**
+     * Remove exited lanes from every entry; drops entries left empty.
+     * After this the stack may be empty (warp finished).
+     */
+    void exitLanes(LaneMask lanes);
+
+    /** Pop reconverged entries (top pc == top rpc); call before fetch. */
+    void popReconverged();
+
+    const std::vector<Entry> &entries() const { return stack_; }
+
+  private:
+    std::vector<Entry> stack_;
+};
+
+} // namespace warpcomp
+
+#endif // WARPCOMP_SIM_SIMT_STACK_HPP

@@ -1,0 +1,595 @@
+#include "sim/sm.hpp"
+
+#include <algorithm>
+
+#include "common/bitops.hpp"
+#include "common/log.hpp"
+
+namespace warpcomp {
+
+namespace {
+
+/** Control-only instructions never occupy a collector / exec slot. */
+bool
+needsPipeline(const Instruction &inst)
+{
+    switch (inst.op) {
+      case Opcode::Bra:
+      case Opcode::Bar:
+      case Opcode::Exit:
+      case Opcode::Nop:
+        return false;
+      default:
+        return true;
+    }
+}
+
+} // namespace
+
+void
+SimStats::merge(const SimStats &other)
+{
+    issued += other.issued;
+    issuedDivergent += other.issuedDivergent;
+    dummyMovs += other.dummyMovs;
+    regWrites += other.regWrites;
+    regWritesDivergent += other.regWritesDivergent;
+    writesStoredCompressed += other.writesStoredCompressed;
+    simBins.merge(other.simBins);
+    ratio.merge(other.ratio);
+    for (u32 i = 0; i < 8; ++i)
+        bdiSelect[i] += other.bdiSelect[i];
+    for (u32 p = 0; p < 2; ++p) {
+        compressedFracSum[p] += other.compressedFracSum[p];
+        compressedFracSamples[p] += other.compressedFracSamples[p];
+    }
+}
+
+Sm::Sm(const SmParams &params, const EnergyParams &energy,
+       GlobalMemory &gmem, ConstantMemory &cmem, const Kernel &kernel,
+       const LaunchDims &dims, bool collect_bdi_breakdown)
+    : params_(params), kernel_(kernel), dims_(dims),
+      collectBdi_(collect_bdi_breakdown),
+      rf_(params.regfile),
+      rfc_(params.maxWarps, params.rfcEntriesPerWarp),
+      scoreboard_(params.maxWarps),
+      arbiter_(params.regfile.numBanks),
+      collectors_(params.numCollectors),
+      compPool_(params.numCompressors, params.compressLatency),
+      decompPool_(params.numDecompressors, params.decompressLatency),
+      simtDispatch_(params.simtDispatch),
+      memDispatch_(params.memDispatch),
+      fex_(gmem, cmem),
+      warps_(params.maxWarps),
+      ctas_(params.maxCtas),
+      meter_(energy,
+             params.compressionEnabled() ? params.numCompressors : 0,
+             params.compressionEnabled() ? params.numDecompressors : 0)
+{
+    WC_ASSERT(dims.blockDim >= 1 && dims.blockDim <= params.maxThreads,
+              "CTA size " << dims.blockDim << " unsupported");
+    meter_.setRfcPresent(rfc_.enabled());
+}
+
+u32
+Sm::freeSmemBytes() const
+{
+    u32 used = 0;
+    for (const Cta &c : ctas_) {
+        if (c.active)
+            used += kernel_.smemBytes();
+    }
+    return params_.smemBytes - used;
+}
+
+bool
+Sm::tryLaunchCta(u32 cta_id)
+{
+    const u32 warps_per_cta = ceilDiv(dims_.blockDim, kWarpSize);
+    WC_ASSERT(warps_per_cta <= params_.maxWarps,
+              "CTA needs more warps than the SM has");
+
+    // Resident-CTA slot.
+    u32 cta_slot = ~0u;
+    for (u32 i = 0; i < ctas_.size(); ++i) {
+        if (!ctas_[i].active) {
+            cta_slot = i;
+            break;
+        }
+    }
+    if (cta_slot == ~0u)
+        return false;
+
+    // Threads and shared memory.
+    u32 resident_threads = 0;
+    for (const Cta &c : ctas_) {
+        if (c.active)
+            resident_threads += dims_.blockDim;
+    }
+    if (resident_threads + dims_.blockDim > params_.maxThreads)
+        return false;
+    if (kernel_.smemBytes() > freeSmemBytes())
+        return false;
+
+    // Free warp slots.
+    std::vector<u32> slots;
+    for (u32 s = 0; s < warps_.size() &&
+         slots.size() < warps_per_cta; ++s) {
+        if (warps_[s].status() == Warp::Status::Idle)
+            slots.push_back(s);
+    }
+    if (slots.size() < warps_per_cta)
+        return false;
+
+    // Register allocation, with rollback on partial failure.
+    std::vector<u32> allocated;
+    for (u32 s : slots) {
+        if (!rf_.allocate(s, kernel_.numRegs(), 0)) {
+            for (u32 a : allocated)
+                rf_.release(a, 0);
+            return false;
+        }
+        allocated.push_back(s);
+    }
+
+    Cta &cta = ctas_[cta_slot];
+    cta.active = true;
+    cta.ctaId = cta_id;
+    cta.warpSlots = slots;
+    cta.liveWarps = warps_per_cta;
+    cta.atBarrier = 0;
+    cta.inFlight = 0;
+    cta.smem = kernel_.smemBytes() > 0
+        ? std::make_unique<SharedMemory>(kernel_.smemBytes()) : nullptr;
+
+    u32 remaining = dims_.blockDim;
+    for (u32 w = 0; w < warps_per_cta; ++w) {
+        const u32 lanes = std::min(remaining, kWarpSize);
+        remaining -= lanes;
+        warps_[slots[w]].launch(kernel_, cta_slot, cta_id, w, lanes,
+                                ageCounter_++);
+    }
+    return true;
+}
+
+bool
+Sm::busy() const
+{
+    for (const Cta &c : ctas_) {
+        if (c.active)
+            return true;
+    }
+    return false;
+}
+
+void
+Sm::cycle(Cycle now)
+{
+    arbiter_.newCycle();
+    stepWritebackAndExec(now);
+    stepCollect(now);
+    stepIssue(now);
+    meter_.addCycles(1);
+    const RegisterFile::BankActivity act = rf_.bankActivity(now);
+    meter_.addAwakeBankCycles(act.active);
+    meter_.addDrowsyBankCycles(act.drowsy);
+}
+
+void
+Sm::finishInFlight(InFlight &f, Cycle now)
+{
+    f.stage = InFlight::Stage::Done;
+    Cta &cta = ctas_[warps_[f.warpSlot].ctaSlot()];
+    WC_ASSERT(cta.inFlight > 0, "in-flight underflow");
+    --cta.inFlight;
+    maybeCompleteCta(warps_[f.warpSlot].ctaSlot(), now);
+}
+
+void
+Sm::stepWritebackAndExec(Cycle now)
+{
+    for (std::size_t i = 0; i < execList_.size();) {
+        InFlight &f = execList_[i];
+
+        if (f.stage == InFlight::Stage::Exec && now >= f.readyAt) {
+            if (f.inst.isMemory() && !f.memReleased) {
+                WC_ASSERT(outstandingMem_ > 0, "MSHR underflow");
+                --outstandingMem_;
+                f.memReleased = true;
+            }
+            if (!f.writesBack) {
+                // Stores, compares, zero-mask writers: nothing reaches
+                // the register banks.
+                if (f.inst.dstPred != kNoPred)
+                    scoreboard_.releasePred(f.warpSlot, f.inst.dstPred);
+                if (f.inst.hasDst())
+                    scoreboard_.releaseReg(f.warpSlot, f.inst.dst);
+                finishInFlight(f, now);
+            } else if (params_.compressionEnabled() && !f.divergentWrite) {
+                // Full-mask writes pass through a compressor unit.
+                if (compPool_.canIssue(now)) {
+                    compPool_.tryIssue(now);
+                    meter_.addCompActivations(1);
+                    f.stage = InFlight::Stage::Writeback;
+                    f.readyAt = now + params_.compressLatency;
+                }
+                // else: every compressor accepted an op this cycle;
+                // retry next cycle.
+            } else {
+                f.stage = InFlight::Stage::Writeback;
+                f.readyAt = now;
+            }
+        }
+
+        if (f.stage == InFlight::Stage::Writeback && now >= f.readyAt) {
+            if (!f.wbRecorded) {
+                auto [ready, acc] = rf_.recordWrite(f.warpSlot, f.inst.dst,
+                                                    f.encoded, now);
+                f.wbRecorded = true;
+                f.writeAcc = acc;
+                if (ready > now) {
+                    // Gated banks are waking up for this write.
+                    f.readyAt = ready;
+                }
+            }
+            if (now >= f.readyAt &&
+                arbiter_.tryWriteRange(f.writeAcc.firstBank,
+                                       f.writeAcc.numBanks)) {
+                meter_.addBankWrites(f.writeAcc.numBanks);
+                if (f.writeAcc.compressed)
+                    ++stats_.writesStoredCompressed;
+                if (rfc_.enabled()) {
+                    // Write-allocate into the register file cache.
+                    rfc_.fill(f.warpSlot, f.inst.dst);
+                    meter_.addRfcAccesses(1);
+                }
+                scoreboard_.releaseReg(f.warpSlot, f.inst.dst);
+                finishInFlight(f, now);
+            }
+        }
+
+        if (f.stage == InFlight::Stage::Done) {
+            execList_[i] = std::move(execList_.back());
+            execList_.pop_back();
+        } else {
+            ++i;
+        }
+    }
+}
+
+void
+Sm::stepCollect(Cycle now)
+{
+    // Iterate a snapshot: dispatching removes units from the pool.
+    const std::vector<u32> order = collectors_.occupiedOrder();
+    for (u32 idx : order) {
+        InFlight *f = collectors_.at(idx);
+        WC_ASSERT(f != nullptr, "stale collector index");
+
+        for (u32 o = 0; o < f->numOps; ++o) {
+            InFlight::OpFetch &op = f->ops[o];
+            while (!op.done()) {
+                const u32 bank = op.acc.firstBank + op.granted;
+                if (!arbiter_.tryRead(bank))
+                    break;
+                ++op.granted;
+                meter_.addBankReads(1);
+                rf_.bank(bank).noteRead(now);
+            }
+        }
+        if (!f->collected())
+            continue;
+
+        if (params_.compressionEnabled()) {
+            while (f->decompIssued < f->compressedSrcs) {
+                const Cycle done = decompPool_.tryIssue(now);
+                if (done == 0)
+                    break;
+                meter_.addDecompActivations(1);
+                f->decompReadyAt = std::max(f->decompReadyAt, done);
+                ++f->decompIssued;
+            }
+            if (f->decompIssued < f->compressedSrcs ||
+                now < f->decompReadyAt) {
+                continue;
+            }
+        }
+
+        DispatchLimiter &lim = f->inst.isMemory() ? memDispatch_
+                                                  : simtDispatch_;
+        if (!lim.tryDispatch(now))
+            continue;
+
+        InFlight moved = collectors_.take(idx);
+        moved.stage = InFlight::Stage::Exec;
+        moved.readyAt = now + (moved.inst.isMemory()
+                               ? moved.memLatency
+                               : resultLatency(moved.inst.op));
+        execList_.push_back(std::move(moved));
+    }
+}
+
+bool
+Sm::canIssueFrom(u32 slot) const
+{
+    const Warp &w = warps_[slot];
+    if (!w.schedulable())
+        return false;
+    const Instruction &inst = kernel_.at(w.stack().pc());
+    if (!scoreboard_.canIssue(slot, inst))
+        return false;
+    if (needsPipeline(inst) && !collectors_.hasFree())
+        return false;
+    if (inst.isMemory() && outstandingMem_ >= params_.mem.maxOutstanding)
+        return false;
+    return true;
+}
+
+void
+Sm::stepIssue(Cycle now)
+{
+    // Lazily build the schedulers once warps exist (policy from params).
+    if (schedulers_.empty()) {
+        for (u32 s = 0; s < params_.numSchedulers; ++s) {
+            std::vector<u32> slots;
+            for (u32 w = s; w < params_.maxWarps;
+                 w += params_.numSchedulers) {
+                slots.push_back(w);
+            }
+            schedulers_.emplace_back(params_.sched, std::move(slots));
+        }
+    }
+
+    // Pop reconverged entries so pc/mask reflect the next instruction.
+    for (Warp &w : warps_) {
+        if (w.schedulable())
+            w.stack().popReconverged();
+    }
+
+    for (WarpScheduler &sched : schedulers_) {
+        const i32 slot = sched.pick(
+            [this](u32 s) { return canIssueFrom(s); },
+            [this](u32 s) { return warps_[s].ageStamp(); });
+        if (slot < 0)
+            continue;
+        issueFrom(static_cast<u32>(slot), now);
+        sched.noteIssued(static_cast<u32>(slot));
+    }
+}
+
+void
+Sm::recordWriteStats(const Warp &warp, const Instruction &inst,
+                     LaneMask eff, bool divergent)
+{
+    const WarpRegValue &value = warp.reg(inst.dst);
+    stats_.simBins.record(value, eff, divergent);
+
+    // Potential compressibility of the merged register (Fig 8 semantics:
+    // divergent writes measured as decompress-update-recompress).
+    const auto img = toBytes(value);
+    const auto cands = params_.scheme == CompressionScheme::None
+        ? warpedCandidates() : schemeCandidates(params_.scheme);
+    const BdiEncoded enc = bdiCompress(img, cands);
+    stats_.ratio.record(enc.sizeBytes(), divergent);
+
+    if (collectBdi_) {
+        const auto best = bdiBestParams(img, fullBdiCandidates());
+        u32 idx = 7;
+        if (best.has_value()) {
+            const auto all = fullBdiCandidates();
+            for (u32 i = 0; i < all.size(); ++i) {
+                if (all[i] == *best)
+                    idx = i;
+            }
+        }
+        ++stats_.bdiSelect[idx];
+    }
+}
+
+void
+Sm::issueDummyMov(u32 slot, u8 dst, Cycle now)
+{
+    (void)now;
+    Warp &w = warps_[slot];
+
+    ++stats_.issued;
+    ++stats_.dummyMovs;
+
+    Instruction mov;
+    mov.op = Opcode::Mov;
+    mov.dst = dst;
+    mov.src[0] = Operand::fromReg(dst);
+
+    InFlight f;
+    f.inst = mov;
+    f.warpSlot = slot;
+    f.effMask = w.fullMask();
+    f.dummyMov = true;
+    // The decompress-MOV always stores back uncompressed (Sec. 5.2).
+    f.divergentWrite = true;
+    f.writesBack = true;
+    f.numOps = 1;
+    f.ops[0].acc = rf_.readAccess(slot, dst);
+    if (f.ops[0].acc.compressed)
+        f.compressedSrcs = 1;
+
+    const auto img = toBytes(w.reg(dst));
+    f.encoded.compressed = false;
+    f.encoded.bytes.assign(img.begin(), img.end());
+
+    scoreboard_.reserve(slot, mov);
+    ++ctas_[w.ctaSlot()].inFlight;
+    collectors_.insert(std::move(f));
+}
+
+void
+Sm::issueFrom(u32 slot, Cycle now)
+{
+    Warp &w = warps_[slot];
+    const u32 pc = w.stack().pc();
+    const Instruction &inst = kernel_.at(pc);
+    const LaneMask active = w.stack().mask();
+    const LaneMask eff = w.guardLanes(inst, active);
+    const bool divergent = active != w.fullMask();
+
+    // Divergent update of a compressed destination: decompress first
+    // via an injected MOV; the real instruction issues once the MOV's
+    // writeback releases the scoreboard (Sec. 5.2). The MergeRecompress
+    // ablation instead folds the old content into the write below.
+    if (params_.compressionEnabled() &&
+        params_.divPolicy == DivergencePolicy::WriteUncompressed &&
+        inst.hasDst() && eff != 0 && eff != w.fullMask() &&
+        rf_.isCompressed(slot, inst.dst)) {
+        issueDummyMov(slot, inst.dst, now);
+        return;
+    }
+
+    ++stats_.issued;
+    if (divergent)
+        ++stats_.issuedDivergent;
+
+    // Fig 12 sampling: compressed share of the allocated registers,
+    // attributed to the issuing warp's phase.
+    {
+        const auto [comp, written] = rf_.compressedCensus();
+        (void)written;
+        const u32 alloc = rf_.allocatedRegs();
+        if (alloc > 0) {
+            const u32 phase = divergent ? kDivergent : kNonDivergent;
+            stats_.compressedFracSum[phase] +=
+                static_cast<double>(comp) / static_cast<double>(alloc);
+            ++stats_.compressedFracSamples[phase];
+        }
+    }
+
+    Cta &cta = ctas_[w.ctaSlot()];
+    SharedMemory *smem = cta.smem.get();
+    const ExecOutcome out = fex_.execute(w, pc, smem, dims_);
+
+    if (inst.isBarrier()) {
+        w.setStatus(Warp::Status::AtBarrier);
+        ++cta.atBarrier;
+        tryReleaseBarrier(cta);
+        return;
+    }
+    if (out.warpFinished) {
+        w.setStatus(Warp::Status::Finished);
+        WC_ASSERT(cta.liveWarps > 0, "live-warp underflow");
+        --cta.liveWarps;
+        tryReleaseBarrier(cta);
+        maybeCompleteCta(w.ctaSlot(), now);
+        // The warp may still have writes in flight; CTA teardown waits
+        // for cta.inFlight to drain.
+    }
+    if (!needsPipeline(inst))
+        return;
+
+    InFlight f;
+    f.inst = inst;
+    f.warpSlot = slot;
+    f.effMask = eff;
+    f.divergentWrite = inst.hasDst() && eff != w.fullMask();
+    f.writesBack = inst.hasDst() && eff != 0;
+
+    const u32 nsrc = inst.numRegSources();
+    f.numOps = nsrc;
+    for (u32 i = 0; i < nsrc; ++i) {
+        // A register-file-cache hit satisfies the operand without
+        // touching any bank (comparator mode; disabled by default).
+        if (rfc_.lookup(slot, inst.regSource(i))) {
+            meter_.addRfcAccesses(1);
+            continue;           // acc stays zero-bank
+        }
+        f.ops[i].acc = rf_.readAccess(slot, inst.regSource(i));
+        if (f.ops[i].acc.compressed)
+            ++f.compressedSrcs;
+    }
+
+    // MergeRecompress: a divergent write also fetches the destination's
+    // current content (read + possible decompression through the merge
+    // buffer) and then recompresses the merged register.
+    if (f.divergentWrite && f.writesBack &&
+        params_.compressionEnabled() &&
+        params_.divPolicy == DivergencePolicy::MergeRecompress) {
+        f.divergentWrite = false;       // take the compression path
+        bool dup = false;
+        for (u32 i = 0; i < nsrc; ++i) {
+            if (inst.regSource(i) == inst.dst)
+                dup = true;
+        }
+        if (!dup && rf_.isWritten(slot, inst.dst)) {
+            f.ops[f.numOps].acc = rf_.readAccess(slot, inst.dst);
+            if (f.ops[f.numOps].acc.compressed)
+                ++f.compressedSrcs;
+            ++f.numOps;
+        }
+    }
+
+    if (inst.isMemory()) {
+        ++outstandingMem_;
+        if (eff == 0) {
+            f.memLatency = 8;
+        } else if (inst.op == Opcode::Ldg || inst.op == Opcode::Stg) {
+            const u32 segs = coalescedSegments(out.addrs, eff);
+            f.memLatency = globalAccessLatency(params_.mem, segs);
+        } else if (inst.op == Opcode::Lds || inst.op == Opcode::Sts) {
+            const u32 deg = sharedConflictDegree(out.addrs, eff);
+            f.memLatency = sharedAccessLatency(params_.mem, deg);
+        } else {
+            f.memLatency = params_.mem.constLatency;
+        }
+    }
+
+    if (f.writesBack) {
+        ++stats_.regWrites;
+        if (divergent)
+            ++stats_.regWritesDivergent;
+        recordWriteStats(w, inst, eff, divergent);
+
+        const auto img = toBytes(w.reg(inst.dst));
+        if (params_.compressionEnabled() && !f.divergentWrite) {
+            f.encoded = bdiCompress(img, schemeCandidates(params_.scheme));
+        } else {
+            f.encoded.compressed = false;
+            f.encoded.bytes.assign(img.begin(), img.end());
+        }
+    }
+
+    scoreboard_.reserve(slot, inst);
+    ++cta.inFlight;
+    collectors_.insert(std::move(f));
+}
+
+void
+Sm::tryReleaseBarrier(Cta &cta)
+{
+    if (cta.liveWarps == 0 || cta.atBarrier < cta.liveWarps)
+        return;
+    for (u32 s : cta.warpSlots) {
+        if (warps_[s].status() == Warp::Status::AtBarrier)
+            warps_[s].setStatus(Warp::Status::Running);
+    }
+    cta.atBarrier = 0;
+}
+
+void
+Sm::maybeCompleteCta(u32 cta_slot, Cycle now)
+{
+    Cta &cta = ctas_[cta_slot];
+    if (!cta.active || cta.liveWarps != 0 || cta.inFlight != 0)
+        return;
+    for (u32 s : cta.warpSlots) {
+        WC_ASSERT(scoreboard_.idle(s),
+                  "completing CTA with pending scoreboard entries");
+        scoreboard_.clearWarp(s);
+        rfc_.clearWarp(s);
+        rf_.release(s, now);
+        warps_[s].reset();
+    }
+    cta.smem.reset();
+    cta.active = false;
+    cta.warpSlots.clear();
+    ++ctasCompleted_;
+}
+
+} // namespace warpcomp

@@ -1,0 +1,154 @@
+/**
+ * @file
+ * The streaming multiprocessor model: warp schedulers, operand
+ * collectors, bank arbiter, execution pipelines, and the compression /
+ * decompression path of Fig 1. One Sm instance simulates one SM for one
+ * kernel launch.
+ */
+
+#ifndef WARPCOMP_SIM_SM_HPP
+#define WARPCOMP_SIM_SM_HPP
+
+#include <memory>
+#include <vector>
+
+#include "analysis/similarity.hpp"
+#include "common/types.hpp"
+#include "compress/unit.hpp"
+#include "mem/memory.hpp"
+#include "power/energy_meter.hpp"
+#include "regfile/rfc.hpp"
+#include "sim/arbiter.hpp"
+#include "sim/collector.hpp"
+#include "sim/exec_unit.hpp"
+#include "sim/functional.hpp"
+#include "sim/params.hpp"
+#include "sim/scheduler.hpp"
+#include "sim/scoreboard.hpp"
+#include "sim/warp.hpp"
+
+namespace warpcomp {
+
+/** Counters gathered during one simulation (figures 2,3,5,8,11,12). */
+struct SimStats
+{
+    u64 issued = 0;             ///< instructions issued (incl. dummy MOVs)
+    u64 issuedDivergent = 0;    ///< issued with a partial active mask
+    u64 dummyMovs = 0;          ///< injected decompress-MOVs (Fig 11)
+    u64 regWrites = 0;          ///< GPR-writing instructions
+    u64 regWritesDivergent = 0;
+    u64 writesStoredCompressed = 0;
+
+    SimilarityBins simBins{};   ///< Fig 2
+    RatioAccum ratio{};         ///< Fig 8 (potential compressibility)
+
+    /** Fig 5: best <base,delta> histogram; indices follow
+     *  fullBdiCandidates() order, last slot = not compressible. */
+    u64 bdiSelect[8] = {};
+
+    /** Fig 12: mean fraction of allocated registers in compressed
+     *  state, sampled at each issue, per phase. */
+    double compressedFracSum[2] = {};
+    u64 compressedFracSamples[2] = {};
+
+    void merge(const SimStats &other);
+
+    double
+    compressedFraction(Phase phase) const
+    {
+        const u64 n = compressedFracSamples[phase];
+        return n == 0 ? 0.0 : compressedFracSum[phase] /
+            static_cast<double>(n);
+    }
+};
+
+/** One streaming multiprocessor executing one kernel launch. */
+class Sm
+{
+  public:
+    /**
+     * @param params SM configuration (call params.applyScheme() first)
+     * @param energy energy constants for the meter
+     * @param gmem global memory
+     * @param cmem constant bank
+     * @param kernel kernel being launched
+     * @param dims grid/block dimensions
+     * @param collect_bdi_breakdown enable the Fig 5 explorer stats
+     */
+    Sm(const SmParams &params, const EnergyParams &energy,
+       GlobalMemory &gmem, ConstantMemory &cmem, const Kernel &kernel,
+       const LaunchDims &dims, bool collect_bdi_breakdown = false);
+
+    /** Try to make CTA @p cta_id resident; false when out of resources. */
+    bool tryLaunchCta(u32 cta_id);
+
+    /** Simulate one cycle at global time @p now. */
+    void cycle(Cycle now);
+
+    /** True while any CTA is resident or instructions are in flight. */
+    bool busy() const;
+
+    const SmParams &params() const { return params_; }
+    const EnergyMeter &meter() const { return meter_; }
+    const SimStats &stats() const { return stats_; }
+    const RegisterFile &regfile() const { return rf_; }
+    const RegFileCache &rfc() const { return rfc_; }
+    u64 ctasCompleted() const { return ctasCompleted_; }
+
+  private:
+    /** Resident CTA bookkeeping. */
+    struct Cta
+    {
+        bool active = false;
+        u32 ctaId = 0;
+        std::unique_ptr<SharedMemory> smem;
+        std::vector<u32> warpSlots;
+        u32 liveWarps = 0;
+        u32 atBarrier = 0;
+        u32 inFlight = 0;
+    };
+
+    void stepWritebackAndExec(Cycle now);
+    void stepCollect(Cycle now);
+    void stepIssue(Cycle now);
+    bool canIssueFrom(u32 slot) const;
+    void issueFrom(u32 slot, Cycle now);
+    void issueDummyMov(u32 slot, u8 dst, Cycle now);
+    void finishInFlight(InFlight &f, Cycle now);
+    void recordWriteStats(const Warp &warp, const Instruction &inst,
+                          LaneMask eff, bool divergent);
+    void tryReleaseBarrier(Cta &cta);
+    void maybeCompleteCta(u32 cta_slot, Cycle now);
+    u32 freeSmemBytes() const;
+
+    SmParams params_;
+    const Kernel &kernel_;
+    LaunchDims dims_;
+    bool collectBdi_;
+
+    RegisterFile rf_;
+    RegFileCache rfc_;
+    Scoreboard scoreboard_;
+    BankArbiter arbiter_;
+    CollectorPool collectors_;
+    std::vector<InFlight> execList_;
+    std::vector<WarpScheduler> schedulers_;
+    UnitPool compPool_;
+    UnitPool decompPool_;
+    DispatchLimiter simtDispatch_;
+    DispatchLimiter memDispatch_;
+    FunctionalExecutor fex_;
+
+    std::vector<Warp> warps_;
+    std::vector<Cta> ctas_;
+    u32 outstandingMem_ = 0;
+    u64 ageCounter_ = 0;
+    u64 ctasCompleted_ = 0;
+
+    EnergyMeter meter_;
+    SimStats stats_;
+};
+
+} // namespace warpcomp
+
+#endif // WARPCOMP_SIM_SM_HPP

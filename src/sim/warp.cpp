@@ -1,0 +1,73 @@
+#include "sim/warp.hpp"
+
+#include "common/bitops.hpp"
+#include "common/log.hpp"
+
+namespace warpcomp {
+
+void
+Warp::launch(const Kernel &kernel, u32 cta_slot, u32 cta_id,
+             u32 warp_in_cta, u32 lanes, u64 age_stamp)
+{
+    WC_ASSERT(status_ == Status::Idle, "launching into a busy warp slot");
+    WC_ASSERT(lanes >= 1 && lanes <= kWarpSize, "bad lane count " << lanes);
+
+    status_ = Status::Running;
+    kernel_ = &kernel;
+    ctaSlot_ = cta_slot;
+    ctaId_ = cta_id;
+    warpInCta_ = warp_in_cta;
+    ageStamp_ = age_stamp;
+    fullMask_ = firstLanes(lanes);
+    stack_.reset(fullMask_);
+    regs_.assign(kernel.numRegs(), WarpRegValue{});
+    preds_.assign(kernel.numPreds(), 0);
+}
+
+void
+Warp::reset()
+{
+    status_ = Status::Idle;
+    kernel_ = nullptr;
+    regs_.clear();
+    preds_.clear();
+}
+
+WarpRegValue &
+Warp::reg(u32 r)
+{
+    WC_ASSERT(r < regs_.size(), "register r" << r << " out of range");
+    return regs_[r];
+}
+
+const WarpRegValue &
+Warp::reg(u32 r) const
+{
+    WC_ASSERT(r < regs_.size(), "register r" << r << " out of range");
+    return regs_[r];
+}
+
+LaneMask
+Warp::pred(u32 p) const
+{
+    WC_ASSERT(p < preds_.size(), "predicate p" << p << " out of range");
+    return preds_[p];
+}
+
+void
+Warp::setPred(u32 p, LaneMask v, LaneMask mask)
+{
+    WC_ASSERT(p < preds_.size(), "predicate p" << p << " out of range");
+    preds_[p] = (preds_[p] & ~mask) | (v & mask);
+}
+
+LaneMask
+Warp::guardLanes(const Instruction &inst, LaneMask mask) const
+{
+    if (!inst.hasGuard())
+        return mask;
+    const LaneMask p = pred(inst.guardPred);
+    return mask & (inst.guardNegate ? ~p : p);
+}
+
+} // namespace warpcomp

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Per-warp state: SIMT stack, functional register/predicate values, and
+ * scheduling status.
+ */
+
+#ifndef WARPCOMP_SIM_WARP_HPP
+#define WARPCOMP_SIM_WARP_HPP
+
+#include <vector>
+
+#include "common/types.hpp"
+#include "compress/bdi.hpp"
+#include "isa/kernel.hpp"
+#include "sim/simt_stack.hpp"
+
+namespace warpcomp {
+
+/** One warp's architectural + scheduling state. */
+class Warp
+{
+  public:
+    /** Scheduling status. */
+    enum class Status : u8 {
+        Idle,       ///< slot not in use
+        Running,    ///< schedulable
+        AtBarrier,  ///< waiting at a CTA barrier
+        Finished    ///< all lanes exited
+    };
+
+    /**
+     * Bind the warp slot to a launched warp.
+     *
+     * @param kernel kernel being executed
+     * @param cta_slot resident-CTA slot on the SM
+     * @param cta_id global CTA index
+     * @param warp_in_cta warp index within the CTA
+     * @param lanes number of live threads in this warp
+     * @param age_stamp monotonically increasing launch order (GTO age)
+     */
+    void launch(const Kernel &kernel, u32 cta_slot, u32 cta_id,
+                u32 warp_in_cta, u32 lanes, u64 age_stamp);
+
+    /** Return the slot to Idle. */
+    void reset();
+
+    Status status() const { return status_; }
+    void setStatus(Status s) { status_ = s; }
+    bool schedulable() const { return status_ == Status::Running; }
+
+    const Kernel *kernel() const { return kernel_; }
+    u32 ctaSlot() const { return ctaSlot_; }
+    u32 ctaId() const { return ctaId_; }
+    u32 warpInCta() const { return warpInCta_; }
+    u64 ageStamp() const { return ageStamp_; }
+
+    SimtStack &stack() { return stack_; }
+    const SimtStack &stack() const { return stack_; }
+
+    /** Functional value of one architectural register (32 lanes). */
+    WarpRegValue &reg(u32 r);
+    const WarpRegValue &reg(u32 r) const;
+
+    /** Predicate value bitmask (bit i: lane i). */
+    LaneMask pred(u32 p) const;
+    void setPred(u32 p, LaneMask v, LaneMask mask);
+
+    /**
+     * Lanes in @p mask that pass the guard of @p inst (all of @p mask
+     * for unguarded instructions).
+     */
+    LaneMask guardLanes(const Instruction &inst, LaneMask mask) const;
+
+    /** Thread index (within the CTA) of lane @p lane. */
+    u32 tid(u32 lane) const { return warpInCta_ * kWarpSize + lane; }
+
+    /**
+     * Mask of all lanes the warp launched with. An instruction counts
+     * as non-divergent when its active mask equals this (so tail warps
+     * of odd-sized CTAs do not read as permanently divergent).
+     */
+    LaneMask fullMask() const { return fullMask_; }
+
+  private:
+    Status status_ = Status::Idle;
+    const Kernel *kernel_ = nullptr;
+    u32 ctaSlot_ = 0;
+    u32 ctaId_ = 0;
+    u32 warpInCta_ = 0;
+    u64 ageStamp_ = 0;
+    LaneMask fullMask_ = 0;
+    SimtStack stack_;
+    std::vector<WarpRegValue> regs_;
+    std::vector<LaneMask> preds_;
+};
+
+} // namespace warpcomp
+
+#endif // WARPCOMP_SIM_WARP_HPP

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * backprop (Rodinia) — feed-forward layer: each thread accumulates a
+ * weighted sum of 16 staged inputs from shared memory. Barriers but no
+ * divergence; weight values are high-entropy floats while index and
+ * address registers compress well.
+ */
+
+#include "workloads/registry.hpp"
+
+#include "workloads/inputs.hpp"
+
+namespace warpcomp {
+
+WorkloadInstance
+makeBackprop(u32 scale)
+{
+    const u32 block = 256;
+    const u32 grid = 60 * scale;
+    const u32 in_size = 16;          // staged inputs per CTA
+
+    auto gmem = std::make_unique<GlobalMemory>(64ull << 20);
+    auto cmem = std::make_unique<ConstantMemory>();
+    Rng rng(0xBA0u);
+
+    const u64 input = gmem->alloc(4ull * in_size * grid);
+    const u64 weights = gmem->alloc(4ull * in_size * block * grid);
+    const u64 hidden = gmem->alloc(4ull * block * grid);
+    fillRandomF32(*gmem, input, in_size * grid, 0.0f, 1.0f, rng);
+    fillRandomF32(*gmem, weights, in_size * block * grid, -0.5f, 0.5f,
+                  rng);
+
+    pushAddr(*cmem, input);     // param 0
+    pushAddr(*cmem, weights);   // param 1
+    pushAddr(*cmem, hidden);    // param 2
+    cmem->push(in_size);        // param 3
+
+    KernelBuilder b("backprop", in_size * 4);
+    Reg p_in = loadParam(b, 0);
+    Reg p_w = loadParam(b, 1);
+    Reg p_hid = loadParam(b, 2);
+    Reg p_n = loadParam(b, 3);
+
+    Reg tid = b.newReg(), bid = b.newReg(), ntid = b.newReg();
+    b.s2r(tid, SpecialReg::TidX);
+    b.s2r(bid, SpecialReg::CtaIdX);
+    b.s2r(ntid, SpecialReg::NTidX);
+    Reg gid = b.newReg();
+    b.imad(gid, bid, ntid, tid);
+
+    // Stage this CTA's input vector into shared memory.
+    Pred loader = b.newPred();
+    b.isetp(loader, CmpOp::Lt, tid, p_n);
+    b.if_(loader, [&] {
+        Reg ia = b.newReg(), iv = b.newReg(), sa = b.newReg();
+        b.imad(ia, bid, p_n, tid);
+        b.imad(ia, ia, KernelBuilder::imm(4), p_in);
+        b.ldg(iv, ia);
+        b.shl(sa, tid, KernelBuilder::imm(2));
+        b.sts(sa, iv);
+    });
+    b.bar();
+
+    // sum = dot(weights[gid * n .. ], smem_input)
+    Reg sum = b.newReg();
+    b.movFloat(sum, 0.0f);
+    Reg wbase = b.newReg();
+    b.imul(wbase, gid, p_n);
+    b.imad(wbase, wbase, KernelBuilder::imm(4), p_w);
+
+    Reg k = b.newReg();
+    b.forRange(k, KernelBuilder::imm(0), p_n, 1, [&] {
+        Reg wa = b.newReg(), w = b.newReg(), sa = b.newReg(),
+            x = b.newReg();
+        b.imad(wa, k, KernelBuilder::imm(4), wbase);
+        b.ldg(w, wa);
+        b.shl(sa, k, KernelBuilder::imm(2));
+        b.lds(x, sa);
+        b.ffma(sum, w, x, sum);
+    });
+
+    // Squash: out = sum / (1 + |sum|), a rational sigmoid stand-in.
+    Reg asum = b.newReg(), one = b.newReg(), den = b.newReg(),
+        out = b.newReg();
+    b.fmax(asum, sum, KernelBuilder::imm(0));
+    Reg negsum = b.newReg(), negone = b.newReg();
+    b.movFloat(negone, -1.0f);
+    b.fmul(negsum, sum, negone);
+    b.fmax(asum, asum, negsum);
+    b.movFloat(one, 1.0f);
+    b.fadd(den, asum, one);
+    b.frcp(den, den);
+    b.fmul(out, sum, den);
+
+    Reg oa = b.newReg();
+    b.imad(oa, gid, KernelBuilder::imm(4), p_hid);
+    b.stg(oa, out);
+
+    return {"backprop", b.build(), {block, grid}, std::move(gmem),
+            std::move(cmem)};
+}
+
+} // namespace warpcomp

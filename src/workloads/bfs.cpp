@@ -1,0 +1,117 @@
+/**
+ * @file
+ * BFS (Rodinia) — one frontier-expansion level of breadth-first search
+ * over a random graph. The frontier test and the per-node degree loop
+ * both diverge heavily, and neighbor ids are high-entropy: this is one
+ * of the benchmarks whose compressed-register share drops most during
+ * divergence (Fig 12).
+ */
+
+#include "workloads/registry.hpp"
+
+#include "workloads/inputs.hpp"
+
+namespace warpcomp {
+
+WorkloadInstance
+makeBfs(u32 scale)
+{
+    const u32 block = 256;
+    const u32 grid = 48 * scale;
+    const u32 nodes = block * grid;
+    const u32 max_degree = 8;
+
+    auto gmem = std::make_unique<GlobalMemory>(128ull << 20);
+    auto cmem = std::make_unique<ConstantMemory>();
+    Rng rng(0xBF5u);
+
+    // CSR layout with random degrees 0..max_degree.
+    std::vector<u32> rowptr(nodes + 1);
+    rowptr[0] = 0;
+    for (u32 n = 0; n < nodes; ++n)
+        rowptr[n + 1] = rowptr[n] + rng.nextU32(max_degree + 1);
+    const u32 edges = rowptr[nodes];
+
+    const u64 g_rowptr = gmem->alloc(4ull * (nodes + 1));
+    const u64 g_edges = gmem->alloc(4ull * (edges ? edges : 1));
+    const u64 g_frontier = gmem->alloc(4ull * nodes);
+    const u64 g_next = gmem->alloc(4ull * nodes);
+    const u64 g_visited = gmem->alloc(4ull * nodes);
+    const u64 g_cost = gmem->alloc(4ull * nodes);
+
+    for (u32 n = 0; n <= nodes; ++n)
+        gmem->write32(g_rowptr + 4ull * n, rowptr[n]);
+    for (u32 e = 0; e < edges; ++e)
+        gmem->write32(g_edges + 4ull * e, rng.nextU32(nodes));
+    for (u32 n = 0; n < nodes; ++n) {
+        const bool in_frontier = rng.nextBool(0.5);
+        gmem->write32(g_frontier + 4ull * n, in_frontier ? 1 : 0);
+        gmem->write32(g_visited + 4ull * n, in_frontier ? 1 : 0);
+        gmem->write32(g_cost + 4ull * n, in_frontier ? 1 : 0);
+    }
+
+    pushAddr(*cmem, g_rowptr);      // param 0
+    pushAddr(*cmem, g_edges);       // param 1
+    pushAddr(*cmem, g_frontier);    // param 2
+    pushAddr(*cmem, g_next);        // param 3
+    pushAddr(*cmem, g_visited);     // param 4
+    pushAddr(*cmem, g_cost);        // param 5
+
+    KernelBuilder b("bfs");
+    Reg p_row = loadParam(b, 0);
+    Reg p_edges = loadParam(b, 1);
+    Reg p_front = loadParam(b, 2);
+    Reg p_next = loadParam(b, 3);
+    Reg p_vis = loadParam(b, 4);
+    Reg p_cost = loadParam(b, 5);
+
+    Reg tid = b.newReg(), bid = b.newReg(), ntid = b.newReg();
+    b.s2r(tid, SpecialReg::TidX);
+    b.s2r(bid, SpecialReg::CtaIdX);
+    b.s2r(ntid, SpecialReg::NTidX);
+    Reg gid = b.newReg();
+    b.imad(gid, bid, ntid, tid);
+
+    Reg fa = b.newReg(), fv = b.newReg();
+    b.imad(fa, gid, KernelBuilder::imm(4), p_front);
+    b.ldg(fv, fa);
+    Pred in_front = b.newPred();
+    b.isetp(in_front, CmpOp::Ne, fv, KernelBuilder::imm(0));
+
+    b.if_(in_front, [&] {
+        b.stg(fa, KernelBuilder::imm(0));
+        Reg ra = b.newReg(), start = b.newReg(), end = b.newReg();
+        b.imad(ra, gid, KernelBuilder::imm(4), p_row);
+        b.ldg(start, ra, 0);
+        b.ldg(end, ra, 4);
+        Reg mycost = b.newReg(), ca = b.newReg();
+        b.imad(ca, gid, KernelBuilder::imm(4), p_cost);
+        b.ldg(mycost, ca);
+        Reg newcost = b.newReg();
+        b.iadd(newcost, mycost, KernelBuilder::imm(1));
+
+        Reg e = b.newReg();
+        b.forRange(e, start, end, 1, [&] {
+            Reg ea = b.newReg(), nbr = b.newReg();
+            b.imad(ea, e, KernelBuilder::imm(4), p_edges);
+            b.ldg(nbr, ea);
+            Reg va = b.newReg(), vis = b.newReg();
+            b.imad(va, nbr, KernelBuilder::imm(4), p_vis);
+            b.ldg(vis, va);
+            Pred unvisited = b.newPred();
+            b.isetp(unvisited, CmpOp::Eq, vis, KernelBuilder::imm(0));
+            b.if_(unvisited, [&] {
+                Reg na = b.newReg(), nca = b.newReg();
+                b.imad(na, nbr, KernelBuilder::imm(4), p_next);
+                b.stg(na, KernelBuilder::imm(1));
+                b.imad(nca, nbr, KernelBuilder::imm(4), p_cost);
+                b.stg(nca, newcost);
+            });
+        });
+    });
+
+    return {"bfs", b.build(), {block, grid}, std::move(gmem),
+            std::move(cmem)};
+}
+
+} // namespace warpcomp

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * dwt2d (Rodinia) — 5/3 lifting step of the discrete wavelet transform.
+ * Even lanes produce low-pass coefficients, odd lanes high-pass ones:
+ * the lane-parity split diverges inside every warp, which is why dwt2d
+ * loses compressed registers during divergence in Fig 12.
+ */
+
+#include "workloads/registry.hpp"
+
+#include "workloads/inputs.hpp"
+
+namespace warpcomp {
+
+WorkloadInstance
+makeDwt2d(u32 scale)
+{
+    const u32 block = 256;
+    const u32 grid = 56 * scale;
+    const u32 samples = block * grid;
+
+    auto gmem = std::make_unique<GlobalMemory>(64ull << 20);
+    auto cmem = std::make_unique<ConstantMemory>();
+    Rng rng(0xD27u);
+
+    const u64 in = gmem->alloc(4ull * (samples + 2));
+    const u64 out = gmem->alloc(4ull * samples);
+    fillRandomI32(*gmem, in, samples + 2, 0, 255, rng);
+
+    pushAddr(*cmem, in);        // param 0
+    pushAddr(*cmem, out);       // param 1
+
+    KernelBuilder b("dwt2d");
+    Reg p_in = loadParam(b, 0);
+    Reg p_out = loadParam(b, 1);
+
+    Reg tid = b.newReg(), bid = b.newReg(), ntid = b.newReg();
+    b.s2r(tid, SpecialReg::TidX);
+    b.s2r(bid, SpecialReg::CtaIdX);
+    b.s2r(ntid, SpecialReg::NTidX);
+    Reg gid = b.newReg();
+    b.imad(gid, bid, ntid, tid);
+
+    Reg addr = b.newReg();
+    b.imad(addr, gid, KernelBuilder::imm(4), p_in);
+    Reg center = b.newReg(), left = b.newReg(), right = b.newReg();
+    b.ldg(center, addr, 4);          // in[gid + 1]
+    b.ldg(left, addr, 0);            // in[gid]
+    b.ldg(right, addr, 8);           // in[gid + 2]
+
+    Reg parity = b.newReg();
+    b.and_(parity, gid, KernelBuilder::imm(1));
+    Pred odd = b.newPred();
+    b.isetp(odd, CmpOp::Ne, parity, KernelBuilder::imm(0));
+
+    Reg coeff = b.newReg();
+    b.ifElse_(odd, [&] {
+        // High-pass: d = c - (left + right) / 2
+        Reg s = b.newReg(), half = b.newReg();
+        b.iadd(s, left, right);
+        b.sra(half, s, KernelBuilder::imm(1));
+        b.isub(coeff, center, half);
+    }, [&] {
+        // Low-pass: s = c + (left + right + 2) / 4
+        Reg s = b.newReg(), q = b.newReg();
+        b.iadd(s, left, right);
+        b.iadd(s, s, KernelBuilder::imm(2));
+        b.sra(q, s, KernelBuilder::imm(2));
+        b.iadd(coeff, center, q);
+    });
+
+    Reg oa = b.newReg();
+    b.imad(oa, gid, KernelBuilder::imm(4), p_out);
+    b.stg(oa, coeff);
+
+    return {"dwt2d", b.build(), {block, grid}, std::move(gmem),
+            std::move(cmem)};
+}
+
+} // namespace warpcomp

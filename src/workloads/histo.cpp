@@ -1,0 +1,74 @@
+/**
+ * @file
+ * histo (Parboil-style) — per-thread histogram binning without
+ * atomics: thread t of each CTA counts occurrences of bin t in the
+ * CTA's input chunk. The bin-match test is a guarded increment, so
+ * almost every instruction runs fully predicated with a sparse
+ * effective mask — the predication-heavy corner of the design space.
+ */
+
+#include "workloads/registry.hpp"
+
+#include "workloads/inputs.hpp"
+
+namespace warpcomp {
+
+WorkloadInstance
+makeHisto(u32 scale)
+{
+    const u32 block = 256;          // one thread per bin
+    const u32 grid = 48 * scale;
+    const u32 chunk = 256;          // values scanned per CTA
+
+    auto gmem = std::make_unique<GlobalMemory>(64ull << 20);
+    auto cmem = std::make_unique<ConstantMemory>();
+    Rng rng(0x4157u);
+
+    const u64 data = gmem->alloc(4ull * chunk * grid);
+    const u64 hist = gmem->alloc(4ull * block * grid);
+    fillRandomI32(*gmem, data, chunk * grid, 0, block - 1, rng);
+
+    pushAddr(*cmem, data);      // param 0
+    pushAddr(*cmem, hist);      // param 1
+    cmem->push(chunk);          // param 2
+
+    KernelBuilder b("histo");
+    Reg p_data = loadParam(b, 0);
+    Reg p_hist = loadParam(b, 1);
+    Reg p_chunk = loadParam(b, 2);
+
+    Reg tid = b.newReg(), bid = b.newReg(), ntid = b.newReg();
+    b.s2r(tid, SpecialReg::TidX);
+    b.s2r(bid, SpecialReg::CtaIdX);
+    b.s2r(ntid, SpecialReg::NTidX);
+
+    Reg base = b.newReg();
+    b.imul(base, bid, p_chunk);
+    b.imad(base, base, KernelBuilder::imm(4), p_data);
+
+    Reg count = b.newReg();
+    b.movImm(count, 0);
+
+    Reg i = b.newReg();
+    Pred mine = b.newPred();
+    b.forRange(i, KernelBuilder::imm(0), p_chunk, 1, [&] {
+        Reg va = b.newReg(), v = b.newReg();
+        b.imad(va, i, KernelBuilder::imm(4), base);
+        b.ldg(v, va);
+        b.isetp(mine, CmpOp::Eq, v, tid);
+        // Predicated increment: typically 0-2 lanes active.
+        b.predicated(mine, false, [&] {
+            b.iadd(count, count, KernelBuilder::imm(1));
+        });
+    });
+
+    Reg gidx = b.newReg(), oa = b.newReg();
+    b.imad(gidx, bid, ntid, tid);
+    b.imad(oa, gidx, KernelBuilder::imm(4), p_hist);
+    b.stg(oa, count);
+
+    return {"histo", b.build(), {block, grid}, std::move(gmem),
+            std::move(cmem)};
+}
+
+} // namespace warpcomp

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * hotspot (Rodinia) — thermal stencil. Temperatures live in a narrow
+ * band around 330K, so neighboring float bit patterns are close and the
+ * <4,2> choice captures most writes; boundary clamping adds light
+ * divergence at tile edges.
+ */
+
+#include "workloads/registry.hpp"
+
+#include "workloads/inputs.hpp"
+
+namespace warpcomp {
+
+WorkloadInstance
+makeHotspot(u32 scale)
+{
+    const u32 block = 256;
+    const u32 grid_blocks = 60 * scale;
+    const u32 width = 256;                       // row length
+    const u32 rows = grid_blocks;                // one row per CTA
+    const u32 cells = width * rows;
+
+    auto gmem = std::make_unique<GlobalMemory>(64ull << 20);
+    auto cmem = std::make_unique<ConstantMemory>();
+    Rng rng(0x407u);
+
+    const u64 temp = gmem->alloc(4ull * cells);
+    const u64 power = gmem->alloc(4ull * cells);
+    const u64 out = gmem->alloc(4ull * cells);
+    fillRandomF32(*gmem, temp, cells, 323.0f, 341.0f, rng);
+    fillRandomF32(*gmem, power, cells, 0.0f, 0.02f, rng);
+
+    pushAddr(*cmem, temp);      // param 0
+    pushAddr(*cmem, power);     // param 1
+    pushAddr(*cmem, out);       // param 2
+    cmem->push(width);          // param 3
+    cmem->push(rows);           // param 4
+
+    KernelBuilder b("hotspot");
+    Reg p_temp = loadParam(b, 0);
+    Reg p_power = loadParam(b, 1);
+    Reg p_out = loadParam(b, 2);
+    Reg p_width = loadParam(b, 3);
+    Reg p_rows = loadParam(b, 4);
+
+    Reg tid = b.newReg(), bid = b.newReg();
+    b.s2r(tid, SpecialReg::TidX);
+    b.s2r(bid, SpecialReg::CtaIdX);
+    // col = tid, row = ctaid (one CTA per row, width == blockDim).
+    Reg gid = b.newReg();
+    b.imad(gid, bid, p_width, tid);
+
+    Reg ta = b.newReg(), t = b.newReg();
+    b.imad(ta, gid, KernelBuilder::imm(4), p_temp);
+    b.ldg(t, ta);
+    Reg pa = b.newReg(), p = b.newReg();
+    b.imad(pa, gid, KernelBuilder::imm(4), p_power);
+    b.ldg(p, pa);
+
+    // Neighbors with clamped indices (divergent at the borders).
+    Reg east = b.newReg(), west = b.newReg(), north = b.newReg(),
+        south = b.newReg();
+    Reg wm1 = b.newReg(), rm1 = b.newReg();
+    b.isub(wm1, p_width, KernelBuilder::imm(1));
+    b.isub(rm1, p_rows, KernelBuilder::imm(1));
+
+    Pred at_edge = b.newPred();
+    // east
+    b.isetp(at_edge, CmpOp::Lt, tid, wm1);
+    b.ifElse_(at_edge,
+              [&] { b.ldg(east, ta, 4); },
+              [&] { b.mov(east, t); });
+    // west
+    b.isetp(at_edge, CmpOp::Gt, tid, KernelBuilder::imm(0));
+    b.ifElse_(at_edge,
+              [&] { b.ldg(west, ta, -4); },
+              [&] { b.mov(west, t); });
+    // south (next row)
+    b.isetp(at_edge, CmpOp::Lt, bid, rm1);
+    b.ifElse_(at_edge,
+              [&] {
+                  Reg sa = b.newReg();
+                  b.imad(sa, p_width, KernelBuilder::imm(4), ta);
+                  b.ldg(south, sa);
+              },
+              [&] { b.mov(south, t); });
+    // north (previous row)
+    b.isetp(at_edge, CmpOp::Gt, bid, KernelBuilder::imm(0));
+    b.ifElse_(at_edge,
+              [&] {
+                  Reg na = b.newReg(), off = b.newReg();
+                  b.imul(off, p_width, KernelBuilder::imm(4));
+                  b.isub(na, ta, off);
+                  b.ldg(north, na);
+              },
+              [&] { b.mov(north, t); });
+
+    // out = t + c * (n + s + e + w - 4t + p / cap)
+    Reg sum = b.newReg(), c = b.newReg(), four = b.newReg();
+    b.fadd(sum, north, south);
+    b.fadd(sum, sum, east);
+    b.fadd(sum, sum, west);
+    b.movFloat(four, -4.0f);
+    b.ffma(sum, four, t, sum);
+    b.fadd(sum, sum, p);
+    b.movFloat(c, 0.06f);
+    Reg result = b.newReg();
+    b.ffma(result, c, sum, t);
+
+    Reg oa = b.newReg();
+    b.imad(oa, gid, KernelBuilder::imm(4), p_out);
+    b.stg(oa, result);
+
+    return {"hotspot", b.build(), {block, grid_blocks}, std::move(gmem),
+            std::move(cmem)};
+}
+
+} // namespace warpcomp

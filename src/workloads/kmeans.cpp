@@ -1,0 +1,103 @@
+/**
+ * @file
+ * kmeans (Rodinia) — nearest-centroid assignment: each thread owns a
+ * point, walks the centroid table accumulating squared distances, and
+ * keeps a running argmin. The min-update is if-converted through SELP,
+ * so the kernel is branch-uniform but value-divergent: membership ids
+ * are small integers while distances are high-entropy floats.
+ */
+
+#include "workloads/registry.hpp"
+
+#include "workloads/inputs.hpp"
+
+namespace warpcomp {
+
+WorkloadInstance
+makeKmeans(u32 scale)
+{
+    const u32 block = 256;
+    const u32 grid = 48 * scale;
+    const u32 points = block * grid;
+    const u32 nclusters = 8;
+    const u32 nfeatures = 8;
+
+    auto gmem = std::make_unique<GlobalMemory>(64ull << 20);
+    auto cmem = std::make_unique<ConstantMemory>();
+    Rng rng(0x4EA5u);
+
+    const u64 features = gmem->alloc(4ull * points * nfeatures);
+    const u64 clusters = gmem->alloc(4ull * nclusters * nfeatures);
+    const u64 membership = gmem->alloc(4ull * points);
+    fillRandomF32(*gmem, features, points * nfeatures, 0.0f, 1.0f, rng);
+    fillRandomF32(*gmem, clusters, nclusters * nfeatures, 0.0f, 1.0f,
+                  rng);
+
+    pushAddr(*cmem, features);   // param 0
+    pushAddr(*cmem, clusters);   // param 1
+    pushAddr(*cmem, membership); // param 2
+    cmem->push(nclusters);       // param 3
+    cmem->push(nfeatures);       // param 4
+
+    KernelBuilder b("kmeans");
+    Reg p_feat = loadParam(b, 0);
+    Reg p_clu = loadParam(b, 1);
+    Reg p_mem = loadParam(b, 2);
+    Reg p_nclu = loadParam(b, 3);
+    Reg p_nfeat = loadParam(b, 4);
+
+    Reg tid = b.newReg(), bid = b.newReg(), ntid = b.newReg();
+    b.s2r(tid, SpecialReg::TidX);
+    b.s2r(bid, SpecialReg::CtaIdX);
+    b.s2r(ntid, SpecialReg::NTidX);
+    Reg gid = b.newReg();
+    b.imad(gid, bid, ntid, tid);
+
+    Reg fbase = b.newReg();
+    b.imul(fbase, gid, p_nfeat);
+    b.imad(fbase, fbase, KernelBuilder::imm(4), p_feat);
+
+    Reg best_dist = b.newReg(), best_id = b.newReg();
+    b.movFloat(best_dist, 1.0e30f);
+    b.movImm(best_id, 0);
+
+    Reg c = b.newReg();
+    b.forRange(c, KernelBuilder::imm(0), p_nclu, 1, [&] {
+        Reg cbase = b.newReg();
+        b.imul(cbase, c, p_nfeat);
+        b.imad(cbase, cbase, KernelBuilder::imm(4), p_clu);
+
+        Reg dist = b.newReg();
+        b.movFloat(dist, 0.0f);
+        Reg fidx = b.newReg();
+        b.forRange(fidx, KernelBuilder::imm(0), p_nfeat, 1, [&] {
+            Reg fa = b.newReg(), fv = b.newReg(), ca = b.newReg(),
+                cv = b.newReg();
+            b.imad(fa, fidx, KernelBuilder::imm(4), fbase);
+            b.ldg(fv, fa);
+            b.imad(ca, fidx, KernelBuilder::imm(4), cbase);
+            b.ldg(cv, ca);
+            Reg diff = b.newReg(), neg = b.newReg();
+            b.movFloat(neg, -1.0f);
+            b.ffma(diff, cv, neg, fv);          // fv - cv
+            b.ffma(dist, diff, diff, dist);
+        });
+
+        // If-converted argmin: no divergence, per-lane select.
+        Pred closer = b.newPred();
+        b.fsetp(closer, CmpOp::Lt, dist, best_dist);
+        b.selp(best_id, closer, c, best_id);
+        Reg bd_bits = b.newReg();
+        b.selp(bd_bits, closer, dist, best_dist);
+        b.mov(best_dist, bd_bits);
+    });
+
+    Reg ma = b.newReg();
+    b.imad(ma, gid, KernelBuilder::imm(4), p_mem);
+    b.stg(ma, best_id);
+
+    return {"kmeans", b.build(), {block, grid}, std::move(gmem),
+            std::move(cmem)};
+}
+
+} // namespace warpcomp

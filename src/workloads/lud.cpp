@@ -1,0 +1,87 @@
+/**
+ * @file
+ * lud (Rodinia) — the internal-block update of LU decomposition: each
+ * thread accumulates a dot product over the current pivot depth and
+ * subtracts it from its matrix cell. Uniform loop bounds mean almost no
+ * divergence; addresses stride regularly.
+ */
+
+#include "workloads/registry.hpp"
+
+#include "workloads/inputs.hpp"
+
+namespace warpcomp {
+
+WorkloadInstance
+makeLud(u32 scale)
+{
+    const u32 block = 256;
+    const u32 size = 128;
+    const u32 depth = 12;                // pivot depth to accumulate
+    const u32 grid = 56 * scale;
+
+    auto gmem = std::make_unique<GlobalMemory>(32ull << 20);
+    auto cmem = std::make_unique<ConstantMemory>();
+    Rng rng(0x10Du);
+
+    const u64 a = gmem->alloc(4ull * size * size);
+    const u64 out = gmem->alloc(4ull * block * grid);
+    fillRandomF32(*gmem, a, size * size, -4.0f, 4.0f, rng);
+
+    pushAddr(*cmem, a);         // param 0
+    pushAddr(*cmem, out);       // param 1
+    cmem->push(size);           // param 2
+    cmem->push(depth);          // param 3
+
+    KernelBuilder b("lud");
+    Reg p_a = loadParam(b, 0);
+    Reg p_out = loadParam(b, 1);
+    Reg p_size = loadParam(b, 2);
+    Reg p_depth = loadParam(b, 3);
+
+    Reg tid = b.newReg(), bid = b.newReg(), ntid = b.newReg();
+    b.s2r(tid, SpecialReg::TidX);
+    b.s2r(bid, SpecialReg::CtaIdX);
+    b.s2r(ntid, SpecialReg::NTidX);
+    Reg gid = b.newReg();
+    b.imad(gid, bid, ntid, tid);
+
+    // row/col inside the trailing block (wrap by size via mask: size is
+    // a power of two).
+    Reg row = b.newReg(), col = b.newReg();
+    b.shr(row, gid, KernelBuilder::imm(7));      // gid / 128
+    b.and_(row, row, KernelBuilder::imm(127));
+    b.and_(col, gid, KernelBuilder::imm(127));
+
+    Reg sum = b.newReg();
+    b.movFloat(sum, 0.0f);
+    Reg k = b.newReg();
+    b.forRange(k, KernelBuilder::imm(0), p_depth, 1, [&] {
+        Reg li = b.newReg(), la = b.newReg(), lv = b.newReg();
+        b.imad(li, row, p_size, k);              // a[row][k]
+        b.imad(la, li, KernelBuilder::imm(4), p_a);
+        b.ldg(lv, la);
+        Reg ui = b.newReg(), ua = b.newReg(), uv = b.newReg();
+        b.imad(ui, k, p_size, col);              // a[k][col]
+        b.imad(ua, ui, KernelBuilder::imm(4), p_a);
+        b.ldg(uv, ua);
+        b.ffma(sum, lv, uv, sum);
+    });
+
+    Reg ci = b.newReg(), ca = b.newReg(), cv = b.newReg();
+    b.imad(ci, row, p_size, col);
+    b.imad(ca, ci, KernelBuilder::imm(4), p_a);
+    b.ldg(cv, ca);
+    Reg neg = b.newReg(), result = b.newReg();
+    b.movFloat(neg, -1.0f);
+    b.ffma(result, sum, neg, cv);
+
+    Reg oa = b.newReg();
+    b.imad(oa, gid, KernelBuilder::imm(4), p_out);
+    b.stg(oa, result);
+
+    return {"lud", b.build(), {block, grid}, std::move(gmem),
+            std::move(cmem)};
+}
+
+} // namespace warpcomp

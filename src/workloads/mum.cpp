@@ -1,0 +1,94 @@
+/**
+ * @file
+ * MUM (GPGPU-Sim, MUMmerGPU) — suffix-link traversal: each thread walks
+ * a random 4-ary tree guided by its query string until it falls off.
+ * The data-dependent while loop is the suite's worst divergence case
+ * and node ids are high-entropy.
+ */
+
+#include "workloads/registry.hpp"
+
+#include "workloads/inputs.hpp"
+
+namespace warpcomp {
+
+WorkloadInstance
+makeMum(u32 scale)
+{
+    const u32 block = 256;
+    const u32 grid = 48 * scale;
+    const u32 queries = block * grid;
+    const u32 qlen = 12;
+    const u32 nodes = 4096;
+
+    auto gmem = std::make_unique<GlobalMemory>(64ull << 20);
+    auto cmem = std::make_unique<ConstantMemory>();
+    Rng rng(0x303u);
+
+    const u64 query = gmem->alloc(4ull * queries * qlen);
+    const u64 children = gmem->alloc(4ull * nodes * 4);
+    const u64 depth_out = gmem->alloc(4ull * queries);
+    fillRandomI32(*gmem, query, queries * qlen, 0, 3, rng);
+    // Child links: mostly valid random nodes, ~25% dead ends.
+    for (u32 i = 0; i < nodes * 4; ++i) {
+        const u32 link = rng.nextBool(0.25) ? 0 : 1 + rng.nextU32(
+            nodes - 1);
+        gmem->write32(children + 4ull * i, link);
+    }
+
+    pushAddr(*cmem, query);     // param 0
+    pushAddr(*cmem, children);  // param 1
+    pushAddr(*cmem, depth_out); // param 2
+    cmem->push(qlen);           // param 3
+
+    KernelBuilder b("mum");
+    Reg p_q = loadParam(b, 0);
+    Reg p_child = loadParam(b, 1);
+    Reg p_out = loadParam(b, 2);
+    Reg p_qlen = loadParam(b, 3);
+
+    Reg tid = b.newReg(), bid = b.newReg(), ntid = b.newReg();
+    b.s2r(tid, SpecialReg::TidX);
+    b.s2r(bid, SpecialReg::CtaIdX);
+    b.s2r(ntid, SpecialReg::NTidX);
+    Reg gid = b.newReg();
+    b.imad(gid, bid, ntid, tid);
+
+    Reg qbase = b.newReg();
+    b.imul(qbase, gid, p_qlen);
+    b.imad(qbase, qbase, KernelBuilder::imm(4), p_q);
+
+    Reg node = b.newReg(), depth = b.newReg();
+    b.movImm(node, 1);          // root
+    b.movImm(depth, 0);
+
+    // while (depth < qlen && node != 0) descend
+    Pred cont = b.newPred(), alive = b.newPred(), short_ = b.newPred();
+    b.while_(
+        [&] {
+            b.isetp(short_, CmpOp::Lt, depth, p_qlen);
+            b.isetp(alive, CmpOp::Ne, node, KernelBuilder::imm(0));
+            b.pand(cont, short_, alive);
+            return cont;
+        },
+        [&] {
+            Reg qa = b.newReg(), c = b.newReg();
+            b.imad(qa, depth, KernelBuilder::imm(4), qbase);
+            b.ldg(c, qa);
+            Reg slot = b.newReg(), ca = b.newReg();
+            b.shl(slot, node, KernelBuilder::imm(2));
+            b.iadd(slot, slot, c);
+            b.imad(ca, slot, KernelBuilder::imm(4), p_child);
+            b.ldg(node, ca);
+            b.iadd(depth, depth, KernelBuilder::imm(1));
+        });
+
+    Reg oa = b.newReg();
+    b.imad(oa, gid, KernelBuilder::imm(4), p_out);
+    b.stg(oa, depth);
+
+    return {"mum", b.build(), {block, grid}, std::move(gmem),
+            std::move(cmem)};
+}
+
+} // namespace warpcomp

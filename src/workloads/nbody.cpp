@@ -1,0 +1,122 @@
+/**
+ * @file
+ * nbody — all-pairs gravitational force accumulation with shared-memory
+ * tiling (the CUDA SDK classic the paper's FP-heavy benchmarks
+ * resemble). Zero divergence, long FFMA chains, smooth position data:
+ * a dynamic-energy stress case with mid-range compressibility.
+ */
+
+#include "workloads/registry.hpp"
+
+#include "workloads/inputs.hpp"
+
+namespace warpcomp {
+
+WorkloadInstance
+makeNbody(u32 scale)
+{
+    const u32 block = 128;
+    const u32 grid = 48 * scale;
+    const u32 bodies = block * grid;
+    const u32 tiles = 2;            // body tiles each thread integrates
+
+    auto gmem = std::make_unique<GlobalMemory>(64ull << 20);
+    auto cmem = std::make_unique<ConstantMemory>();
+    Rng rng(0xB0D1u);
+
+    const u64 posx = gmem->alloc(4ull * bodies);
+    const u64 posy = gmem->alloc(4ull * bodies);
+    const u64 accx = gmem->alloc(4ull * bodies);
+    fillRandomF32(*gmem, posx, bodies, -10.0f, 10.0f, rng);
+    fillRandomF32(*gmem, posy, bodies, -10.0f, 10.0f, rng);
+
+    pushAddr(*cmem, posx);      // param 0
+    pushAddr(*cmem, posy);      // param 1
+    pushAddr(*cmem, accx);      // param 2
+    cmem->push(tiles);          // param 3
+    cmem->push(bodies);         // param 4
+
+    // Shared memory: tile of x at 0, tile of y at 512.
+    KernelBuilder b("nbody", 2 * block * 4);
+    Reg p_x = loadParam(b, 0);
+    Reg p_y = loadParam(b, 1);
+    Reg p_out = loadParam(b, 2);
+    Reg p_tiles = loadParam(b, 3);
+    Reg p_bodies = loadParam(b, 4);
+
+    Reg tid = b.newReg(), bid = b.newReg(), ntid = b.newReg();
+    b.s2r(tid, SpecialReg::TidX);
+    b.s2r(bid, SpecialReg::CtaIdX);
+    b.s2r(ntid, SpecialReg::NTidX);
+    Reg gid = b.newReg();
+    b.imad(gid, bid, ntid, tid);
+
+    Reg myx = b.newReg(), myy = b.newReg(), xa = b.newReg(),
+        ya = b.newReg();
+    b.imad(xa, gid, KernelBuilder::imm(4), p_x);
+    b.imad(ya, gid, KernelBuilder::imm(4), p_y);
+    b.ldg(myx, xa);
+    b.ldg(myy, ya);
+
+    Reg acc = b.newReg(), eps = b.newReg(), neg = b.newReg();
+    b.movFloat(acc, 0.0f);
+    b.movFloat(eps, 0.01f);
+    b.movFloat(neg, -1.0f);
+
+    Reg smx = b.newReg(), smy = b.newReg();
+    b.shl(smx, tid, KernelBuilder::imm(2));
+    b.iadd(smy, smx, KernelBuilder::imm(static_cast<i32>(block * 4)));
+
+    Reg t = b.newReg();
+    b.forRange(t, KernelBuilder::imm(0), p_tiles, 1, [&] {
+        // Stage tile t of the same CTA stripe (toroidal neighbours;
+        // the wrap keeps src inside [0, bodies)).
+        Reg src = b.newReg(), sv = b.newReg();
+        b.imad(src, t, ntid, gid);          // gid + t*blockDim
+        Pred wrap = b.newPred();
+        b.isetp(wrap, CmpOp::Ge, src, p_bodies);
+        b.predicated(wrap, false,
+                     [&] { b.isub(src, src, p_bodies); });
+        Reg sxa = b.newReg();
+        b.imad(sxa, src, KernelBuilder::imm(4), p_x);
+        b.ldg(sv, sxa);
+        b.sts(smx, sv);
+        Reg sya = b.newReg(), svy = b.newReg();
+        b.imad(sya, src, KernelBuilder::imm(4), p_y);
+        b.ldg(svy, sya);
+        b.sts(smy, svy);
+        b.bar();
+
+        Reg j = b.newReg();
+        b.forRange(j, KernelBuilder::imm(0),
+                   KernelBuilder::imm(static_cast<i32>(block)), 1, [&] {
+            Reg ja = b.newReg(), jx = b.newReg(), jy = b.newReg();
+            b.shl(ja, j, KernelBuilder::imm(2));
+            b.lds(jx, ja);
+            Reg jya = b.newReg();
+            b.iadd(jya, ja, KernelBuilder::imm(
+                       static_cast<i32>(block * 4)));
+            b.lds(jy, jya);
+            // r2 = dx*dx + dy*dy + eps; acc += dx / r2
+            Reg dx = b.newReg(), dy = b.newReg(), r2 = b.newReg(),
+                rc = b.newReg();
+            b.ffma(dx, myx, neg, jx);
+            b.ffma(dy, myy, neg, jy);
+            b.fmul(r2, dx, dx);
+            b.ffma(r2, dy, dy, r2);
+            b.fadd(r2, r2, eps);
+            b.frcp(rc, r2);
+            b.ffma(acc, dx, rc, acc);
+        });
+        b.bar();
+    });
+
+    Reg oa = b.newReg();
+    b.imad(oa, gid, KernelBuilder::imm(4), p_out);
+    b.stg(oa, acc);
+
+    return {"nbody", b.build(), {block, grid}, std::move(gmem),
+            std::move(cmem)};
+}
+
+} // namespace warpcomp

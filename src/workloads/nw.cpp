@@ -1,0 +1,97 @@
+/**
+ * @file
+ * nw (Rodinia, Needleman-Wunsch) — anti-diagonal update of the
+ * alignment score matrix: score = max(nw + sub, w - penalty,
+ * n - penalty). Small-integer scores give strong value similarity;
+ * the in-bounds test adds light divergence.
+ */
+
+#include "workloads/registry.hpp"
+
+#include "workloads/inputs.hpp"
+
+namespace warpcomp {
+
+WorkloadInstance
+makeNw(u32 scale)
+{
+    const u32 block = 256;
+    const u32 grid = 56 * scale;
+    const u32 cells = block * grid;
+    const i32 penalty = 10;
+
+    auto gmem = std::make_unique<GlobalMemory>(64ull << 20);
+    auto cmem = std::make_unique<ConstantMemory>();
+    Rng rng(0x3Bu);
+
+    const u64 ref = gmem->alloc(4ull * cells);       // substitution scores
+    const u64 north = gmem->alloc(4ull * (cells + 1));
+    const u64 west = gmem->alloc(4ull * (cells + 1));
+    const u64 nwest = gmem->alloc(4ull * (cells + 1));
+    const u64 out = gmem->alloc(4ull * cells);
+    fillRandomI32(*gmem, ref, cells, -10, 10, rng);
+    fillRandomI32(*gmem, north, cells + 1, -60, 0, rng);
+    fillRandomI32(*gmem, west, cells + 1, -60, 0, rng);
+    fillRandomI32(*gmem, nwest, cells + 1, -60, 0, rng);
+
+    pushAddr(*cmem, ref);       // param 0
+    pushAddr(*cmem, north);     // param 1
+    pushAddr(*cmem, west);      // param 2
+    pushAddr(*cmem, nwest);     // param 3
+    pushAddr(*cmem, out);       // param 4
+    cmem->push(cells);          // param 5
+    cmem->push(static_cast<u32>(penalty)); // param 6
+
+    KernelBuilder b("nw");
+    Reg p_ref = loadParam(b, 0);
+    Reg p_n = loadParam(b, 1);
+    Reg p_w = loadParam(b, 2);
+    Reg p_nw = loadParam(b, 3);
+    Reg p_out = loadParam(b, 4);
+    Reg p_cells = loadParam(b, 5);
+    Reg p_pen = loadParam(b, 6);
+
+    Reg tid = b.newReg(), bid = b.newReg(), ntid = b.newReg();
+    b.s2r(tid, SpecialReg::TidX);
+    b.s2r(bid, SpecialReg::CtaIdX);
+    b.s2r(ntid, SpecialReg::NTidX);
+    Reg gid = b.newReg();
+    b.imad(gid, bid, ntid, tid);
+
+    Pred inb = b.newPred();
+    b.isetp(inb, CmpOp::Lt, gid, p_cells);
+    b.if_(inb, [&] {
+        Reg off = b.newReg();
+        b.shl(off, gid, KernelBuilder::imm(2));
+        Reg ra = b.newReg(), na = b.newReg(), wa = b.newReg(),
+            da = b.newReg();
+        b.iadd(ra, off, p_ref);
+        b.iadd(na, off, p_n);
+        b.iadd(wa, off, p_w);
+        b.iadd(da, off, p_nw);
+
+        Reg sub = b.newReg(), sn = b.newReg(), sw = b.newReg(),
+            sd = b.newReg();
+        b.ldg(sub, ra);
+        b.ldg(sn, na);
+        b.ldg(sw, wa);
+        b.ldg(sd, da);
+
+        Reg diag = b.newReg(), up = b.newReg(), left = b.newReg();
+        b.iadd(diag, sd, sub);
+        b.isub(up, sn, p_pen);
+        b.isub(left, sw, p_pen);
+        Reg score = b.newReg();
+        b.imax(score, diag, up);
+        b.imax(score, score, left);
+
+        Reg oa = b.newReg();
+        b.iadd(oa, off, p_out);
+        b.stg(oa, score);
+    });
+
+    return {"nw", b.build(), {block, grid}, std::move(gmem),
+            std::move(cmem)};
+}
+
+} // namespace warpcomp

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * pathfinder (Rodinia) — line-by-line port of the kernel the paper
+ * lists in Fig 4. Dynamic-programming shortest path over a grid whose
+ * weights have a 0..9 dynamic range; thread-index addressing plus the
+ * narrow input range give it the strong value similarity Sec. 3 calls
+ * out, and the IN_RANGE guards give moderate branch divergence.
+ */
+
+#include "workloads/registry.hpp"
+
+#include "workloads/inputs.hpp"
+
+namespace warpcomp {
+
+WorkloadInstance
+makePathfinder(u32 scale)
+{
+    constexpr u32 kBlockSize = 256;
+    constexpr u32 kHalo = 1;
+    const u32 iteration = 8;
+    const u32 border = iteration * kHalo;
+    const u32 small_block_cols = kBlockSize - iteration * kHalo * 2;
+    const u32 num_blocks = 60 * scale;
+    const u32 cols = small_block_cols * num_blocks;
+
+    auto gmem = std::make_unique<GlobalMemory>(64ull << 20);
+    auto cmem = std::make_unique<ConstantMemory>();
+    Rng rng(0x9A7Fu);
+
+    const u64 src = gmem->alloc(4ull * cols);
+    const u64 wall = gmem->alloc(4ull * cols * iteration);
+    const u64 dst = gmem->alloc(4ull * cols);
+    fillRandomI32(*gmem, src, cols, 0, 9, rng);
+    fillRandomI32(*gmem, wall, cols * iteration, 0, 9, rng);
+
+    pushAddr(*cmem, src);                    // param 0
+    pushAddr(*cmem, wall);                   // param 1
+    pushAddr(*cmem, dst);                    // param 2
+    cmem->push(cols);                        // param 3
+    cmem->push(iteration);                   // param 4
+    cmem->push(border);                      // param 5
+    cmem->push(small_block_cols);            // param 6
+
+    // Shared memory: prev[256] at 0, result[256] at 1024.
+    KernelBuilder b("pathfinder", 2 * kBlockSize * 4);
+    Reg p_src = loadParam(b, 0);
+    Reg p_wall = loadParam(b, 1);
+    Reg p_dst = loadParam(b, 2);
+    Reg p_cols = loadParam(b, 3);
+    Reg p_iter = loadParam(b, 4);
+    Reg p_border = loadParam(b, 5);
+    Reg p_sbc = loadParam(b, 6);
+
+    Reg tx = b.newReg(), bx = b.newReg();
+    b.s2r(tx, SpecialReg::TidX);
+    b.s2r(bx, SpecialReg::CtaIdX);
+
+    Reg blk_x = b.newReg();
+    b.imul(blk_x, p_sbc, bx);
+    b.isub(blk_x, blk_x, p_border);
+    Reg xidx = b.newReg();
+    b.iadd(xidx, blk_x, tx);
+
+    // valid = IN_RANGE(xidx, 0, cols-1)
+    Reg cols_m1 = b.newReg();
+    b.isub(cols_m1, p_cols, KernelBuilder::imm(1));
+    Pred q0 = b.newPred(), q1 = b.newPred(), valid = b.newPred();
+    b.isetp(q0, CmpOp::Ge, xidx, KernelBuilder::imm(0));
+    b.isetp(q1, CmpOp::Le, xidx, cols_m1);
+    b.pand(valid, q0, q1);
+
+    Reg sm_prev = b.newReg(), sm_res = b.newReg();
+    b.shl(sm_prev, tx, KernelBuilder::imm(2));
+    b.iadd(sm_res, sm_prev, KernelBuilder::imm(kBlockSize * 4));
+
+    // if (valid) prev[tx] = src[xidx]
+    b.if_(valid, [&] {
+        Reg ga = b.newReg(), v = b.newReg();
+        b.imad(ga, xidx, KernelBuilder::imm(4), p_src);
+        b.ldg(v, ga);
+        b.sts(sm_prev, v);
+    });
+    b.bar();
+
+    Pred computed = b.newPred();
+    {
+        Reg zero = b.newReg();
+        b.movImm(zero, 0);
+        b.isetp(computed, CmpOp::Ne, zero, KernelBuilder::imm(0));
+    }
+
+    Reg i = b.newReg();
+    Reg shortest = b.newReg();
+    b.forRange(i, KernelBuilder::imm(0), p_iter, 1, [&] {
+        // computed = IN_RANGE(tx, i+1, BLOCKSIZE-i-2) && valid
+        Reg lo = b.newReg(), hi = b.newReg();
+        b.iadd(lo, i, KernelBuilder::imm(1));
+        b.movImm(hi, static_cast<i32>(kBlockSize) - 2);
+        b.isub(hi, hi, i);
+        b.isetp(q0, CmpOp::Ge, tx, lo);
+        b.isetp(q1, CmpOp::Le, tx, hi);
+        b.pand(computed, q0, q1);
+        b.pand(computed, computed, valid);
+
+        b.if_(computed, [&] {
+            Reg left = b.newReg(), up = b.newReg(), right = b.newReg();
+            b.lds(left, sm_prev, -4);
+            b.lds(up, sm_prev, 0);
+            b.lds(right, sm_prev, 4);
+            b.imin(shortest, left, up);
+            b.imin(shortest, shortest, right);
+            Reg index = b.newReg(), wga = b.newReg(), wv = b.newReg();
+            b.imad(index, p_cols, i, xidx);     // cols*(startStep+i)+xidx
+            b.imad(wga, index, KernelBuilder::imm(4), p_wall);
+            b.ldg(wv, wga);
+            b.iadd(shortest, shortest, wv);
+            b.sts(sm_res, shortest);
+        });
+        b.bar();
+        b.if_(computed, [&] {
+            Reg t = b.newReg();
+            b.lds(t, sm_res);
+            b.sts(sm_prev, t);
+        });
+        b.bar();
+    });
+
+    b.if_(computed, [&] {
+        Reg da = b.newReg(), r = b.newReg();
+        b.imad(da, xidx, KernelBuilder::imm(4), p_dst);
+        b.lds(r, sm_res);
+        b.stg(da, r);
+    });
+
+    return {"pathfinder", b.build(), {kBlockSize, num_blocks},
+            std::move(gmem), std::move(cmem)};
+}
+
+} // namespace warpcomp

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * RAY (GPGPU-Sim) — primary-ray sphere intersection: each thread owns a
+ * pixel, tests its ray against a small sphere set and shades the
+ * nearest hit. Per-pixel ray directions are smooth (compressible) but
+ * hit/miss tests diverge mid-warp.
+ */
+
+#include "workloads/registry.hpp"
+
+#include "workloads/inputs.hpp"
+
+namespace warpcomp {
+
+WorkloadInstance
+makeRay(u32 scale)
+{
+    const u32 block = 256;
+    const u32 grid = 48 * scale;
+    const u32 nspheres = 6;
+
+    auto gmem = std::make_unique<GlobalMemory>(32ull << 20);
+    auto cmem = std::make_unique<ConstantMemory>();
+    Rng rng(0x4A7u);
+
+    // Sphere records: cx, cy, cz, r^2 packed as 4 floats.
+    const u64 spheres = gmem->alloc(4ull * nspheres * 4);
+    for (u32 s = 0; s < nspheres; ++s) {
+        gmem->writeF32(spheres + 16ull * s + 0,
+                       static_cast<float>(rng.nextRange(-8, 8)));
+        gmem->writeF32(spheres + 16ull * s + 4,
+                       static_cast<float>(rng.nextRange(-8, 8)));
+        gmem->writeF32(spheres + 16ull * s + 8,
+                       static_cast<float>(rng.nextRange(12, 24)));
+        gmem->writeF32(spheres + 16ull * s + 12,
+                       static_cast<float>(rng.nextRange(4, 25)));
+    }
+    const u64 image = gmem->alloc(4ull * block * grid);
+
+    pushAddr(*cmem, spheres);   // param 0
+    pushAddr(*cmem, image);     // param 1
+    cmem->push(nspheres);       // param 2
+
+    KernelBuilder b("ray");
+    Reg p_sph = loadParam(b, 0);
+    Reg p_img = loadParam(b, 1);
+    Reg p_ns = loadParam(b, 2);
+
+    Reg tid = b.newReg(), bid = b.newReg(), ntid = b.newReg();
+    b.s2r(tid, SpecialReg::TidX);
+    b.s2r(bid, SpecialReg::CtaIdX);
+    b.s2r(ntid, SpecialReg::NTidX);
+    Reg gid = b.newReg();
+    b.imad(gid, bid, ntid, tid);
+
+    // Pixel coordinates on a 128-wide image plane, normalized dirs.
+    Reg px = b.newReg(), py = b.newReg();
+    b.and_(px, gid, KernelBuilder::imm(127));
+    b.shr(py, gid, KernelBuilder::imm(7));
+    Reg fx = b.newReg(), fy = b.newReg(), sc = b.newReg(),
+        off = b.newReg();
+    b.i2f(fx, px);
+    b.i2f(fy, py);
+    b.movFloat(sc, 1.0f / 64.0f);
+    b.movFloat(off, -1.0f);
+    b.ffma(fx, fx, sc, off);    // dx in [-1, 1)
+    b.ffma(fy, fy, sc, off);
+
+    Reg best = b.newReg(), shade = b.newReg();
+    b.movFloat(best, 1.0e9f);
+    b.movFloat(shade, 0.0f);
+
+    Reg s = b.newReg();
+    b.forRange(s, KernelBuilder::imm(0), p_ns, 1, [&] {
+        Reg sa = b.newReg();
+        b.shl(sa, s, KernelBuilder::imm(4));
+        b.iadd(sa, sa, p_sph);
+        Reg cx = b.newReg(), cy = b.newReg(), cz = b.newReg(),
+            r2 = b.newReg();
+        b.ldg(cx, sa, 0);
+        b.ldg(cy, sa, 4);
+        b.ldg(cz, sa, 8);
+        b.ldg(r2, sa, 12);
+
+        // Closest approach of ray (dir ~ (fx, fy, 1)) to the center:
+        // t ~ dot(c, d); miss when |c - t*d|^2 > r^2 (unnormalized
+        // approximation keeps the FP pipeline busy without sqrt).
+        Reg tpar = b.newReg();
+        b.fmul(tpar, cx, fx);
+        b.ffma(tpar, cy, fy, tpar);
+        b.fadd(tpar, tpar, cz);
+
+        Reg dx = b.newReg(), dy = b.newReg(), dz = b.newReg();
+        Reg neg = b.newReg();
+        b.movFloat(neg, -1.0f);
+        b.ffma(dx, tpar, fx, cx);       // cx + t*fx (sign folded below)
+        b.fmul(dx, dx, neg);
+        b.ffma(dx, tpar, fx, dx);       // approx cx - t*fx residual
+        b.ffma(dy, tpar, fy, cy);
+        b.fmul(dy, dy, neg);
+        b.ffma(dy, tpar, fy, dy);
+        b.ffma(dz, tpar, neg, cz);      // cz - t
+
+        Reg dist2 = b.newReg();
+        b.fmul(dist2, dx, dx);
+        b.ffma(dist2, dy, dy, dist2);
+        b.ffma(dist2, dz, dz, dist2);
+
+        Pred hit = b.newPred(), nearer = b.newPred();
+        b.fsetp(hit, CmpOp::Lt, dist2, r2);
+        b.fsetp(nearer, CmpOp::Lt, tpar, best);
+        b.pand(hit, hit, nearer);
+        b.if_(hit, [&] {
+            b.mov(best, tpar);
+            // shade = 1 - dist2 / r2
+            Reg rc = b.newReg(), q = b.newReg(), one = b.newReg();
+            b.frcp(rc, r2);
+            b.fmul(q, dist2, rc);
+            b.movFloat(one, 1.0f);
+            Reg negq = b.newReg(), neg1 = b.newReg();
+            b.movFloat(neg1, -1.0f);
+            b.fmul(negq, q, neg1);
+            b.fadd(shade, one, negq);
+        });
+    });
+
+    Reg oa = b.newReg();
+    b.imad(oa, gid, KernelBuilder::imm(4), p_img);
+    b.stg(oa, shade);
+
+    return {"ray", b.build(), {block, grid}, std::move(gmem),
+            std::move(cmem)};
+}
+
+} // namespace warpcomp

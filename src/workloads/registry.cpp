@@ -1,0 +1,44 @@
+#include "workloads/registry.hpp"
+
+#include "common/log.hpp"
+
+namespace warpcomp {
+
+const std::vector<std::string> &
+workloadNames()
+{
+    static const std::vector<std::string> names = {
+        "backprop", "bfs", "gaussian", "hotspot", "lud", "nw",
+        "pathfinder", "srad", "dwt2d", "aes", "lib", "mum", "ray",
+        "spmv", "stencil", "sgemm", "kmeans", "nbody", "histo",
+    };
+    return names;
+}
+
+WorkloadInstance
+makeWorkload(const std::string &name, u32 scale)
+{
+    WC_ASSERT(scale >= 1, "workload scale must be at least 1");
+    if (name == "backprop") return makeBackprop(scale);
+    if (name == "bfs") return makeBfs(scale);
+    if (name == "gaussian") return makeGaussian(scale);
+    if (name == "hotspot") return makeHotspot(scale);
+    if (name == "lud") return makeLud(scale);
+    if (name == "nw") return makeNw(scale);
+    if (name == "pathfinder") return makePathfinder(scale);
+    if (name == "srad") return makeSrad(scale);
+    if (name == "dwt2d") return makeDwt2d(scale);
+    if (name == "aes") return makeAes(scale);
+    if (name == "lib") return makeLib(scale);
+    if (name == "mum") return makeMum(scale);
+    if (name == "ray") return makeRay(scale);
+    if (name == "spmv") return makeSpmv(scale);
+    if (name == "stencil") return makeStencil(scale);
+    if (name == "sgemm") return makeSgemm(scale);
+    if (name == "kmeans") return makeKmeans(scale);
+    if (name == "nbody") return makeNbody(scale);
+    if (name == "histo") return makeHisto(scale);
+    WC_FATAL("unknown workload '" << name << "'");
+}
+
+} // namespace warpcomp

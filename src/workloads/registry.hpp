@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Workload registry: canonical benchmark list (the order used on every
+ * figure's x-axis) and the factory that builds a ready-to-run instance.
+ */
+
+#ifndef WARPCOMP_WORKLOADS_REGISTRY_HPP
+#define WARPCOMP_WORKLOADS_REGISTRY_HPP
+
+#include <string>
+#include <vector>
+
+#include "workloads/workload.hpp"
+
+namespace warpcomp {
+
+// One factory per ported benchmark. @p scale multiplies the problem
+// size (1 = bench default).
+WorkloadInstance makeBackprop(u32 scale);
+WorkloadInstance makeBfs(u32 scale);
+WorkloadInstance makeGaussian(u32 scale);
+WorkloadInstance makeHotspot(u32 scale);
+WorkloadInstance makeLud(u32 scale);
+WorkloadInstance makeNw(u32 scale);
+WorkloadInstance makePathfinder(u32 scale);
+WorkloadInstance makeSrad(u32 scale);
+WorkloadInstance makeDwt2d(u32 scale);
+WorkloadInstance makeAes(u32 scale);
+WorkloadInstance makeLib(u32 scale);
+WorkloadInstance makeMum(u32 scale);
+WorkloadInstance makeRay(u32 scale);
+WorkloadInstance makeSpmv(u32 scale);
+WorkloadInstance makeStencil(u32 scale);
+WorkloadInstance makeSgemm(u32 scale);
+WorkloadInstance makeKmeans(u32 scale);
+WorkloadInstance makeNbody(u32 scale);
+WorkloadInstance makeHisto(u32 scale);
+
+/** Benchmark names in canonical (figure x-axis) order. */
+const std::vector<std::string> &workloadNames();
+
+/** Build a workload by name; panics on unknown names. */
+WorkloadInstance makeWorkload(const std::string &name, u32 scale = 1);
+
+} // namespace warpcomp
+
+#endif // WARPCOMP_WORKLOADS_REGISTRY_HPP

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * sgemm (Parboil) — tiled dense matrix multiply: 16x16 thread tiles
+ * stage A and B panels through shared memory behind barriers and run
+ * an FFMA inner loop. Address/index registers compress well; the FP
+ * accumulators are high-entropy. No divergence.
+ */
+
+#include "workloads/registry.hpp"
+
+#include "workloads/inputs.hpp"
+
+namespace warpcomp {
+
+WorkloadInstance
+makeSgemm(u32 scale)
+{
+    constexpr u32 kTile = 16;               // 16x16 = 256 threads
+    const u32 block = kTile * kTile;
+    const u32 n = 128;                      // square matrices n x n
+    const u32 tiles_per_side = n / kTile;   // 8
+    const u32 grid = tiles_per_side * tiles_per_side * scale;   // 64
+    const u32 k_tiles = 4;                  // depth tiles walked
+
+    auto gmem = std::make_unique<GlobalMemory>(32ull << 20);
+    auto cmem = std::make_unique<ConstantMemory>();
+    Rng rng(0x56E3u);
+
+    const u64 a = gmem->alloc(4ull * n * n);
+    const u64 bm = gmem->alloc(4ull * n * n);
+    const u64 c = gmem->alloc(4ull * n * n);
+    fillRandomF32(*gmem, a, n * n, -1.0f, 1.0f, rng);
+    fillRandomF32(*gmem, bm, n * n, -1.0f, 1.0f, rng);
+
+    pushAddr(*cmem, a);         // param 0
+    pushAddr(*cmem, bm);        // param 1
+    pushAddr(*cmem, c);         // param 2
+    cmem->push(n);              // param 3
+    cmem->push(k_tiles);        // param 4
+    cmem->push(tiles_per_side); // param 5
+
+    // Shared memory: As[16][16] at 0, Bs[16][16] at 1024.
+    KernelBuilder b("sgemm", 2 * kTile * kTile * 4);
+    Reg p_a = loadParam(b, 0);
+    Reg p_b = loadParam(b, 1);
+    Reg p_c = loadParam(b, 2);
+    Reg p_n = loadParam(b, 3);
+    Reg p_ktiles = loadParam(b, 4);
+    Reg p_tps = loadParam(b, 5);
+
+    Reg tid = b.newReg(), bid = b.newReg();
+    b.s2r(tid, SpecialReg::TidX);
+    b.s2r(bid, SpecialReg::CtaIdX);
+
+    // Thread (tx, ty) within the tile; tile (bx, by) within the grid.
+    Reg tx = b.newReg(), ty = b.newReg();
+    b.and_(tx, tid, KernelBuilder::imm(kTile - 1));
+    b.shr(ty, tid, KernelBuilder::imm(4));
+    Reg bx = b.newReg(), by = b.newReg(), tmp = b.newReg();
+    // bx = bid % tps, by = (bid / tps) % tps  (tps = 8, a power of 2)
+    b.and_(bx, bid, KernelBuilder::imm(7));
+    b.shr(tmp, bid, KernelBuilder::imm(3));
+    b.and_(by, tmp, KernelBuilder::imm(7));
+    (void)p_tps;
+
+    // Global row/col of this thread's C element.
+    Reg row = b.newReg(), col = b.newReg();
+    b.imad(row, by, KernelBuilder::imm(kTile), ty);
+    b.imad(col, bx, KernelBuilder::imm(kTile), tx);
+
+    Reg acc = b.newReg();
+    b.movFloat(acc, 0.0f);
+
+    Reg smA = b.newReg(), smB = b.newReg();
+    b.imad(smA, ty, KernelBuilder::imm(kTile), tx);
+    b.shl(smA, smA, KernelBuilder::imm(2));
+    b.iadd(smB, smA, KernelBuilder::imm(
+               static_cast<i32>(kTile * kTile * 4)));
+
+    Reg kt = b.newReg();
+    b.forRange(kt, KernelBuilder::imm(0), p_ktiles, 1, [&] {
+        // Stage A[row][kt*16 + tx] and B[kt*16 + ty][col].
+        Reg ka = b.newReg(), idx = b.newReg(), addr = b.newReg(),
+            v = b.newReg();
+        b.shl(ka, kt, KernelBuilder::imm(4));       // kt * 16
+        b.iadd(idx, ka, tx);
+        Reg ai = b.newReg();
+        b.imad(ai, row, p_n, idx);
+        b.imad(addr, ai, KernelBuilder::imm(4), p_a);
+        b.ldg(v, addr);
+        b.sts(smA, v);
+
+        Reg brow = b.newReg(), bi = b.newReg(), baddr = b.newReg(),
+            bv = b.newReg();
+        b.iadd(brow, ka, ty);
+        b.imad(bi, brow, p_n, col);
+        b.imad(baddr, bi, KernelBuilder::imm(4), p_b);
+        b.ldg(bv, baddr);
+        b.sts(smB, bv);
+        b.bar();
+
+        // Inner product over the staged tile.
+        Reg kk = b.newReg();
+        b.forRange(kk, KernelBuilder::imm(0),
+                   KernelBuilder::imm(kTile), 1, [&] {
+            Reg aoff = b.newReg(), boff = b.newReg(), av = b.newReg(),
+                bvv = b.newReg();
+            // As[ty][kk]
+            b.imad(aoff, ty, KernelBuilder::imm(kTile), kk);
+            b.shl(aoff, aoff, KernelBuilder::imm(2));
+            b.lds(av, aoff);
+            // Bs[kk][tx]
+            b.imad(boff, kk, KernelBuilder::imm(kTile), tx);
+            b.shl(boff, boff, KernelBuilder::imm(2));
+            b.iadd(boff, boff, KernelBuilder::imm(
+                       static_cast<i32>(kTile * kTile * 4)));
+            b.lds(bvv, boff);
+            b.ffma(acc, av, bvv, acc);
+        });
+        b.bar();
+    });
+
+    Reg ci = b.newReg(), caddr = b.newReg();
+    b.imad(ci, row, p_n, col);
+    b.imad(caddr, ci, KernelBuilder::imm(4), p_c);
+    b.stg(caddr, acc);
+
+    return {"sgemm", b.build(), {block, grid}, std::move(gmem),
+            std::move(cmem)};
+}
+
+} // namespace warpcomp

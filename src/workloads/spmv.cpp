@@ -1,0 +1,101 @@
+/**
+ * @file
+ * spmv (Parboil) — CSR sparse matrix-vector product, one row per
+ * thread. Row lengths vary (1..16 nonzeros) so the accumulation loop
+ * diverges; column indices ascend per row (index-like similarity)
+ * while the values are high-entropy floats.
+ */
+
+#include "workloads/registry.hpp"
+
+#include "workloads/inputs.hpp"
+
+namespace warpcomp {
+
+WorkloadInstance
+makeSpmv(u32 scale)
+{
+    const u32 block = 256;
+    const u32 grid = 48 * scale;
+    const u32 rows = block * grid;
+    const u32 max_nnz = 16;
+
+    auto gmem = std::make_unique<GlobalMemory>(128ull << 20);
+    auto cmem = std::make_unique<ConstantMemory>();
+    Rng rng(0x59Bu);
+
+    std::vector<u32> rowptr(rows + 1);
+    rowptr[0] = 0;
+    for (u32 r = 0; r < rows; ++r)
+        rowptr[r + 1] = rowptr[r] + 1 + rng.nextU32(max_nnz);
+    const u32 nnz = rowptr[rows];
+
+    const u64 g_rowptr = gmem->alloc(4ull * (rows + 1));
+    const u64 g_col = gmem->alloc(4ull * nnz);
+    const u64 g_val = gmem->alloc(4ull * nnz);
+    const u64 g_x = gmem->alloc(4ull * rows);
+    const u64 g_y = gmem->alloc(4ull * rows);
+
+    for (u32 r = 0; r <= rows; ++r)
+        gmem->write32(g_rowptr + 4ull * r, rowptr[r]);
+    for (u32 r = 0; r < rows; ++r) {
+        // Ascending column indices within each row.
+        u32 col = rng.nextU32(rows / 2);
+        for (u32 e = rowptr[r]; e < rowptr[r + 1]; ++e) {
+            gmem->write32(g_col + 4ull * e, col % rows);
+            col += 1 + rng.nextU32(16);
+        }
+    }
+    fillRandomF32(*gmem, g_val, nnz, -1.0f, 1.0f, rng);
+    fillRandomF32(*gmem, g_x, rows, -1.0f, 1.0f, rng);
+
+    pushAddr(*cmem, g_rowptr);  // param 0
+    pushAddr(*cmem, g_col);     // param 1
+    pushAddr(*cmem, g_val);     // param 2
+    pushAddr(*cmem, g_x);       // param 3
+    pushAddr(*cmem, g_y);       // param 4
+
+    KernelBuilder b("spmv");
+    Reg p_row = loadParam(b, 0);
+    Reg p_col = loadParam(b, 1);
+    Reg p_val = loadParam(b, 2);
+    Reg p_x = loadParam(b, 3);
+    Reg p_y = loadParam(b, 4);
+
+    Reg tid = b.newReg(), bid = b.newReg(), ntid = b.newReg();
+    b.s2r(tid, SpecialReg::TidX);
+    b.s2r(bid, SpecialReg::CtaIdX);
+    b.s2r(ntid, SpecialReg::NTidX);
+    Reg gid = b.newReg();
+    b.imad(gid, bid, ntid, tid);
+
+    Reg ra = b.newReg(), start = b.newReg(), end = b.newReg();
+    b.imad(ra, gid, KernelBuilder::imm(4), p_row);
+    b.ldg(start, ra, 0);
+    b.ldg(end, ra, 4);
+
+    Reg sum = b.newReg();
+    b.movFloat(sum, 0.0f);
+    Reg e = b.newReg();
+    b.forRange(e, start, end, 1, [&] {
+        Reg ca = b.newReg(), col = b.newReg();
+        b.imad(ca, e, KernelBuilder::imm(4), p_col);
+        b.ldg(col, ca);
+        Reg va = b.newReg(), v = b.newReg();
+        b.imad(va, e, KernelBuilder::imm(4), p_val);
+        b.ldg(v, va);
+        Reg xa = b.newReg(), x = b.newReg();
+        b.imad(xa, col, KernelBuilder::imm(4), p_x);
+        b.ldg(x, xa);
+        b.ffma(sum, v, x, sum);
+    });
+
+    Reg ya = b.newReg();
+    b.imad(ya, gid, KernelBuilder::imm(4), p_y);
+    b.stg(ya, sum);
+
+    return {"spmv", b.build(), {block, grid}, std::move(gmem),
+            std::move(cmem)};
+}
+
+} // namespace warpcomp

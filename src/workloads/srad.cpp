@@ -1,0 +1,117 @@
+/**
+ * @file
+ * srad (Rodinia) — speckle-reducing anisotropic diffusion. Gradient and
+ * diffusion-coefficient computation over an image with a 0..255 range;
+ * clamped boundary handling adds divergence at tile edges and the
+ * coefficient math exercises the FP pipeline (including FRCP).
+ */
+
+#include "workloads/registry.hpp"
+
+#include "workloads/inputs.hpp"
+
+namespace warpcomp {
+
+WorkloadInstance
+makeSrad(u32 scale)
+{
+    const u32 block = 256;
+    const u32 rows = 56 * scale;
+    const u32 width = 256;
+    const u32 cells = rows * width;
+
+    auto gmem = std::make_unique<GlobalMemory>(64ull << 20);
+    auto cmem = std::make_unique<ConstantMemory>();
+    Rng rng(0x5ADu);
+
+    const u64 img = gmem->alloc(4ull * cells);
+    const u64 coeff = gmem->alloc(4ull * cells);
+    fillRandomF32(*gmem, img, cells, 0.0f, 255.0f, rng);
+
+    pushAddr(*cmem, img);       // param 0
+    pushAddr(*cmem, coeff);     // param 1
+    cmem->push(width);          // param 2
+    cmem->push(rows);           // param 3
+
+    KernelBuilder b("srad");
+    Reg p_img = loadParam(b, 0);
+    Reg p_coeff = loadParam(b, 1);
+    Reg p_width = loadParam(b, 2);
+    Reg p_rows = loadParam(b, 3);
+
+    Reg tid = b.newReg(), bid = b.newReg();
+    b.s2r(tid, SpecialReg::TidX);
+    b.s2r(bid, SpecialReg::CtaIdX);
+    Reg gid = b.newReg();
+    b.imad(gid, bid, p_width, tid);
+
+    Reg ja = b.newReg(), jc = b.newReg();
+    b.imad(ja, gid, KernelBuilder::imm(4), p_img);
+    b.ldg(jc, ja);
+
+    Reg wm1 = b.newReg(), rm1 = b.newReg();
+    b.isub(wm1, p_width, KernelBuilder::imm(1));
+    b.isub(rm1, p_rows, KernelBuilder::imm(1));
+
+    Pred inb = b.newPred();
+    Reg jn = b.newReg(), js = b.newReg(), je = b.newReg(),
+        jw = b.newReg();
+    b.isetp(inb, CmpOp::Gt, bid, KernelBuilder::imm(0));
+    b.ifElse_(inb, [&] {
+        Reg off = b.newReg(), a = b.newReg();
+        b.imul(off, p_width, KernelBuilder::imm(4));
+        b.isub(a, ja, off);
+        b.ldg(jn, a);
+    }, [&] { b.mov(jn, jc); });
+    b.isetp(inb, CmpOp::Lt, bid, rm1);
+    b.ifElse_(inb, [&] {
+        Reg a = b.newReg();
+        b.imad(a, p_width, KernelBuilder::imm(4), ja);
+        b.ldg(js, a);
+    }, [&] { b.mov(js, jc); });
+    b.isetp(inb, CmpOp::Gt, tid, KernelBuilder::imm(0));
+    b.ifElse_(inb, [&] { b.ldg(jw, ja, -4); }, [&] { b.mov(jw, jc); });
+    b.isetp(inb, CmpOp::Lt, tid, wm1);
+    b.ifElse_(inb, [&] { b.ldg(je, ja, 4); }, [&] { b.mov(je, jc); });
+
+    // Directional derivatives (d = neighbor - center via FFMA with -1).
+    Reg dn = b.newReg(), ds = b.newReg(), de = b.newReg(),
+        dw = b.newReg();
+    Reg neg = b.newReg();
+    b.movFloat(neg, -1.0f);
+    b.ffma(dn, jc, neg, jn);    // dn = jn - jc
+    b.ffma(ds, jc, neg, js);    // ds = js - jc
+    b.ffma(de, jc, neg, je);    // de = je - jc
+    b.ffma(dw, jc, neg, jw);    // dw = jw - jc
+
+    Reg g2 = b.newReg();
+    b.fmul(g2, dn, dn);
+    Reg t = b.newReg();
+    b.fmul(t, ds, ds);
+    b.fadd(g2, g2, t);
+    b.fmul(t, de, de);
+    b.fadd(g2, g2, t);
+    b.fmul(t, dw, dw);
+    b.fadd(g2, g2, t);
+
+    // c = 1 / (1 + g2 / (jc*jc + eps))
+    Reg jc2 = b.newReg(), eps = b.newReg(), denom = b.newReg();
+    b.fmul(jc2, jc, jc);
+    b.movFloat(eps, 1.0f);
+    b.fadd(jc2, jc2, eps);
+    b.frcp(denom, jc2);
+    Reg q = b.newReg(), one = b.newReg(), cval = b.newReg();
+    b.fmul(q, g2, denom);
+    b.movFloat(one, 1.0f);
+    b.fadd(q, q, one);
+    b.frcp(cval, q);
+
+    Reg ca = b.newReg();
+    b.imad(ca, gid, KernelBuilder::imm(4), p_coeff);
+    b.stg(ca, cval);
+
+    return {"srad", b.build(), {block, rows}, std::move(gmem),
+            std::move(cmem)};
+}
+
+} // namespace warpcomp

@@ -1,0 +1,186 @@
+/**
+ * @file
+ * Tests for the common substrate: bit helpers, RNG determinism, the
+ * stats containers, and the report table formatter.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/bitops.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "power/report.hpp"
+
+namespace warpcomp {
+namespace {
+
+TEST(Bitops, Popcount)
+{
+    EXPECT_EQ(popcount(0u), 0u);
+    EXPECT_EQ(popcount(kFullMask), 32u);
+    EXPECT_EQ(popcount(0x5u), 2u);
+}
+
+TEST(Bitops, LowestLane)
+{
+    EXPECT_EQ(lowestLane(1u), 0u);
+    EXPECT_EQ(lowestLane(0x80000000u), 31u);
+    EXPECT_EQ(lowestLane(0b1100u), 2u);
+}
+
+TEST(Bitops, LaneActive)
+{
+    EXPECT_TRUE(laneActive(0x4u, 2));
+    EXPECT_FALSE(laneActive(0x4u, 1));
+}
+
+TEST(Bitops, FirstLanes)
+{
+    EXPECT_EQ(firstLanes(0), 0u);
+    EXPECT_EQ(firstLanes(1), 1u);
+    EXPECT_EQ(firstLanes(5), 0x1Fu);
+    EXPECT_EQ(firstLanes(32), kFullMask);
+    EXPECT_EQ(firstLanes(40), kFullMask);
+}
+
+TEST(Bitops, CeilDiv)
+{
+    EXPECT_EQ(ceilDiv(0u, 4u), 0u);
+    EXPECT_EQ(ceilDiv(1u, 4u), 1u);
+    EXPECT_EQ(ceilDiv(4u, 4u), 1u);
+    EXPECT_EQ(ceilDiv(5u, 4u), 2u);
+}
+
+TEST(Bitops, FitsSigned)
+{
+    EXPECT_TRUE(fitsSigned(0, 1));
+    EXPECT_TRUE(fitsSigned(127, 1));
+    EXPECT_FALSE(fitsSigned(128, 1));
+    EXPECT_TRUE(fitsSigned(-128, 1));
+    EXPECT_FALSE(fitsSigned(-129, 1));
+    EXPECT_TRUE(fitsSigned(32767, 2));
+    EXPECT_FALSE(fitsSigned(32768, 2));
+    EXPECT_TRUE(fitsSigned(INT64_MAX, 8));
+    EXPECT_TRUE(fitsSigned(INT64_MIN, 8));
+}
+
+TEST(Rng, Deterministic)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, SeedsDiffer)
+{
+    Rng a(1), b(2);
+    EXPECT_NE(a.next(), b.next());
+}
+
+TEST(Rng, RangeBounds)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i) {
+        const i32 v = rng.nextRange(-5, 9);
+        EXPECT_GE(v, -5);
+        EXPECT_LE(v, 9);
+    }
+}
+
+TEST(Rng, RangeCoversExtremes)
+{
+    Rng rng(11);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 5000; ++i) {
+        const i32 v = rng.nextRange(0, 3);
+        saw_lo = saw_lo || v == 0;
+        saw_hi = saw_hi || v == 3;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, DoubleInUnitInterval)
+{
+    Rng rng(5);
+    for (int i = 0; i < 1000; ++i) {
+        const double d = rng.nextDouble();
+        EXPECT_GE(d, 0.0);
+        EXPECT_LT(d, 1.0);
+    }
+}
+
+TEST(Stats, CounterBasics)
+{
+    Counter c;
+    EXPECT_EQ(c.value(), 0u);
+    ++c;
+    c += 10;
+    EXPECT_EQ(c.value(), 11u);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Stats, GroupLookup)
+{
+    StatGroup g("sm0");
+    g.counter("issued") += 5;
+    EXPECT_EQ(g.get("issued"), 5u);
+    EXPECT_EQ(g.get("absent"), 0u);
+    g.reset();
+    EXPECT_EQ(g.get("issued"), 0u);
+}
+
+TEST(Stats, GroupDumpFormat)
+{
+    StatGroup g("rf");
+    g.counter("reads") += 3;
+    std::ostringstream os;
+    g.dump(os);
+    EXPECT_EQ(os.str(), "rf.reads 3\n");
+}
+
+TEST(Stats, Histogram)
+{
+    Histogram h(4);
+    h.add(0);
+    h.add(3, 9);
+    EXPECT_EQ(h.total(), 10u);
+    EXPECT_DOUBLE_EQ(h.fraction(3), 0.9);
+    h.reset();
+    EXPECT_EQ(h.total(), 0u);
+    EXPECT_DOUBLE_EQ(h.fraction(0), 0.0);
+}
+
+TEST(Report, TableAlignment)
+{
+    TextTable t({"bench", "a", "b"});
+    t.addRow({"x", "1.0", "2.0"});
+    t.addRow("y", {3.25, 4.5}, 2);
+    std::ostringstream os;
+    t.print(os);
+    const std::string s = os.str();
+    EXPECT_NE(s.find("bench"), std::string::npos);
+    EXPECT_NE(s.find("3.25"), std::string::npos);
+    EXPECT_NE(s.find("4.50"), std::string::npos);
+}
+
+TEST(Report, CsvOutput)
+{
+    TextTable t({"bench", "value"});
+    t.addRow({"a,b", "1.5"});
+    std::ostringstream os;
+    t.printCsv(os);
+    EXPECT_EQ(os.str(), "bench,value\n\"a,b\",1.5\n");
+}
+
+TEST(Report, Formatters)
+{
+    EXPECT_EQ(fmtDouble(1.23456, 2), "1.23");
+    EXPECT_EQ(fmtPercent(0.256, 1), "25.6%");
+}
+
+} // namespace
+} // namespace warpcomp

@@ -1,0 +1,242 @@
+/**
+ * @file
+ * Control-flow stress tests: deeply nested divergence, loops with
+ * data-dependent trip counts inside divergent branches, loop-carried
+ * values across reconvergence, and whole-kernel checks run through the
+ * full timing simulator (not just the functional executor).
+ */
+
+#include <gtest/gtest.h>
+
+#include "harness/experiment.hpp"
+#include "isa/builder.hpp"
+#include "workloads/workload.hpp"
+
+namespace warpcomp {
+namespace {
+
+class CfStressTest : public ::testing::Test
+{
+  protected:
+    CfStressTest() : gmem_(8 << 20), cmem_(64) {}
+
+    void
+    run(const Kernel &k, LaunchDims dims, CompressionScheme scheme =
+                                              CompressionScheme::Warped)
+    {
+        GpuParams gp;
+        gp.numSms = 2;
+        gp.sm.scheme = scheme;
+        gp.sm.applyScheme();
+        Gpu gpu(gp, gmem_, cmem_);
+        gpu.run(k, dims);
+    }
+
+    /** Emit the store of @p value to out[global tid]. */
+    void
+    storeResult(KernelBuilder &b, u64 out, Operand value)
+    {
+        Reg tid = b.newReg(), bid = b.newReg(), ntid = b.newReg();
+        b.s2r(tid, SpecialReg::TidX);
+        b.s2r(bid, SpecialReg::CtaIdX);
+        b.s2r(ntid, SpecialReg::NTidX);
+        Reg gid = b.newReg(), addr = b.newReg();
+        b.imad(gid, bid, ntid, tid);
+        b.imad(addr, gid, KernelBuilder::imm(4),
+               KernelBuilder::imm(static_cast<i32>(out)));
+        b.stg(addr, value);
+    }
+
+    GlobalMemory gmem_;
+    ConstantMemory cmem_;
+};
+
+TEST_F(CfStressTest, TripleNestedDivergence)
+{
+    const u64 out = gmem_.alloc(4 * 64);
+    KernelBuilder b("nest3");
+    Reg lane = b.newReg(), v = b.newReg();
+    Pred p1 = b.newPred(), p2 = b.newPred(), p3 = b.newPred();
+    b.s2r(lane, SpecialReg::LaneId);
+    b.movImm(v, 0);
+    b.isetp(p1, CmpOp::Lt, lane, KernelBuilder::imm(16));
+    b.if_(p1, [&] {
+        b.isetp(p2, CmpOp::Lt, lane, KernelBuilder::imm(8));
+        b.if_(p2, [&] {
+            b.isetp(p3, CmpOp::Lt, lane, KernelBuilder::imm(4));
+            b.ifElse_(p3, [&] { b.movImm(v, 3); },
+                      [&] { b.movImm(v, 2); });
+        });
+        b.iadd(v, v, KernelBuilder::imm(10));
+    });
+    storeResult(b, out, v);
+    run(b.build(), {64, 1});
+
+    for (u32 i = 0; i < 64; ++i) {
+        const u32 lane = i % 32;
+        u32 expect = 0;
+        if (lane < 16) {
+            expect = 10;
+            if (lane < 4)
+                expect = 13;
+            else if (lane < 8)
+                expect = 12;
+        }
+        EXPECT_EQ(gmem_.read32(out + 4ull * i), expect) << i;
+    }
+}
+
+TEST_F(CfStressTest, DivergentLoopInsideDivergentBranch)
+{
+    // Lanes < 20 run a loop of (lane % 5) iterations; others skip.
+    const u64 out = gmem_.alloc(4 * 64);
+    KernelBuilder b("loopin");
+    Reg lane = b.newReg(), n = b.newReg(), acc = b.newReg(),
+        i = b.newReg();
+    Pred outer = b.newPred();
+    b.s2r(lane, SpecialReg::LaneId);
+    b.movImm(acc, 0);
+    b.isetp(outer, CmpOp::Lt, lane, KernelBuilder::imm(20));
+    b.if_(outer, [&] {
+        // n = lane % 5 (via subtract loop-free arithmetic: lane - 5*(lane/5))
+        Reg q = b.newReg(), t = b.newReg();
+        b.imul(q, lane, KernelBuilder::imm(0x3334));     // ~ lane/5 Q14
+        b.shr(q, q, KernelBuilder::imm(16));
+        b.imul(t, q, KernelBuilder::imm(5));
+        b.isub(n, lane, t);
+        b.forRange(i, KernelBuilder::imm(0), n, 1, [&] {
+            b.iadd(acc, acc, KernelBuilder::imm(7));
+        });
+    });
+    storeResult(b, out, acc);
+    run(b.build(), {64, 1});
+
+    for (u32 idx = 0; idx < 64; ++idx) {
+        const u32 lane = idx % 32;
+        const u32 expect = lane < 20 ? (lane % 5) * 7 : 0;
+        EXPECT_EQ(gmem_.read32(out + 4ull * idx), expect) << idx;
+    }
+}
+
+TEST_F(CfStressTest, LoopCarriedValuesAcrossReconvergence)
+{
+    // acc = sum over i<8 of (i if lane odd else 2i) — both sides of a
+    // divergent branch updating a loop-carried register.
+    const u64 out = gmem_.alloc(4 * 64);
+    KernelBuilder b("carry");
+    Reg lane = b.newReg(), acc = b.newReg(), i = b.newReg(),
+        par = b.newReg();
+    Pred odd = b.newPred();
+    b.s2r(lane, SpecialReg::LaneId);
+    b.movImm(acc, 0);
+    b.and_(par, lane, KernelBuilder::imm(1));
+    b.isetp(odd, CmpOp::Ne, par, KernelBuilder::imm(0));
+    b.forRange(i, KernelBuilder::imm(0), KernelBuilder::imm(8), 1, [&] {
+        b.ifElse_(odd, [&] { b.iadd(acc, acc, i); },
+                  [&] {
+                      Reg twice = b.newReg();
+                      b.shl(twice, i, KernelBuilder::imm(1));
+                      b.iadd(acc, acc, twice);
+                  });
+    });
+    storeResult(b, out, acc);
+    run(b.build(), {64, 1});
+
+    for (u32 idx = 0; idx < 64; ++idx) {
+        const u32 expect = (idx % 2) ? 28 : 56;     // sum 0..7 vs 2x
+        EXPECT_EQ(gmem_.read32(out + 4ull * idx), expect) << idx;
+    }
+}
+
+TEST_F(CfStressTest, DeepLoopNest)
+{
+    // Three nested uniform loops: acc = 4 * 3 * 2 = 24 increments.
+    const u64 out = gmem_.alloc(4 * 64);
+    KernelBuilder b("nestloop");
+    Reg acc = b.newReg(), i = b.newReg(), j = b.newReg(),
+        k = b.newReg();
+    b.movImm(acc, 0);
+    b.forRange(i, KernelBuilder::imm(0), KernelBuilder::imm(4), 1, [&] {
+        b.forRange(j, KernelBuilder::imm(0), KernelBuilder::imm(3), 1,
+                   [&] {
+            b.forRange(k, KernelBuilder::imm(0), KernelBuilder::imm(2),
+                       1, [&] {
+                b.iadd(acc, acc, KernelBuilder::imm(1));
+            });
+        });
+    });
+    storeResult(b, out, acc);
+    run(b.build(), {64, 1});
+    for (u32 idx = 0; idx < 64; ++idx)
+        EXPECT_EQ(gmem_.read32(out + 4ull * idx), 24u);
+}
+
+TEST_F(CfStressTest, CountdownLoop)
+{
+    const u64 out = gmem_.alloc(4 * 64);
+    KernelBuilder b("countdown");
+    Reg acc = b.newReg(), i = b.newReg();
+    b.movImm(acc, 0);
+    b.forRange(i, KernelBuilder::imm(10), KernelBuilder::imm(0), -2,
+               [&] { b.iadd(acc, acc, i); });
+    storeResult(b, out, acc);
+    run(b.build(), {64, 1});
+    // 10 + 8 + 6 + 4 + 2 = 30
+    for (u32 idx = 0; idx < 64; ++idx)
+        EXPECT_EQ(gmem_.read32(out + 4ull * idx), 30u);
+}
+
+TEST_F(CfStressTest, ZeroTripLoop)
+{
+    const u64 out = gmem_.alloc(4 * 64);
+    KernelBuilder b("zerotrip");
+    Reg acc = b.newReg(), i = b.newReg();
+    b.movImm(acc, 5);
+    b.forRange(i, KernelBuilder::imm(3), KernelBuilder::imm(3), 1,
+               [&] { b.movImm(acc, 999); });
+    storeResult(b, out, acc);
+    run(b.build(), {64, 1});
+    for (u32 idx = 0; idx < 64; ++idx)
+        EXPECT_EQ(gmem_.read32(out + 4ull * idx), 5u);
+}
+
+TEST_F(CfStressTest, AllLanesDistinctTripCounts)
+{
+    // The worst peel case: lane i iterates exactly i times.
+    const u64 out = gmem_.alloc(4 * 32);
+    KernelBuilder b("peel");
+    Reg lane = b.newReg(), acc = b.newReg(), i = b.newReg();
+    b.s2r(lane, SpecialReg::LaneId);
+    b.movImm(acc, 0);
+    b.forRange(i, KernelBuilder::imm(0), lane, 1,
+               [&] { b.iadd(acc, acc, KernelBuilder::imm(1)); });
+    storeResult(b, out, acc);
+    run(b.build(), {32, 1});
+    for (u32 idx = 0; idx < 32; ++idx)
+        EXPECT_EQ(gmem_.read32(out + 4ull * idx), idx) << idx;
+}
+
+TEST_F(CfStressTest, StressKernelsMatchAcrossSchemes)
+{
+    // The peel kernel again, baseline vs compressed: identical output.
+    const u64 out_a = gmem_.alloc(4 * 32);
+    const u64 out_b = gmem_.alloc(4 * 32);
+    auto build = [&](u64 out) {
+        KernelBuilder b("peel2");
+        Reg lane = b.newReg(), acc = b.newReg(), i = b.newReg();
+        b.s2r(lane, SpecialReg::LaneId);
+        b.movImm(acc, 100);
+        b.forRange(i, KernelBuilder::imm(0), lane, 1,
+                   [&] { b.iadd(acc, acc, i); });
+        storeResult(b, out, acc);
+        return b.build();
+    };
+    run(build(out_a), {32, 1}, CompressionScheme::None);
+    run(build(out_b), {32, 1}, CompressionScheme::Warped);
+    for (u32 idx = 0; idx < 32; ++idx)
+        EXPECT_EQ(gmem_.read32(out_a + 4ull * idx),
+                  gmem_.read32(out_b + 4ull * idx));
+}
+
+} // namespace
+} // namespace warpcomp

@@ -1,0 +1,214 @@
+/**
+ * @file
+ * Figure-shape regression tests: the qualitative claims EXPERIMENTS.md
+ * makes about each reproduced figure, pinned on a 5-benchmark core
+ * subset (lib, pathfinder, bfs, hotspot, aes) at 4 SMs so the whole
+ * file runs in seconds. If a refactor bends a trend the paper
+ * established, it fails here rather than silently shifting a report.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "harness/experiment.hpp"
+
+namespace warpcomp {
+namespace {
+
+const std::vector<std::string> &
+coreSuite()
+{
+    static const std::vector<std::string> names = {
+        "lib", "pathfinder", "bfs", "hotspot", "aes"};
+    return names;
+}
+
+/** Runs each core workload once per needed config, cached per suite. */
+class FigureShapes : public ::testing::Test
+{
+  protected:
+    static std::vector<ExperimentResult> &
+    results(CompressionScheme scheme)
+    {
+        static std::map<CompressionScheme,
+                        std::vector<ExperimentResult>> cache;
+        auto it = cache.find(scheme);
+        if (it == cache.end()) {
+            ExperimentConfig cfg;
+            cfg.scheme = scheme;
+            cfg.numSms = 4;
+            std::vector<ExperimentResult> out;
+            for (const auto &name : coreSuite())
+                out.push_back(runWorkload(name, cfg));
+            it = cache.emplace(scheme, std::move(out)).first;
+        }
+        return it->second;
+    }
+};
+
+TEST_F(FigureShapes, Fig2NonRandomDominatesNonDivergent)
+{
+    double non_random = 0;
+    for (const auto &r : results(CompressionScheme::Warped)) {
+        non_random += 1.0 - r.run.stats.simBins.fraction(
+            kNonDivergent, DistanceBin::Random);
+    }
+    non_random /= coreSuite().size();
+    // Paper: ~79%. Accept a generous band around it.
+    EXPECT_GT(non_random, 0.6);
+}
+
+TEST_F(FigureShapes, Fig3MostInstructionsNonDivergent)
+{
+    u64 issued = 0, divergent = 0;
+    for (const auto &r : results(CompressionScheme::Warped)) {
+        issued += r.run.stats.issued;
+        divergent += r.run.stats.issuedDivergent;
+    }
+    EXPECT_LT(static_cast<double>(divergent) / issued, 0.5);
+}
+
+TEST_F(FigureShapes, Fig8DivergentRatioLower)
+{
+    for (const auto &r : results(CompressionScheme::Warped)) {
+        if (r.run.stats.ratio.writes(kDivergent) == 0)
+            continue;
+        EXPECT_LE(r.run.stats.ratio.ratio(kDivergent),
+                  r.run.stats.ratio.ratio(kNonDivergent) + 1e-9)
+            << r.workload;
+    }
+}
+
+TEST_F(FigureShapes, Fig9EnergyReductionInBand)
+{
+    double norm_sum = 0;
+    for (std::size_t i = 0; i < coreSuite().size(); ++i) {
+        const double b = results(CompressionScheme::None)[i]
+            .run.meter.breakdown().totalPj();
+        const double w = results(CompressionScheme::Warped)[i]
+            .run.meter.breakdown().totalPj();
+        norm_sum += w / b;
+    }
+    const double avg = norm_sum / coreSuite().size();
+    // Paper: 25% savings; we land in 15..50% on any sane model.
+    EXPECT_LT(avg, 0.85);
+    EXPECT_GT(avg, 0.50);
+}
+
+TEST_F(FigureShapes, Fig9LibSavesMost)
+{
+    double best = 1.0;
+    std::string best_name;
+    for (std::size_t i = 0; i < coreSuite().size(); ++i) {
+        const double n = results(CompressionScheme::Warped)[i]
+                             .run.meter.breakdown().totalPj() /
+            results(CompressionScheme::None)[i]
+                .run.meter.breakdown().totalPj();
+        if (n < best) {
+            best = n;
+            best_name = coreSuite()[i];
+        }
+    }
+    EXPECT_EQ(best_name, "lib");
+}
+
+TEST_F(FigureShapes, Fig10GatingRisesWithinClusters)
+{
+    for (const auto &r : results(CompressionScheme::Warped)) {
+        for (u32 c = 0; c < 4; ++c) {
+            EXPECT_GE(r.run.bankGatedFraction[c * 8 + 7] + 1e-12,
+                      r.run.bankGatedFraction[c * 8 + 0])
+                << r.workload << " cluster " << c;
+        }
+    }
+}
+
+TEST_F(FigureShapes, Fig11MovsBoundedAndBaselineFree)
+{
+    for (const auto &r : results(CompressionScheme::Warped)) {
+        EXPECT_LT(static_cast<double>(r.run.stats.dummyMovs) /
+                      r.run.stats.issued,
+                  0.06)
+            << r.workload;
+    }
+    for (const auto &r : results(CompressionScheme::None))
+        EXPECT_EQ(r.run.stats.dummyMovs, 0u);
+}
+
+TEST_F(FigureShapes, Fig13OverheadSmall)
+{
+    double norm = 0;
+    for (std::size_t i = 0; i < coreSuite().size(); ++i) {
+        norm += static_cast<double>(
+                    results(CompressionScheme::Warped)[i].run.cycles) /
+            results(CompressionScheme::None)[i].run.cycles;
+    }
+    norm /= coreSuite().size();
+    EXPECT_LT(norm, 1.10);      // paper: +0.1%; we allow up to +10%
+    EXPECT_GT(norm, 0.90);
+}
+
+TEST_F(FigureShapes, Fig15DynamicBeatsSingleChoice)
+{
+    // Dynamic selection compresses at least as well as <4,0>-only.
+    ExperimentConfig f40;
+    f40.scheme = CompressionScheme::Fixed40;
+    f40.numSms = 4;
+    for (std::size_t i = 0; i < coreSuite().size(); ++i) {
+        const ExperimentResult r40 = runWorkload(coreSuite()[i], f40);
+        EXPECT_GE(results(CompressionScheme::Warped)[i]
+                          .run.stats.ratio.overallRatio() + 1e-9,
+                  r40.run.stats.ratio.overallRatio())
+            << coreSuite()[i];
+    }
+}
+
+TEST_F(FigureShapes, Fig17MoreUnitEnergyErodesSavings)
+{
+    // Re-price one WC run with rising comp/decomp energy: totals must
+    // rise monotonically while staying below baseline at 1x.
+    const auto &wc = results(CompressionScheme::Warped)[0];    // lib
+    double prev = 0;
+    for (double s : {1.0, 1.5, 2.0, 2.5}) {
+        EnergyParams p;
+        p.compDecompScale = s;
+        const double t = wc.run.meter.breakdownWith(p).totalPj();
+        EXPECT_GT(t, prev);
+        prev = t;
+    }
+}
+
+TEST_F(FigureShapes, Fig19SavingsGrowWithWireActivity)
+{
+    const auto &base = results(CompressionScheme::None);
+    const auto &wc = results(CompressionScheme::Warped);
+    double prev_saving = -1.0;
+    for (double act : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+        EnergyParams p;
+        p.wireActivity = act;
+        double norm = 0;
+        for (std::size_t i = 0; i < coreSuite().size(); ++i) {
+            norm += wc[i].run.meter.breakdownWith(p).totalPj() /
+                base[i].run.meter.breakdownWith(p).totalPj();
+        }
+        const double saving = 1.0 - norm / coreSuite().size();
+        EXPECT_GT(saving, prev_saving);
+        prev_saving = saving;
+    }
+}
+
+TEST_F(FigureShapes, CompressionNeverChangesInstructionMixMuchBeyondMovs)
+{
+    // WC may only add dummy MOVs relative to the baseline stream.
+    for (std::size_t i = 0; i < coreSuite().size(); ++i) {
+        const u64 base_issued =
+            results(CompressionScheme::None)[i].run.stats.issued;
+        const auto &wc = results(CompressionScheme::Warped)[i].run.stats;
+        EXPECT_EQ(wc.issued - wc.dummyMovs, base_issued)
+            << coreSuite()[i];
+    }
+}
+
+} // namespace
+} // namespace warpcomp

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * GPU/SM capacity and occupancy edge cases: register-file-limited CTA
+ * residency, thread-limited residency, CTA slot reuse across a long
+ * grid, shared-memory-limited residency, and grids far larger than the
+ * machine.
+ */
+
+#include <gtest/gtest.h>
+
+#include "harness/experiment.hpp"
+#include "isa/builder.hpp"
+#include "workloads/workload.hpp"
+
+namespace warpcomp {
+namespace {
+
+/** Kernel with an exact register demand that writes one marker. */
+Kernel
+fatKernel(u32 num_regs, u64 out)
+{
+    KernelBuilder b("fat");
+    std::vector<Reg> regs;
+    for (u32 i = 0; i < num_regs; ++i)
+        regs.push_back(b.newReg());
+    // Touch every register so the demand is real.
+    b.movImm(regs[0], 1);
+    for (u32 i = 1; i < num_regs; ++i)
+        b.iadd(regs[i], regs[i - 1], KernelBuilder::imm(1));
+    Reg tid = regs[0], bid = regs[1], ntid = regs[2];
+    b.s2r(tid, SpecialReg::TidX);
+    b.s2r(bid, SpecialReg::CtaIdX);
+    b.s2r(ntid, SpecialReg::NTidX);
+    Reg gid = regs[3], addr = regs[4];
+    b.imad(gid, bid, ntid, tid);
+    b.imad(addr, gid, KernelBuilder::imm(4),
+           KernelBuilder::imm(static_cast<i32>(out)));
+    b.stg(addr, regs[num_regs - 1]);
+    return b.build();
+}
+
+class CapacityTest : public ::testing::Test
+{
+  protected:
+    CapacityTest() : gmem_(16 << 20), cmem_(64) {}
+
+    RunResult
+    run(const Kernel &k, LaunchDims dims, u32 sms = 1)
+    {
+        GpuParams gp;
+        gp.numSms = sms;
+        gp.sm.applyScheme();
+        Gpu gpu(gp, gmem_, cmem_);
+        return gpu.run(k, dims);
+    }
+
+    GlobalMemory gmem_;
+    ConstantMemory cmem_;
+};
+
+TEST_F(CapacityTest, RegisterLimitedOccupancyStillCompletes)
+{
+    // 60 regs x 8 warps = 480 warp registers per CTA: only two CTAs fit
+    // in the 1024-register file, but an 8-CTA grid must still drain.
+    const u64 out = gmem_.alloc(4 * 256 * 8);
+    const RunResult r = run(fatKernel(60, out), {256, 8});
+    EXPECT_EQ(r.ctas, 8u);
+}
+
+TEST_F(CapacityTest, ThreadLimitedOccupancy)
+{
+    // 512-thread CTAs: at most three fit in 1536 threads.
+    const u64 out = gmem_.alloc(4 * 512 * 6);
+    const RunResult r = run(fatKernel(8, out), {512, 6});
+    EXPECT_EQ(r.ctas, 6u);
+}
+
+TEST_F(CapacityTest, LongGridReusesCtaSlots)
+{
+    const u64 out = gmem_.alloc(4 * 64 * 64);
+    const RunResult r = run(fatKernel(6, out), {64, 64});
+    EXPECT_EQ(r.ctas, 64u);
+    // Results correct across slot reuse.
+    for (u32 i = 0; i < 64 * 64; ++i)
+        EXPECT_EQ(gmem_.read32(out + 4ull * i) != 0u, true);
+}
+
+TEST_F(CapacityTest, SharedMemoryLimitedOccupancy)
+{
+    // 20 KB of shared memory per CTA: two CTAs per SM at most.
+    KernelBuilder b("smemhog", 20 * 1024);
+    Reg tid = b.newReg(), addr = b.newReg(), v = b.newReg();
+    b.s2r(tid, SpecialReg::TidX);
+    b.shl(addr, tid, KernelBuilder::imm(2));
+    b.sts(addr, tid);
+    b.lds(v, addr);
+    const u64 out = gmem_.alloc(4 * 128 * 6);
+    Reg bid = b.newReg(), ntid = b.newReg(), gid = b.newReg(),
+        oa = b.newReg();
+    b.s2r(bid, SpecialReg::CtaIdX);
+    b.s2r(ntid, SpecialReg::NTidX);
+    b.imad(gid, bid, ntid, tid);
+    b.imad(oa, gid, KernelBuilder::imm(4),
+           KernelBuilder::imm(static_cast<i32>(out)));
+    b.stg(oa, v);
+    const RunResult r = run(b.build(), {128, 6});
+    EXPECT_EQ(r.ctas, 6u);
+    EXPECT_EQ(gmem_.read32(out + 4ull * 100), 100u);
+}
+
+TEST_F(CapacityTest, GridMuchLargerThanMachine)
+{
+    ExperimentConfig cfg;
+    cfg.numSms = 1;
+    cfg.scale = 1;
+    const ExperimentResult r = runWorkload("nw", cfg);
+    EXPECT_EQ(r.run.ctas, 56u);         // full grid on one SM
+}
+
+TEST_F(CapacityTest, SingleWarpSingleCta)
+{
+    const u64 out = gmem_.alloc(4 * 32);
+    const RunResult r = run(fatKernel(6, out), {32, 1});
+    EXPECT_EQ(r.ctas, 1u);
+}
+
+TEST_F(CapacityTest, EnergyScalesWithGridSize)
+{
+    const u64 out = gmem_.alloc(4 * 128 * 24);
+    const RunResult small = run(fatKernel(8, out), {128, 4});
+    const RunResult big = run(fatKernel(8, out), {128, 24});
+    EXPECT_GT(big.meter.bankAccesses(), small.meter.bankAccesses());
+    EXPECT_GT(big.cycles, small.cycles);
+}
+
+} // namespace
+} // namespace warpcomp

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Harness tests: config -> GpuParams assembly, argument parsing, and
+ * the aggregate helpers used by every figure driver.
+ */
+
+#include <gtest/gtest.h>
+
+#include "harness/experiment.hpp"
+
+namespace warpcomp {
+namespace {
+
+TEST(Harness, SchemeAppliesRegFilePolicy)
+{
+    ExperimentConfig cfg;
+    cfg.scheme = CompressionScheme::None;
+    GpuParams gp = makeGpuParams(cfg);
+    EXPECT_FALSE(gp.sm.regfile.gatingEnabled);
+    EXPECT_TRUE(gp.sm.regfile.validAtAlloc);
+
+    cfg.scheme = CompressionScheme::Warped;
+    gp = makeGpuParams(cfg);
+    EXPECT_TRUE(gp.sm.regfile.gatingEnabled);
+    EXPECT_FALSE(gp.sm.regfile.validAtAlloc);
+}
+
+TEST(Harness, LatenciesPropagate)
+{
+    ExperimentConfig cfg;
+    cfg.compressLatency = 8;
+    cfg.decompressLatency = 4;
+    const GpuParams gp = makeGpuParams(cfg);
+    EXPECT_EQ(gp.sm.compressLatency, 8u);
+    EXPECT_EQ(gp.sm.decompressLatency, 4u);
+}
+
+TEST(Harness, ArgParsing)
+{
+    const char *argv[] = {"bench", "--scale=3", "--sms=4",
+                          "--only=lib", "--unknown"};
+    const HarnessOptions opt = parseHarnessArgs(
+        5, const_cast<char **>(argv));
+    EXPECT_EQ(opt.scale, 3u);
+    EXPECT_EQ(opt.numSms, 4u);
+    EXPECT_EQ(opt.only, "lib");
+}
+
+TEST(Harness, ArgDefaults)
+{
+    const char *argv[] = {"bench"};
+    const HarnessOptions opt = parseHarnessArgs(
+        1, const_cast<char **>(argv));
+    EXPECT_EQ(opt.scale, 1u);
+    EXPECT_EQ(opt.numSms, 15u);
+    EXPECT_TRUE(opt.only.empty());
+}
+
+TEST(Harness, Means)
+{
+    EXPECT_DOUBLE_EQ(mean({1.0, 2.0, 3.0}), 2.0);
+    EXPECT_DOUBLE_EQ(mean({}), 0.0);
+    EXPECT_NEAR(geomean({1.0, 4.0}), 2.0, 1e-12);
+    EXPECT_DOUBLE_EQ(geomean({}), 0.0);
+}
+
+TEST(Harness, TableTwoDefaults)
+{
+    // The defaults must match Table 2 of the paper.
+    ExperimentConfig cfg;
+    const GpuParams gp = makeGpuParams(cfg);
+    EXPECT_EQ(gp.numSms, 15u);
+    EXPECT_EQ(gp.sm.numSchedulers, 2u);
+    EXPECT_EQ(gp.sm.maxWarps, 48u);
+    EXPECT_EQ(gp.sm.maxThreads, 1536u);
+    EXPECT_EQ(gp.sm.regfile.numBanks, 32u);
+    EXPECT_EQ(gp.sm.regfile.entriesPerBank, 256u);
+    EXPECT_EQ(gp.sm.regfile.wakeupLatency, 10u);
+    EXPECT_EQ(gp.sm.numCompressors, 2u);
+    EXPECT_EQ(gp.sm.numDecompressors, 4u);
+    EXPECT_EQ(gp.sm.compressLatency, 2u);
+    EXPECT_EQ(gp.sm.decompressLatency, 1u);
+    EXPECT_DOUBLE_EQ(gp.energy.clockGhz, 1.4);
+    // 128 KB register file: 32 banks x 256 entries x 16 B.
+    EXPECT_EQ(gp.sm.regfile.numBanks * gp.sm.regfile.entriesPerBank *
+                  kBankEntryBytes,
+              128u * 1024u);
+    // 32768 thread registers = 1024 warp registers.
+    EXPECT_EQ(gp.sm.regfile.totalWarpRegs() * kWarpSize, 32768u);
+}
+
+} // namespace
+} // namespace warpcomp

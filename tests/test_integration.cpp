@@ -1,0 +1,268 @@
+/**
+ * @file
+ * Integration tests: full kernels through the timing simulator (GPU ->
+ * SM -> collectors -> banks -> writeback), checking functional results
+ * in memory, compression transparency, dummy-MOV injection, barriers,
+ * gating behaviour, scheduler policies, and energy invariants.
+ */
+
+#include <gtest/gtest.h>
+
+#include "harness/experiment.hpp"
+#include "isa/builder.hpp"
+#include "workloads/inputs.hpp"
+#include "workloads/workload.hpp"
+
+namespace warpcomp {
+namespace {
+
+/** Fixture wiring a kernel + memories through the Gpu front door. */
+class IntegrationTest : public ::testing::Test
+{
+  protected:
+    IntegrationTest() : gmem_(8 << 20), cmem_(1024) {}
+
+    RunResult
+    runOn(const Kernel &k, LaunchDims dims, CompressionScheme scheme,
+          u32 num_sms = 2, SchedPolicy sched = SchedPolicy::Gto,
+          u32 decomp_latency = 1, u32 comp_latency = 2)
+    {
+        GpuParams gp;
+        gp.numSms = num_sms;
+        gp.sm.scheme = scheme;
+        gp.sm.sched = sched;
+        gp.sm.compressLatency = comp_latency;
+        gp.sm.decompressLatency = decomp_latency;
+        gp.sm.applyScheme();
+        Gpu gpu(gp, gmem_, cmem_);
+        return gpu.run(k, dims);
+    }
+
+    GlobalMemory gmem_;
+    ConstantMemory cmem_;
+};
+
+/** out[gid] = gid * 3 + 1, checked against memory after the run. */
+Kernel
+affineKernel(u64 out_base)
+{
+    KernelBuilder b("affine");
+    Reg tid = b.newReg(), bid = b.newReg(), ntid = b.newReg();
+    b.s2r(tid, SpecialReg::TidX);
+    b.s2r(bid, SpecialReg::CtaIdX);
+    b.s2r(ntid, SpecialReg::NTidX);
+    Reg gid = b.newReg();
+    b.imad(gid, bid, ntid, tid);
+    Reg v = b.newReg();
+    b.imad(v, gid, KernelBuilder::imm(3), KernelBuilder::imm(1));
+    Reg addr = b.newReg();
+    b.imad(addr, gid, KernelBuilder::imm(4),
+           KernelBuilder::imm(static_cast<i32>(out_base)));
+    b.stg(addr, v);
+    return b.build();
+}
+
+TEST_F(IntegrationTest, AffineKernelProducesCorrectMemory)
+{
+    const u32 n = 512;
+    const u64 out = gmem_.alloc(4 * n);
+    const RunResult r = runOn(affineKernel(out), {128, 4},
+                              CompressionScheme::Warped);
+    EXPECT_GT(r.cycles, 0u);
+    for (u32 i = 0; i < n; ++i)
+        EXPECT_EQ(gmem_.read32(out + 4ull * i), i * 3 + 1) << i;
+}
+
+TEST_F(IntegrationTest, CompressionIsFunctionallyTransparent)
+{
+    const u32 n = 512;
+    const u64 out_a = gmem_.alloc(4 * n);
+    const u64 out_b = gmem_.alloc(4 * n);
+    runOn(affineKernel(out_a), {128, 4}, CompressionScheme::None);
+    runOn(affineKernel(out_b), {128, 4}, CompressionScheme::Warped);
+    for (u32 i = 0; i < n; ++i)
+        EXPECT_EQ(gmem_.read32(out_a + 4ull * i),
+                  gmem_.read32(out_b + 4ull * i));
+}
+
+TEST_F(IntegrationTest, CompressionReducesBankTraffic)
+{
+    const u64 out = gmem_.alloc(4 * 512);
+    const RunResult base = runOn(affineKernel(out), {128, 4},
+                                 CompressionScheme::None);
+    const RunResult wc = runOn(affineKernel(out), {128, 4},
+                               CompressionScheme::Warped);
+    EXPECT_LT(wc.meter.bankAccesses(), base.meter.bankAccesses());
+    EXPECT_EQ(base.meter.compActivations(), 0u);
+    EXPECT_EQ(base.meter.decompActivations(), 0u);
+    EXPECT_GT(wc.meter.compActivations(), 0u);
+}
+
+TEST_F(IntegrationTest, BaselineNeverGatesBanks)
+{
+    const u64 out = gmem_.alloc(4 * 512);
+    const RunResult base = runOn(affineKernel(out), {128, 4},
+                                 CompressionScheme::None);
+    for (double frac : base.bankGatedFraction)
+        EXPECT_DOUBLE_EQ(frac, 0.0);
+}
+
+TEST_F(IntegrationTest, CompressedDesignGatesHighBanksMore)
+{
+    const u64 out = gmem_.alloc(4 * 512);
+    const RunResult wc = runOn(affineKernel(out), {128, 4},
+                               CompressionScheme::Warped);
+    // Within each 8-bank cluster, the highest bank must gate at least
+    // as much as the lowest (compressed data packs from bank 0 up).
+    for (u32 c = 0; c < 4; ++c) {
+        EXPECT_GE(wc.bankGatedFraction[c * 8 + 7] + 1e-12,
+                  wc.bankGatedFraction[c * 8 + 0]);
+    }
+}
+
+TEST_F(IntegrationTest, DummyMovInjectedOnDivergentCompressedWrite)
+{
+    // r_v is written uniformly (compressed), then rewritten under
+    // divergence -> exactly the Sec. 5.2 decompress-MOV case.
+    KernelBuilder b("divwrite");
+    Reg lane = b.newReg(), v = b.newReg();
+    Pred p = b.newPred();
+    b.s2r(lane, SpecialReg::LaneId);
+    b.movImm(v, 7);                        // uniform -> compressed
+    b.isetp(p, CmpOp::Lt, lane, KernelBuilder::imm(16));
+    b.if_(p, [&] {
+        b.iadd(v, v, KernelBuilder::imm(1));   // divergent write to v
+    });
+    Reg tid = b.newReg(), bid = b.newReg(), ntid = b.newReg();
+    b.s2r(tid, SpecialReg::TidX);
+    b.s2r(bid, SpecialReg::CtaIdX);
+    b.s2r(ntid, SpecialReg::NTidX);
+    Reg gid = b.newReg(), addr = b.newReg();
+    b.imad(gid, bid, ntid, tid);
+    const u64 buf = gmem_.alloc(4 * 256);
+    b.imad(addr, gid, KernelBuilder::imm(4),
+           KernelBuilder::imm(static_cast<i32>(buf)));
+    b.stg(addr, v);
+    Kernel k = b.build();
+
+    const RunResult wc = runOn(k, {128, 2}, CompressionScheme::Warped);
+    EXPECT_GT(wc.stats.dummyMovs, 0u);
+    // Results must still be exact.
+    for (u32 i = 0; i < 256; ++i) {
+        const u32 expect = (i % 32) < 16 ? 8 : 7;
+        EXPECT_EQ(gmem_.read32(buf + 4ull * i), expect) << i;
+    }
+
+    // The baseline never injects MOVs.
+    const RunResult base = runOn(k, {128, 2}, CompressionScheme::None);
+    EXPECT_EQ(base.stats.dummyMovs, 0u);
+}
+
+TEST_F(IntegrationTest, BarrierOrdersProducerConsumer)
+{
+    // Warp 0 stores to shared memory; after the barrier every warp
+    // reads warp 0's values. Wrong barrier handling would read zeros.
+    KernelBuilder b("barrier", 128);
+    Reg tid = b.newReg();
+    b.s2r(tid, SpecialReg::TidX);
+    Pred is_w0 = b.newPred();
+    b.isetp(is_w0, CmpOp::Lt, tid, KernelBuilder::imm(32));
+    b.if_(is_w0, [&] {
+        Reg sa = b.newReg(), val = b.newReg();
+        b.shl(sa, tid, KernelBuilder::imm(2));
+        b.imad(val, tid, KernelBuilder::imm(2), KernelBuilder::imm(5));
+        b.sts(sa, val);
+    });
+    b.bar();
+    Reg lane = b.newReg(), sa2 = b.newReg(), got = b.newReg();
+    b.s2r(lane, SpecialReg::LaneId);
+    b.shl(sa2, lane, KernelBuilder::imm(2));
+    b.lds(got, sa2);
+    const u64 buf = gmem_.alloc(4 * 256);
+    Reg bid = b.newReg(), ntid = b.newReg(), gid = b.newReg(),
+        addr = b.newReg();
+    b.s2r(bid, SpecialReg::CtaIdX);
+    b.s2r(ntid, SpecialReg::NTidX);
+    b.imad(gid, bid, ntid, tid);
+    b.imad(addr, gid, KernelBuilder::imm(4),
+           KernelBuilder::imm(static_cast<i32>(buf)));
+    b.stg(addr, got);
+    Kernel k = b.build();
+
+    runOn(k, {128, 2}, CompressionScheme::Warped);
+    for (u32 i = 0; i < 256; ++i)
+        EXPECT_EQ(gmem_.read32(buf + 4ull * i), (i % 32) * 2 + 5) << i;
+}
+
+TEST_F(IntegrationTest, SchedulersProduceSameResults)
+{
+    const u32 n = 512;
+    const u64 out_g = gmem_.alloc(4 * n);
+    const u64 out_l = gmem_.alloc(4 * n);
+    const RunResult g = runOn(affineKernel(out_g), {128, 4},
+                              CompressionScheme::Warped, 2,
+                              SchedPolicy::Gto);
+    const RunResult l = runOn(affineKernel(out_l), {128, 4},
+                              CompressionScheme::Warped, 2,
+                              SchedPolicy::Lrr);
+    for (u32 i = 0; i < n; ++i)
+        EXPECT_EQ(gmem_.read32(out_g + 4ull * i),
+                  gmem_.read32(out_l + 4ull * i));
+    EXPECT_GT(g.cycles, 0u);
+    EXPECT_GT(l.cycles, 0u);
+}
+
+TEST_F(IntegrationTest, LatencySweepKeepsResultsExact)
+{
+    const u32 n = 256;
+    for (u32 lat : {2u, 4u, 8u}) {
+        const u64 out = gmem_.alloc(4 * n);
+        runOn(affineKernel(out), {128, 2}, CompressionScheme::Warped, 1,
+              SchedPolicy::Gto, lat, lat);
+        for (u32 i = 0; i < n; ++i)
+            EXPECT_EQ(gmem_.read32(out + 4ull * i), i * 3 + 1);
+    }
+}
+
+TEST_F(IntegrationTest, MoreSmsNeverSlower)
+{
+    const u64 out = gmem_.alloc(4 * 2048);
+    const RunResult one = runOn(affineKernel(out), {128, 16},
+                                CompressionScheme::Warped, 1);
+    const RunResult four = runOn(affineKernel(out), {128, 16},
+                                 CompressionScheme::Warped, 4);
+    EXPECT_LE(four.cycles, one.cycles);
+    EXPECT_EQ(one.ctas, 16u);
+    EXPECT_EQ(four.ctas, 16u);
+}
+
+TEST_F(IntegrationTest, StatsAreConsistent)
+{
+    const u64 out = gmem_.alloc(4 * 512);
+    const RunResult wc = runOn(affineKernel(out), {128, 4},
+                               CompressionScheme::Warped);
+    EXPECT_GT(wc.stats.issued, 0u);
+    EXPECT_LE(wc.stats.issuedDivergent, wc.stats.issued);
+    EXPECT_LE(wc.stats.regWritesDivergent, wc.stats.regWrites);
+    EXPECT_GT(wc.stats.regWrites, 0u);
+    // Every write was measured for compressibility.
+    EXPECT_EQ(wc.stats.ratio.writes(kNonDivergent) +
+                  wc.stats.ratio.writes(kDivergent),
+              wc.stats.regWrites);
+}
+
+TEST_F(IntegrationTest, FixedSchemesRunAndCompressLess)
+{
+    const u64 out = gmem_.alloc(4 * 512);
+    const RunResult warped = runOn(affineKernel(out), {128, 4},
+                                   CompressionScheme::Warped);
+    const RunResult f40 = runOn(affineKernel(out), {128, 4},
+                                CompressionScheme::Fixed40);
+    // The dynamic scheme compresses at least as well as any single
+    // choice (same writes, superset of candidates).
+    EXPECT_GE(warped.stats.ratio.overallRatio() + 1e-9,
+              f40.stats.ratio.overallRatio());
+}
+
+} // namespace
+} // namespace warpcomp

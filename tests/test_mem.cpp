@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Memory substrate tests: functional spaces (alloc/read/write bounds)
+ * and the coalescing / bank-conflict timing model.
+ */
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "mem/mem_timing.hpp"
+#include "mem/memory.hpp"
+
+namespace warpcomp {
+namespace {
+
+TEST(GlobalMemory, AllocAligns)
+{
+    GlobalMemory g(1 << 20);
+    const u64 a = g.alloc(100, 128);
+    const u64 b = g.alloc(4, 128);
+    EXPECT_EQ(a % 128, 0u);
+    EXPECT_EQ(b % 128, 0u);
+    EXPECT_GE(b, a + 100);
+}
+
+TEST(GlobalMemory, ReadWriteRoundtrip)
+{
+    GlobalMemory g(4096);
+    g.write32(8, 0xCAFEBABEu);
+    EXPECT_EQ(g.read32(8), 0xCAFEBABEu);
+    g.writeF32(16, 3.5f);
+    EXPECT_FLOAT_EQ(g.readF32(16), 3.5f);
+}
+
+TEST(GlobalMemory, OutOfBoundsDies)
+{
+    GlobalMemory g(64);
+    EXPECT_DEATH(g.read32(64), "beyond");
+    EXPECT_DEATH(g.write32(100, 1), "beyond");
+}
+
+TEST(GlobalMemory, UnalignedDies)
+{
+    GlobalMemory g(64);
+    EXPECT_DEATH(g.read32(2), "unaligned");
+}
+
+TEST(GlobalMemory, ExhaustionDies)
+{
+    GlobalMemory g(256);
+    g.alloc(128);
+    EXPECT_DEATH(g.alloc(256), "exhausted");
+}
+
+TEST(SharedMemory, Roundtrip)
+{
+    SharedMemory s(1024);
+    s.write32(0, 7);
+    s.write32(1020, 9);
+    EXPECT_EQ(s.read32(0), 7u);
+    EXPECT_EQ(s.read32(1020), 9u);
+    EXPECT_DEATH(s.read32(1024), "beyond");
+}
+
+TEST(ConstantMemory, PushSequence)
+{
+    ConstantMemory c(64);
+    EXPECT_EQ(c.push(11), 0u);
+    EXPECT_EQ(c.push(22), 4u);
+    EXPECT_EQ(c.read32(0), 11u);
+    EXPECT_EQ(c.read32(4), 22u);
+    c.reset();
+    EXPECT_EQ(c.push(33), 0u);
+}
+
+class CoalescingTest : public ::testing::Test
+{
+  protected:
+    std::array<u64, kWarpSize> addrs_{};
+};
+
+TEST_F(CoalescingTest, FullyCoalescedIsOneSegment)
+{
+    for (u32 i = 0; i < kWarpSize; ++i)
+        addrs_[i] = 4096 + 4ull * i;    // 128 contiguous bytes
+    EXPECT_EQ(coalescedSegments(addrs_, kFullMask), 1u);
+}
+
+TEST_F(CoalescingTest, StridedTouchesManySegments)
+{
+    for (u32 i = 0; i < kWarpSize; ++i)
+        addrs_[i] = 4096 + 128ull * i;  // one segment per lane
+    EXPECT_EQ(coalescedSegments(addrs_, kFullMask), 32u);
+}
+
+TEST_F(CoalescingTest, MaskLimitsSegments)
+{
+    for (u32 i = 0; i < kWarpSize; ++i)
+        addrs_[i] = 4096 + 128ull * i;
+    EXPECT_EQ(coalescedSegments(addrs_, 0x3u), 2u);
+}
+
+TEST_F(CoalescingTest, EmptyMaskCountsOne)
+{
+    EXPECT_EQ(coalescedSegments(addrs_, 0), 1u);
+}
+
+TEST_F(CoalescingTest, StraddleBoundary)
+{
+    // 32 words starting 64 bytes into a segment straddle two segments.
+    for (u32 i = 0; i < kWarpSize; ++i)
+        addrs_[i] = 64 + 4ull * i;
+    EXPECT_EQ(coalescedSegments(addrs_, kFullMask), 2u);
+}
+
+TEST_F(CoalescingTest, SharedNoConflictWhenDistinctBanks)
+{
+    for (u32 i = 0; i < kWarpSize; ++i)
+        addrs_[i] = 4ull * i;
+    EXPECT_EQ(sharedConflictDegree(addrs_, kFullMask), 1u);
+}
+
+TEST_F(CoalescingTest, SharedBroadcastIsFree)
+{
+    for (u32 i = 0; i < kWarpSize; ++i)
+        addrs_[i] = 128;                // same word everywhere
+    EXPECT_EQ(sharedConflictDegree(addrs_, kFullMask), 1u);
+}
+
+TEST_F(CoalescingTest, SharedTwoWayConflict)
+{
+    // Stride of 64 bytes: lanes i and i+16 hit the same bank with
+    // different words.
+    for (u32 i = 0; i < kWarpSize; ++i)
+        addrs_[i] = 64ull * i;
+    EXPECT_EQ(sharedConflictDegree(addrs_, kFullMask), 16u);
+}
+
+TEST_F(CoalescingTest, Latencies)
+{
+    MemTimingParams p;
+    EXPECT_EQ(globalAccessLatency(p, 1), p.globalLatency);
+    EXPECT_EQ(globalAccessLatency(p, 5),
+              p.globalLatency + 4 * p.globalPerSegment);
+    EXPECT_EQ(sharedAccessLatency(p, 1), p.sharedLatency);
+    EXPECT_EQ(sharedAccessLatency(p, 3),
+              p.sharedLatency + 2 * p.sharedPerConflict);
+}
+
+} // namespace
+} // namespace warpcomp

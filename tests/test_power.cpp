@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Energy-model tests: Table 3 constants, the per-event accounting, the
+ * post-processing parameter sweeps (Secs. 6.7-6.8), and breakdown
+ * arithmetic.
+ */
+
+#include <gtest/gtest.h>
+
+#include "power/energy_meter.hpp"
+
+namespace warpcomp {
+namespace {
+
+TEST(EnergyParams, Table3Defaults)
+{
+    EnergyParams p;
+    EXPECT_DOUBLE_EQ(p.bankAccessPj, 7.0);
+    EXPECT_DOUBLE_EQ(p.bankLeakMw, 5.8);
+    EXPECT_DOUBLE_EQ(p.compPj, 23.0);
+    EXPECT_DOUBLE_EQ(p.decompPj, 21.0);
+    EXPECT_DOUBLE_EQ(p.compLeakMw, 0.12);
+    EXPECT_DOUBLE_EQ(p.decompLeakMw, 0.08);
+    // Wire energy at default activity reproduces Table 3's 9.6 pJ/mm.
+    EXPECT_NEAR(p.wirePjPerBankTransfer(), 9.6, 1e-9);
+}
+
+TEST(EnergyParams, CycleTime)
+{
+    EnergyParams p;
+    EXPECT_NEAR(p.cycleSeconds(), 1.0 / 1.4e9, 1e-15);
+}
+
+TEST(EnergyMeter, DynamicAccounting)
+{
+    EnergyParams p;
+    EnergyMeter m(p, 0, 0);
+    m.addBankReads(10);
+    m.addBankWrites(5);
+    const EnergyBreakdown e = m.breakdown();
+    EXPECT_NEAR(e.bankDynamicPj, 15 * 7.0, 1e-9);
+    EXPECT_NEAR(e.wireDynamicPj, 15 * 9.6, 1e-9);
+    EXPECT_DOUBLE_EQ(e.compressionPj, 0.0);
+}
+
+TEST(EnergyMeter, CompressionAccounting)
+{
+    EnergyParams p;
+    EnergyMeter m(p, 2, 4);
+    m.addCompActivations(3);
+    m.addDecompActivations(7);
+    const EnergyBreakdown e = m.breakdown();
+    EXPECT_NEAR(e.compressionPj, 3 * 23.0, 1e-9);
+    EXPECT_NEAR(e.decompressionPj, 7 * 21.0, 1e-9);
+}
+
+TEST(EnergyMeter, LeakageAccounting)
+{
+    EnergyParams p;
+    EnergyMeter m(p, 2, 4);
+    m.addCycles(1'400'000'000);        // one second of simulated time
+    m.addAwakeBankCycles(1'400'000'000);   // one bank awake throughout
+    const EnergyBreakdown e = m.breakdown();
+    // One bank leaking 5.8 mW for 1 s = 5.8 mJ = 5.8e9 pJ.
+    EXPECT_NEAR(e.bankLeakagePj, 5.8e9, 1e3);
+    // Units: 2x0.12 + 4x0.08 = 0.56 mW for 1 s.
+    EXPECT_NEAR(e.unitLeakagePj, 0.56e9, 1e3);
+}
+
+TEST(EnergyMeter, BaselineHasNoUnitLeakage)
+{
+    EnergyParams p;
+    EnergyMeter m(p, 0, 0);
+    m.addCycles(1000);
+    EXPECT_DOUBLE_EQ(m.breakdown().unitLeakagePj, 0.0);
+}
+
+TEST(EnergyMeter, AccessScaleSweep)
+{
+    EnergyParams p;
+    EnergyMeter m(p, 0, 0);
+    m.addBankReads(100);
+
+    EnergyParams scaled = p;
+    scaled.accessScale = 2.5;
+    const EnergyBreakdown base = m.breakdown();
+    const EnergyBreakdown hi = m.breakdownWith(scaled);
+    EXPECT_NEAR(hi.bankDynamicPj, 2.5 * base.bankDynamicPj, 1e-9);
+    EXPECT_NEAR(hi.wireDynamicPj, 2.5 * base.wireDynamicPj, 1e-9);
+    EXPECT_DOUBLE_EQ(hi.bankLeakagePj, base.bankLeakagePj);
+}
+
+TEST(EnergyMeter, CompDecompScaleSweep)
+{
+    EnergyParams p;
+    EnergyMeter m(p, 2, 4);
+    m.addCompActivations(10);
+    m.addDecompActivations(10);
+
+    EnergyParams scaled = p;
+    scaled.compDecompScale = 1.5;
+    const EnergyBreakdown hi = m.breakdownWith(scaled);
+    EXPECT_NEAR(hi.compressionPj, 1.5 * 10 * 23.0, 1e-9);
+    EXPECT_NEAR(hi.decompressionPj, 1.5 * 10 * 21.0, 1e-9);
+}
+
+TEST(EnergyMeter, WireActivitySweep)
+{
+    EnergyParams p;
+    EnergyMeter m(p, 0, 0);
+    m.addBankReads(10);
+
+    EnergyParams full = p;
+    full.wireActivity = 1.0;
+    EXPECT_NEAR(m.breakdownWith(full).wireDynamicPj, 10 * 38.4, 1e-9);
+    EnergyParams off = p;
+    off.wireActivity = 0.0;
+    EXPECT_DOUBLE_EQ(m.breakdownWith(off).wireDynamicPj, 0.0);
+}
+
+TEST(EnergyMeter, MergeSumsEvents)
+{
+    EnergyParams p;
+    EnergyMeter a(p, 2, 4), b(p, 2, 4);
+    a.addBankReads(10);
+    b.addBankReads(20);
+    b.addCompActivations(5);
+    a.merge(b);
+    EXPECT_EQ(a.bankReads(), 30u);
+    EXPECT_EQ(a.compActivations(), 5u);
+}
+
+TEST(EnergyBreakdown, TotalsAddUp)
+{
+    EnergyBreakdown e;
+    e.bankDynamicPj = 1;
+    e.wireDynamicPj = 2;
+    e.compressionPj = 3;
+    e.decompressionPj = 4;
+    e.bankLeakagePj = 5;
+    e.unitLeakagePj = 6;
+    EXPECT_DOUBLE_EQ(e.dynamicPj(), 3.0);
+    EXPECT_DOUBLE_EQ(e.leakagePj(), 11.0);
+    EXPECT_DOUBLE_EQ(e.totalPj(), 21.0);
+}
+
+} // namespace
+} // namespace warpcomp

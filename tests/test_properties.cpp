@@ -1,0 +1,212 @@
+/**
+ * @file
+ * Cross-cutting property sweeps: register-file geometry variants,
+ * energy-model linearity under re-pricing, disassembler coverage of
+ * the whole opcode table, stats merging, and multi-SM equivalence
+ * invariants.
+ */
+
+#include <gtest/gtest.h>
+
+#include "harness/experiment.hpp"
+#include "isa/disasm.hpp"
+#include "regfile/regfile.hpp"
+
+namespace warpcomp {
+namespace {
+
+/** Register-file geometry sweep: (banks, entries). */
+class RegFileGeometry
+    : public ::testing::TestWithParam<std::pair<u32, u32>>
+{
+};
+
+TEST_P(RegFileGeometry, AllocatesAndLocatesConsistently)
+{
+    const auto [banks, entries] = GetParam();
+    RegFileParams p;
+    p.numBanks = banks;
+    p.entriesPerBank = entries;
+    p.gatingEnabled = true;
+    p.validAtAlloc = false;
+    RegisterFile rf(p);
+
+    EXPECT_EQ(rf.numBanks(), banks);
+    EXPECT_EQ(p.numClusters(), banks / kBanksPerWarpReg);
+    EXPECT_EQ(p.totalWarpRegs(), p.numClusters() * entries);
+
+    // Fill the file completely in 16-register slots.
+    const u32 slots = p.totalWarpRegs() / 16;
+    for (u32 s = 0; s < slots; ++s)
+        ASSERT_TRUE(rf.allocate(s, 16, 0)) << s;
+    EXPECT_FALSE(rf.canAllocate(1));
+
+    // Every located register stays within bounds and within its
+    // cluster's bank range.
+    for (u32 s = 0; s < slots; s += 7) {
+        for (u32 r = 0; r < 16; r += 5) {
+            const RegSlot loc = rf.locate(s, r);
+            EXPECT_LT(loc.cluster, p.numClusters());
+            EXPECT_LT(loc.entry, entries);
+            EXPECT_LE(loc.firstBank() + kBanksPerWarpReg, banks);
+        }
+    }
+
+    // Release everything; the file must be whole again.
+    for (u32 s = 0; s < slots; ++s)
+        rf.release(s, 10);
+    EXPECT_TRUE(rf.allocate(0, p.totalWarpRegs(), 20));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, RegFileGeometry,
+    ::testing::Values(std::make_pair(32u, 256u),   // Table 2
+                      std::make_pair(32u, 128u),   // half-size RF
+                      std::make_pair(64u, 256u),   // doubled banks
+                      std::make_pair(16u, 64u),    // small embedded
+                      std::make_pair(8u, 32u)));   // single cluster
+
+/** Energy re-pricing must be linear in each knob. */
+TEST(EnergyLinearity, AccessScale)
+{
+    EnergyParams p;
+    EnergyMeter m(p, 2, 4);
+    m.addBankReads(123);
+    m.addBankWrites(45);
+    m.addCompActivations(6);
+    m.addCycles(1000);
+    m.addAwakeBankCycles(32000);
+
+    EnergyParams a = p, b = p;
+    a.accessScale = 1.5;
+    b.accessScale = 3.0;
+    const double base_dyn = m.breakdownWith(p).dynamicPj();
+    EXPECT_NEAR(m.breakdownWith(a).dynamicPj(), 1.5 * base_dyn, 1e-6);
+    EXPECT_NEAR(m.breakdownWith(b).dynamicPj(), 3.0 * base_dyn, 1e-6);
+    // Leakage is unaffected by the access knob.
+    EXPECT_DOUBLE_EQ(m.breakdownWith(a).leakagePj(),
+                     m.breakdownWith(p).leakagePj());
+}
+
+TEST(EnergyLinearity, WireActivityIsAffine)
+{
+    EnergyParams p;
+    EnergyMeter m(p, 0, 0);
+    m.addBankReads(100);
+
+    auto wire_at = [&](double act) {
+        EnergyParams q = p;
+        q.wireActivity = act;
+        return m.breakdownWith(q).wireDynamicPj;
+    };
+    // Halfway activity = halfway energy (affine through zero).
+    EXPECT_NEAR(wire_at(0.5), (wire_at(0.0) + wire_at(1.0)) / 2.0, 1e-9);
+    EXPECT_DOUBLE_EQ(wire_at(0.0), 0.0);
+}
+
+TEST(EnergyLinearity, LeakageScalesWithTime)
+{
+    EnergyParams p;
+    EnergyMeter m1(p, 2, 4), m2(p, 2, 4);
+    m1.addCycles(1000);
+    m1.addAwakeBankCycles(32 * 1000);
+    m2.addCycles(3000);
+    m2.addAwakeBankCycles(32 * 3000);
+    EXPECT_NEAR(m2.breakdown().leakagePj(),
+                3.0 * m1.breakdown().leakagePj(), 1e-6);
+}
+
+/** Every opcode must disassemble to its table mnemonic. */
+class DisasmCoverage : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(DisasmCoverage, MnemonicPresent)
+{
+    const Opcode op = static_cast<Opcode>(GetParam());
+    Instruction in;
+    in.op = op;
+    if (writesGpr(op))
+        in.dst = 1;
+    if (writesPred(op))
+        in.dstPred = 0;
+    if (op == Opcode::PAnd || op == Opcode::POr || op == Opcode::PNot) {
+        in.srcPred = 0;
+        in.srcPred2 = op == Opcode::PNot ? kNoPred : 1;
+    }
+    const std::string text = disassemble(in);
+    EXPECT_NE(text.find(opcodeName(op)), std::string::npos) << text;
+    // Every opcode belongs to a class and has a defined writer role.
+    (void)execClass(op);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllOpcodes, DisasmCoverage,
+    ::testing::Range(0, static_cast<int>(Opcode::NumOpcodes)));
+
+TEST(SimStatsMerge, AllFieldsAccumulate)
+{
+    SimStats a, b;
+    a.issued = 10;
+    a.dummyMovs = 1;
+    a.bdiSelect[2] = 5;
+    a.compressedFracSum[kDivergent] = 0.5;
+    a.compressedFracSamples[kDivergent] = 1;
+    b.issued = 20;
+    b.issuedDivergent = 4;
+    b.regWrites = 7;
+    b.bdiSelect[2] = 3;
+    b.bdiSelect[7] = 2;
+    a.merge(b);
+    EXPECT_EQ(a.issued, 30u);
+    EXPECT_EQ(a.issuedDivergent, 4u);
+    EXPECT_EQ(a.regWrites, 7u);
+    EXPECT_EQ(a.dummyMovs, 1u);
+    EXPECT_EQ(a.bdiSelect[2], 8u);
+    EXPECT_EQ(a.bdiSelect[7], 2u);
+    EXPECT_DOUBLE_EQ(a.compressedFraction(kDivergent), 0.5);
+}
+
+TEST(MultiSm, SameWorkPerSmCountInvariants)
+{
+    // Splitting the grid across more SMs must not change what was
+    // computed, only when: instruction counts and register writes are
+    // machine-size independent.
+    ExperimentConfig one;
+    one.numSms = 1;
+    ExperimentConfig four;
+    four.numSms = 4;
+    const ExperimentResult r1 = runWorkload("nw", one);
+    const ExperimentResult r4 = runWorkload("nw", four);
+    EXPECT_EQ(r1.run.stats.issued, r4.run.stats.issued);
+    EXPECT_EQ(r1.run.stats.regWrites, r4.run.stats.regWrites);
+    EXPECT_EQ(r1.run.ctas, r4.run.ctas);
+    EXPECT_LE(r4.run.cycles, r1.run.cycles);
+}
+
+TEST(MultiSm, BankAccessesMachineIndependent)
+{
+    ExperimentConfig one;
+    one.numSms = 2;
+    ExperimentConfig two;
+    two.numSms = 8;
+    const ExperimentResult a = runWorkload("stencil", one);
+    const ExperimentResult c = runWorkload("stencil", two);
+    EXPECT_EQ(a.run.meter.bankAccesses(), c.run.meter.bankAccesses());
+    EXPECT_EQ(a.run.meter.compActivations(),
+              c.run.meter.compActivations());
+}
+
+TEST(Reproducibility, WholeSuiteStatsStableAcrossProcessRuns)
+{
+    // Deterministic seeds + deterministic sim: two in-process builds of
+    // the same workload produce byte-identical inputs.
+    WorkloadInstance a = makeWorkload("spmv");
+    WorkloadInstance b = makeWorkload("spmv");
+    EXPECT_EQ(a.kernel.size(), b.kernel.size());
+    for (u32 addr = 0; addr < 1024; addr += 4)
+        EXPECT_EQ(a.gmem->read32(addr), b.gmem->read32(addr));
+}
+
+} // namespace
+} // namespace warpcomp

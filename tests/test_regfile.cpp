@@ -1,0 +1,320 @@
+/**
+ * @file
+ * Register-file tests: power-gate FSM, per-bank valid bits, warp
+ * register allocation/release, compressed footprints, wakeup stalls,
+ * and the incremental compressed-register census.
+ */
+
+#include <gtest/gtest.h>
+
+#include "regfile/regfile.hpp"
+
+namespace warpcomp {
+namespace {
+
+BdiEncoded
+encodeUniform(u32 value)
+{
+    WarpRegValue v{};
+    v.fill(value);
+    return bdiCompress(toBytes(v), warpedCandidates());
+}
+
+BdiEncoded
+encodeStride(u32 base, u32 stride)
+{
+    WarpRegValue v{};
+    for (u32 i = 0; i < kWarpSize; ++i)
+        v[i] = base + stride * i;
+    return bdiCompress(toBytes(v), warpedCandidates());
+}
+
+BdiEncoded
+encodeRandomish()
+{
+    WarpRegValue v{};
+    for (u32 i = 0; i < kWarpSize; ++i)
+        v[i] = i * 0x9E3779B9u;
+    return bdiCompress(toBytes(v), warpedCandidates());
+}
+
+TEST(PowerGate, DisabledNeverGates)
+{
+    PowerGate g(10, false);
+    EXPECT_EQ(g.state(0), PowerGate::State::On);
+    g.sleep(5);
+    EXPECT_EQ(g.state(6), PowerGate::State::On);
+    EXPECT_EQ(g.gatedCycles(100), 0u);
+}
+
+TEST(PowerGate, EnabledStartsOff)
+{
+    PowerGate g(10, true);
+    EXPECT_TRUE(g.isOff(0));
+    EXPECT_EQ(g.gatedCycles(50), 50u);
+}
+
+TEST(PowerGate, WakeTakesLatency)
+{
+    PowerGate g(10, true);
+    const Cycle ready = g.wake(100);
+    EXPECT_EQ(ready, 110u);
+    EXPECT_EQ(g.state(105), PowerGate::State::Waking);
+    EXPECT_EQ(g.state(110), PowerGate::State::On);
+    EXPECT_EQ(g.gatedCycles(200), 100u);
+}
+
+TEST(PowerGate, WakeWhileWakingJoins)
+{
+    PowerGate g(10, true);
+    const Cycle r1 = g.wake(100);
+    const Cycle r2 = g.wake(104);
+    EXPECT_EQ(r1, r2);
+}
+
+TEST(PowerGate, SleepThenWakeAccumulates)
+{
+    PowerGate g(10, true);
+    g.wake(0);                  // ready at 10
+    g.sleep(20);
+    EXPECT_EQ(g.wake(50), 60u);
+    // 0..0 off before first wake (0 cycles) + 20..50 off = 30.
+    EXPECT_EQ(g.gatedCycles(100), 30u);
+}
+
+TEST(PowerGate, SleepWhileWakingIgnored)
+{
+    PowerGate g(10, true);
+    g.wake(0);
+    g.sleep(5);                 // still waking; must not re-gate
+    EXPECT_EQ(g.state(10), PowerGate::State::On);
+}
+
+TEST(Bank, ValidCountTracksEntries)
+{
+    Bank b(16, 10, true);
+    b.gate().wake(0);
+    b.setValid(3, true, 10);
+    b.setValid(4, true, 10);
+    EXPECT_EQ(b.validCount(), 2u);
+    b.setValid(3, false, 11);
+    EXPECT_EQ(b.validCount(), 1u);
+    EXPECT_FALSE(b.gate().isOff(11));
+    b.setValid(4, false, 12);
+    EXPECT_EQ(b.validCount(), 0u);
+    EXPECT_TRUE(b.gate().isOff(12));
+}
+
+TEST(Bank, RedundantSetValidIsIdempotent)
+{
+    Bank b(8, 10, true);
+    b.gate().wake(0);
+    b.setValid(0, true, 10);
+    b.setValid(0, true, 10);
+    EXPECT_EQ(b.validCount(), 1u);
+}
+
+TEST(Bank, SettingValidInGatedBankDies)
+{
+    Bank b(8, 10, true);
+    EXPECT_DEATH(b.setValid(0, true, 0), "wake it first");
+}
+
+class RegFileTest : public ::testing::Test
+{
+  protected:
+    RegFileParams
+    wcParams()
+    {
+        RegFileParams p;
+        p.gatingEnabled = true;
+        p.validAtAlloc = false;
+        return p;
+    }
+
+    RegFileParams
+    baseParams()
+    {
+        RegFileParams p;
+        p.gatingEnabled = false;
+        p.validAtAlloc = true;
+        return p;
+    }
+};
+
+TEST_F(RegFileTest, GeometryDefaults)
+{
+    RegisterFile rf(wcParams());
+    EXPECT_EQ(rf.numBanks(), 32u);
+    EXPECT_EQ(rf.params().numClusters(), 4u);
+    EXPECT_EQ(rf.params().totalWarpRegs(), 1024u);
+}
+
+TEST_F(RegFileTest, AllocationInterleavesClusters)
+{
+    RegisterFile rf(wcParams());
+    ASSERT_TRUE(rf.allocate(0, 8, 0));
+    const RegSlot s0 = rf.locate(0, 0);
+    const RegSlot s1 = rf.locate(0, 1);
+    const RegSlot s4 = rf.locate(0, 4);
+    EXPECT_EQ(s0.cluster, 0u);
+    EXPECT_EQ(s1.cluster, 1u);
+    EXPECT_EQ(s4.cluster, 0u);
+    EXPECT_EQ(s4.entry, s0.entry + 1);
+}
+
+TEST_F(RegFileTest, CapacityExhaustion)
+{
+    RegisterFile rf(wcParams());
+    ASSERT_TRUE(rf.allocate(0, 1000, 0));
+    EXPECT_FALSE(rf.canAllocate(25));
+    EXPECT_FALSE(rf.allocate(1, 25, 0));
+    EXPECT_TRUE(rf.allocate(1, 24, 0));
+}
+
+TEST_F(RegFileTest, ReleaseCoalescesFreeList)
+{
+    RegisterFile rf(wcParams());
+    ASSERT_TRUE(rf.allocate(0, 100, 0));
+    ASSERT_TRUE(rf.allocate(1, 100, 0));
+    ASSERT_TRUE(rf.allocate(2, 100, 0));
+    rf.release(1, 10);
+    rf.release(0, 10);
+    rf.release(2, 10);
+    // Everything back: a single 1024-register allocation must succeed.
+    EXPECT_TRUE(rf.allocate(3, 1024, 20));
+}
+
+TEST_F(RegFileTest, UnwrittenRegisterHasNoFootprint)
+{
+    RegisterFile rf(wcParams());
+    ASSERT_TRUE(rf.allocate(0, 4, 0));
+    const RegAccess a = rf.readAccess(0, 2);
+    EXPECT_EQ(a.numBanks, 0u);
+    EXPECT_FALSE(a.compressed);
+    EXPECT_FALSE(rf.isWritten(0, 2));
+}
+
+TEST_F(RegFileTest, BaselineRegisterOccupiesFullStripe)
+{
+    RegisterFile rf(baseParams());
+    ASSERT_TRUE(rf.allocate(0, 4, 0));
+    const RegAccess a = rf.readAccess(0, 0);
+    EXPECT_EQ(a.numBanks, kBanksPerWarpReg);
+    EXPECT_EQ(a.bytes, kWarpRegBytes);
+}
+
+TEST_F(RegFileTest, CompressedWriteShrinksFootprint)
+{
+    RegisterFile rf(wcParams());
+    ASSERT_TRUE(rf.allocate(0, 4, 0));
+
+    auto [ready, acc] = rf.recordWrite(0, 0, encodeUniform(7), 100);
+    EXPECT_EQ(acc.numBanks, 1u);
+    EXPECT_TRUE(acc.compressed);
+    EXPECT_GE(ready, 100u);             // wakeup may defer completion
+    EXPECT_EQ(rf.indicator(0, 0), RangeIndicator::Base40);
+
+    const RegAccess r = rf.readAccess(0, 0);
+    EXPECT_EQ(r.numBanks, 1u);
+    EXPECT_EQ(r.bytes, 4u);
+}
+
+TEST_F(RegFileTest, UncompressedOverwriteGrowsThenShrinks)
+{
+    RegisterFile rf(wcParams());
+    ASSERT_TRUE(rf.allocate(0, 1, 0));
+
+    rf.recordWrite(0, 0, encodeRandomish(), 0);
+    EXPECT_EQ(rf.readAccess(0, 0).numBanks, 8u);
+
+    Cycle t = 100;
+    auto [ready, acc] = rf.recordWrite(0, 0, encodeStride(5, 1), t);
+    EXPECT_EQ(acc.numBanks, 3u);        // <4,1>
+    // Banks 3..7 of the cluster must have been invalidated.
+    const RegSlot s = rf.locate(0, 0);
+    for (u32 b = 3; b < 8; ++b)
+        EXPECT_FALSE(rf.bank(s.firstBank() + b).valid(s.entry));
+    for (u32 b = 0; b < 3; ++b)
+        EXPECT_TRUE(rf.bank(s.firstBank() + b).valid(s.entry));
+}
+
+TEST_F(RegFileTest, WakeupStallOnGatedBank)
+{
+    RegisterFile rf(wcParams());
+    ASSERT_TRUE(rf.allocate(0, 1, 0));
+    // All banks start gated; the first write pays the wakeup.
+    auto [ready, acc] = rf.recordWrite(0, 0, encodeUniform(1), 50);
+    EXPECT_EQ(ready, 50u + rf.params().wakeupLatency);
+    // A second write to the (now-awake) bank completes immediately.
+    auto [ready2, acc2] = rf.recordWrite(0, 0, encodeUniform(2), 80);
+    EXPECT_EQ(ready2, 80u);
+}
+
+TEST_F(RegFileTest, GatingFreesUnusedBanks)
+{
+    RegisterFile rf(wcParams());
+    ASSERT_TRUE(rf.allocate(0, 1, 0));
+    rf.recordWrite(0, 0, encodeUniform(3), 0);
+    // Only one bank awake in that cluster (plus none elsewhere).
+    EXPECT_EQ(rf.awakeBanks(20), 1u);
+    rf.release(0, 30);
+    EXPECT_EQ(rf.awakeBanks(40), 0u);
+}
+
+TEST_F(RegFileTest, BaselineNeverGates)
+{
+    RegisterFile rf(baseParams());
+    ASSERT_TRUE(rf.allocate(0, 4, 0));
+    rf.release(0, 10);
+    EXPECT_EQ(rf.awakeBanks(20), 32u);
+    for (u32 b = 0; b < 32; ++b)
+        EXPECT_EQ(rf.gatedCycles(b, 100), 0u);
+}
+
+TEST_F(RegFileTest, CensusTracksTransitions)
+{
+    RegisterFile rf(wcParams());
+    ASSERT_TRUE(rf.allocate(0, 3, 0));
+    EXPECT_EQ(rf.compressedCensus(), (std::pair<u32, u32>{0, 0}));
+
+    rf.recordWrite(0, 0, encodeUniform(1), 0);
+    rf.recordWrite(0, 1, encodeRandomish(), 0);
+    EXPECT_EQ(rf.compressedCensus(), (std::pair<u32, u32>{1, 2}));
+
+    rf.recordWrite(0, 1, encodeUniform(2), 10);     // now compressed
+    EXPECT_EQ(rf.compressedCensus(), (std::pair<u32, u32>{2, 2}));
+
+    rf.recordWrite(0, 0, encodeRandomish(), 20);    // decompressed
+    EXPECT_EQ(rf.compressedCensus(), (std::pair<u32, u32>{1, 2}));
+
+    rf.release(0, 30);
+    EXPECT_EQ(rf.compressedCensus(), (std::pair<u32, u32>{0, 0}));
+}
+
+TEST_F(RegFileTest, WriteCountersPerBank)
+{
+    RegisterFile rf(wcParams());
+    ASSERT_TRUE(rf.allocate(0, 1, 0));
+    auto [ready, acc] = rf.recordWrite(0, 0, encodeStride(0, 1), 0);
+    u64 writes = 0;
+    for (u32 b = 0; b < rf.numBanks(); ++b)
+        writes += rf.bank(b).writes();
+    EXPECT_EQ(writes, acc.numBanks);
+}
+
+TEST_F(RegFileTest, DoubleAllocateSameSlotDies)
+{
+    RegisterFile rf(wcParams());
+    ASSERT_TRUE(rf.allocate(0, 4, 0));
+    EXPECT_DEATH(rf.allocate(0, 4, 0), "already allocated");
+}
+
+TEST_F(RegFileTest, AccessToInactiveSlotDies)
+{
+    RegisterFile rf(wcParams());
+    EXPECT_DEATH(rf.readAccess(3, 0), "inactive warp slot");
+}
+
+} // namespace
+} // namespace warpcomp

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Register-file-cache comparator tests: LRU mechanics, per-warp
+ * isolation, hit accounting, and the system-level invariants (RFC
+ * filters bank reads without changing results; composes with
+ * compression).
+ */
+
+#include <gtest/gtest.h>
+
+#include "harness/experiment.hpp"
+#include "regfile/rfc.hpp"
+
+namespace warpcomp {
+namespace {
+
+TEST(Rfc, DisabledNeverHits)
+{
+    RegFileCache rfc(4, 0);
+    EXPECT_FALSE(rfc.enabled());
+    rfc.fill(0, 3);
+    EXPECT_FALSE(rfc.lookup(0, 3));
+    EXPECT_EQ(rfc.hits(), 0u);
+    EXPECT_EQ(rfc.misses(), 0u);        // disabled lookups don't count
+}
+
+TEST(Rfc, FillThenHit)
+{
+    RegFileCache rfc(4, 2);
+    EXPECT_FALSE(rfc.lookup(0, 3));
+    rfc.fill(0, 3);
+    EXPECT_TRUE(rfc.lookup(0, 3));
+    EXPECT_EQ(rfc.hits(), 1u);
+    EXPECT_EQ(rfc.misses(), 1u);
+}
+
+TEST(Rfc, LruEviction)
+{
+    RegFileCache rfc(1, 2);
+    rfc.fill(0, 1);
+    rfc.fill(0, 2);
+    rfc.fill(0, 3);                     // evicts r1 (LRU)
+    EXPECT_FALSE(rfc.lookup(0, 1));
+    EXPECT_TRUE(rfc.lookup(0, 2));
+    EXPECT_TRUE(rfc.lookup(0, 3));
+}
+
+TEST(Rfc, LookupRefreshesLru)
+{
+    RegFileCache rfc(1, 2);
+    rfc.fill(0, 1);
+    rfc.fill(0, 2);
+    EXPECT_TRUE(rfc.lookup(0, 1));      // r1 becomes MRU
+    rfc.fill(0, 3);                     // evicts r2, not r1
+    EXPECT_TRUE(rfc.lookup(0, 1));
+    EXPECT_FALSE(rfc.lookup(0, 2));
+}
+
+TEST(Rfc, RefillDoesNotDuplicate)
+{
+    RegFileCache rfc(1, 2);
+    rfc.fill(0, 1);
+    rfc.fill(0, 1);
+    rfc.fill(0, 2);
+    // Both must still be resident: the double fill of r1 took one slot.
+    EXPECT_TRUE(rfc.lookup(0, 1));
+    EXPECT_TRUE(rfc.lookup(0, 2));
+}
+
+TEST(Rfc, WarpsAreIsolated)
+{
+    RegFileCache rfc(2, 2);
+    rfc.fill(0, 5);
+    EXPECT_FALSE(rfc.lookup(1, 5));
+    EXPECT_TRUE(rfc.lookup(0, 5));
+}
+
+TEST(Rfc, ClearWarpDropsEntries)
+{
+    RegFileCache rfc(2, 2);
+    rfc.fill(0, 5);
+    rfc.fill(1, 6);
+    rfc.clearWarp(0);
+    EXPECT_FALSE(rfc.lookup(0, 5));
+    EXPECT_TRUE(rfc.lookup(1, 6));
+}
+
+TEST(Rfc, HitRate)
+{
+    RegFileCache rfc(1, 4);
+    rfc.fill(0, 1);
+    rfc.lookup(0, 1);
+    rfc.lookup(0, 2);
+    EXPECT_DOUBLE_EQ(rfc.hitRate(), 0.5);
+}
+
+TEST(RfcSystem, FiltersBankReadsWithoutChangingResults)
+{
+    ExperimentConfig plain;
+    plain.scheme = CompressionScheme::None;
+    plain.numSms = 2;
+    ExperimentConfig cached = plain;
+    cached.rfcEntries = 6;
+
+    const ExperimentResult a = runWorkload("lud", plain);
+    const ExperimentResult b = runWorkload("lud", cached);
+    EXPECT_LT(b.run.meter.bankReads(), a.run.meter.bankReads());
+    EXPECT_GT(b.run.rfcHits, 0u);
+    EXPECT_EQ(a.run.rfcHits, 0u);
+    // Same instruction stream either way.
+    EXPECT_EQ(a.run.stats.issued, b.run.stats.issued);
+}
+
+TEST(RfcSystem, ComposesWithCompression)
+{
+    ExperimentConfig wc;
+    wc.numSms = 2;
+    ExperimentConfig both = wc;
+    both.rfcEntries = 6;
+    const ExperimentResult rw = runWorkload("backprop", wc);
+    const ExperimentResult rb = runWorkload("backprop", both);
+    EXPECT_LT(rb.run.meter.bankAccesses(), rw.run.meter.bankAccesses());
+}
+
+TEST(RfcSystem, BiggerCacheHitsMore)
+{
+    ExperimentConfig small;
+    small.scheme = CompressionScheme::None;
+    small.rfcEntries = 2;
+    small.numSms = 2;
+    ExperimentConfig big = small;
+    big.rfcEntries = 12;
+    const ExperimentResult rs = runWorkload("gaussian", small);
+    const ExperimentResult rb = runWorkload("gaussian", big);
+    const double hr_small = static_cast<double>(rs.run.rfcHits) /
+        static_cast<double>(rs.run.rfcHits + rs.run.rfcMisses);
+    const double hr_big = static_cast<double>(rb.run.rfcHits) /
+        static_cast<double>(rb.run.rfcHits + rb.run.rfcMisses);
+    EXPECT_GE(hr_big, hr_small);
+}
+
+TEST(RfcSystem, MeterChargesRfcEnergy)
+{
+    ExperimentConfig cfg;
+    cfg.scheme = CompressionScheme::None;
+    cfg.rfcEntries = 6;
+    cfg.numSms = 2;
+    const ExperimentResult r = runWorkload("nw", cfg);
+    const EnergyBreakdown e = r.run.meter.breakdown();
+    EXPECT_GT(e.rfcDynamicPj, 0.0);
+    EXPECT_GT(r.run.meter.rfcAccesses(), 0u);
+}
+
+} // namespace
+} // namespace warpcomp

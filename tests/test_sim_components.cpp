@@ -1,0 +1,276 @@
+/**
+ * @file
+ * Tests for the SM building blocks: scoreboard hazards, GTO/LRR
+ * scheduler policies, bank-arbiter port allocation, collector pool
+ * lifecycle, unit pools, and dispatch limiters.
+ */
+
+#include <gtest/gtest.h>
+
+#include "compress/unit.hpp"
+#include "sim/arbiter.hpp"
+#include "sim/collector.hpp"
+#include "sim/exec_unit.hpp"
+#include "sim/scheduler.hpp"
+#include "sim/scoreboard.hpp"
+
+namespace warpcomp {
+namespace {
+
+Instruction
+addInst(u8 dst, u8 a, u8 b)
+{
+    Instruction in;
+    in.op = Opcode::IAdd;
+    in.dst = dst;
+    in.src[0] = Operand::fromReg(a);
+    in.src[1] = Operand::fromReg(b);
+    return in;
+}
+
+TEST(Scoreboard, RawHazardBlocks)
+{
+    Scoreboard sb(4);
+    const Instruction w = addInst(3, 1, 2);
+    EXPECT_TRUE(sb.canIssue(0, w));
+    sb.reserve(0, w);
+    const Instruction r = addInst(4, 3, 1);     // reads pending r3
+    EXPECT_FALSE(sb.canIssue(0, r));
+    sb.releaseReg(0, 3);
+    EXPECT_TRUE(sb.canIssue(0, r));
+}
+
+TEST(Scoreboard, WawHazardBlocks)
+{
+    Scoreboard sb(4);
+    sb.reserve(0, addInst(3, 1, 2));
+    EXPECT_FALSE(sb.canIssue(0, addInst(3, 5, 6)));
+}
+
+TEST(Scoreboard, WarpsAreIndependent)
+{
+    Scoreboard sb(4);
+    sb.reserve(0, addInst(3, 1, 2));
+    EXPECT_TRUE(sb.canIssue(1, addInst(4, 3, 1)));
+}
+
+TEST(Scoreboard, PredicateHazards)
+{
+    Scoreboard sb(2);
+    Instruction setp;
+    setp.op = Opcode::ISetP;
+    setp.dstPred = 1;
+    setp.src[0] = Operand::fromReg(0);
+    setp.src[1] = Operand::fromImm(0);
+    sb.reserve(0, setp);
+
+    Instruction guarded = addInst(2, 0, 1);
+    guarded.guardPred = 1;
+    EXPECT_FALSE(sb.canIssue(0, guarded));
+
+    Instruction pand;
+    pand.op = Opcode::PAnd;
+    pand.dstPred = 2;
+    pand.srcPred = 0;
+    pand.srcPred2 = 1;          // reads pending p1
+    EXPECT_FALSE(sb.canIssue(0, pand));
+
+    sb.releasePred(0, 1);
+    EXPECT_TRUE(sb.canIssue(0, guarded));
+    EXPECT_TRUE(sb.canIssue(0, pand));
+}
+
+TEST(Scoreboard, IdleAndClear)
+{
+    Scoreboard sb(2);
+    EXPECT_TRUE(sb.idle(0));
+    sb.reserve(0, addInst(1, 0, 0));
+    EXPECT_FALSE(sb.idle(0));
+    sb.clearWarp(0);
+    EXPECT_TRUE(sb.idle(0));
+}
+
+TEST(Scoreboard, DoubleReleaseDies)
+{
+    Scoreboard sb(1);
+    sb.reserve(0, addInst(1, 0, 0));
+    sb.releaseReg(0, 1);
+    EXPECT_DEATH(sb.releaseReg(0, 1), "not reserved");
+}
+
+TEST(Scheduler, GtoSticksWithGreedyWarp)
+{
+    WarpScheduler s(SchedPolicy::Gto, {0, 1, 2});
+    auto all_ready = [](u32) { return true; };
+    auto age = [](u32 slot) { return u64{slot}; };
+
+    EXPECT_EQ(s.pick(all_ready, age), 0);       // oldest first
+    s.noteIssued(0);
+    EXPECT_EQ(s.pick(all_ready, age), 0);       // greedy
+    s.noteIssued(0);
+    // When the greedy warp stalls, the oldest ready warp wins.
+    auto ready_not0 = [](u32 slot) { return slot != 0; };
+    EXPECT_EQ(s.pick(ready_not0, age), 1);
+}
+
+TEST(Scheduler, GtoPicksOldestByAge)
+{
+    WarpScheduler s(SchedPolicy::Gto, {0, 1, 2});
+    auto all_ready = [](u32) { return true; };
+    // Slot 2 is the oldest (smallest stamp).
+    auto age = [](u32 slot) { return u64{10 - slot}; };
+    EXPECT_EQ(s.pick(all_ready, age), 2);
+}
+
+TEST(Scheduler, LrrRotates)
+{
+    WarpScheduler s(SchedPolicy::Lrr, {0, 1, 2});
+    auto all_ready = [](u32) { return true; };
+    auto age = [](u32) { return u64{0}; };
+    EXPECT_EQ(s.pick(all_ready, age), 0);
+    s.noteIssued(0);
+    EXPECT_EQ(s.pick(all_ready, age), 1);
+    s.noteIssued(1);
+    EXPECT_EQ(s.pick(all_ready, age), 2);
+    s.noteIssued(2);
+    EXPECT_EQ(s.pick(all_ready, age), 0);
+}
+
+TEST(Scheduler, LrrSkipsStalled)
+{
+    WarpScheduler s(SchedPolicy::Lrr, {0, 1, 2});
+    auto age = [](u32) { return u64{0}; };
+    auto only2 = [](u32 slot) { return slot == 2; };
+    EXPECT_EQ(s.pick(only2, age), 2);
+}
+
+TEST(Scheduler, NothingReady)
+{
+    WarpScheduler s(SchedPolicy::Gto, {0, 1});
+    auto none = [](u32) { return false; };
+    auto age = [](u32) { return u64{0}; };
+    EXPECT_EQ(s.pick(none, age), -1);
+}
+
+TEST(Arbiter, OneReadPortPerBank)
+{
+    BankArbiter a(32);
+    a.newCycle();
+    EXPECT_TRUE(a.tryRead(5));
+    EXPECT_FALSE(a.tryRead(5));
+    EXPECT_TRUE(a.tryRead(6));
+    a.newCycle();
+    EXPECT_TRUE(a.tryRead(5));
+}
+
+TEST(Arbiter, WriteRangeAtomicity)
+{
+    BankArbiter a(32);
+    a.newCycle();
+    EXPECT_TRUE(a.tryWriteRange(0, 8));
+    EXPECT_FALSE(a.tryWriteRange(7, 2));        // overlaps bank 7
+    EXPECT_TRUE(a.tryWriteRange(8, 8));
+}
+
+TEST(Arbiter, ReadAndWritePortsIndependent)
+{
+    BankArbiter a(32);
+    a.newCycle();
+    EXPECT_TRUE(a.tryRead(3));
+    EXPECT_TRUE(a.tryWriteRange(3, 1));
+}
+
+TEST(Arbiter, ZeroCountWriteSucceeds)
+{
+    BankArbiter a(32);
+    a.newCycle();
+    EXPECT_TRUE(a.tryWriteRange(0, 0));
+}
+
+TEST(CollectorPool, InsertTakeLifecycle)
+{
+    CollectorPool pool(2);
+    EXPECT_TRUE(pool.hasFree());
+
+    InFlight a;
+    a.warpSlot = 7;
+    const u32 ia = pool.insert(std::move(a));
+    InFlight b;
+    b.warpSlot = 9;
+    pool.insert(std::move(b));
+    EXPECT_FALSE(pool.hasFree());
+
+    const InFlight out = pool.take(ia);
+    EXPECT_EQ(out.warpSlot, 7u);
+    EXPECT_TRUE(pool.hasFree());
+    EXPECT_EQ(pool.at(ia), nullptr);
+}
+
+TEST(CollectorPool, OccupiedOrderIsFifo)
+{
+    CollectorPool pool(3);
+    InFlight x;
+    const u32 i0 = pool.insert(std::move(x));
+    InFlight y;
+    const u32 i1 = pool.insert(std::move(y));
+    pool.take(i0);
+    InFlight z;
+    const u32 i2 = pool.insert(std::move(z));
+    ASSERT_EQ(pool.occupiedOrder().size(), 2u);
+    EXPECT_EQ(pool.occupiedOrder()[0], i1);
+    EXPECT_EQ(pool.occupiedOrder()[1], i2);
+}
+
+TEST(InFlight, CollectedRequiresAllOps)
+{
+    InFlight f;
+    f.numOps = 2;
+    f.ops[0].acc.numBanks = 2;
+    f.ops[1].acc.numBanks = 1;
+    EXPECT_FALSE(f.collected());
+    f.ops[0].granted = 2;
+    EXPECT_FALSE(f.collected());
+    f.ops[1].granted = 1;
+    EXPECT_TRUE(f.collected());
+}
+
+TEST(UnitPool, PerCycleThroughput)
+{
+    UnitPool pool(2, 3);
+    EXPECT_EQ(pool.tryIssue(10), 13u);
+    EXPECT_EQ(pool.tryIssue(10), 13u);
+    EXPECT_EQ(pool.tryIssue(10), 0u);           // both units taken
+    EXPECT_EQ(pool.tryIssue(11), 14u);          // next cycle frees slots
+    EXPECT_EQ(pool.activations(), 3u);
+}
+
+TEST(UnitPool, CanIssueDoesNotConsume)
+{
+    UnitPool pool(1, 1);
+    EXPECT_TRUE(pool.canIssue(5));
+    EXPECT_TRUE(pool.canIssue(5));
+    pool.tryIssue(5);
+    EXPECT_FALSE(pool.canIssue(5));
+}
+
+TEST(DispatchLimiter, RateLimitsPerCycle)
+{
+    DispatchLimiter lim(2);
+    EXPECT_TRUE(lim.tryDispatch(0));
+    EXPECT_TRUE(lim.tryDispatch(0));
+    EXPECT_FALSE(lim.tryDispatch(0));
+    EXPECT_TRUE(lim.tryDispatch(1));
+    EXPECT_EQ(lim.dispatched(), 3u);
+}
+
+TEST(ResultLatency, MatchesClasses)
+{
+    EXPECT_EQ(resultLatency(Opcode::IAdd), 4u);
+    EXPECT_EQ(resultLatency(Opcode::IMul), 6u);
+    EXPECT_EQ(resultLatency(Opcode::FFma), 6u);
+    EXPECT_EQ(resultLatency(Opcode::Bra), 2u);
+    EXPECT_DEATH(resultLatency(Opcode::Ldg), "memory latency");
+}
+
+} // namespace
+} // namespace warpcomp

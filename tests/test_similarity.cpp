@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Value-similarity analysis tests: distance classification (the Fig 2
+ * bins), per-write pair accounting under partial masks, and the
+ * compression-ratio accumulator.
+ */
+
+#include <gtest/gtest.h>
+
+#include "analysis/similarity.hpp"
+
+namespace warpcomp {
+namespace {
+
+TEST(DistanceBins, Classification)
+{
+    EXPECT_EQ(classifyDistance(0), DistanceBin::Zero);
+    EXPECT_EQ(classifyDistance(1), DistanceBin::Small128);
+    EXPECT_EQ(classifyDistance(-1), DistanceBin::Small128);
+    EXPECT_EQ(classifyDistance(128), DistanceBin::Small128);
+    EXPECT_EQ(classifyDistance(-128), DistanceBin::Small128);
+    EXPECT_EQ(classifyDistance(129), DistanceBin::Mid32K);
+    EXPECT_EQ(classifyDistance(32768), DistanceBin::Mid32K);
+    EXPECT_EQ(classifyDistance(-32768), DistanceBin::Mid32K);
+    EXPECT_EQ(classifyDistance(32769), DistanceBin::Random);
+    EXPECT_EQ(classifyDistance(INT64_MIN / 2), DistanceBin::Random);
+}
+
+TEST(SimilarityBins, FullMaskCounts31Pairs)
+{
+    SimilarityBins bins;
+    WarpRegValue v{};
+    v.fill(42);
+    bins.record(v, kFullMask, false);
+    EXPECT_EQ(bins.total(kNonDivergent), 31u);
+    EXPECT_EQ(bins.count(kNonDivergent, DistanceBin::Zero), 31u);
+    EXPECT_EQ(bins.total(kDivergent), 0u);
+}
+
+TEST(SimilarityBins, UnitStrideIsSmallBin)
+{
+    SimilarityBins bins;
+    WarpRegValue v{};
+    for (u32 i = 0; i < kWarpSize; ++i)
+        v[i] = 1000 + i;
+    bins.record(v, kFullMask, false);
+    EXPECT_EQ(bins.count(kNonDivergent, DistanceBin::Small128), 31u);
+}
+
+TEST(SimilarityBins, PartialMaskSkipsInactiveLanes)
+{
+    SimilarityBins bins;
+    WarpRegValue v{};
+    v[0] = 10;
+    v[5] = 10;
+    v[9] = 1'000'000;           // only written lanes pair up
+    bins.record(v, (1u << 0) | (1u << 5) | (1u << 9), true);
+    EXPECT_EQ(bins.total(kDivergent), 2u);
+    EXPECT_EQ(bins.count(kDivergent, DistanceBin::Zero), 1u);
+    EXPECT_EQ(bins.count(kDivergent, DistanceBin::Random), 1u);
+}
+
+TEST(SimilarityBins, SingleLaneHasNoPairs)
+{
+    SimilarityBins bins;
+    WarpRegValue v{};
+    bins.record(v, 1u << 7, true);
+    EXPECT_EQ(bins.total(kDivergent), 0u);
+}
+
+TEST(SimilarityBins, SignedDistanceSemantics)
+{
+    // 0x7FFFFFFF and 0x80000000 are far apart as signed values.
+    SimilarityBins bins;
+    WarpRegValue v{};
+    v[0] = 0x7FFFFFFFu;
+    v[1] = 0x80000000u;
+    bins.record(v, 0x3u, false);
+    EXPECT_EQ(bins.count(kNonDivergent, DistanceBin::Random), 1u);
+}
+
+TEST(SimilarityBins, FractionsSumToOne)
+{
+    SimilarityBins bins;
+    WarpRegValue v{};
+    for (u32 i = 0; i < kWarpSize; ++i)
+        v[i] = i * 300;
+    bins.record(v, kFullMask, false);
+    double sum = 0;
+    for (u32 b = 0; b < kNumDistanceBins; ++b)
+        sum += bins.fraction(kNonDivergent, static_cast<DistanceBin>(b));
+    EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(SimilarityBins, MergeAddsCounts)
+{
+    SimilarityBins a, b;
+    WarpRegValue v{};
+    v.fill(1);
+    a.record(v, kFullMask, false);
+    b.record(v, kFullMask, true);
+    a.merge(b);
+    EXPECT_EQ(a.total(kNonDivergent), 31u);
+    EXPECT_EQ(a.total(kDivergent), 31u);
+}
+
+TEST(RatioAccum, PerfectCompression)
+{
+    RatioAccum r;
+    r.record(4, false);         // <4,0> on a 128-byte register
+    EXPECT_DOUBLE_EQ(r.ratio(kNonDivergent), 32.0);
+    EXPECT_DOUBLE_EQ(r.ratio(kDivergent), 1.0);     // empty phase
+}
+
+TEST(RatioAccum, MixedWrites)
+{
+    RatioAccum r;
+    r.record(128, false);
+    r.record(64, false);
+    // 256 original bytes over 192 stored bytes.
+    EXPECT_NEAR(r.ratio(kNonDivergent), 256.0 / 192.0, 1e-12);
+    EXPECT_EQ(r.writes(kNonDivergent), 2u);
+}
+
+TEST(RatioAccum, OverallCombinesPhases)
+{
+    RatioAccum r;
+    r.record(4, false);
+    r.record(128, true);
+    EXPECT_NEAR(r.overallRatio(), 256.0 / 132.0, 1e-12);
+}
+
+TEST(RatioAccum, MergeCombines)
+{
+    RatioAccum a, b;
+    a.record(64, false);
+    b.record(64, false);
+    a.merge(b);
+    EXPECT_EQ(a.writes(kNonDivergent), 2u);
+    EXPECT_DOUBLE_EQ(a.ratio(kNonDivergent), 2.0);
+}
+
+TEST(RatioAccum, RejectsBadSizes)
+{
+    RatioAccum r;
+    EXPECT_DEATH(r.record(0, false), "bad compressed size");
+    EXPECT_DEATH(r.record(129, false), "bad compressed size");
+}
+
+} // namespace
+} // namespace warpcomp

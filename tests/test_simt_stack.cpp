@@ -1,0 +1,192 @@
+/**
+ * @file
+ * SIMT reconvergence-stack invariants: divergence push/pop behaviour,
+ * reconvergence mask restoration, nested divergence, loop-exit
+ * peeling, and thread exit handling.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/bitops.hpp"
+#include "sim/simt_stack.hpp"
+
+namespace warpcomp {
+namespace {
+
+TEST(SimtStack, ResetState)
+{
+    SimtStack s;
+    s.reset(kFullMask);
+    EXPECT_EQ(s.pc(), 0u);
+    EXPECT_EQ(s.mask(), kFullMask);
+    EXPECT_EQ(s.depth(), 1u);
+}
+
+TEST(SimtStack, AdvanceMovesTop)
+{
+    SimtStack s;
+    s.reset(kFullMask);
+    s.advance(5);
+    EXPECT_EQ(s.pc(), 5u);
+    EXPECT_EQ(s.depth(), 1u);
+}
+
+TEST(SimtStack, UniformTakenBranch)
+{
+    SimtStack s;
+    s.reset(kFullMask);
+    EXPECT_FALSE(s.branch(10, 20, kFullMask, 1));
+    EXPECT_EQ(s.pc(), 10u);
+    EXPECT_EQ(s.depth(), 1u);
+}
+
+TEST(SimtStack, UniformNotTakenBranch)
+{
+    SimtStack s;
+    s.reset(kFullMask);
+    EXPECT_FALSE(s.branch(10, 20, 0, 1));
+    EXPECT_EQ(s.pc(), 1u);
+    EXPECT_EQ(s.depth(), 1u);
+}
+
+TEST(SimtStack, DivergencePushesBothSides)
+{
+    SimtStack s;
+    s.reset(kFullMask);
+    const LaneMask taken = 0x0000FFFFu;
+    EXPECT_TRUE(s.branch(10, 20, taken, 1));
+    EXPECT_EQ(s.depth(), 3u);
+    // Taken side executes first.
+    EXPECT_EQ(s.pc(), 10u);
+    EXPECT_EQ(s.mask(), taken);
+}
+
+TEST(SimtStack, ReconvergenceRestoresUnionMask)
+{
+    SimtStack s;
+    s.reset(kFullMask);
+    const LaneMask taken = 0x0000FFFFu;
+    s.branch(10, 20, taken, 1);
+
+    // Taken side runs to the reconvergence point and pops.
+    s.advance(20);
+    s.popReconverged();
+    EXPECT_EQ(s.pc(), 1u);
+    EXPECT_EQ(s.mask(), ~taken);
+
+    // Fall-through side reaches the join too.
+    s.advance(20);
+    s.popReconverged();
+    EXPECT_EQ(s.depth(), 1u);
+    EXPECT_EQ(s.pc(), 20u);
+    EXPECT_EQ(s.mask(), kFullMask);
+}
+
+TEST(SimtStack, NestedDivergence)
+{
+    SimtStack s;
+    s.reset(kFullMask);
+    s.branch(10, 40, 0x000000FFu, 1);       // outer split
+    EXPECT_EQ(s.mask(), 0x000000FFu);
+    s.advance(11);
+    s.branch(20, 30, 0x0000000Fu, 12);      // inner split of taken side
+    EXPECT_EQ(s.depth(), 5u);
+    EXPECT_EQ(s.mask(), 0x0000000Fu);
+
+    // Unwind inner.
+    s.advance(30);
+    s.popReconverged();
+    EXPECT_EQ(s.mask(), 0x000000F0u);
+    s.advance(30);
+    s.popReconverged();
+    EXPECT_EQ(s.mask(), 0x000000FFu);
+    EXPECT_EQ(s.pc(), 30u);
+
+    // Unwind outer.
+    s.advance(40);
+    s.popReconverged();
+    EXPECT_EQ(s.mask(), 0xFFFFFF00u);
+    s.advance(40);
+    s.popReconverged();
+    EXPECT_EQ(s.mask(), kFullMask);
+    EXPECT_EQ(s.depth(), 1u);
+}
+
+TEST(SimtStack, LoopExitPeeling)
+{
+    // A loop-exit branch peels one lane per iteration; the stack must
+    // stay bounded and reconverge everyone at the exit.
+    SimtStack s;
+    s.reset(0xFu);
+    const u32 exit_pc = 100;
+    LaneMask remaining = 0xFu;
+    for (u32 lane = 0; lane < 4; ++lane) {
+        // Lane `lane` exits this iteration (branch taken to exit).
+        const LaneMask exiting = 1u << lane;
+        s.branch(exit_pc, exit_pc, exiting, 10);
+        s.popReconverged();     // exiting side pops immediately
+        remaining &= ~exiting;
+        if (remaining != 0) {
+            EXPECT_EQ(s.mask(), remaining);
+            EXPECT_EQ(s.pc(), 10u);
+            s.advance(9);       // loop back to the branch
+        }
+    }
+    // Everyone at the exit now.
+    s.popReconverged();
+    while (s.depth() > 1 && s.pc() == exit_pc)
+        s.popReconverged();
+    EXPECT_EQ(s.pc(), exit_pc);
+    EXPECT_EQ(s.mask(), 0xFu);
+}
+
+TEST(SimtStack, ExitLanesRemovesFromAllEntries)
+{
+    SimtStack s;
+    s.reset(kFullMask);
+    s.branch(10, 20, 0x3u, 1);
+    s.exitLanes(0x1u);
+    EXPECT_EQ(s.mask(), 0x2u);          // top (taken) entry lost lane 0
+    EXPECT_FALSE(s.empty());
+}
+
+TEST(SimtStack, ExitAllLanesEmptiesStack)
+{
+    SimtStack s;
+    s.reset(0xFFu);
+    s.exitLanes(0xFFu);
+    EXPECT_TRUE(s.empty());
+}
+
+TEST(SimtStack, ExitTopEntryOnlyDropsIt)
+{
+    SimtStack s;
+    s.reset(kFullMask);
+    s.branch(10, 20, 0x3u, 1);
+    EXPECT_EQ(s.depth(), 3u);
+    s.exitLanes(0x3u);                  // entire taken side exits
+    // Taken entry removed; fall-through side is now on top.
+    EXPECT_EQ(s.mask(), ~0x3u & kFullMask);
+    EXPECT_EQ(s.pc(), 1u);
+}
+
+TEST(SimtStack, BottomEntryNeverReconverges)
+{
+    SimtStack s;
+    s.reset(kFullMask);
+    s.advance(kNoRpc);                  // pathological pc
+    s.popReconverged();
+    EXPECT_EQ(s.depth(), 1u);           // sentinel rpc keeps it alive
+}
+
+TEST(SimtStack, PartialWarpMask)
+{
+    SimtStack s;
+    s.reset(firstLanes(20));
+    EXPECT_EQ(s.mask(), firstLanes(20));
+    EXPECT_TRUE(s.branch(5, 9, firstLanes(10), 1));
+    EXPECT_EQ(s.mask(), firstLanes(10));
+}
+
+} // namespace
+} // namespace warpcomp

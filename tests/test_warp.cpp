@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Warp-state tests: launch/reset lifecycle, functional register and
+ * predicate storage, guard evaluation, and thread-index mapping.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/bitops.hpp"
+#include "isa/builder.hpp"
+#include "sim/warp.hpp"
+
+namespace warpcomp {
+namespace {
+
+Kernel
+tinyKernel()
+{
+    KernelBuilder b("tiny");
+    Reg a = b.newReg();
+    (void)b.newReg();
+    Pred p = b.newPred();
+    (void)p;
+    b.movImm(a, 1);
+    return b.build();
+}
+
+TEST(Warp, LaunchInitializesState)
+{
+    Kernel k = tinyKernel();
+    Warp w;
+    w.launch(k, 3, 17, 2, 32, 99);
+    EXPECT_EQ(w.status(), Warp::Status::Running);
+    EXPECT_EQ(w.ctaSlot(), 3u);
+    EXPECT_EQ(w.ctaId(), 17u);
+    EXPECT_EQ(w.warpInCta(), 2u);
+    EXPECT_EQ(w.ageStamp(), 99u);
+    EXPECT_EQ(w.fullMask(), kFullMask);
+    EXPECT_EQ(w.stack().pc(), 0u);
+    EXPECT_EQ(w.reg(0)[5], 0u);         // registers zeroed
+}
+
+TEST(Warp, PartialWarpMask)
+{
+    Kernel k = tinyKernel();
+    Warp w;
+    w.launch(k, 0, 0, 0, 7, 0);
+    EXPECT_EQ(w.fullMask(), firstLanes(7));
+    EXPECT_EQ(w.stack().mask(), firstLanes(7));
+}
+
+TEST(Warp, TidMapping)
+{
+    Kernel k = tinyKernel();
+    Warp w;
+    w.launch(k, 0, 0, 3, 32, 0);        // fourth warp of the CTA
+    EXPECT_EQ(w.tid(0), 96u);
+    EXPECT_EQ(w.tid(31), 127u);
+}
+
+TEST(Warp, PredicateMaskedUpdate)
+{
+    Kernel k = tinyKernel();
+    Warp w;
+    w.launch(k, 0, 0, 0, 32, 0);
+    w.setPred(0, 0xFFFFFFFFu, 0x0000FFFFu);     // low half only
+    EXPECT_EQ(w.pred(0), 0x0000FFFFu);
+    w.setPred(0, 0x0u, 0x000000FFu);            // clear low byte
+    EXPECT_EQ(w.pred(0), 0x0000FF00u);
+}
+
+TEST(Warp, GuardLanes)
+{
+    Kernel k = tinyKernel();
+    Warp w;
+    w.launch(k, 0, 0, 0, 32, 0);
+    w.setPred(0, 0x000000FFu, kFullMask);
+
+    Instruction in;
+    in.op = Opcode::Mov;
+    EXPECT_EQ(w.guardLanes(in, kFullMask), kFullMask);  // unguarded
+
+    in.guardPred = 0;
+    EXPECT_EQ(w.guardLanes(in, kFullMask), 0x000000FFu);
+    in.guardNegate = true;
+    EXPECT_EQ(w.guardLanes(in, kFullMask), ~0x000000FFu);
+    // Guard composes with the active mask.
+    EXPECT_EQ(w.guardLanes(in, 0x0F0F0F0Fu), 0x0F0F0F00u);
+}
+
+TEST(Warp, ResetReturnsToIdle)
+{
+    Kernel k = tinyKernel();
+    Warp w;
+    w.launch(k, 0, 0, 0, 32, 0);
+    w.reset();
+    EXPECT_EQ(w.status(), Warp::Status::Idle);
+    EXPECT_EQ(w.kernel(), nullptr);
+    // Relaunch works.
+    w.launch(k, 1, 2, 3, 16, 4);
+    EXPECT_EQ(w.status(), Warp::Status::Running);
+}
+
+TEST(Warp, RelaunchBusySlotDies)
+{
+    Kernel k = tinyKernel();
+    Warp w;
+    w.launch(k, 0, 0, 0, 32, 0);
+    EXPECT_DEATH(w.launch(k, 0, 0, 0, 32, 0), "busy warp slot");
+}
+
+TEST(Warp, RegisterOutOfRangeDies)
+{
+    Kernel k = tinyKernel();                    // 2 registers
+    Warp w;
+    w.launch(k, 0, 0, 0, 32, 0);
+    EXPECT_DEATH(w.reg(5), "out of range");
+    EXPECT_DEATH(w.pred(3), "out of range");
+}
+
+} // namespace
+} // namespace warpcomp

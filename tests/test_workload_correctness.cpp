@@ -1,0 +1,254 @@
+/**
+ * @file
+ * Host-reference correctness checks: recompute selected workloads'
+ * outputs on the host (matching the kernels' exact operation order,
+ * including FMA contraction) and compare against the memory image the
+ * timing simulator produced. This validates the whole stack — builder,
+ * functional execution, divergence handling, barriers, memory — not
+ * just that kernels terminate.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "harness/experiment.hpp"
+
+namespace warpcomp {
+namespace {
+
+/** Run a workload in place and hand back the instance for inspection. */
+WorkloadInstance
+runInPlace(const std::string &name,
+           CompressionScheme scheme = CompressionScheme::Warped)
+{
+    WorkloadInstance wl = makeWorkload(name);
+    ExperimentConfig cfg;
+    cfg.scheme = scheme;
+    cfg.numSms = 4;
+    Gpu gpu(makeGpuParams(cfg), *wl.gmem, *wl.cmem);
+    gpu.run(wl.kernel, wl.dims);
+    return wl;
+}
+
+TEST(WorkloadCorrectness, NwScores)
+{
+    WorkloadInstance wl = runInPlace("nw");
+    const u32 ref = wl.cmem->read32(0);
+    const u32 north = wl.cmem->read32(4);
+    const u32 west = wl.cmem->read32(8);
+    const u32 nwest = wl.cmem->read32(12);
+    const u32 out = wl.cmem->read32(16);
+    const u32 cells = wl.cmem->read32(20);
+    const i32 penalty = static_cast<i32>(wl.cmem->read32(24));
+
+    for (u32 i = 0; i < cells; i += 97) {
+        const i32 sub = static_cast<i32>(wl.gmem->read32(ref + 4ull * i));
+        const i32 sn = static_cast<i32>(wl.gmem->read32(north + 4ull * i));
+        const i32 sw = static_cast<i32>(wl.gmem->read32(west + 4ull * i));
+        const i32 sd = static_cast<i32>(wl.gmem->read32(nwest + 4ull * i));
+        const i32 expect = std::max(sd + sub,
+                                    std::max(sn - penalty, sw - penalty));
+        EXPECT_EQ(static_cast<i32>(wl.gmem->read32(out + 4ull * i)),
+                  expect) << i;
+    }
+}
+
+TEST(WorkloadCorrectness, Dwt2dLifting)
+{
+    WorkloadInstance wl = runInPlace("dwt2d");
+    const u32 in = wl.cmem->read32(0);
+    const u32 out = wl.cmem->read32(4);
+    const u32 samples = wl.dims.blockDim * wl.dims.gridDim;
+
+    for (u32 g = 0; g < samples; g += 53) {
+        const i32 left = static_cast<i32>(wl.gmem->read32(in + 4ull * g));
+        const i32 center = static_cast<i32>(
+            wl.gmem->read32(in + 4ull * (g + 1)));
+        const i32 right = static_cast<i32>(
+            wl.gmem->read32(in + 4ull * (g + 2)));
+        i32 expect;
+        if (g & 1)
+            expect = center - ((left + right) >> 1);
+        else
+            expect = center + ((left + right + 2) >> 2);
+        EXPECT_EQ(static_cast<i32>(wl.gmem->read32(out + 4ull * g)),
+                  expect) << g;
+    }
+}
+
+TEST(WorkloadCorrectness, HistoCounts)
+{
+    WorkloadInstance wl = runInPlace("histo");
+    const u32 data = wl.cmem->read32(0);
+    const u32 hist = wl.cmem->read32(4);
+    const u32 chunk = wl.cmem->read32(8);
+    const u32 block = wl.dims.blockDim;
+
+    for (u32 cta = 0; cta < wl.dims.gridDim; cta += 7) {
+        // Recount the CTA's chunk per bin.
+        std::vector<u32> expect(block, 0);
+        for (u32 i = 0; i < chunk; ++i) {
+            const u32 v = wl.gmem->read32(data +
+                                          4ull * (cta * chunk + i));
+            ASSERT_LT(v, block);
+            ++expect[v];
+        }
+        for (u32 t = 0; t < block; t += 19) {
+            EXPECT_EQ(wl.gmem->read32(hist + 4ull * (cta * block + t)),
+                      expect[t]) << cta << ":" << t;
+        }
+    }
+}
+
+TEST(WorkloadCorrectness, KmeansMembership)
+{
+    WorkloadInstance wl = runInPlace("kmeans");
+    const u32 features = wl.cmem->read32(0);
+    const u32 clusters = wl.cmem->read32(4);
+    const u32 membership = wl.cmem->read32(8);
+    const u32 ncl = wl.cmem->read32(12);
+    const u32 nfeat = wl.cmem->read32(16);
+    const u32 points = wl.dims.blockDim * wl.dims.gridDim;
+
+    for (u32 p = 0; p < points; p += 211) {
+        // Double-precision reference distances; skip points whose two
+        // best centroids are too close to call under float rounding.
+        double best = 1.0e30, second = 1.0e30;
+        u32 best_id = 0;
+        for (u32 c = 0; c < ncl; ++c) {
+            double dist = 0.0;
+            for (u32 f = 0; f < nfeat; ++f) {
+                const double fv = wl.gmem->readF32(
+                    features + 4ull * (p * nfeat + f));
+                const double cv = wl.gmem->readF32(
+                    clusters + 4ull * (c * nfeat + f));
+                const double diff = fv - cv;
+                dist += diff * diff;
+            }
+            if (dist < best) {
+                second = best;
+                best = dist;
+                best_id = c;
+            } else if (dist < second) {
+                second = dist;
+            }
+        }
+        if (second - best < 1e-5 * (1.0 + best))
+            continue;           // ambiguous under float rounding
+        EXPECT_EQ(wl.gmem->read32(membership + 4ull * p), best_id) << p;
+    }
+}
+
+TEST(WorkloadCorrectness, SgemmTiles)
+{
+    WorkloadInstance wl = runInPlace("sgemm");
+    const u32 a = wl.cmem->read32(0);
+    const u32 bmat = wl.cmem->read32(4);
+    const u32 c = wl.cmem->read32(8);
+    const u32 n = wl.cmem->read32(12);
+    const u32 k_tiles = wl.cmem->read32(16);
+    constexpr u32 kTile = 16;
+
+    // Check a scattering of C elements produced by the first tiles.
+    for (u32 bid = 0; bid < 8; ++bid) {
+        const u32 bx = bid & 7, by = 0;
+        for (u32 t = 0; t < 256; t += 67) {
+            const u32 tx = t & 15, ty = t >> 4;
+            const u32 row = by * kTile + ty;
+            const u32 col = bx * kTile + tx;
+            // Double-precision reference: the device accumulates 64
+            // float terms whose FMA-contraction behaviour is
+            // implementation defined, so compare within a float-level
+            // tolerance rather than bit-exactly.
+            double acc = 0.0;
+            for (u32 kt = 0; kt < k_tiles; ++kt) {
+                for (u32 kk = 0; kk < kTile; ++kk) {
+                    const u32 k = kt * kTile + kk;
+                    const double av = wl.gmem->readF32(
+                        a + 4ull * (row * n + k));
+                    const double bv = wl.gmem->readF32(
+                        bmat + 4ull * (k * n + col));
+                    acc += av * bv;
+                }
+            }
+            EXPECT_NEAR(wl.gmem->readF32(c + 4ull * (row * n + col)),
+                        acc, 1e-4) << row << "," << col;
+        }
+    }
+}
+
+TEST(WorkloadCorrectness, PathfinderDp)
+{
+    WorkloadInstance wl = runInPlace("pathfinder");
+    const u32 src = wl.cmem->read32(0);
+    const u32 wall = wl.cmem->read32(4);
+    const u32 dst = wl.cmem->read32(8);
+    const u32 cols = wl.cmem->read32(12);
+    const u32 iteration = wl.cmem->read32(16);
+    const u32 border = wl.cmem->read32(20);
+    const u32 sbc = wl.cmem->read32(24);
+    constexpr u32 kBlockSize = 256;
+
+    // Host replay of the per-CTA dynamic program for a few CTAs.
+    for (u32 bx = 1; bx < wl.dims.gridDim - 1; bx += 17) {
+        const i32 blk_x = static_cast<i32>(sbc * bx) -
+            static_cast<i32>(border);
+        std::vector<i32> prev(kBlockSize, 0), result(kBlockSize, 0);
+        std::vector<bool> computed(kBlockSize, false);
+        for (u32 tx = 0; tx < kBlockSize; ++tx) {
+            const i32 xidx = blk_x + static_cast<i32>(tx);
+            if (xidx >= 0 && xidx < static_cast<i32>(cols)) {
+                prev[tx] = static_cast<i32>(
+                    wl.gmem->read32(src + 4ull * xidx));
+            }
+        }
+        for (u32 i = 0; i < iteration; ++i) {
+            for (u32 tx = 0; tx < kBlockSize; ++tx) {
+                const i32 xidx = blk_x + static_cast<i32>(tx);
+                const bool in_range = tx >= i + 1 &&
+                    tx <= kBlockSize - i - 2;
+                const bool valid = xidx >= 0 &&
+                    xidx < static_cast<i32>(cols);
+                computed[tx] = in_range && valid;
+                if (computed[tx]) {
+                    const i32 shortest = std::min(
+                        {prev[tx - 1], prev[tx], prev[tx + 1]});
+                    const u32 index = cols * i +
+                        static_cast<u32>(xidx);
+                    result[tx] = shortest + static_cast<i32>(
+                        wl.gmem->read32(wall + 4ull * index));
+                }
+            }
+            for (u32 tx = 0; tx < kBlockSize; ++tx) {
+                if (computed[tx])
+                    prev[tx] = result[tx];
+            }
+        }
+        for (u32 tx = 8; tx < kBlockSize - 8; tx += 31) {
+            if (!computed[tx])
+                continue;
+            const i32 xidx = blk_x + static_cast<i32>(tx);
+            EXPECT_EQ(static_cast<i32>(
+                          wl.gmem->read32(dst + 4ull * xidx)),
+                      result[tx]) << bx << ":" << tx;
+        }
+    }
+}
+
+TEST(WorkloadCorrectness, SchemesAgreeOnOutputs)
+{
+    // The full pipeline must be compression-transparent for a workload
+    // exercising divergence + loops + memory.
+    WorkloadInstance a = runInPlace("nw", CompressionScheme::None);
+    WorkloadInstance b = runInPlace("nw", CompressionScheme::Warped);
+    const u32 out_a = a.cmem->read32(16);
+    const u32 out_b = b.cmem->read32(16);
+    const u32 cells = a.cmem->read32(20);
+    for (u32 i = 0; i < cells; i += 101)
+        EXPECT_EQ(a.gmem->read32(out_a + 4ull * i),
+                  b.gmem->read32(out_b + 4ull * i));
+}
+
+} // namespace
+} // namespace warpcomp

@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Workload-suite tests: every ported benchmark builds a valid kernel,
+ * runs to completion under baseline and warped-compression, produces
+ * deterministic results, and exhibits the qualitative property the
+ * paper attributes to it (LIB ~ perfectly compressible, BFS/MUM
+ * divergent, AES non-divergent, ...).
+ */
+
+#include <gtest/gtest.h>
+
+#include "harness/experiment.hpp"
+
+namespace warpcomp {
+namespace {
+
+ExperimentConfig
+quickCfg(CompressionScheme scheme)
+{
+    ExperimentConfig cfg;
+    cfg.scheme = scheme;
+    cfg.numSms = 4;
+    return cfg;
+}
+
+TEST(Workloads, RegistryHasNineteen)
+{
+    EXPECT_EQ(workloadNames().size(), 19u);
+}
+
+TEST(Workloads, UnknownNameIsFatal)
+{
+    EXPECT_DEATH(makeWorkload("nonesuch"), "unknown workload");
+}
+
+/** Parameterized over every benchmark in the registry. */
+class WorkloadSuite : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(WorkloadSuite, BuildsValidKernel)
+{
+    WorkloadInstance wl = makeWorkload(GetParam());
+    EXPECT_EQ(wl.name, GetParam());
+    wl.kernel.validate();
+    EXPECT_GE(wl.kernel.size(), 5u);
+    EXPECT_GE(wl.dims.gridDim, 1u);
+    EXPECT_GE(wl.dims.blockDim, kWarpSize);
+    // CTA sizes are warp multiples so tail warps do not skew the
+    // divergence statistics.
+    EXPECT_EQ(wl.dims.blockDim % kWarpSize, 0u);
+}
+
+TEST_P(WorkloadSuite, RunsUnderBothSchemes)
+{
+    for (CompressionScheme scheme :
+         {CompressionScheme::None, CompressionScheme::Warped}) {
+        const ExperimentResult r = runWorkload(GetParam(),
+                                               quickCfg(scheme));
+        EXPECT_GT(r.run.cycles, 0u);
+        EXPECT_GT(r.run.stats.issued, 0u);
+        EXPECT_GT(r.run.meter.bankAccesses(), 0u);
+    }
+}
+
+TEST_P(WorkloadSuite, DeterministicAcrossRuns)
+{
+    const ExperimentResult a = runWorkload(GetParam(),
+                                           quickCfg(
+                                               CompressionScheme::Warped));
+    const ExperimentResult b = runWorkload(GetParam(),
+                                           quickCfg(
+                                               CompressionScheme::Warped));
+    EXPECT_EQ(a.run.cycles, b.run.cycles);
+    EXPECT_EQ(a.run.meter.bankAccesses(), b.run.meter.bankAccesses());
+    EXPECT_EQ(a.run.stats.issued, b.run.stats.issued);
+    EXPECT_EQ(a.run.stats.dummyMovs, b.run.stats.dummyMovs);
+}
+
+TEST_P(WorkloadSuite, CompressionSavesBankAccesses)
+{
+    const ExperimentResult base = runWorkload(GetParam(),
+                                              quickCfg(
+                                                  CompressionScheme::None));
+    const ExperimentResult wc = runWorkload(GetParam(),
+                                            quickCfg(
+                                                CompressionScheme::Warped));
+    EXPECT_LE(wc.run.meter.bankAccesses(), base.run.meter.bankAccesses());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    All, WorkloadSuite,
+    ::testing::ValuesIn(workloadNames()),
+    [](const ::testing::TestParamInfo<std::string> &info) {
+        return info.param;
+    });
+
+TEST(WorkloadProperties, LibCompressesAlmostPerfectly)
+{
+    const ExperimentResult r = runWorkload("lib",
+                                           quickCfg(
+                                               CompressionScheme::Warped));
+    // The paper: constant-initialized inputs -> near-perfect
+    // compression (ours > 10x; the theoretical max is 32x).
+    EXPECT_GT(r.run.stats.ratio.ratio(kNonDivergent), 10.0);
+}
+
+TEST(WorkloadProperties, AesNeverDiverges)
+{
+    const ExperimentResult r = runWorkload("aes",
+                                           quickCfg(
+                                               CompressionScheme::Warped));
+    EXPECT_EQ(r.run.stats.issuedDivergent, 0u);
+    EXPECT_EQ(r.run.stats.dummyMovs, 0u);
+}
+
+TEST(WorkloadProperties, StencilNeverDiverges)
+{
+    const ExperimentResult r = runWorkload("stencil",
+                                           quickCfg(
+                                               CompressionScheme::Warped));
+    EXPECT_EQ(r.run.stats.issuedDivergent, 0u);
+}
+
+TEST(WorkloadProperties, BfsAndMumDivergeHeavily)
+{
+    for (const char *name : {"bfs", "mum"}) {
+        const ExperimentResult r = runWorkload(
+            name, quickCfg(CompressionScheme::Warped));
+        const double div = static_cast<double>(
+            r.run.stats.issuedDivergent) /
+            static_cast<double>(r.run.stats.issued);
+        EXPECT_GT(div, 0.3) << name;
+    }
+}
+
+TEST(WorkloadProperties, DivergentWorkloadsInjectMovs)
+{
+    for (const char *name : {"mum", "spmv"}) {
+        const ExperimentResult r = runWorkload(
+            name, quickCfg(CompressionScheme::Warped));
+        EXPECT_GT(r.run.stats.dummyMovs, 0u) << name;
+    }
+}
+
+TEST(WorkloadProperties, PathfinderSimilarityIsHigh)
+{
+    // Fig 2 shape: the pathfinder kernel's narrow-range inputs put most
+    // non-divergent distances outside the random bin.
+    const ExperimentResult r = runWorkload(
+        "pathfinder", quickCfg(CompressionScheme::Warped));
+    const double random_frac = r.run.stats.simBins.fraction(
+        kNonDivergent, DistanceBin::Random);
+    EXPECT_LT(random_frac, 0.4);
+}
+
+TEST(WorkloadProperties, DivergentRatioLowerThanNonDivergent)
+{
+    // Fig 8 shape, checked on the suite's divergent benchmarks.
+    for (const char *name : {"bfs", "mum", "spmv", "dwt2d"}) {
+        const ExperimentResult r = runWorkload(
+            name, quickCfg(CompressionScheme::Warped));
+        EXPECT_LE(r.run.stats.ratio.ratio(kDivergent),
+                  r.run.stats.ratio.ratio(kNonDivergent) + 1e-9)
+            << name;
+    }
+}
+
+TEST(WorkloadProperties, ScaleGrowsWork)
+{
+    ExperimentConfig c1 = quickCfg(CompressionScheme::Warped);
+    ExperimentConfig c2 = c1;
+    c2.scale = 2;
+    const ExperimentResult r1 = runWorkload("stencil", c1);
+    const ExperimentResult r2 = runWorkload("stencil", c2);
+    EXPECT_GT(r2.run.ctas, r1.run.ctas);
+    EXPECT_GT(r2.run.stats.issued, r1.run.stats.issued);
+}
+
+} // namespace
+} // namespace warpcomp
