@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_divergence.dir/bench_ablation_divergence.cpp.o"
+  "CMakeFiles/bench_ablation_divergence.dir/bench_ablation_divergence.cpp.o.d"
+  "bench_ablation_divergence"
+  "bench_ablation_divergence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_divergence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_units.dir/bench_ablation_units.cpp.o"
+  "CMakeFiles/bench_ablation_units.dir/bench_ablation_units.cpp.o.d"
+  "bench_ablation_units"
+  "bench_ablation_units.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_units.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

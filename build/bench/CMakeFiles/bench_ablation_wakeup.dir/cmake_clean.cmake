@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_wakeup.dir/bench_ablation_wakeup.cpp.o"
+  "CMakeFiles/bench_ablation_wakeup.dir/bench_ablation_wakeup.cpp.o.d"
+  "bench_ablation_wakeup"
+  "bench_ablation_wakeup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_wakeup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

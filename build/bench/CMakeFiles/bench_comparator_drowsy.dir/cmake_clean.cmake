@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_comparator_drowsy.dir/bench_comparator_drowsy.cpp.o"
+  "CMakeFiles/bench_comparator_drowsy.dir/bench_comparator_drowsy.cpp.o.d"
+  "bench_comparator_drowsy"
+  "bench_comparator_drowsy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_comparator_drowsy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

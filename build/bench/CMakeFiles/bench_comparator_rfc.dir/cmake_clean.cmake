@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_comparator_rfc.dir/bench_comparator_rfc.cpp.o"
+  "CMakeFiles/bench_comparator_rfc.dir/bench_comparator_rfc.cpp.o.d"
+  "bench_comparator_rfc"
+  "bench_comparator_rfc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_comparator_rfc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

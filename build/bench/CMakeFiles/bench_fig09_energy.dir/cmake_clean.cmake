@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig09_energy.dir/bench_fig09_energy.cpp.o"
+  "CMakeFiles/bench_fig09_energy.dir/bench_fig09_energy.cpp.o.d"
+  "bench_fig09_energy"
+  "bench_fig09_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig09_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

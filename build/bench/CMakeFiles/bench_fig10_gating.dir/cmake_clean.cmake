@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_gating.dir/bench_fig10_gating.cpp.o"
+  "CMakeFiles/bench_fig10_gating.dir/bench_fig10_gating.cpp.o.d"
+  "bench_fig10_gating"
+  "bench_fig10_gating.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_gating.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

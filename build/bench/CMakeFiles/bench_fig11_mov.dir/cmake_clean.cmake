@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_mov.dir/bench_fig11_mov.cpp.o"
+  "CMakeFiles/bench_fig11_mov.dir/bench_fig11_mov.cpp.o.d"
+  "bench_fig11_mov"
+  "bench_fig11_mov.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_mov.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_compressed_regs.dir/bench_fig12_compressed_regs.cpp.o"
+  "CMakeFiles/bench_fig12_compressed_regs.dir/bench_fig12_compressed_regs.cpp.o.d"
+  "bench_fig12_compressed_regs"
+  "bench_fig12_compressed_regs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_compressed_regs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

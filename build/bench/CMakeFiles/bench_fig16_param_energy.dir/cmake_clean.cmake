@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig16_param_energy.dir/bench_fig16_param_energy.cpp.o"
+  "CMakeFiles/bench_fig16_param_energy.dir/bench_fig16_param_energy.cpp.o.d"
+  "bench_fig16_param_energy"
+  "bench_fig16_param_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig16_param_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

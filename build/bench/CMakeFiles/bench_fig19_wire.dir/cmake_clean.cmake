@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig19_wire.dir/bench_fig19_wire.cpp.o"
+  "CMakeFiles/bench_fig19_wire.dir/bench_fig19_wire.cpp.o.d"
+  "bench_fig19_wire"
+  "bench_fig19_wire.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig19_wire.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_chunks.dir/bench_table1_chunks.cpp.o"
+  "CMakeFiles/bench_table1_chunks.dir/bench_table1_chunks.cpp.o.d"
+  "bench_table1_chunks"
+  "bench_table1_chunks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_chunks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

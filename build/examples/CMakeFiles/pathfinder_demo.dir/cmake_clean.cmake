@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pathfinder_demo.dir/pathfinder_demo.cpp.o"
+  "CMakeFiles/pathfinder_demo.dir/pathfinder_demo.cpp.o.d"
+  "pathfinder_demo"
+  "pathfinder_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pathfinder_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,71 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/similarity.cpp" "src/CMakeFiles/warpcomp.dir/analysis/similarity.cpp.o" "gcc" "src/CMakeFiles/warpcomp.dir/analysis/similarity.cpp.o.d"
+  "/root/repo/src/common/log.cpp" "src/CMakeFiles/warpcomp.dir/common/log.cpp.o" "gcc" "src/CMakeFiles/warpcomp.dir/common/log.cpp.o.d"
+  "/root/repo/src/common/rng.cpp" "src/CMakeFiles/warpcomp.dir/common/rng.cpp.o" "gcc" "src/CMakeFiles/warpcomp.dir/common/rng.cpp.o.d"
+  "/root/repo/src/common/stats.cpp" "src/CMakeFiles/warpcomp.dir/common/stats.cpp.o" "gcc" "src/CMakeFiles/warpcomp.dir/common/stats.cpp.o.d"
+  "/root/repo/src/compress/bdi.cpp" "src/CMakeFiles/warpcomp.dir/compress/bdi.cpp.o" "gcc" "src/CMakeFiles/warpcomp.dir/compress/bdi.cpp.o.d"
+  "/root/repo/src/compress/schemes.cpp" "src/CMakeFiles/warpcomp.dir/compress/schemes.cpp.o" "gcc" "src/CMakeFiles/warpcomp.dir/compress/schemes.cpp.o.d"
+  "/root/repo/src/compress/unit.cpp" "src/CMakeFiles/warpcomp.dir/compress/unit.cpp.o" "gcc" "src/CMakeFiles/warpcomp.dir/compress/unit.cpp.o.d"
+  "/root/repo/src/harness/experiment.cpp" "src/CMakeFiles/warpcomp.dir/harness/experiment.cpp.o" "gcc" "src/CMakeFiles/warpcomp.dir/harness/experiment.cpp.o.d"
+  "/root/repo/src/isa/builder.cpp" "src/CMakeFiles/warpcomp.dir/isa/builder.cpp.o" "gcc" "src/CMakeFiles/warpcomp.dir/isa/builder.cpp.o.d"
+  "/root/repo/src/isa/disasm.cpp" "src/CMakeFiles/warpcomp.dir/isa/disasm.cpp.o" "gcc" "src/CMakeFiles/warpcomp.dir/isa/disasm.cpp.o.d"
+  "/root/repo/src/isa/instruction.cpp" "src/CMakeFiles/warpcomp.dir/isa/instruction.cpp.o" "gcc" "src/CMakeFiles/warpcomp.dir/isa/instruction.cpp.o.d"
+  "/root/repo/src/isa/kernel.cpp" "src/CMakeFiles/warpcomp.dir/isa/kernel.cpp.o" "gcc" "src/CMakeFiles/warpcomp.dir/isa/kernel.cpp.o.d"
+  "/root/repo/src/isa/opcode.cpp" "src/CMakeFiles/warpcomp.dir/isa/opcode.cpp.o" "gcc" "src/CMakeFiles/warpcomp.dir/isa/opcode.cpp.o.d"
+  "/root/repo/src/mem/mem_timing.cpp" "src/CMakeFiles/warpcomp.dir/mem/mem_timing.cpp.o" "gcc" "src/CMakeFiles/warpcomp.dir/mem/mem_timing.cpp.o.d"
+  "/root/repo/src/mem/memory.cpp" "src/CMakeFiles/warpcomp.dir/mem/memory.cpp.o" "gcc" "src/CMakeFiles/warpcomp.dir/mem/memory.cpp.o.d"
+  "/root/repo/src/power/constants.cpp" "src/CMakeFiles/warpcomp.dir/power/constants.cpp.o" "gcc" "src/CMakeFiles/warpcomp.dir/power/constants.cpp.o.d"
+  "/root/repo/src/power/energy_meter.cpp" "src/CMakeFiles/warpcomp.dir/power/energy_meter.cpp.o" "gcc" "src/CMakeFiles/warpcomp.dir/power/energy_meter.cpp.o.d"
+  "/root/repo/src/power/report.cpp" "src/CMakeFiles/warpcomp.dir/power/report.cpp.o" "gcc" "src/CMakeFiles/warpcomp.dir/power/report.cpp.o.d"
+  "/root/repo/src/regfile/bank.cpp" "src/CMakeFiles/warpcomp.dir/regfile/bank.cpp.o" "gcc" "src/CMakeFiles/warpcomp.dir/regfile/bank.cpp.o.d"
+  "/root/repo/src/regfile/powergate.cpp" "src/CMakeFiles/warpcomp.dir/regfile/powergate.cpp.o" "gcc" "src/CMakeFiles/warpcomp.dir/regfile/powergate.cpp.o.d"
+  "/root/repo/src/regfile/regfile.cpp" "src/CMakeFiles/warpcomp.dir/regfile/regfile.cpp.o" "gcc" "src/CMakeFiles/warpcomp.dir/regfile/regfile.cpp.o.d"
+  "/root/repo/src/regfile/rfc.cpp" "src/CMakeFiles/warpcomp.dir/regfile/rfc.cpp.o" "gcc" "src/CMakeFiles/warpcomp.dir/regfile/rfc.cpp.o.d"
+  "/root/repo/src/sim/arbiter.cpp" "src/CMakeFiles/warpcomp.dir/sim/arbiter.cpp.o" "gcc" "src/CMakeFiles/warpcomp.dir/sim/arbiter.cpp.o.d"
+  "/root/repo/src/sim/collector.cpp" "src/CMakeFiles/warpcomp.dir/sim/collector.cpp.o" "gcc" "src/CMakeFiles/warpcomp.dir/sim/collector.cpp.o.d"
+  "/root/repo/src/sim/exec_unit.cpp" "src/CMakeFiles/warpcomp.dir/sim/exec_unit.cpp.o" "gcc" "src/CMakeFiles/warpcomp.dir/sim/exec_unit.cpp.o.d"
+  "/root/repo/src/sim/functional.cpp" "src/CMakeFiles/warpcomp.dir/sim/functional.cpp.o" "gcc" "src/CMakeFiles/warpcomp.dir/sim/functional.cpp.o.d"
+  "/root/repo/src/sim/gpu.cpp" "src/CMakeFiles/warpcomp.dir/sim/gpu.cpp.o" "gcc" "src/CMakeFiles/warpcomp.dir/sim/gpu.cpp.o.d"
+  "/root/repo/src/sim/scheduler.cpp" "src/CMakeFiles/warpcomp.dir/sim/scheduler.cpp.o" "gcc" "src/CMakeFiles/warpcomp.dir/sim/scheduler.cpp.o.d"
+  "/root/repo/src/sim/scoreboard.cpp" "src/CMakeFiles/warpcomp.dir/sim/scoreboard.cpp.o" "gcc" "src/CMakeFiles/warpcomp.dir/sim/scoreboard.cpp.o.d"
+  "/root/repo/src/sim/simt_stack.cpp" "src/CMakeFiles/warpcomp.dir/sim/simt_stack.cpp.o" "gcc" "src/CMakeFiles/warpcomp.dir/sim/simt_stack.cpp.o.d"
+  "/root/repo/src/sim/sm.cpp" "src/CMakeFiles/warpcomp.dir/sim/sm.cpp.o" "gcc" "src/CMakeFiles/warpcomp.dir/sim/sm.cpp.o.d"
+  "/root/repo/src/sim/warp.cpp" "src/CMakeFiles/warpcomp.dir/sim/warp.cpp.o" "gcc" "src/CMakeFiles/warpcomp.dir/sim/warp.cpp.o.d"
+  "/root/repo/src/workloads/aes.cpp" "src/CMakeFiles/warpcomp.dir/workloads/aes.cpp.o" "gcc" "src/CMakeFiles/warpcomp.dir/workloads/aes.cpp.o.d"
+  "/root/repo/src/workloads/backprop.cpp" "src/CMakeFiles/warpcomp.dir/workloads/backprop.cpp.o" "gcc" "src/CMakeFiles/warpcomp.dir/workloads/backprop.cpp.o.d"
+  "/root/repo/src/workloads/bfs.cpp" "src/CMakeFiles/warpcomp.dir/workloads/bfs.cpp.o" "gcc" "src/CMakeFiles/warpcomp.dir/workloads/bfs.cpp.o.d"
+  "/root/repo/src/workloads/dwt2d.cpp" "src/CMakeFiles/warpcomp.dir/workloads/dwt2d.cpp.o" "gcc" "src/CMakeFiles/warpcomp.dir/workloads/dwt2d.cpp.o.d"
+  "/root/repo/src/workloads/gaussian.cpp" "src/CMakeFiles/warpcomp.dir/workloads/gaussian.cpp.o" "gcc" "src/CMakeFiles/warpcomp.dir/workloads/gaussian.cpp.o.d"
+  "/root/repo/src/workloads/histo.cpp" "src/CMakeFiles/warpcomp.dir/workloads/histo.cpp.o" "gcc" "src/CMakeFiles/warpcomp.dir/workloads/histo.cpp.o.d"
+  "/root/repo/src/workloads/hotspot.cpp" "src/CMakeFiles/warpcomp.dir/workloads/hotspot.cpp.o" "gcc" "src/CMakeFiles/warpcomp.dir/workloads/hotspot.cpp.o.d"
+  "/root/repo/src/workloads/inputs.cpp" "src/CMakeFiles/warpcomp.dir/workloads/inputs.cpp.o" "gcc" "src/CMakeFiles/warpcomp.dir/workloads/inputs.cpp.o.d"
+  "/root/repo/src/workloads/kmeans.cpp" "src/CMakeFiles/warpcomp.dir/workloads/kmeans.cpp.o" "gcc" "src/CMakeFiles/warpcomp.dir/workloads/kmeans.cpp.o.d"
+  "/root/repo/src/workloads/lib.cpp" "src/CMakeFiles/warpcomp.dir/workloads/lib.cpp.o" "gcc" "src/CMakeFiles/warpcomp.dir/workloads/lib.cpp.o.d"
+  "/root/repo/src/workloads/lud.cpp" "src/CMakeFiles/warpcomp.dir/workloads/lud.cpp.o" "gcc" "src/CMakeFiles/warpcomp.dir/workloads/lud.cpp.o.d"
+  "/root/repo/src/workloads/mum.cpp" "src/CMakeFiles/warpcomp.dir/workloads/mum.cpp.o" "gcc" "src/CMakeFiles/warpcomp.dir/workloads/mum.cpp.o.d"
+  "/root/repo/src/workloads/nbody.cpp" "src/CMakeFiles/warpcomp.dir/workloads/nbody.cpp.o" "gcc" "src/CMakeFiles/warpcomp.dir/workloads/nbody.cpp.o.d"
+  "/root/repo/src/workloads/nw.cpp" "src/CMakeFiles/warpcomp.dir/workloads/nw.cpp.o" "gcc" "src/CMakeFiles/warpcomp.dir/workloads/nw.cpp.o.d"
+  "/root/repo/src/workloads/pathfinder.cpp" "src/CMakeFiles/warpcomp.dir/workloads/pathfinder.cpp.o" "gcc" "src/CMakeFiles/warpcomp.dir/workloads/pathfinder.cpp.o.d"
+  "/root/repo/src/workloads/ray.cpp" "src/CMakeFiles/warpcomp.dir/workloads/ray.cpp.o" "gcc" "src/CMakeFiles/warpcomp.dir/workloads/ray.cpp.o.d"
+  "/root/repo/src/workloads/registry.cpp" "src/CMakeFiles/warpcomp.dir/workloads/registry.cpp.o" "gcc" "src/CMakeFiles/warpcomp.dir/workloads/registry.cpp.o.d"
+  "/root/repo/src/workloads/sgemm.cpp" "src/CMakeFiles/warpcomp.dir/workloads/sgemm.cpp.o" "gcc" "src/CMakeFiles/warpcomp.dir/workloads/sgemm.cpp.o.d"
+  "/root/repo/src/workloads/spmv.cpp" "src/CMakeFiles/warpcomp.dir/workloads/spmv.cpp.o" "gcc" "src/CMakeFiles/warpcomp.dir/workloads/spmv.cpp.o.d"
+  "/root/repo/src/workloads/srad.cpp" "src/CMakeFiles/warpcomp.dir/workloads/srad.cpp.o" "gcc" "src/CMakeFiles/warpcomp.dir/workloads/srad.cpp.o.d"
+  "/root/repo/src/workloads/stencil.cpp" "src/CMakeFiles/warpcomp.dir/workloads/stencil.cpp.o" "gcc" "src/CMakeFiles/warpcomp.dir/workloads/stencil.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

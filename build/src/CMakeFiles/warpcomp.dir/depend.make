@@ -1,0 +1,2 @@
+# Empty dependencies file for warpcomp.
+# This may be replaced when dependencies are built.

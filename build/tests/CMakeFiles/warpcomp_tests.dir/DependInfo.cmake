@@ -1,0 +1,42 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_bdi.cpp" "tests/CMakeFiles/warpcomp_tests.dir/test_bdi.cpp.o" "gcc" "tests/CMakeFiles/warpcomp_tests.dir/test_bdi.cpp.o.d"
+  "/root/repo/tests/test_common.cpp" "tests/CMakeFiles/warpcomp_tests.dir/test_common.cpp.o" "gcc" "tests/CMakeFiles/warpcomp_tests.dir/test_common.cpp.o.d"
+  "/root/repo/tests/test_control_flow_stress.cpp" "tests/CMakeFiles/warpcomp_tests.dir/test_control_flow_stress.cpp.o" "gcc" "tests/CMakeFiles/warpcomp_tests.dir/test_control_flow_stress.cpp.o.d"
+  "/root/repo/tests/test_divergence_policy.cpp" "tests/CMakeFiles/warpcomp_tests.dir/test_divergence_policy.cpp.o" "gcc" "tests/CMakeFiles/warpcomp_tests.dir/test_divergence_policy.cpp.o.d"
+  "/root/repo/tests/test_drowsy.cpp" "tests/CMakeFiles/warpcomp_tests.dir/test_drowsy.cpp.o" "gcc" "tests/CMakeFiles/warpcomp_tests.dir/test_drowsy.cpp.o.d"
+  "/root/repo/tests/test_figure_shapes.cpp" "tests/CMakeFiles/warpcomp_tests.dir/test_figure_shapes.cpp.o" "gcc" "tests/CMakeFiles/warpcomp_tests.dir/test_figure_shapes.cpp.o.d"
+  "/root/repo/tests/test_functional.cpp" "tests/CMakeFiles/warpcomp_tests.dir/test_functional.cpp.o" "gcc" "tests/CMakeFiles/warpcomp_tests.dir/test_functional.cpp.o.d"
+  "/root/repo/tests/test_gpu_capacity.cpp" "tests/CMakeFiles/warpcomp_tests.dir/test_gpu_capacity.cpp.o" "gcc" "tests/CMakeFiles/warpcomp_tests.dir/test_gpu_capacity.cpp.o.d"
+  "/root/repo/tests/test_harness.cpp" "tests/CMakeFiles/warpcomp_tests.dir/test_harness.cpp.o" "gcc" "tests/CMakeFiles/warpcomp_tests.dir/test_harness.cpp.o.d"
+  "/root/repo/tests/test_integration.cpp" "tests/CMakeFiles/warpcomp_tests.dir/test_integration.cpp.o" "gcc" "tests/CMakeFiles/warpcomp_tests.dir/test_integration.cpp.o.d"
+  "/root/repo/tests/test_isa.cpp" "tests/CMakeFiles/warpcomp_tests.dir/test_isa.cpp.o" "gcc" "tests/CMakeFiles/warpcomp_tests.dir/test_isa.cpp.o.d"
+  "/root/repo/tests/test_mem.cpp" "tests/CMakeFiles/warpcomp_tests.dir/test_mem.cpp.o" "gcc" "tests/CMakeFiles/warpcomp_tests.dir/test_mem.cpp.o.d"
+  "/root/repo/tests/test_power.cpp" "tests/CMakeFiles/warpcomp_tests.dir/test_power.cpp.o" "gcc" "tests/CMakeFiles/warpcomp_tests.dir/test_power.cpp.o.d"
+  "/root/repo/tests/test_properties.cpp" "tests/CMakeFiles/warpcomp_tests.dir/test_properties.cpp.o" "gcc" "tests/CMakeFiles/warpcomp_tests.dir/test_properties.cpp.o.d"
+  "/root/repo/tests/test_regfile.cpp" "tests/CMakeFiles/warpcomp_tests.dir/test_regfile.cpp.o" "gcc" "tests/CMakeFiles/warpcomp_tests.dir/test_regfile.cpp.o.d"
+  "/root/repo/tests/test_rfc.cpp" "tests/CMakeFiles/warpcomp_tests.dir/test_rfc.cpp.o" "gcc" "tests/CMakeFiles/warpcomp_tests.dir/test_rfc.cpp.o.d"
+  "/root/repo/tests/test_schemes.cpp" "tests/CMakeFiles/warpcomp_tests.dir/test_schemes.cpp.o" "gcc" "tests/CMakeFiles/warpcomp_tests.dir/test_schemes.cpp.o.d"
+  "/root/repo/tests/test_sim_components.cpp" "tests/CMakeFiles/warpcomp_tests.dir/test_sim_components.cpp.o" "gcc" "tests/CMakeFiles/warpcomp_tests.dir/test_sim_components.cpp.o.d"
+  "/root/repo/tests/test_similarity.cpp" "tests/CMakeFiles/warpcomp_tests.dir/test_similarity.cpp.o" "gcc" "tests/CMakeFiles/warpcomp_tests.dir/test_similarity.cpp.o.d"
+  "/root/repo/tests/test_simt_stack.cpp" "tests/CMakeFiles/warpcomp_tests.dir/test_simt_stack.cpp.o" "gcc" "tests/CMakeFiles/warpcomp_tests.dir/test_simt_stack.cpp.o.d"
+  "/root/repo/tests/test_warp.cpp" "tests/CMakeFiles/warpcomp_tests.dir/test_warp.cpp.o" "gcc" "tests/CMakeFiles/warpcomp_tests.dir/test_warp.cpp.o.d"
+  "/root/repo/tests/test_workload_correctness.cpp" "tests/CMakeFiles/warpcomp_tests.dir/test_workload_correctness.cpp.o" "gcc" "tests/CMakeFiles/warpcomp_tests.dir/test_workload_correctness.cpp.o.d"
+  "/root/repo/tests/test_workloads.cpp" "tests/CMakeFiles/warpcomp_tests.dir/test_workloads.cpp.o" "gcc" "tests/CMakeFiles/warpcomp_tests.dir/test_workloads.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/warpcomp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
