@@ -27,16 +27,17 @@ selectedWorkloads(const HarnessOptions &opt)
     return {opt.only};
 }
 
-/** Run the selected workloads under one config. */
+/**
+ * Run the selected workloads under one config on the parallel runner
+ * (--threads=N; 0 = hardware concurrency). Output is bit-identical to
+ * the old serial loop — see runWorkloadsParallel.
+ */
 inline std::vector<ExperimentResult>
 runSelected(const HarnessOptions &opt, ExperimentConfig cfg)
 {
     cfg.scale = opt.scale;
     cfg.numSms = opt.numSms;
-    std::vector<ExperimentResult> out;
-    for (const std::string &name : selectedWorkloads(opt))
-        out.push_back(runWorkload(name, cfg));
-    return out;
+    return runWorkloadsParallel(selectedWorkloads(opt), cfg, opt.threads);
 }
 
 /** Total register-file energy of one run under given constants. */

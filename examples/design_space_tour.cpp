@@ -3,7 +3,9 @@
  * Design-space tour — the Sec. 6.6-6.8 exploration on one workload:
  * compression-parameter choices, comp/decomp latency sweeps, and
  * energy-constant scaling, all against the same baseline. Demonstrates
- * driving ExperimentConfig and re-pricing meters without re-simulating.
+ * driving ExperimentConfig, fanning a config sweep onto the parallel
+ * runner with runGrid (--threads=N), and re-pricing meters without
+ * re-simulating.
  */
 
 #include <iostream>
@@ -27,18 +29,25 @@ main(int argc, char **argv)
     const ExperimentResult base = runWorkload(name, base_cfg);
     const double base_total = base.run.meter.breakdown().totalPj();
 
-    // 1. Compression scheme choices (Fig 15/16 axis).
+    // 1. Compression scheme choices (Fig 15/16 axis), all schemes
+    //    simulated concurrently on the grid runner.
     std::cout << "1) compression parameter choices\n";
     TextTable t1({"scheme", "ratio", "energy vs baseline",
                   "cycles vs baseline"});
-    for (CompressionScheme s :
-         {CompressionScheme::Warped, CompressionScheme::Fixed40,
-          CompressionScheme::Fixed41, CompressionScheme::Fixed42,
-          CompressionScheme::FullBdi}) {
+    const std::vector<CompressionScheme> schemes = {
+        CompressionScheme::Warped, CompressionScheme::Fixed40,
+        CompressionScheme::Fixed41, CompressionScheme::Fixed42,
+        CompressionScheme::FullBdi};
+    std::vector<ExperimentConfig> scheme_cfgs;
+    for (CompressionScheme s : schemes) {
         ExperimentConfig cfg;
         cfg.scheme = s;
-        const ExperimentResult r = runWorkload(name, cfg);
-        t1.addRow({schemeName(s),
+        scheme_cfgs.push_back(cfg);
+    }
+    const auto scheme_grid = runGrid(scheme_cfgs, {name}, opt.threads);
+    for (std::size_t i = 0; i < schemes.size(); ++i) {
+        const ExperimentResult &r = scheme_grid[i][0];
+        t1.addRow({schemeName(schemes[i]),
                    fmtDouble(r.run.stats.ratio.overallRatio(), 2),
                    fmtPercent(r.run.meter.breakdown().totalPj() /
                               base_total),
@@ -47,19 +56,26 @@ main(int argc, char **argv)
     }
     t1.print(std::cout);
 
-    // 2. Latency sensitivity (Fig 20/21 axis).
+    // 2. Latency sensitivity (Fig 20/21 axis), one grid over the
+    //    3x3 latency cross product.
     std::cout << "\n2) compression/decompression latency\n";
     TextTable t2({"comp.lat", "decomp.lat", "cycles vs baseline"});
+    std::vector<ExperimentConfig> lat_cfgs;
     for (u32 cl : {2u, 4u, 8u}) {
         for (u32 dl : {1u, 4u, 8u}) {
             ExperimentConfig cfg;
             cfg.compressLatency = cl;
             cfg.decompressLatency = dl;
-            const ExperimentResult r = runWorkload(name, cfg);
-            t2.addRow({std::to_string(cl), std::to_string(dl),
-                       fmtDouble(static_cast<double>(r.run.cycles) /
-                                     base.run.cycles, 3)});
+            lat_cfgs.push_back(cfg);
         }
+    }
+    const auto lat_grid = runGrid(lat_cfgs, {name}, opt.threads);
+    for (std::size_t i = 0; i < lat_cfgs.size(); ++i) {
+        const ExperimentResult &r = lat_grid[i][0];
+        t2.addRow({std::to_string(lat_cfgs[i].compressLatency),
+                   std::to_string(lat_cfgs[i].decompressLatency),
+                   fmtDouble(static_cast<double>(r.run.cycles) /
+                                 base.run.cycles, 3)});
     }
     t2.print(std::cout);
 

@@ -29,10 +29,11 @@ main()
 
     ExperimentConfig base_cfg;
     base_cfg.scheme = CompressionScheme::None;
-    const ExperimentResult base = runWorkload("pathfinder", base_cfg);
-
     ExperimentConfig wc_cfg;
-    const ExperimentResult wc = runWorkload("pathfinder", wc_cfg);
+    // Both configurations simulate concurrently on the grid runner.
+    const auto grid = runGrid({base_cfg, wc_cfg}, {"pathfinder"});
+    const ExperimentResult &base = grid[0][0];
+    const ExperimentResult &wc = grid[1][0];
 
     const SimStats &st = wc.run.stats;
 

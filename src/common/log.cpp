@@ -1,5 +1,6 @@
 #include "common/log.hpp"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 
@@ -7,20 +8,23 @@ namespace warpcomp {
 
 namespace {
 
-LogLevel gLevel = LogLevel::Warn;
+// The only process-wide mutable in the simulator. Atomic so worker
+// threads in the parallel runner can read it while a driver adjusts
+// verbosity; everything else a run touches is owned by that run.
+std::atomic<LogLevel> gLevel{LogLevel::Warn};
 
 } // namespace
 
 LogLevel
 logLevel()
 {
-    return gLevel;
+    return gLevel.load(std::memory_order_relaxed);
 }
 
 void
 setLogLevel(LogLevel level)
 {
-    gLevel = level;
+    gLevel.store(level, std::memory_order_relaxed);
 }
 
 namespace detail {

@@ -12,6 +12,19 @@
 
 namespace warpcomp {
 
+/**
+ * Derive a per-run seed from a component's canonical @p base seed and a
+ * run-level @p salt. A salt of 0 returns @p base unchanged, so default
+ * experiment streams stay bit-identical to historical runs; any other
+ * salt yields an independent deterministic stream. Pure function — the
+ * harness calls it concurrently from worker threads.
+ */
+constexpr u64
+mixSeed(u64 base, u64 salt)
+{
+    return base ^ (salt * 0x9E3779B97F4A7C15ull);
+}
+
 /** xorshift128+ generator with splitmix64 seeding. */
 class Rng
 {

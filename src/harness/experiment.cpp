@@ -2,8 +2,11 @@
 
 #include <cmath>
 #include <cstring>
+#include <optional>
+#include <utility>
 
 #include "common/log.hpp"
+#include "harness/thread_pool.hpp"
 
 namespace warpcomp {
 
@@ -33,7 +36,7 @@ makeGpuParams(const ExperimentConfig &cfg)
 ExperimentResult
 runWorkload(const std::string &name, const ExperimentConfig &cfg)
 {
-    WorkloadInstance wl = makeWorkload(name, cfg.scale);
+    WorkloadInstance wl = makeWorkload(name, cfg.scale, cfg.seedSalt);
     const GpuParams gp = makeGpuParams(cfg);
     Gpu gpu(gp, *wl.gmem, *wl.cmem);
     RunResult run = gpu.run(wl.kernel, wl.dims, cfg.collectBdiBreakdown);
@@ -50,6 +53,51 @@ runSuite(const ExperimentConfig &cfg)
     return results;
 }
 
+std::vector<ExperimentResult>
+runWorkloadsParallel(const std::vector<std::string> &names,
+                     const ExperimentConfig &cfg, u32 num_threads)
+{
+    // Each slot is owned exclusively by one job; merging back is just
+    // unwrapping in submission order.
+    std::vector<std::optional<ExperimentResult>> slots(names.size());
+    parallelFor(names.size(), resolveThreadCount(num_threads),
+                [&](std::size_t i) {
+                    slots[i] = runWorkload(names[i], cfg);
+                });
+    std::vector<ExperimentResult> results;
+    results.reserve(slots.size());
+    for (auto &slot : slots)
+        results.push_back(std::move(*slot));
+    return results;
+}
+
+std::vector<ExperimentResult>
+runSuiteParallel(const ExperimentConfig &cfg, u32 num_threads)
+{
+    return runWorkloadsParallel(workloadNames(), cfg, num_threads);
+}
+
+std::vector<std::vector<ExperimentResult>>
+runGrid(const std::vector<ExperimentConfig> &configs,
+        const std::vector<std::string> &workloads, u32 num_threads)
+{
+    const std::size_t n_wl = workloads.size();
+    const std::size_t n_jobs = configs.size() * n_wl;
+    std::vector<std::optional<ExperimentResult>> slots(n_jobs);
+    parallelFor(n_jobs, resolveThreadCount(num_threads),
+                [&](std::size_t i) {
+                    slots[i] = runWorkload(workloads[i % n_wl],
+                                           configs[i / n_wl]);
+                });
+    std::vector<std::vector<ExperimentResult>> grid(configs.size());
+    for (std::size_t c = 0; c < configs.size(); ++c) {
+        grid[c].reserve(n_wl);
+        for (std::size_t w = 0; w < n_wl; ++w)
+            grid[c].push_back(std::move(*slots[c * n_wl + w]));
+    }
+    return grid;
+}
+
 HarnessOptions
 parseHarnessArgs(int argc, char **argv)
 {
@@ -64,6 +112,12 @@ parseHarnessArgs(int argc, char **argv)
             opt.numSms = static_cast<u32>(std::atoi(arg + 6));
             if (opt.numSms < 1)
                 WC_FATAL("--sms must be >= 1");
+        } else if (std::strncmp(arg, "--threads=", 10) == 0) {
+            const int n = std::atoi(arg + 10);
+            if (n < 0)
+                WC_FATAL("--threads must be >= 0 (0 = hardware "
+                         "concurrency)");
+            opt.threads = static_cast<u32>(n);
         } else if (std::strncmp(arg, "--only=", 7) == 0) {
             opt.only = arg + 7;
         }

@@ -40,6 +40,13 @@ struct ExperimentConfig
     u32 wakeupLatency = 10;
     u32 numCompressors = 2;
     u32 numDecompressors = 4;
+    /**
+     * Salt mixed into every workload's input RNG seed (see mixSeed).
+     * 0 (the default) keeps the canonical per-workload streams, so
+     * historical results stay bit-identical; any other value derives a
+     * fresh deterministic input set per (workload, config) pair.
+     */
+    u64 seedSalt = 0;
     EnergyParams energy{};
 };
 
@@ -60,19 +67,51 @@ ExperimentResult runWorkload(const std::string &name,
 /** Run the full 15-benchmark suite under @p cfg. */
 std::vector<ExperimentResult> runSuite(const ExperimentConfig &cfg);
 
+/**
+ * Run @p names under @p cfg on @p num_threads workers (0 = hardware
+ * concurrency). Simulation runs are share-nothing — each owns its
+ * memory image, RNG streams, stats, and energy meter — and results are
+ * returned in submission (= @p names) order, so the output is
+ * bit-identical to the serial loop regardless of thread count.
+ */
+std::vector<ExperimentResult>
+runWorkloadsParallel(const std::vector<std::string> &names,
+                     const ExperimentConfig &cfg, u32 num_threads = 0);
+
+/** Parallel runSuite: the full suite with the same ordering guarantee. */
+std::vector<ExperimentResult> runSuiteParallel(const ExperimentConfig &cfg,
+                                               u32 num_threads = 0);
+
+/**
+ * Full experiment grid: every (config, workload) pair, flattened onto
+ * one pool. result[c][w] corresponds to configs[c] x workloads[w], in
+ * argument order — bit-identical to nested serial loops.
+ */
+std::vector<std::vector<ExperimentResult>>
+runGrid(const std::vector<ExperimentConfig> &configs,
+        const std::vector<std::string> &workloads, u32 num_threads = 0);
+
 /** Command-line options shared by the bench binaries. */
 struct HarnessOptions
 {
     u32 scale = 1;
     u32 numSms = 15;
+    /** Worker threads for suite runs; 0 = hardware concurrency. */
+    u32 threads = 0;
     /** Restrict to a single workload (empty = all). */
     std::string only;
 };
 
-/** Parse --scale=N --sms=N --only=name; ignores unknown arguments. */
+/** Parse --scale=N --sms=N --threads=N --only=name; ignores unknown
+ *  arguments. */
 HarnessOptions parseHarnessArgs(int argc, char **argv);
 
-/** Geometric-mean helper used for figure averages. */
+/**
+ * Geometric-mean helper used for figure averages. Contract: returns
+ * 0.0 on an empty input (an empty figure row renders as 0, never UB),
+ * and panics via WC_ASSERT on non-positive values, for which the
+ * geomean is undefined.
+ */
 double geomean(const std::vector<double> &values);
 
 /** Arithmetic mean (the paper reports arithmetic averages). */

@@ -35,6 +35,9 @@ class GlobalMemory
 
     u64 size() const { return data_.size(); }
 
+    /** Raw backing store; lets tests diff whole memory images. */
+    const std::vector<u8> &bytes() const { return data_; }
+
   private:
     void checkAddr(u64 addr) const;
 

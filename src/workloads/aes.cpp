@@ -13,7 +13,7 @@
 namespace warpcomp {
 
 WorkloadInstance
-makeAes(u32 scale)
+makeAes(u32 scale, u64 salt)
 {
     const u32 block = 128;
     const u32 grid = 48 * scale;
@@ -22,7 +22,7 @@ makeAes(u32 scale)
 
     auto gmem = std::make_unique<GlobalMemory>(32ull << 20);
     auto cmem = std::make_unique<ConstantMemory>();
-    Rng rng(0xAE5u);
+    Rng rng(mixSeed(0xAE5u, salt));
 
     const u64 state = gmem->alloc(4ull * words);
     const u64 ttab = gmem->alloc(4ull * 256);

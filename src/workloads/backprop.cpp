@@ -13,7 +13,7 @@
 namespace warpcomp {
 
 WorkloadInstance
-makeBackprop(u32 scale)
+makeBackprop(u32 scale, u64 salt)
 {
     const u32 block = 256;
     const u32 grid = 60 * scale;
@@ -21,7 +21,7 @@ makeBackprop(u32 scale)
 
     auto gmem = std::make_unique<GlobalMemory>(64ull << 20);
     auto cmem = std::make_unique<ConstantMemory>();
-    Rng rng(0xBA0u);
+    Rng rng(mixSeed(0xBA0u, salt));
 
     const u64 input = gmem->alloc(4ull * in_size * grid);
     const u64 weights = gmem->alloc(4ull * in_size * block * grid);

@@ -14,7 +14,7 @@
 namespace warpcomp {
 
 WorkloadInstance
-makeBfs(u32 scale)
+makeBfs(u32 scale, u64 salt)
 {
     const u32 block = 256;
     const u32 grid = 48 * scale;
@@ -23,7 +23,7 @@ makeBfs(u32 scale)
 
     auto gmem = std::make_unique<GlobalMemory>(128ull << 20);
     auto cmem = std::make_unique<ConstantMemory>();
-    Rng rng(0xBF5u);
+    Rng rng(mixSeed(0xBF5u, salt));
 
     // CSR layout with random degrees 0..max_degree.
     std::vector<u32> rowptr(nodes + 1);

@@ -13,7 +13,7 @@
 namespace warpcomp {
 
 WorkloadInstance
-makeDwt2d(u32 scale)
+makeDwt2d(u32 scale, u64 salt)
 {
     const u32 block = 256;
     const u32 grid = 56 * scale;
@@ -21,7 +21,7 @@ makeDwt2d(u32 scale)
 
     auto gmem = std::make_unique<GlobalMemory>(64ull << 20);
     auto cmem = std::make_unique<ConstantMemory>();
-    Rng rng(0xD27u);
+    Rng rng(mixSeed(0xD27u, salt));
 
     const u64 in = gmem->alloc(4ull * (samples + 2));
     const u64 out = gmem->alloc(4ull * samples);

@@ -12,7 +12,7 @@
 namespace warpcomp {
 
 WorkloadInstance
-makeGaussian(u32 scale)
+makeGaussian(u32 scale, u64 salt)
 {
     const u32 block = 256;
     const u32 size = 128;                // matrix dimension
@@ -21,7 +21,7 @@ makeGaussian(u32 scale)
 
     auto gmem = std::make_unique<GlobalMemory>(32ull << 20);
     auto cmem = std::make_unique<ConstantMemory>();
-    Rng rng(0x6A0u);
+    Rng rng(mixSeed(0x6A0u, salt));
 
     const u64 a = gmem->alloc(4ull * size * size);
     const u64 m = gmem->alloc(4ull * size);

@@ -14,7 +14,7 @@
 namespace warpcomp {
 
 WorkloadInstance
-makeHisto(u32 scale)
+makeHisto(u32 scale, u64 salt)
 {
     const u32 block = 256;          // one thread per bin
     const u32 grid = 48 * scale;
@@ -22,7 +22,7 @@ makeHisto(u32 scale)
 
     auto gmem = std::make_unique<GlobalMemory>(64ull << 20);
     auto cmem = std::make_unique<ConstantMemory>();
-    Rng rng(0x4157u);
+    Rng rng(mixSeed(0x4157u, salt));
 
     const u64 data = gmem->alloc(4ull * chunk * grid);
     const u64 hist = gmem->alloc(4ull * block * grid);

@@ -13,7 +13,7 @@
 namespace warpcomp {
 
 WorkloadInstance
-makeHotspot(u32 scale)
+makeHotspot(u32 scale, u64 salt)
 {
     const u32 block = 256;
     const u32 grid_blocks = 60 * scale;
@@ -23,7 +23,7 @@ makeHotspot(u32 scale)
 
     auto gmem = std::make_unique<GlobalMemory>(64ull << 20);
     auto cmem = std::make_unique<ConstantMemory>();
-    Rng rng(0x407u);
+    Rng rng(mixSeed(0x407u, salt));
 
     const u64 temp = gmem->alloc(4ull * cells);
     const u64 power = gmem->alloc(4ull * cells);

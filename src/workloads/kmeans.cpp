@@ -14,7 +14,7 @@
 namespace warpcomp {
 
 WorkloadInstance
-makeKmeans(u32 scale)
+makeKmeans(u32 scale, u64 salt)
 {
     const u32 block = 256;
     const u32 grid = 48 * scale;
@@ -24,7 +24,7 @@ makeKmeans(u32 scale)
 
     auto gmem = std::make_unique<GlobalMemory>(64ull << 20);
     auto cmem = std::make_unique<ConstantMemory>();
-    Rng rng(0x4EA5u);
+    Rng rng(mixSeed(0x4EA5u, salt));
 
     const u64 features = gmem->alloc(4ull * points * nfeatures);
     const u64 clusters = gmem->alloc(4ull * nclusters * nfeatures);

@@ -16,7 +16,7 @@
 namespace warpcomp {
 
 WorkloadInstance
-makeLib(u32 scale)
+makeLib(u32 scale, u64 /*salt*/)
 {
     const u32 block = 192;
     const u32 grid = 60 * scale;

@@ -13,7 +13,7 @@
 namespace warpcomp {
 
 WorkloadInstance
-makeLud(u32 scale)
+makeLud(u32 scale, u64 salt)
 {
     const u32 block = 256;
     const u32 size = 128;
@@ -22,7 +22,7 @@ makeLud(u32 scale)
 
     auto gmem = std::make_unique<GlobalMemory>(32ull << 20);
     auto cmem = std::make_unique<ConstantMemory>();
-    Rng rng(0x10Du);
+    Rng rng(mixSeed(0x10Du, salt));
 
     const u64 a = gmem->alloc(4ull * size * size);
     const u64 out = gmem->alloc(4ull * block * grid);

@@ -13,7 +13,7 @@
 namespace warpcomp {
 
 WorkloadInstance
-makeMum(u32 scale)
+makeMum(u32 scale, u64 salt)
 {
     const u32 block = 256;
     const u32 grid = 48 * scale;
@@ -23,7 +23,7 @@ makeMum(u32 scale)
 
     auto gmem = std::make_unique<GlobalMemory>(64ull << 20);
     auto cmem = std::make_unique<ConstantMemory>();
-    Rng rng(0x303u);
+    Rng rng(mixSeed(0x303u, salt));
 
     const u64 query = gmem->alloc(4ull * queries * qlen);
     const u64 children = gmem->alloc(4ull * nodes * 4);

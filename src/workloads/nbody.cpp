@@ -13,7 +13,7 @@
 namespace warpcomp {
 
 WorkloadInstance
-makeNbody(u32 scale)
+makeNbody(u32 scale, u64 salt)
 {
     const u32 block = 128;
     const u32 grid = 48 * scale;
@@ -22,7 +22,7 @@ makeNbody(u32 scale)
 
     auto gmem = std::make_unique<GlobalMemory>(64ull << 20);
     auto cmem = std::make_unique<ConstantMemory>();
-    Rng rng(0xB0D1u);
+    Rng rng(mixSeed(0xB0D1u, salt));
 
     const u64 posx = gmem->alloc(4ull * bodies);
     const u64 posy = gmem->alloc(4ull * bodies);

@@ -13,7 +13,7 @@
 namespace warpcomp {
 
 WorkloadInstance
-makeNw(u32 scale)
+makeNw(u32 scale, u64 salt)
 {
     const u32 block = 256;
     const u32 grid = 56 * scale;
@@ -22,7 +22,7 @@ makeNw(u32 scale)
 
     auto gmem = std::make_unique<GlobalMemory>(64ull << 20);
     auto cmem = std::make_unique<ConstantMemory>();
-    Rng rng(0x3Bu);
+    Rng rng(mixSeed(0x3Bu, salt));
 
     const u64 ref = gmem->alloc(4ull * cells);       // substitution scores
     const u64 north = gmem->alloc(4ull * (cells + 1));

@@ -14,7 +14,7 @@
 namespace warpcomp {
 
 WorkloadInstance
-makePathfinder(u32 scale)
+makePathfinder(u32 scale, u64 salt)
 {
     constexpr u32 kBlockSize = 256;
     constexpr u32 kHalo = 1;
@@ -26,7 +26,7 @@ makePathfinder(u32 scale)
 
     auto gmem = std::make_unique<GlobalMemory>(64ull << 20);
     auto cmem = std::make_unique<ConstantMemory>();
-    Rng rng(0x9A7Fu);
+    Rng rng(mixSeed(0x9A7Fu, salt));
 
     const u64 src = gmem->alloc(4ull * cols);
     const u64 wall = gmem->alloc(4ull * cols * iteration);

@@ -13,7 +13,7 @@
 namespace warpcomp {
 
 WorkloadInstance
-makeRay(u32 scale)
+makeRay(u32 scale, u64 salt)
 {
     const u32 block = 256;
     const u32 grid = 48 * scale;
@@ -21,7 +21,7 @@ makeRay(u32 scale)
 
     auto gmem = std::make_unique<GlobalMemory>(32ull << 20);
     auto cmem = std::make_unique<ConstantMemory>();
-    Rng rng(0x4A7u);
+    Rng rng(mixSeed(0x4A7u, salt));
 
     // Sphere records: cx, cy, cz, r^2 packed as 4 floats.
     const u64 spheres = gmem->alloc(4ull * nspheres * 4);

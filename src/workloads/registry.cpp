@@ -16,28 +16,28 @@ workloadNames()
 }
 
 WorkloadInstance
-makeWorkload(const std::string &name, u32 scale)
+makeWorkload(const std::string &name, u32 scale, u64 salt)
 {
     WC_ASSERT(scale >= 1, "workload scale must be at least 1");
-    if (name == "backprop") return makeBackprop(scale);
-    if (name == "bfs") return makeBfs(scale);
-    if (name == "gaussian") return makeGaussian(scale);
-    if (name == "hotspot") return makeHotspot(scale);
-    if (name == "lud") return makeLud(scale);
-    if (name == "nw") return makeNw(scale);
-    if (name == "pathfinder") return makePathfinder(scale);
-    if (name == "srad") return makeSrad(scale);
-    if (name == "dwt2d") return makeDwt2d(scale);
-    if (name == "aes") return makeAes(scale);
-    if (name == "lib") return makeLib(scale);
-    if (name == "mum") return makeMum(scale);
-    if (name == "ray") return makeRay(scale);
-    if (name == "spmv") return makeSpmv(scale);
-    if (name == "stencil") return makeStencil(scale);
-    if (name == "sgemm") return makeSgemm(scale);
-    if (name == "kmeans") return makeKmeans(scale);
-    if (name == "nbody") return makeNbody(scale);
-    if (name == "histo") return makeHisto(scale);
+    if (name == "backprop") return makeBackprop(scale, salt);
+    if (name == "bfs") return makeBfs(scale, salt);
+    if (name == "gaussian") return makeGaussian(scale, salt);
+    if (name == "hotspot") return makeHotspot(scale, salt);
+    if (name == "lud") return makeLud(scale, salt);
+    if (name == "nw") return makeNw(scale, salt);
+    if (name == "pathfinder") return makePathfinder(scale, salt);
+    if (name == "srad") return makeSrad(scale, salt);
+    if (name == "dwt2d") return makeDwt2d(scale, salt);
+    if (name == "aes") return makeAes(scale, salt);
+    if (name == "lib") return makeLib(scale, salt);
+    if (name == "mum") return makeMum(scale, salt);
+    if (name == "ray") return makeRay(scale, salt);
+    if (name == "spmv") return makeSpmv(scale, salt);
+    if (name == "stencil") return makeStencil(scale, salt);
+    if (name == "sgemm") return makeSgemm(scale, salt);
+    if (name == "kmeans") return makeKmeans(scale, salt);
+    if (name == "nbody") return makeNbody(scale, salt);
+    if (name == "histo") return makeHisto(scale, salt);
     WC_FATAL("unknown workload '" << name << "'");
 }
 

@@ -15,32 +15,38 @@
 namespace warpcomp {
 
 // One factory per ported benchmark. @p scale multiplies the problem
-// size (1 = bench default).
-WorkloadInstance makeBackprop(u32 scale);
-WorkloadInstance makeBfs(u32 scale);
-WorkloadInstance makeGaussian(u32 scale);
-WorkloadInstance makeHotspot(u32 scale);
-WorkloadInstance makeLud(u32 scale);
-WorkloadInstance makeNw(u32 scale);
-WorkloadInstance makePathfinder(u32 scale);
-WorkloadInstance makeSrad(u32 scale);
-WorkloadInstance makeDwt2d(u32 scale);
-WorkloadInstance makeAes(u32 scale);
-WorkloadInstance makeLib(u32 scale);
-WorkloadInstance makeMum(u32 scale);
-WorkloadInstance makeRay(u32 scale);
-WorkloadInstance makeSpmv(u32 scale);
-WorkloadInstance makeStencil(u32 scale);
-WorkloadInstance makeSgemm(u32 scale);
-WorkloadInstance makeKmeans(u32 scale);
-WorkloadInstance makeNbody(u32 scale);
-WorkloadInstance makeHisto(u32 scale);
+// size (1 = bench default); @p salt is mixed into the workload's
+// canonical input-RNG seed via mixSeed (0 = canonical inputs).
+WorkloadInstance makeBackprop(u32 scale, u64 salt = 0);
+WorkloadInstance makeBfs(u32 scale, u64 salt = 0);
+WorkloadInstance makeGaussian(u32 scale, u64 salt = 0);
+WorkloadInstance makeHotspot(u32 scale, u64 salt = 0);
+WorkloadInstance makeLud(u32 scale, u64 salt = 0);
+WorkloadInstance makeNw(u32 scale, u64 salt = 0);
+WorkloadInstance makePathfinder(u32 scale, u64 salt = 0);
+WorkloadInstance makeSrad(u32 scale, u64 salt = 0);
+WorkloadInstance makeDwt2d(u32 scale, u64 salt = 0);
+WorkloadInstance makeAes(u32 scale, u64 salt = 0);
+WorkloadInstance makeLib(u32 scale, u64 salt = 0);
+WorkloadInstance makeMum(u32 scale, u64 salt = 0);
+WorkloadInstance makeRay(u32 scale, u64 salt = 0);
+WorkloadInstance makeSpmv(u32 scale, u64 salt = 0);
+WorkloadInstance makeStencil(u32 scale, u64 salt = 0);
+WorkloadInstance makeSgemm(u32 scale, u64 salt = 0);
+WorkloadInstance makeKmeans(u32 scale, u64 salt = 0);
+WorkloadInstance makeNbody(u32 scale, u64 salt = 0);
+WorkloadInstance makeHisto(u32 scale, u64 salt = 0);
 
 /** Benchmark names in canonical (figure x-axis) order. */
 const std::vector<std::string> &workloadNames();
 
-/** Build a workload by name; panics on unknown names. */
-WorkloadInstance makeWorkload(const std::string &name, u32 scale = 1);
+/**
+ * Build a workload by name; panics on unknown names. Thread-safe:
+ * every instance owns its memory image and RNG streams, so concurrent
+ * builds of any (name, scale, salt) combinations never interact.
+ */
+WorkloadInstance makeWorkload(const std::string &name, u32 scale = 1,
+                              u64 salt = 0);
 
 } // namespace warpcomp
 

@@ -13,7 +13,7 @@
 namespace warpcomp {
 
 WorkloadInstance
-makeSgemm(u32 scale)
+makeSgemm(u32 scale, u64 salt)
 {
     constexpr u32 kTile = 16;               // 16x16 = 256 threads
     const u32 block = kTile * kTile;
@@ -24,7 +24,7 @@ makeSgemm(u32 scale)
 
     auto gmem = std::make_unique<GlobalMemory>(32ull << 20);
     auto cmem = std::make_unique<ConstantMemory>();
-    Rng rng(0x56E3u);
+    Rng rng(mixSeed(0x56E3u, salt));
 
     const u64 a = gmem->alloc(4ull * n * n);
     const u64 bm = gmem->alloc(4ull * n * n);

@@ -13,7 +13,7 @@
 namespace warpcomp {
 
 WorkloadInstance
-makeSpmv(u32 scale)
+makeSpmv(u32 scale, u64 salt)
 {
     const u32 block = 256;
     const u32 grid = 48 * scale;
@@ -22,7 +22,7 @@ makeSpmv(u32 scale)
 
     auto gmem = std::make_unique<GlobalMemory>(128ull << 20);
     auto cmem = std::make_unique<ConstantMemory>();
-    Rng rng(0x59Bu);
+    Rng rng(mixSeed(0x59Bu, salt));
 
     std::vector<u32> rowptr(rows + 1);
     rowptr[0] = 0;

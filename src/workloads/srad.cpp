@@ -13,7 +13,7 @@
 namespace warpcomp {
 
 WorkloadInstance
-makeSrad(u32 scale)
+makeSrad(u32 scale, u64 salt)
 {
     const u32 block = 256;
     const u32 rows = 56 * scale;
@@ -22,7 +22,7 @@ makeSrad(u32 scale)
 
     auto gmem = std::make_unique<GlobalMemory>(64ull << 20);
     auto cmem = std::make_unique<ConstantMemory>();
-    Rng rng(0x5ADu);
+    Rng rng(mixSeed(0x5ADu, salt));
 
     const u64 img = gmem->alloc(4ull * cells);
     const u64 coeff = gmem->alloc(4ull * cells);

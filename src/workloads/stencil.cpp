@@ -13,7 +13,7 @@
 namespace warpcomp {
 
 WorkloadInstance
-makeStencil(u32 scale)
+makeStencil(u32 scale, u64 salt)
 {
     const u32 block = 256;
     const u32 grid = 64 * scale;
@@ -24,7 +24,7 @@ makeStencil(u32 scale)
 
     auto gmem = std::make_unique<GlobalMemory>(64ull << 20);
     auto cmem = std::make_unique<ConstantMemory>();
-    Rng rng(0x57Eu);
+    Rng rng(mixSeed(0x57Eu, salt));
 
     const u64 in = gmem->alloc(4ull * cells);
     const u64 out = gmem->alloc(4ull * cells);

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Differential testing of compression transparency (Sec. 5): for every
+ * registered workload, a run under warped-compression must be
+ * architecturally indistinguishable from the uncompressed baseline —
+ * identical final global-memory image, identical program instruction
+ * stream (dummy decompress-MOVs are the only addition, and they are
+ * microarchitectural), and identical CTA count. Energy and cycle
+ * counts may differ; architectural state may not.
+ */
+
+#include <gtest/gtest.h>
+
+#include "harness/experiment.hpp"
+#include "sim/gpu.hpp"
+#include "workloads/registry.hpp"
+
+namespace warpcomp {
+namespace {
+
+struct ArchOutcome
+{
+    std::vector<u8> gmemImage;
+    u64 programInstructions = 0;    ///< issued minus injected MOVs
+    u64 regWrites = 0;
+    u64 ctas = 0;
+};
+
+ArchOutcome
+runArch(const std::string &name, CompressionScheme scheme)
+{
+    ExperimentConfig cfg;
+    cfg.scheme = scheme;
+    cfg.numSms = 2;                 // keep the 19-workload sweep quick
+    WorkloadInstance wl = makeWorkload(name, cfg.scale, cfg.seedSalt);
+    Gpu gpu(makeGpuParams(cfg), *wl.gmem, *wl.cmem);
+    const RunResult run = gpu.run(wl.kernel, wl.dims);
+    ArchOutcome out;
+    out.gmemImage = wl.gmem->bytes();
+    out.programInstructions = run.stats.issued - run.stats.dummyMovs;
+    out.regWrites = run.stats.regWrites;
+    out.ctas = run.ctas;
+    return out;
+}
+
+class Differential : public ::testing::TestWithParam<std::string>
+{};
+
+TEST_P(Differential, WarpedMatchesUncompressedBaseline)
+{
+    const ArchOutcome base = runArch(GetParam(), CompressionScheme::None);
+    const ArchOutcome wc = runArch(GetParam(), CompressionScheme::Warped);
+
+    EXPECT_EQ(wc.programInstructions, base.programInstructions)
+        << "compression altered the executed program";
+    EXPECT_EQ(wc.regWrites, base.regWrites);
+    EXPECT_EQ(wc.ctas, base.ctas);
+
+    ASSERT_EQ(wc.gmemImage.size(), base.gmemImage.size());
+    // memcmp first; on mismatch report the first differing word.
+    if (wc.gmemImage != base.gmemImage) {
+        for (std::size_t i = 0; i < base.gmemImage.size(); ++i) {
+            ASSERT_EQ(wc.gmemImage[i], base.gmemImage[i])
+                << "global memory diverges at byte " << i;
+        }
+    }
+    SUCCEED();
+}
+
+TEST_P(Differential, AllSchemesPreserveMemoryImage)
+{
+    // The static single-parameter variants and the full-BDI explorer
+    // must be just as transparent as the warped scheme.
+    const ArchOutcome base = runArch(GetParam(), CompressionScheme::None);
+    for (CompressionScheme s :
+         {CompressionScheme::Fixed40, CompressionScheme::FullBdi}) {
+        const ArchOutcome alt = runArch(GetParam(), s);
+        EXPECT_EQ(alt.programInstructions, base.programInstructions);
+        EXPECT_TRUE(alt.gmemImage == base.gmemImage)
+            << "scheme " << static_cast<int>(s)
+            << " altered the final memory image";
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllWorkloads, Differential, ::testing::ValuesIn(workloadNames()),
+    [](const ::testing::TestParamInfo<std::string> &info) {
+        return info.param;
+    });
+
+} // namespace
+} // namespace warpcomp

@@ -38,11 +38,12 @@ TEST(Harness, LatenciesPropagate)
 TEST(Harness, ArgParsing)
 {
     const char *argv[] = {"bench", "--scale=3", "--sms=4",
-                          "--only=lib", "--unknown"};
+                          "--only=lib", "--threads=6", "--unknown"};
     const HarnessOptions opt = parseHarnessArgs(
-        5, const_cast<char **>(argv));
+        6, const_cast<char **>(argv));
     EXPECT_EQ(opt.scale, 3u);
     EXPECT_EQ(opt.numSms, 4u);
+    EXPECT_EQ(opt.threads, 6u);
     EXPECT_EQ(opt.only, "lib");
 }
 
@@ -53,6 +54,7 @@ TEST(Harness, ArgDefaults)
         1, const_cast<char **>(argv));
     EXPECT_EQ(opt.scale, 1u);
     EXPECT_EQ(opt.numSms, 15u);
+    EXPECT_EQ(opt.threads, 0u);     // 0 = auto (hardware concurrency)
     EXPECT_TRUE(opt.only.empty());
 }
 
@@ -61,7 +63,15 @@ TEST(Harness, Means)
     EXPECT_DOUBLE_EQ(mean({1.0, 2.0, 3.0}), 2.0);
     EXPECT_DOUBLE_EQ(mean({}), 0.0);
     EXPECT_NEAR(geomean({1.0, 4.0}), 2.0, 1e-12);
+    EXPECT_DOUBLE_EQ(geomean({42.0}), 42.0);
+}
+
+TEST(Harness, GeomeanEmptyIsZeroByContract)
+{
+    // Documented contract (experiment.hpp): an empty figure row
+    // renders as 0.0, never an UB path through the assert macro.
     EXPECT_DOUBLE_EQ(geomean({}), 0.0);
+    EXPECT_DOUBLE_EQ(geomean(std::vector<double>{}), 0.0);
 }
 
 TEST(Harness, TableTwoDefaults)
