@@ -8,11 +8,13 @@
 #ifndef WARPCOMP_BENCH_BENCH_COMMON_HPP
 #define WARPCOMP_BENCH_BENCH_COMMON_HPP
 
+#include <chrono>
 #include <iostream>
 #include <string>
 #include <vector>
 
 #include "harness/experiment.hpp"
+#include "harness/perf_json.hpp"
 #include "power/report.hpp"
 
 namespace warpcomp {
@@ -31,13 +33,41 @@ selectedWorkloads(const HarnessOptions &opt)
  * Run the selected workloads under one config on the parallel runner
  * (--threads=N; 0 = hardware concurrency). Output is bit-identical to
  * the old serial loop — see runWorkloadsParallel.
+ *
+ * Every call is wall-clock timed; with --json=FILE the run is appended
+ * to the process perf record flushed at exit (see PerfRecorder). @p
+ * label names the suite in that record ("suite N" when omitted).
  */
 inline std::vector<ExperimentResult>
-runSelected(const HarnessOptions &opt, ExperimentConfig cfg)
+runSelected(const HarnessOptions &opt, ExperimentConfig cfg,
+            std::string label = "")
 {
     cfg.scale = opt.scale;
     cfg.numSms = opt.numSms;
-    return runWorkloadsParallel(selectedWorkloads(opt), cfg, opt.threads);
+    if (!opt.jsonPath.empty())
+        perfRecorder().setOutput(opt.benchName, opt.jsonPath);
+
+    const auto t0 = std::chrono::steady_clock::now();
+    auto results =
+        runWorkloadsParallel(selectedWorkloads(opt), cfg, opt.threads);
+    const std::chrono::duration<double> wall =
+        std::chrono::steady_clock::now() - t0;
+
+    if (perfRecorder().enabled()) {
+        static u32 suite_counter = 0;
+        ++suite_counter;
+        PerfSuiteRecord rec;
+        rec.label = label.empty()
+            ? "suite " + std::to_string(suite_counter) : std::move(label);
+        rec.threads = opt.threads;
+        rec.wallSeconds = wall.count();
+        for (const ExperimentResult &r : results) {
+            rec.totalCycles += r.run.cycles;
+            rec.rows.push_back({r.workload, r.run.cycles, r.wallSeconds});
+        }
+        perfRecorder().addSuite(std::move(rec));
+    }
+    return results;
 }
 
 /** Total register-file energy of one run under given constants. */

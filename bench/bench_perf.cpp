@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Wall-clock perf baseline for the simulator itself (no paper figure):
+ * times the full workload suite under the default warped configuration,
+ * once serial and once on the parallel runner, and prints the speedup.
+ * With --json=FILE both runs land in a machine-readable record that CI
+ * archives, so simulator slowdowns show up as artifact diffs.
+ */
+
+#include "bench_common.hpp"
+
+using namespace warpcomp;
+
+int
+main(int argc, char **argv)
+{
+    HarnessOptions opt = parseHarnessArgs(argc, argv);
+    std::cout << "== Simulator wall-clock baseline ==\n"
+              << "(full workload suite, default warped configuration)\n\n";
+
+    HarnessOptions serial_opt = opt;
+    serial_opt.threads = 1;
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto serial =
+        bench::runSelected(serial_opt, ExperimentConfig{}, "suite serial");
+    const std::chrono::duration<double> serial_wall =
+        std::chrono::steady_clock::now() - t0;
+
+    const auto t1 = std::chrono::steady_clock::now();
+    const auto parallel =
+        bench::runSelected(opt, ExperimentConfig{}, "suite parallel");
+    const std::chrono::duration<double> parallel_wall =
+        std::chrono::steady_clock::now() - t1;
+
+    u64 total_cycles = 0;
+    TextTable t({"bench", "cycles", "serial s", "parallel s"});
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+        total_cycles += serial[i].run.cycles;
+        t.addRow({serial[i].workload,
+                  std::to_string(serial[i].run.cycles),
+                  fmtDouble(serial[i].wallSeconds, 3),
+                  fmtDouble(parallel[i].wallSeconds, 3)});
+    }
+    t.print(std::cout);
+
+    std::cout << "\ntotal simulated cycles: " << total_cycles
+              << "\nserial wall:   " << fmtDouble(serial_wall.count(), 3)
+              << " s\nparallel wall: "
+              << fmtDouble(parallel_wall.count(), 3)
+              << " s\nspeedup:       "
+              << fmtDouble(serial_wall.count() / parallel_wall.count(), 2)
+              << "x\n";
+    return 0;
+}

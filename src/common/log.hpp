@@ -28,6 +28,23 @@ namespace detail {
 [[noreturn]] void fatalImpl(const std::string &msg);
 void logImpl(LogLevel level, const std::string &msg);
 
+/**
+ * Cold out-of-line slow path for WC_PANIC / WC_ASSERT: the message is
+ * formatted inside this never-inlined function, so an assert in the
+ * fast path costs one compare-and-branch plus a closure — without
+ * this, the inlined ostringstream machinery makes small asserted
+ * accessors too big for the inliner, which is measurable in the
+ * simulator cycle loop.
+ */
+template <typename FormatFn>
+[[noreturn, gnu::noinline, gnu::cold]] void
+panicWith(const char *file, int line, FormatFn &&format)
+{
+    std::ostringstream ss;
+    format(ss);
+    panicImpl(file, line, ss.str());
+}
+
 } // namespace detail
 
 /**
@@ -35,12 +52,9 @@ void logImpl(LogLevel level, const std::string &msg);
  * Use for conditions that indicate a warpcomp bug, never user error.
  */
 #define WC_PANIC(msg)                                                       \
-    do {                                                                    \
-        std::ostringstream wc_panic_ss_;                                    \
-        wc_panic_ss_ << msg;                                                \
-        ::warpcomp::detail::panicImpl(__FILE__, __LINE__,                   \
-                                      wc_panic_ss_.str());                  \
-    } while (0)
+    ::warpcomp::detail::panicWith(                                          \
+        __FILE__, __LINE__,                                                 \
+        [&](std::ostringstream &wc_panic_ss_) { wc_panic_ss_ << msg; })
 
 /**
  * Report an unusable user configuration and exit(1).

@@ -26,7 +26,7 @@ loadChunk(std::span<const u8> data, u32 index, u32 chunk_bytes)
 
 /** Store the low @p bytes bytes of @p value little-endian. */
 void
-storeBytes(std::vector<u8> &out, i64 value, u32 bytes)
+storeBytes(BdiByteBuf &out, i64 value, u32 bytes)
 {
     u64 raw = static_cast<u64>(value);
     for (u32 i = 0; i < bytes; ++i) {
@@ -47,6 +47,52 @@ loadSigned(const u8 *p, u32 bytes)
         raw = (raw ^ sign) - sign;
     }
     return static_cast<i64>(raw);
+}
+
+/**
+ * Delta-width feasibility for one base size, answered by a single pass.
+ * The fits are nested (zero ⊂ 1B ⊂ 2B ⊂ 4B), so one scan of the data
+ * answers every candidate sharing the base size; bdiCompress uses this
+ * to avoid re-walking the 128-byte image once per candidate.
+ */
+struct DeltaFits
+{
+    bool zero = true;
+    bool one = true;
+    bool two = true;
+    bool four = true;
+
+    bool
+    fits(u32 delta_bytes) const
+    {
+        switch (delta_bytes) {
+          case 0: return zero;
+          case 1: return one;
+          case 2: return two;
+          case 4: return four;
+          default: WC_PANIC("unscanned delta width " << delta_bytes);
+        }
+    }
+};
+
+DeltaFits
+scanDeltas(std::span<const u8> data, u32 base_bytes)
+{
+    DeltaFits f;
+    const u32 chunks = static_cast<u32>(data.size()) / base_bytes;
+    const i64 base = loadChunk(data, 0, base_bytes);
+    for (u32 i = 1; i < chunks; ++i) {
+        const i64 d = loadChunk(data, i, base_bytes) - base;
+        f.zero = f.zero && d == 0;
+        f.one = f.one && fitsSigned(d, 1);
+        f.two = f.two && fitsSigned(d, 2);
+        if (!fitsSigned(d, 4)) {
+            // Nested ranges: nothing narrower can fit either.
+            f = {false, false, false, false};
+            break;
+        }
+    }
+    return f;
 }
 
 constexpr BdiParams kFullCandidates[] = {
@@ -122,9 +168,28 @@ bdiCompress(std::span<const u8> data, std::span<const BdiParams> candidates)
 
     const BdiParams *best = nullptr;
     u32 best_size = kWarpRegBytes;
+    // Lazy one scan per base size; candidates sharing a base reuse it.
+    std::optional<DeltaFits> fits4, fits8;
     for (const BdiParams &p : candidates) {
         const u32 size = bdiCompressedSize(p);
-        if (size < best_size && bdiCompressible(data, p)) {
+        if (size >= best_size)
+            continue;
+        bool ok;
+        const bool scannable =
+            p.deltaBytes == 0 || p.deltaBytes == 1 ||
+            p.deltaBytes == 2 || p.deltaBytes == 4;
+        if (p.baseBytes == 4 && scannable) {
+            if (!fits4)
+                fits4 = scanDeltas(data, 4);
+            ok = fits4->fits(p.deltaBytes);
+        } else if (p.baseBytes == 8 && scannable) {
+            if (!fits8)
+                fits8 = scanDeltas(data, 8);
+            ok = fits8->fits(p.deltaBytes);
+        } else {
+            ok = bdiCompressible(data, p);
+        }
+        if (ok) {
             best = &p;
             best_size = size;
         }
@@ -133,13 +198,12 @@ bdiCompress(std::span<const u8> data, std::span<const BdiParams> candidates)
     BdiEncoded enc;
     if (best == nullptr) {
         enc.compressed = false;
-        enc.bytes.assign(data.begin(), data.end());
+        enc.bytes.assign(data);
         return enc;
     }
 
     enc.compressed = true;
     enc.params = *best;
-    enc.bytes.reserve(best_size);
     const u32 chunks = kWarpRegBytes / best->baseBytes;
     const i64 base = loadChunk(data, 0, best->baseBytes);
     storeBytes(enc.bytes, base, best->baseBytes);

@@ -15,9 +15,10 @@
 #define WARPCOMP_COMPRESS_BDI_HPP
 
 #include <array>
+#include <cassert>
+#include <cstring>
 #include <optional>
 #include <span>
-#include <vector>
 
 #include "common/types.hpp"
 
@@ -63,6 +64,68 @@ WarpRegValue fromBytes(std::span<const u8> bytes);
 /** True when @p data compresses under @p params. */
 bool bdiCompressible(std::span<const u8> data, BdiParams params);
 
+/**
+ * Fixed-capacity byte buffer for one encoded register. An encoding is
+ * never larger than the 128-byte input, so the payload lives inline and
+ * moving a BdiEncoded through the pipeline performs no heap allocation.
+ */
+class BdiByteBuf
+{
+  public:
+    BdiByteBuf() = default;
+
+    u8 *data() { return data_.data(); }
+    const u8 *data() const { return data_.data(); }
+    u32 size() const { return size_; }
+    bool empty() const { return size_ == 0; }
+    static constexpr u32 capacity() { return kWarpRegBytes; }
+
+    void clear() { size_ = 0; }
+
+    void
+    push_back(u8 b)
+    {
+        assert(size_ < kWarpRegBytes);
+        data_[size_++] = b;
+    }
+
+    /** Replace the contents with [first, last). */
+    template <typename It>
+    void
+    assign(It first, It last)
+    {
+        size_ = 0;
+        for (; first != last; ++first)
+            push_back(*first);
+    }
+
+    /** Replace the contents with @p src (fast path for raw images). */
+    void
+    assign(std::span<const u8> src)
+    {
+        assert(src.size() <= kWarpRegBytes);
+        size_ = static_cast<u32>(src.size());
+        std::memcpy(data_.data(), src.data(), src.size());
+    }
+
+    u8 &operator[](std::size_t i) { return data_[i]; }
+    const u8 &operator[](std::size_t i) const { return data_[i]; }
+
+    const u8 *begin() const { return data_.data(); }
+    const u8 *end() const { return data_.data() + size_; }
+
+    bool
+    operator==(const BdiByteBuf &other) const
+    {
+        return size_ == other.size_ &&
+            std::memcmp(data_.data(), other.data_.data(), size_) == 0;
+    }
+
+  private:
+    std::array<u8, kWarpRegBytes> data_{};
+    u32 size_ = 0;
+};
+
 /** Result of attempting compression on a warp register. */
 struct BdiEncoded
 {
@@ -70,10 +133,11 @@ struct BdiEncoded
     BdiParams params{};
     bool compressed = false;
     /** Compressed bytes (size == bdiCompressedSize(params)) when
-     *  compressed, else the raw 128-byte image. */
-    std::vector<u8> bytes;
+     *  compressed, else the raw 128-byte image. Stored inline: no heap
+     *  allocation per encode or per move through the pipeline. */
+    BdiByteBuf bytes;
 
-    u32 sizeBytes() const { return static_cast<u32>(bytes.size()); }
+    u32 sizeBytes() const { return bytes.size(); }
     u32 banks() const { return banksForBytes(sizeBytes()); }
 };
 

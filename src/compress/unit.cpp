@@ -16,7 +16,7 @@ UnitPool::canIssue(Cycle now) const
     return lastCycle_ != now || issuedThisCycle_ < count_;
 }
 
-Cycle
+std::optional<Cycle>
 UnitPool::tryIssue(Cycle now)
 {
     if (lastCycle_ != now) {
@@ -24,7 +24,7 @@ UnitPool::tryIssue(Cycle now)
         issuedThisCycle_ = 0;
     }
     if (issuedThisCycle_ >= count_)
-        return 0;
+        return std::nullopt;
     ++issuedThisCycle_;
     ++activations_;
     return now + latency_;

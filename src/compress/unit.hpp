@@ -9,6 +9,8 @@
 #ifndef WARPCOMP_COMPRESS_UNIT_HPP
 #define WARPCOMP_COMPRESS_UNIT_HPP
 
+#include <optional>
+
 #include "common/types.hpp"
 
 namespace warpcomp {
@@ -28,9 +30,12 @@ class UnitPool
 
     /**
      * Try to start an operation at @p now. Returns the completion cycle,
-     * or 0 when every unit already accepted an operation this cycle.
+     * or nullopt when every unit already accepted an operation this
+     * cycle. A zero-latency pool is supported: the returned completion
+     * cycle is then @p now itself (an unambiguous value, unlike the old
+     * `0` sentinel, which a `decompressLatency = 0` sweep could forge).
      */
-    Cycle tryIssue(Cycle now);
+    std::optional<Cycle> tryIssue(Cycle now);
 
     /** True when another operation can still start at @p now. */
     bool canIssue(Cycle now) const;

@@ -1,5 +1,6 @@
 #include "harness/experiment.hpp"
 
+#include <chrono>
 #include <cmath>
 #include <cstring>
 #include <optional>
@@ -36,11 +37,14 @@ makeGpuParams(const ExperimentConfig &cfg)
 ExperimentResult
 runWorkload(const std::string &name, const ExperimentConfig &cfg)
 {
+    const auto t0 = std::chrono::steady_clock::now();
     WorkloadInstance wl = makeWorkload(name, cfg.scale, cfg.seedSalt);
     const GpuParams gp = makeGpuParams(cfg);
     Gpu gpu(gp, *wl.gmem, *wl.cmem);
     RunResult run = gpu.run(wl.kernel, wl.dims, cfg.collectBdiBreakdown);
-    return ExperimentResult{wl.name, std::move(run)};
+    const std::chrono::duration<double> wall =
+        std::chrono::steady_clock::now() - t0;
+    return ExperimentResult{wl.name, std::move(run), wall.count()};
 }
 
 std::vector<ExperimentResult>
@@ -102,6 +106,10 @@ HarnessOptions
 parseHarnessArgs(int argc, char **argv)
 {
     HarnessOptions opt;
+    if (argc > 0 && argv[0] != nullptr) {
+        const char *slash = std::strrchr(argv[0], '/');
+        opt.benchName = slash != nullptr ? slash + 1 : argv[0];
+    }
     for (int i = 1; i < argc; ++i) {
         const char *arg = argv[i];
         if (std::strncmp(arg, "--scale=", 8) == 0) {
@@ -120,6 +128,10 @@ parseHarnessArgs(int argc, char **argv)
             opt.threads = static_cast<u32>(n);
         } else if (std::strncmp(arg, "--only=", 7) == 0) {
             opt.only = arg + 7;
+        } else if (std::strncmp(arg, "--json=", 7) == 0) {
+            opt.jsonPath = arg + 7;
+            if (opt.jsonPath.empty())
+                WC_FATAL("--json needs a file path");
         }
     }
     return opt;

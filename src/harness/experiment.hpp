@@ -55,6 +55,8 @@ struct ExperimentResult
 {
     std::string workload;
     RunResult run;
+    /** Host wall-clock seconds this simulation took (perf baseline). */
+    double wallSeconds = 0.0;
 };
 
 /** Assemble GpuParams from an ExperimentConfig. */
@@ -100,10 +102,14 @@ struct HarnessOptions
     u32 threads = 0;
     /** Restrict to a single workload (empty = all). */
     std::string only;
+    /** Write a machine-readable perf record here (empty = disabled). */
+    std::string jsonPath;
+    /** Basename of argv[0]; names the bench in the perf record. */
+    std::string benchName;
 };
 
-/** Parse --scale=N --sms=N --threads=N --only=name; ignores unknown
- *  arguments. */
+/** Parse --scale=N --sms=N --threads=N --only=name --json=FILE; ignores
+ *  unknown arguments. */
 HarnessOptions parseHarnessArgs(int argc, char **argv);
 
 /**

@@ -1,0 +1,104 @@
+#include "harness/perf_json.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <iostream>
+#include <ostream>
+
+#include "common/log.hpp"
+
+namespace warpcomp {
+
+namespace {
+
+/** Minimal JSON string escape (labels/workload names are plain ASCII,
+ *  but a path or label with a quote must not corrupt the document). */
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          default: out += c;
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+PerfRecorder::~PerfRecorder()
+{
+    flush();
+}
+
+void
+PerfRecorder::setOutput(std::string bench_name, std::string json_path)
+{
+    benchName_ = std::move(bench_name);
+    jsonPath_ = std::move(json_path);
+}
+
+void
+PerfRecorder::addSuite(PerfSuiteRecord record)
+{
+    suites_.push_back(std::move(record));
+}
+
+void
+PerfRecorder::writeJson(std::ostream &os) const
+{
+    os << std::setprecision(6) << std::fixed;
+    os << "{\n";
+    os << "  \"bench\": \"" << jsonEscape(benchName_) << "\",\n";
+    os << "  \"suites\": [\n";
+    for (std::size_t s = 0; s < suites_.size(); ++s) {
+        const PerfSuiteRecord &r = suites_[s];
+        os << "    {\n";
+        os << "      \"label\": \"" << jsonEscape(r.label) << "\",\n";
+        os << "      \"threads\": " << r.threads << ",\n";
+        os << "      \"wall_seconds\": " << r.wallSeconds << ",\n";
+        os << "      \"total_cycles\": " << r.totalCycles << ",\n";
+        os << "      \"workloads\": [\n";
+        for (std::size_t w = 0; w < r.rows.size(); ++w) {
+            const PerfWorkloadRow &row = r.rows[w];
+            os << "        {\"workload\": \"" << jsonEscape(row.workload)
+               << "\", \"cycles\": " << row.cycles
+               << ", \"wall_seconds\": " << row.wallSeconds << "}"
+               << (w + 1 < r.rows.size() ? "," : "") << "\n";
+        }
+        os << "      ]\n";
+        os << "    }" << (s + 1 < suites_.size() ? "," : "") << "\n";
+    }
+    os << "  ]\n";
+    os << "}\n";
+}
+
+void
+PerfRecorder::flush()
+{
+    if (flushed_ || jsonPath_.empty())
+        return;
+    flushed_ = true;
+    std::ofstream os(jsonPath_);
+    if (!os) {
+        std::cerr << "warpcomp: cannot write perf json to " << jsonPath_
+                  << "\n";
+        return;
+    }
+    writeJson(os);
+}
+
+PerfRecorder &
+perfRecorder()
+{
+    static PerfRecorder recorder;
+    return recorder;
+}
+
+} // namespace warpcomp

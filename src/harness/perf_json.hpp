@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Machine-readable perf baseline. Each suite a bench binary runs is
+ * recorded (label, thread count, wall-clock seconds, per-workload
+ * cycles and wall time); when the binary was started with --json=FILE
+ * the whole log is flushed there as JSON at exit. CI uploads the file
+ * as an artifact so wall-clock regressions are visible run over run.
+ */
+
+#ifndef WARPCOMP_HARNESS_PERF_JSON_HPP
+#define WARPCOMP_HARNESS_PERF_JSON_HPP
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace warpcomp {
+
+/** One workload's contribution to a recorded suite run. */
+struct PerfWorkloadRow
+{
+    std::string workload;
+    u64 cycles = 0;
+    /** Simulation wall time of this workload alone (its own clock; the
+     *  rows of a parallel suite overlap and do not sum to the suite
+     *  wall time). */
+    double wallSeconds = 0.0;
+};
+
+/** One timed suite run (one runSelected call). */
+struct PerfSuiteRecord
+{
+    std::string label;      ///< caller-supplied, e.g. "baseline serial"
+    u32 threads = 0;        ///< worker threads (0 = hardware concurrency)
+    double wallSeconds = 0.0;
+    u64 totalCycles = 0;
+    std::vector<PerfWorkloadRow> rows;
+};
+
+/**
+ * Collects suite records for one bench process and writes them as JSON.
+ * Inactive (and free) until setOutput() names a target file; the global
+ * instance flushes from its destructor so every bench gets the --json
+ * behaviour without per-binary plumbing.
+ */
+class PerfRecorder
+{
+  public:
+    ~PerfRecorder();
+
+    /** Arm the recorder: results go to @p json_path at exit. */
+    void setOutput(std::string bench_name, std::string json_path);
+
+    void addSuite(PerfSuiteRecord record);
+
+    bool enabled() const { return !jsonPath_.empty(); }
+
+    /** Serialize the current log; exposed for tests. */
+    void writeJson(std::ostream &os) const;
+
+    /** Flush to the configured path now (destructor calls this too). */
+    void flush();
+
+  private:
+    std::string benchName_;
+    std::string jsonPath_;
+    std::vector<PerfSuiteRecord> suites_;
+    bool flushed_ = false;
+};
+
+/** Process-wide recorder used by the bench scaffolding. */
+PerfRecorder &perfRecorder();
+
+} // namespace warpcomp
+
+#endif // WARPCOMP_HARNESS_PERF_JSON_HPP

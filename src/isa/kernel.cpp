@@ -22,22 +22,6 @@ Kernel::append(const Instruction &inst)
     return static_cast<u32>(code_.size()) - 1;
 }
 
-const Instruction &
-Kernel::at(u32 pc) const
-{
-    WC_ASSERT(pc < code_.size(), "pc " << pc << " out of range in kernel "
-              << name_);
-    return code_[pc];
-}
-
-Instruction &
-Kernel::at(u32 pc)
-{
-    WC_ASSERT(pc < code_.size(), "pc " << pc << " out of range in kernel "
-              << name_);
-    return code_[pc];
-}
-
 void
 Kernel::validate() const
 {

@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "common/log.hpp"
 #include "common/types.hpp"
 #include "isa/instruction.hpp"
 
@@ -34,8 +35,21 @@ class Kernel
     /** Append an instruction; returns its pc. */
     u32 append(const Instruction &inst);
 
-    const Instruction &at(u32 pc) const;
-    Instruction &at(u32 pc);
+    const Instruction &
+    at(u32 pc) const
+    {
+        WC_ASSERT(pc < code_.size(), "pc " << pc
+                  << " out of range in kernel " << name_);
+        return code_[pc];
+    }
+
+    Instruction &
+    at(u32 pc)
+    {
+        WC_ASSERT(pc < code_.size(), "pc " << pc
+                  << " out of range in kernel " << name_);
+        return code_[pc];
+    }
     u32 size() const { return static_cast<u32>(code_.size()); }
     const std::vector<Instruction> &code() const { return code_; }
 

@@ -22,8 +22,10 @@ coalescedSegments(std::span<const u64> addrs, LaneMask mask)
         const u64 seg = addrs[lane] >> 7;
         bool found = false;
         for (u32 i = 0; i < n; ++i) {
-            if (segs[i] == seg)
+            if (segs[i] == seg) {
                 found = true;
+                break;
+            }
         }
         if (!found)
             segs[n++] = seg;

@@ -22,6 +22,11 @@ struct MemTimingParams
     u32 sharedLatency = 24;     ///< shared scratchpad latency
     u32 sharedPerConflict = 1;  ///< extra cycles per bank-conflict replay
     u32 constLatency = 20;      ///< constant-cache hit latency
+    /** Pipeline drain of a memory op whose effective mask is empty
+     *  (all lanes guarded off): no request leaves the SM, only the
+     *  LSU bookkeeping latency is paid. Part of the sweepable timing
+     *  surface so latency sweeps cannot silently miss this path. */
+    u32 zeroMaskLatency = 8;
     u32 maxOutstanding = 48;    ///< per-SM MSHR budget
 };
 

@@ -1,38 +1,10 @@
 #include "regfile/bank.hpp"
 
-#include "common/log.hpp"
-
 namespace warpcomp {
 
 Bank::Bank(u32 entries, u32 wakeup_latency, bool gating_enabled)
     : valid_(entries, false), gate_(wakeup_latency, gating_enabled)
 {
-}
-
-bool
-Bank::valid(u32 entry) const
-{
-    WC_ASSERT(entry < valid_.size(), "bank entry out of range");
-    return valid_[entry];
-}
-
-void
-Bank::setValid(u32 entry, bool v, Cycle now)
-{
-    WC_ASSERT(entry < valid_.size(), "bank entry out of range");
-    if (valid_[entry] == v)
-        return;
-    valid_[entry] = v;
-    if (v) {
-        WC_ASSERT(!gate_.isOff(now),
-                  "marking an entry valid in a gated bank; wake it first");
-        ++validCount_;
-    } else {
-        WC_ASSERT(validCount_ > 0, "valid count underflow");
-        --validCount_;
-        if (validCount_ == 0)
-            gate_.sleep(now);
-    }
 }
 
 } // namespace warpcomp

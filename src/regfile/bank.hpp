@@ -9,6 +9,7 @@
 
 #include <vector>
 
+#include "common/log.hpp"
 #include "common/types.hpp"
 #include "regfile/powergate.hpp"
 
@@ -26,15 +27,39 @@ class Bank
     Bank(u32 entries, u32 wakeup_latency, bool gating_enabled);
 
     u32 entries() const { return static_cast<u32>(valid_.size()); }
-    bool valid(u32 entry) const;
     u32 validCount() const { return validCount_; }
+
+    bool
+    valid(u32 entry) const
+    {
+        WC_ASSERT(entry < valid_.size(), "bank entry out of range");
+        return valid_[entry];
+    }
 
     /**
      * Mark one entry valid/invalid. Gates the bank when the last valid
      * entry disappears. Marking an entry valid requires the bank to be
      * powered; the caller wakes it first (see RegisterFile::recordWrite).
      */
-    void setValid(u32 entry, bool v, Cycle now);
+    void
+    setValid(u32 entry, bool v, Cycle now)
+    {
+        WC_ASSERT(entry < valid_.size(), "bank entry out of range");
+        if (valid_[entry] == v)
+            return;
+        valid_[entry] = v;
+        if (v) {
+            WC_ASSERT(!gate_.isOff(now),
+                      "marking an entry valid in a gated bank; wake it "
+                      "first");
+            ++validCount_;
+        } else {
+            WC_ASSERT(validCount_ > 0, "valid count underflow");
+            --validCount_;
+            if (validCount_ == 0)
+                gate_.sleep(now);
+        }
+    }
 
     PowerGate &gate() { return gate_; }
     const PowerGate &gate() const { return gate_; }

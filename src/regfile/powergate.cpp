@@ -15,14 +15,6 @@ PowerGate::PowerGate(u32 wakeup_latency, bool enabled)
     }
 }
 
-PowerGate::State
-PowerGate::state(Cycle now) const
-{
-    if (state_ == State::Waking && now >= wakeReady_)
-        return State::On;
-    return state_;
-}
-
 void
 PowerGate::sleep(Cycle now)
 {

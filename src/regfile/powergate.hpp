@@ -25,7 +25,13 @@ class PowerGate
     PowerGate(u32 wakeup_latency, bool enabled);
 
     /** Current state, resolving an elapsed wakeup to On. */
-    State state(Cycle now) const;
+    State
+    state(Cycle now) const
+    {
+        if (state_ == State::Waking && now >= wakeReady_)
+            return State::On;
+        return state_;
+    }
 
     /** True when the bank is fully gated at @p now. */
     bool isOff(Cycle now) const { return state(now) == State::Off; }

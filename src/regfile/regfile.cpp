@@ -80,7 +80,13 @@ RegisterFile::release(u32 warp_slot, Cycle now)
     for (u32 r = 0; r < slot.count; ++r) {
         const u32 id = slot.base + r;
         const RegSlot s = slotOf(id);
-        for (u32 b = 0; b < kBanksPerWarpReg; ++b) {
+        // Valid entries of a register form a prefix of its bank stripe:
+        // recordWrite sets banks [0, footprint) and clears the rest (all
+        // 8 under validAtAlloc). Probing only the prefix makes teardown
+        // proportional to the compressed footprint, not the stripe.
+        const u32 nb = params_.validAtAlloc ? kBanksPerWarpReg
+                                            : footprintBanks(id);
+        for (u32 b = 0; b < nb; ++b) {
             Bank &bank = banks_[s.firstBank() + b];
             if (bank.valid(s.entry))
                 bank.setValid(s.entry, false, now);

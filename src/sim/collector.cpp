@@ -42,11 +42,4 @@ CollectorPool::take(u32 index)
     return out;
 }
 
-InFlight *
-CollectorPool::at(u32 index)
-{
-    WC_ASSERT(index < units_.size(), "collector index out of range");
-    return units_[index].has_value() ? &*units_[index] : nullptr;
-}
-
 } // namespace warpcomp

@@ -12,6 +12,7 @@
 #include <optional>
 #include <vector>
 
+#include "common/log.hpp"
 #include "common/types.hpp"
 #include "compress/bdi.hpp"
 #include "isa/instruction.hpp"
@@ -92,7 +93,13 @@ class CollectorPool
     /** Release unit @p index; returns the entry by move. */
     InFlight take(u32 index);
 
-    InFlight *at(u32 index);
+    InFlight *
+    at(u32 index)
+    {
+        WC_ASSERT(index < units_.size(), "collector index out of range");
+        return units_[index].has_value() ? &*units_[index] : nullptr;
+    }
+
     u32 size() const { return static_cast<u32>(units_.size()); }
 
     /** Indices of occupied units, oldest allocation first. */

@@ -37,9 +37,11 @@ Gpu::run(const Kernel &kernel, const LaunchDims &dims,
     u32 next_cta = 0;
     Cycle now = 0;
     while (true) {
-        // Each SM may accept one new CTA per cycle.
+        // Each SM may accept one new CTA per cycle. The launch carries
+        // the current cycle: register allocation timestamps valid bits
+        // and power-gate wakeups, and later waves launch at now > 0.
         for (auto &sm : sms) {
-            if (next_cta < dims.gridDim && sm->tryLaunchCta(next_cta))
+            if (next_cta < dims.gridDim && sm->tryLaunchCta(next_cta, now))
                 ++next_cta;
         }
 

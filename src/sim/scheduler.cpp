@@ -1,48 +1,10 @@
 #include "sim/scheduler.hpp"
 
-#include "common/log.hpp"
-
 namespace warpcomp {
 
 WarpScheduler::WarpScheduler(SchedPolicy policy, std::vector<u32> slots)
     : policy_(policy), slots_(std::move(slots))
 {
-}
-
-i32
-WarpScheduler::pick(const std::function<bool(u32)> &ready,
-                    const std::function<u64(u32)> &age)
-{
-    if (slots_.empty())
-        return -1;
-
-    if (policy_ == SchedPolicy::Gto) {
-        // Greedy: stick with the last issuer while it can go.
-        if (lastIssued_ >= 0 && ready(static_cast<u32>(lastIssued_)))
-            return lastIssued_;
-        // Then-oldest: smallest age stamp among ready warps.
-        i32 best = -1;
-        u64 best_age = ~u64{0};
-        for (u32 slot : slots_) {
-            if (!ready(slot))
-                continue;
-            const u64 a = age(slot);
-            if (a < best_age) {
-                best_age = a;
-                best = static_cast<i32>(slot);
-            }
-        }
-        return best;
-    }
-
-    // LRR: scan from one past the previous pick.
-    const u32 n = static_cast<u32>(slots_.size());
-    for (u32 i = 0; i < n; ++i) {
-        const u32 idx = (rrCursor_ + i) % n;
-        if (ready(slots_[idx]))
-            return static_cast<i32>(slots_[idx]);
-    }
-    return -1;
 }
 
 void

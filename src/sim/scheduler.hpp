@@ -8,7 +8,6 @@
 #ifndef WARPCOMP_SIM_SCHEDULER_HPP
 #define WARPCOMP_SIM_SCHEDULER_HPP
 
-#include <functional>
 #include <vector>
 
 #include "common/types.hpp"
@@ -27,14 +26,49 @@ class WarpScheduler
     WarpScheduler(SchedPolicy policy, std::vector<u32> slots);
 
     /**
-     * Pick the next warp to issue.
+     * Pick the next warp to issue. Templated over the callables so the
+     * per-cycle hot path pays no type-erasure indirection: the ready
+     * probe runs once per candidate slot every scheduler cycle.
      *
      * @param ready predicate: can this slot issue right now?
      * @param age slot -> age stamp (smaller = older), used by GTO
      * @return chosen slot, or -1 when nothing is ready
      */
-    i32 pick(const std::function<bool(u32)> &ready,
-             const std::function<u64(u32)> &age);
+    template <typename ReadyFn, typename AgeFn>
+    i32
+    pick(const ReadyFn &ready, const AgeFn &age)
+    {
+        if (slots_.empty())
+            return -1;
+
+        if (policy_ == SchedPolicy::Gto) {
+            // Greedy: stick with the last issuer while it can go.
+            if (lastIssued_ >= 0 && ready(static_cast<u32>(lastIssued_)))
+                return lastIssued_;
+            // Then-oldest: smallest age stamp among ready warps.
+            i32 best = -1;
+            u64 best_age = ~u64{0};
+            for (u32 slot : slots_) {
+                if (!ready(slot))
+                    continue;
+                const u64 a = age(slot);
+                if (a < best_age) {
+                    best_age = a;
+                    best = static_cast<i32>(slot);
+                }
+            }
+            return best;
+        }
+
+        // LRR: scan from one past the previous pick.
+        const u32 n = static_cast<u32>(slots_.size());
+        for (u32 i = 0; i < n; ++i) {
+            const u32 idx = (rrCursor_ + i) % n;
+            if (ready(slots_[idx]))
+                return static_cast<i32>(slots_[idx]);
+        }
+        return -1;
+    }
 
     /** Inform the scheduler which slot actually issued. */
     void noteIssued(u32 slot);

@@ -1,78 +1,10 @@
 #include "sim/scoreboard.hpp"
 
-#include "common/log.hpp"
-
 namespace warpcomp {
 
 Scoreboard::Scoreboard(u32 max_warps)
     : regBits_(max_warps, 0), predBits_(max_warps, 0)
 {
-}
-
-bool
-Scoreboard::canIssue(u32 warp, const Instruction &inst) const
-{
-    WC_ASSERT(warp < regBits_.size(), "warp slot out of range");
-    const u64 regs = regBits_[warp];
-    const u8 preds = predBits_[warp];
-
-    for (const Operand &o : inst.src) {
-        if (o.isReg() && (regs >> o.reg) & 1)
-            return false;
-    }
-    if (inst.hasDst() && ((regs >> inst.dst) & 1))
-        return false;
-    if (inst.guardPred != kNoPred && ((preds >> inst.guardPred) & 1))
-        return false;
-    if (inst.srcPred != kNoPred && ((preds >> inst.srcPred) & 1))
-        return false;
-    if (inst.srcPred2 != kNoPred && ((preds >> inst.srcPred2) & 1))
-        return false;
-    if (inst.dstPred != kNoPred && ((preds >> inst.dstPred) & 1))
-        return false;
-    return true;
-}
-
-void
-Scoreboard::reserve(u32 warp, const Instruction &inst)
-{
-    WC_ASSERT(warp < regBits_.size(), "warp slot out of range");
-    if (inst.hasDst())
-        regBits_[warp] |= u64{1} << inst.dst;
-    if (inst.dstPred != kNoPred)
-        predBits_[warp] |= u8{1} << inst.dstPred;
-}
-
-void
-Scoreboard::releaseReg(u32 warp, u32 reg)
-{
-    WC_ASSERT(warp < regBits_.size(), "warp slot out of range");
-    WC_ASSERT((regBits_[warp] >> reg) & 1,
-              "releasing r" << reg << " that was not reserved");
-    regBits_[warp] &= ~(u64{1} << reg);
-}
-
-void
-Scoreboard::releasePred(u32 warp, u32 pred)
-{
-    WC_ASSERT(warp < predBits_.size(), "warp slot out of range");
-    WC_ASSERT((predBits_[warp] >> pred) & 1,
-              "releasing p" << pred << " that was not reserved");
-    predBits_[warp] &= ~(u8{1} << pred);
-}
-
-bool
-Scoreboard::regPending(u32 warp, u32 reg) const
-{
-    WC_ASSERT(warp < regBits_.size(), "warp slot out of range");
-    return (regBits_[warp] >> reg) & 1;
-}
-
-bool
-Scoreboard::predPending(u32 warp, u32 pred) const
-{
-    WC_ASSERT(warp < predBits_.size(), "warp slot out of range");
-    return (predBits_[warp] >> pred) & 1;
 }
 
 void
@@ -81,13 +13,6 @@ Scoreboard::clearWarp(u32 warp)
     WC_ASSERT(warp < regBits_.size(), "warp slot out of range");
     regBits_[warp] = 0;
     predBits_[warp] = 0;
-}
-
-bool
-Scoreboard::idle(u32 warp) const
-{
-    WC_ASSERT(warp < regBits_.size(), "warp slot out of range");
-    return regBits_[warp] == 0 && predBits_[warp] == 0;
 }
 
 } // namespace warpcomp

@@ -10,6 +10,7 @@
 
 #include <vector>
 
+#include "common/log.hpp"
 #include "common/types.hpp"
 #include "isa/instruction.hpp"
 
@@ -22,24 +23,85 @@ class Scoreboard
     explicit Scoreboard(u32 max_warps);
 
     /** True when no operand of @p inst conflicts with pending writes. */
-    bool canIssue(u32 warp, const Instruction &inst) const;
+    bool
+    canIssue(u32 warp, const Instruction &inst) const
+    {
+        WC_ASSERT(warp < regBits_.size(), "warp slot out of range");
+        const u64 regs = regBits_[warp];
+        const u8 preds = predBits_[warp];
+
+        for (const Operand &o : inst.src) {
+            if (o.isReg() && (regs >> o.reg) & 1)
+                return false;
+        }
+        if (inst.hasDst() && ((regs >> inst.dst) & 1))
+            return false;
+        if (inst.guardPred != kNoPred && ((preds >> inst.guardPred) & 1))
+            return false;
+        if (inst.srcPred != kNoPred && ((preds >> inst.srcPred) & 1))
+            return false;
+        if (inst.srcPred2 != kNoPred && ((preds >> inst.srcPred2) & 1))
+            return false;
+        if (inst.dstPred != kNoPred && ((preds >> inst.dstPred) & 1))
+            return false;
+        return true;
+    }
 
     /** Reserve the destinations of @p inst. */
-    void reserve(u32 warp, const Instruction &inst);
+    void
+    reserve(u32 warp, const Instruction &inst)
+    {
+        WC_ASSERT(warp < regBits_.size(), "warp slot out of range");
+        if (inst.hasDst())
+            regBits_[warp] |= u64{1} << inst.dst;
+        if (inst.dstPred != kNoPred)
+            predBits_[warp] |= u8{1} << inst.dstPred;
+    }
 
     /** Release one destination register. */
-    void releaseReg(u32 warp, u32 reg);
-    /** Release one destination predicate. */
-    void releasePred(u32 warp, u32 pred);
+    void
+    releaseReg(u32 warp, u32 reg)
+    {
+        WC_ASSERT(warp < regBits_.size(), "warp slot out of range");
+        WC_ASSERT((regBits_[warp] >> reg) & 1,
+                  "releasing r" << reg << " that was not reserved");
+        regBits_[warp] &= ~(u64{1} << reg);
+    }
 
-    bool regPending(u32 warp, u32 reg) const;
-    bool predPending(u32 warp, u32 pred) const;
+    /** Release one destination predicate. */
+    void
+    releasePred(u32 warp, u32 pred)
+    {
+        WC_ASSERT(warp < predBits_.size(), "warp slot out of range");
+        WC_ASSERT((predBits_[warp] >> pred) & 1,
+                  "releasing p" << pred << " that was not reserved");
+        predBits_[warp] &= ~(u8{1} << pred);
+    }
+
+    bool
+    regPending(u32 warp, u32 reg) const
+    {
+        WC_ASSERT(warp < regBits_.size(), "warp slot out of range");
+        return (regBits_[warp] >> reg) & 1;
+    }
+
+    bool
+    predPending(u32 warp, u32 pred) const
+    {
+        WC_ASSERT(warp < predBits_.size(), "warp slot out of range");
+        return (predBits_[warp] >> pred) & 1;
+    }
 
     /** Drop every reservation of a warp (slot teardown). */
     void clearWarp(u32 warp);
 
     /** True when the warp has no reservations at all. */
-    bool idle(u32 warp) const;
+    bool
+    idle(u32 warp) const
+    {
+        WC_ASSERT(warp < regBits_.size(), "warp slot out of range");
+        return regBits_[warp] == 0 && predBits_[warp] == 0;
+    }
 
   private:
     std::vector<u64> regBits_;

@@ -12,27 +12,6 @@ SimtStack::reset(LaneMask initial)
     stack_.push_back({0, kNoRpc, initial});
 }
 
-u32
-SimtStack::pc() const
-{
-    WC_ASSERT(!stack_.empty(), "pc() on an empty SIMT stack");
-    return stack_.back().pc;
-}
-
-LaneMask
-SimtStack::mask() const
-{
-    WC_ASSERT(!stack_.empty(), "mask() on an empty SIMT stack");
-    return stack_.back().mask;
-}
-
-void
-SimtStack::advance(u32 next)
-{
-    WC_ASSERT(!stack_.empty(), "advance() on an empty SIMT stack");
-    stack_.back().pc = next;
-}
-
 bool
 SimtStack::branch(u32 target, u32 reconv, LaneMask taken, u32 fallthrough)
 {
@@ -75,15 +54,6 @@ SimtStack::exitLanes(LaneMask lanes)
             kept.push_back(e);
     }
     stack_ = std::move(kept);
-}
-
-void
-SimtStack::popReconverged()
-{
-    while (!stack_.empty() && stack_.back().rpc != kNoRpc &&
-           stack_.back().pc == stack_.back().rpc) {
-        stack_.pop_back();
-    }
 }
 
 } // namespace warpcomp

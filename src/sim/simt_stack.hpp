@@ -11,6 +11,7 @@
 
 #include <vector>
 
+#include "common/log.hpp"
 #include "common/types.hpp"
 
 namespace warpcomp {
@@ -36,12 +37,28 @@ class SimtStack
     std::size_t depth() const { return stack_.size(); }
 
     /** Current fetch pc (top entry). */
-    u32 pc() const;
+    u32
+    pc() const
+    {
+        WC_ASSERT(!stack_.empty(), "pc() on an empty SIMT stack");
+        return stack_.back().pc;
+    }
+
     /** Current active mask (top entry). */
-    LaneMask mask() const;
+    LaneMask
+    mask() const
+    {
+        WC_ASSERT(!stack_.empty(), "mask() on an empty SIMT stack");
+        return stack_.back().mask;
+    }
 
     /** Advance the top entry to @p next (non-branch instructions). */
-    void advance(u32 next);
+    void
+    advance(u32 next)
+    {
+        WC_ASSERT(!stack_.empty(), "advance() on an empty SIMT stack");
+        stack_.back().pc = next;
+    }
 
     /**
      * Apply a branch outcome. @p taken is the subset of the current
@@ -62,7 +79,14 @@ class SimtStack
     void exitLanes(LaneMask lanes);
 
     /** Pop reconverged entries (top pc == top rpc); call before fetch. */
-    void popReconverged();
+    void
+    popReconverged()
+    {
+        while (!stack_.empty() && stack_.back().rpc != kNoRpc &&
+               stack_.back().pc == stack_.back().rpc) {
+            stack_.pop_back();
+        }
+    }
 
     const std::vector<Entry> &entries() const { return stack_; }
 

@@ -69,6 +69,12 @@ Sm::Sm(const SmParams &params, const EnergyParams &energy,
     WC_ASSERT(dims.blockDim >= 1 && dims.blockDim <= params.maxThreads,
               "CTA size " << dims.blockDim << " unsupported");
     meter_.setRfcPresent(rfc_.enabled());
+    // Steady-state cycle loop is allocation-free: pre-size the exec
+    // list to its bound (every in-flight op holds either an MSHR slot
+    // or a collector-dispatched short-latency op) and the launch
+    // scratch to the warp count.
+    execList_.reserve(params.mem.maxOutstanding + params.maxWarps);
+    launchSlots_.reserve(params.maxWarps);
 }
 
 u32
@@ -83,7 +89,7 @@ Sm::freeSmemBytes() const
 }
 
 bool
-Sm::tryLaunchCta(u32 cta_id)
+Sm::tryLaunchCta(u32 cta_id, Cycle now)
 {
     const u32 warps_per_cta = ceilDiv(dims_.blockDim, kWarpSize);
     WC_ASSERT(warps_per_cta <= params_.maxWarps,
@@ -112,7 +118,8 @@ Sm::tryLaunchCta(u32 cta_id)
         return false;
 
     // Free warp slots.
-    std::vector<u32> slots;
+    std::vector<u32> &slots = launchSlots_;
+    slots.clear();
     for (u32 s = 0; s < warps_.size() &&
          slots.size() < warps_per_cta; ++s) {
         if (warps_[s].status() == Warp::Status::Idle)
@@ -121,15 +128,16 @@ Sm::tryLaunchCta(u32 cta_id)
     if (slots.size() < warps_per_cta)
         return false;
 
-    // Register allocation, with rollback on partial failure.
-    std::vector<u32> allocated;
-    for (u32 s : slots) {
-        if (!rf_.allocate(s, kernel_.numRegs(), 0)) {
-            for (u32 a : allocated)
-                rf_.release(a, 0);
+    // Register allocation, with rollback on partial failure. Later
+    // waves launch at now > 0; the allocation timestamp must be the
+    // real cycle or gated banks see time run backwards on wakeup.
+    u32 allocated = 0;
+    for (; allocated < warps_per_cta; ++allocated) {
+        if (!rf_.allocate(slots[allocated], kernel_.numRegs(), now)) {
+            for (u32 a = 0; a < allocated; ++a)
+                rf_.release(slots[a], now);
             return false;
         }
-        allocated.push_back(s);
     }
 
     Cta &cta = ctas_[cta_slot];
@@ -207,11 +215,10 @@ Sm::stepWritebackAndExec(Cycle now)
                 finishInFlight(f, now);
             } else if (params_.compressionEnabled() && !f.divergentWrite) {
                 // Full-mask writes pass through a compressor unit.
-                if (compPool_.canIssue(now)) {
-                    compPool_.tryIssue(now);
+                if (const auto done = compPool_.tryIssue(now)) {
                     meter_.addCompActivations(1);
                     f.stage = InFlight::Stage::Writeback;
-                    f.readyAt = now + params_.compressLatency;
+                    f.readyAt = *done;
                 }
                 // else: every compressor accepted an op this cycle;
                 // retry next cycle.
@@ -260,9 +267,15 @@ Sm::stepWritebackAndExec(Cycle now)
 void
 Sm::stepCollect(Cycle now)
 {
-    // Iterate a snapshot: dispatching removes units from the pool.
-    const std::vector<u32> order = collectors_.occupiedOrder();
-    for (u32 idx : order) {
+    // Iterate the pool's occupancy order in place. take() erases
+    // exactly the entry at the current position (indices are unique),
+    // shifting the tail left, so the cursor only advances when the
+    // current unit stays occupied — no per-cycle snapshot copy, same
+    // visit order as the old copied snapshot (inserts happen in
+    // stepIssue, never during this walk).
+    const std::vector<u32> &order = collectors_.occupiedOrder();
+    for (std::size_t i = 0; i < order.size();) {
+        const u32 idx = order[i];
         InFlight *f = collectors_.at(idx);
         WC_ASSERT(f != nullptr, "stale collector index");
 
@@ -277,28 +290,33 @@ Sm::stepCollect(Cycle now)
                 rf_.bank(bank).noteRead(now);
             }
         }
-        if (!f->collected())
+        if (!f->collected()) {
+            ++i;
             continue;
+        }
 
         if (params_.compressionEnabled()) {
             while (f->decompIssued < f->compressedSrcs) {
-                const Cycle done = decompPool_.tryIssue(now);
-                if (done == 0)
+                const auto done = decompPool_.tryIssue(now);
+                if (!done)
                     break;
                 meter_.addDecompActivations(1);
-                f->decompReadyAt = std::max(f->decompReadyAt, done);
+                f->decompReadyAt = std::max(f->decompReadyAt, *done);
                 ++f->decompIssued;
             }
             if (f->decompIssued < f->compressedSrcs ||
                 now < f->decompReadyAt) {
+                ++i;
                 continue;
             }
         }
 
         DispatchLimiter &lim = f->inst.isMemory() ? memDispatch_
                                                   : simtDispatch_;
-        if (!lim.tryDispatch(now))
+        if (!lim.tryDispatch(now)) {
+            ++i;
             continue;
+        }
 
         InFlight moved = collectors_.take(idx);
         moved.stage = InFlight::Stage::Exec;
@@ -359,17 +377,16 @@ Sm::stepIssue(Cycle now)
 
 void
 Sm::recordWriteStats(const Warp &warp, const Instruction &inst,
-                     LaneMask eff, bool divergent)
+                     LaneMask eff, bool divergent,
+                     std::span<const u8> img, const BdiEncoded &enc)
 {
     const WarpRegValue &value = warp.reg(inst.dst);
     stats_.simBins.record(value, eff, divergent);
 
     // Potential compressibility of the merged register (Fig 8 semantics:
-    // divergent writes measured as decompress-update-recompress).
-    const auto img = toBytes(value);
-    const auto cands = params_.scheme == CompressionScheme::None
-        ? warpedCandidates() : schemeCandidates(params_.scheme);
-    const BdiEncoded enc = bdiCompress(img, cands);
+    // divergent writes measured as decompress-update-recompress). The
+    // encoding is computed once by the caller and shared with the bank
+    // write path.
     stats_.ratio.record(enc.sizeBytes(), divergent);
 
     if (collectBdi_) {
@@ -415,7 +432,7 @@ Sm::issueDummyMov(u32 slot, u8 dst, Cycle now)
 
     const auto img = toBytes(w.reg(dst));
     f.encoded.compressed = false;
-    f.encoded.bytes.assign(img.begin(), img.end());
+    f.encoded.bytes.assign(std::span<const u8>(img));
 
     scoreboard_.reserve(slot, mov);
     ++ctas_[w.ctaSlot()].inFlight;
@@ -528,7 +545,7 @@ Sm::issueFrom(u32 slot, Cycle now)
     if (inst.isMemory()) {
         ++outstandingMem_;
         if (eff == 0) {
-            f.memLatency = 8;
+            f.memLatency = params_.mem.zeroMaskLatency;
         } else if (inst.op == Opcode::Ldg || inst.op == Opcode::Stg) {
             const u32 segs = coalescedSegments(out.addrs, eff);
             f.memLatency = globalAccessLatency(params_.mem, segs);
@@ -544,14 +561,25 @@ Sm::issueFrom(u32 slot, Cycle now)
         ++stats_.regWrites;
         if (divergent)
             ++stats_.regWritesDivergent;
-        recordWriteStats(w, inst, eff, divergent);
 
+        // Compress the written register exactly once: the same encoding
+        // feeds the Fig 8 ratio stats and the bank write. Under the
+        // None scheme the stats still measure potential compressibility
+        // over the warped candidates while the write stays raw, so the
+        // candidate list below matches what recordWriteStats always
+        // used; for every enabled scheme it equals the write path's
+        // schemeCandidates(scheme).
         const auto img = toBytes(w.reg(inst.dst));
+        const auto cands = params_.scheme == CompressionScheme::None
+            ? warpedCandidates() : schemeCandidates(params_.scheme);
+        BdiEncoded enc = bdiCompress(img, cands);
+        recordWriteStats(w, inst, eff, divergent, img, enc);
+
         if (params_.compressionEnabled() && !f.divergentWrite) {
-            f.encoded = bdiCompress(img, schemeCandidates(params_.scheme));
+            f.encoded = std::move(enc);
         } else {
             f.encoded.compressed = false;
-            f.encoded.bytes.assign(img.begin(), img.end());
+            f.encoded.bytes.assign(std::span<const u8>(img));
         }
     }
 

@@ -10,6 +10,7 @@
 #define WARPCOMP_SIM_SM_HPP
 
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "analysis/similarity.hpp"
@@ -79,8 +80,14 @@ class Sm
        GlobalMemory &gmem, ConstantMemory &cmem, const Kernel &kernel,
        const LaunchDims &dims, bool collect_bdi_breakdown = false);
 
-    /** Try to make CTA @p cta_id resident; false when out of resources. */
-    bool tryLaunchCta(u32 cta_id);
+    /**
+     * Try to make CTA @p cta_id resident at cycle @p now; false when out
+     * of resources. @p now must be the current simulation cycle: the
+     * register allocation timestamps bank valid bits and power-gate
+     * wakeups, and a stale cycle makes the gate FSM see time run
+     * backwards (second and later CTA waves always launch after 0).
+     */
+    bool tryLaunchCta(u32 cta_id, Cycle now);
 
     /** Simulate one cycle at global time @p now. */
     void cycle(Cycle now);
@@ -116,7 +123,8 @@ class Sm
     void issueDummyMov(u32 slot, u8 dst, Cycle now);
     void finishInFlight(InFlight &f, Cycle now);
     void recordWriteStats(const Warp &warp, const Instruction &inst,
-                          LaneMask eff, bool divergent);
+                          LaneMask eff, bool divergent,
+                          std::span<const u8> img, const BdiEncoded &enc);
     void tryReleaseBarrier(Cta &cta);
     void maybeCompleteCta(u32 cta_slot, Cycle now);
     u32 freeSmemBytes() const;
@@ -141,6 +149,10 @@ class Sm
 
     std::vector<Warp> warps_;
     std::vector<Cta> ctas_;
+    /** Scratch for tryLaunchCta's free-slot scan (capacity reserved at
+     *  construction so the launch path performs no per-wave allocation
+     *  for it). */
+    std::vector<u32> launchSlots_;
     u32 outstandingMem_ = 0;
     u64 ageCounter_ = 0;
     u64 ctasCompleted_ = 0;

@@ -33,41 +33,4 @@ Warp::reset()
     preds_.clear();
 }
 
-WarpRegValue &
-Warp::reg(u32 r)
-{
-    WC_ASSERT(r < regs_.size(), "register r" << r << " out of range");
-    return regs_[r];
-}
-
-const WarpRegValue &
-Warp::reg(u32 r) const
-{
-    WC_ASSERT(r < regs_.size(), "register r" << r << " out of range");
-    return regs_[r];
-}
-
-LaneMask
-Warp::pred(u32 p) const
-{
-    WC_ASSERT(p < preds_.size(), "predicate p" << p << " out of range");
-    return preds_[p];
-}
-
-void
-Warp::setPred(u32 p, LaneMask v, LaneMask mask)
-{
-    WC_ASSERT(p < preds_.size(), "predicate p" << p << " out of range");
-    preds_[p] = (preds_[p] & ~mask) | (v & mask);
-}
-
-LaneMask
-Warp::guardLanes(const Instruction &inst, LaneMask mask) const
-{
-    if (!inst.hasGuard())
-        return mask;
-    const LaneMask p = pred(inst.guardPred);
-    return mask & (inst.guardNegate ? ~p : p);
-}
-
 } // namespace warpcomp

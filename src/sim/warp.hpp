@@ -9,6 +9,7 @@
 
 #include <vector>
 
+#include "common/log.hpp"
 #include "common/types.hpp"
 #include "compress/bdi.hpp"
 #include "isa/kernel.hpp"
@@ -58,18 +59,47 @@ class Warp
     const SimtStack &stack() const { return stack_; }
 
     /** Functional value of one architectural register (32 lanes). */
-    WarpRegValue &reg(u32 r);
-    const WarpRegValue &reg(u32 r) const;
+    WarpRegValue &
+    reg(u32 r)
+    {
+        WC_ASSERT(r < regs_.size(), "register r" << r << " out of range");
+        return regs_[r];
+    }
+
+    const WarpRegValue &
+    reg(u32 r) const
+    {
+        WC_ASSERT(r < regs_.size(), "register r" << r << " out of range");
+        return regs_[r];
+    }
 
     /** Predicate value bitmask (bit i: lane i). */
-    LaneMask pred(u32 p) const;
-    void setPred(u32 p, LaneMask v, LaneMask mask);
+    LaneMask
+    pred(u32 p) const
+    {
+        WC_ASSERT(p < preds_.size(), "predicate p" << p << " out of range");
+        return preds_[p];
+    }
+
+    void
+    setPred(u32 p, LaneMask v, LaneMask mask)
+    {
+        WC_ASSERT(p < preds_.size(), "predicate p" << p << " out of range");
+        preds_[p] = (preds_[p] & ~mask) | (v & mask);
+    }
 
     /**
      * Lanes in @p mask that pass the guard of @p inst (all of @p mask
      * for unguarded instructions).
      */
-    LaneMask guardLanes(const Instruction &inst, LaneMask mask) const;
+    LaneMask
+    guardLanes(const Instruction &inst, LaneMask mask) const
+    {
+        if (!inst.hasGuard())
+            return mask;
+        const LaneMask p = pred(inst.guardPred);
+        return mask & (inst.guardNegate ? ~p : p);
+    }
 
     /** Thread index (within the CTA) of lane @p lane. */
     u32 tid(u32 lane) const { return warpInCta_ * kWarpSize + lane; }

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Heap-allocation regression guard for the simulator hot loop. Replaces
+ * the global operator new/delete with counting versions, drives one Sm
+ * into steady state, and asserts that a window of cycles with no CTA
+ * launch or completion performs zero heap allocations. Built as its own
+ * test binary so the replaced allocator does not wrap the main suite.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+#include "isa/builder.hpp"
+#include "mem/memory.hpp"
+#include "sim/sm.hpp"
+
+namespace {
+
+std::atomic<unsigned long long> g_allocations{0};
+
+} // namespace
+
+void *
+operator new(std::size_t size)
+{
+    g_allocations.fetch_add(1, std::memory_order_relaxed);
+    if (void *p = std::malloc(size == 0 ? 1 : size))
+        return p;
+    throw std::bad_alloc{};
+}
+
+void *
+operator new[](std::size_t size)
+{
+    return operator new(size);
+}
+
+void
+operator delete(void *p) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete(void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
+
+namespace warpcomp {
+namespace {
+
+/** Long uniform ALU loop: thousands of busy cycles between the CTA
+ *  launch and its completion, with every pipeline stage exercised. */
+Kernel
+spinKernel()
+{
+    KernelBuilder b("spin");
+    Reg tid = b.newReg(), acc = b.newReg(), tmp = b.newReg(),
+        i = b.newReg();
+    b.s2r(tid, SpecialReg::TidX);
+    b.movImm(acc, 1);
+    b.forRange(i, KernelBuilder::imm(0), KernelBuilder::imm(4000), 1,
+               [&] {
+                   b.iadd(acc, acc, tid);
+                   b.xor_(tmp, acc, KernelBuilder::imm(0x55));
+                   b.imad(acc, tmp, KernelBuilder::imm(3), acc);
+               });
+    return b.build();
+}
+
+TEST(AllocGuard, SteadyStateCycleLoopIsAllocationFree)
+{
+    GlobalMemory gmem(1 << 20);
+    ConstantMemory cmem(64);
+    const Kernel kernel = spinKernel();
+
+    SmParams sp;
+    sp.applyScheme();               // default warped-compression config
+    const EnergyParams ep;
+    const LaunchDims dims{256, 1};  // one CTA: no mid-run launches
+    Sm sm(sp, ep, gmem, cmem, kernel, dims);
+    ASSERT_TRUE(sm.tryLaunchCta(0, 0));
+
+    // Warm up: scratch vectors (exec list, SIMT stacks, collector pool
+    // bookkeeping) reach their steady-state capacity.
+    Cycle now = 0;
+    for (; now < 2000; ++now)
+        sm.cycle(now);
+    ASSERT_TRUE(sm.busy()) << "kernel finished during warm-up; "
+                              "lengthen the spin loop";
+
+    const auto before = g_allocations.load(std::memory_order_relaxed);
+    for (; now < 12000; ++now)
+        sm.cycle(now);
+    const auto after = g_allocations.load(std::memory_order_relaxed);
+
+    // The window must lie strictly inside the kernel run: CTA launch
+    // and completion are allowed to allocate, the cycle loop is not.
+    ASSERT_TRUE(sm.busy()) << "kernel finished inside the measured "
+                              "window; lengthen the spin loop";
+    EXPECT_EQ(sm.ctasCompleted(), 0u);
+    EXPECT_EQ(after - before, 0u)
+        << "steady-state cycle loop allocated " << (after - before)
+        << " times over 10000 cycles";
+}
+
+} // namespace
+} // namespace warpcomp

@@ -124,6 +124,35 @@ TEST_F(CapacityTest, SingleWarpSingleCta)
     EXPECT_EQ(r.ctas, 1u);
 }
 
+TEST_F(CapacityTest, MultiWaveLaunchWithGatedValidAtAllocBanks)
+{
+    // Regression: CTA launch used to allocate registers at a hardcoded
+    // cycle 0 instead of the current cycle. With banks that are both
+    // power-gated and valid-at-allocation (a hand-built ablation — no
+    // figure config produces the combination), a second CTA wave then
+    // woke banks "at cycle 0" after they had been gated at a later
+    // cycle, and the gate FSM saw time run backwards. The grid must be
+    // larger than one wave so later launches happen at now > 0.
+    GpuParams gp;
+    gp.numSms = 1;
+    gp.sm.scheme = CompressionScheme::None;
+    gp.sm.applyScheme();
+    gp.sm.regfile.gatingEnabled = true;     // ablation: gated baseline
+    ASSERT_TRUE(gp.sm.regfile.validAtAlloc);
+    Gpu gpu(gp, gmem_, cmem_);
+
+    // 60 regs x 16 warps = 960 registers per CTA: exactly one CTA
+    // resident at a time, so between waves every bank drains, gates,
+    // and must wake at the (later) launch cycle of the next wave.
+    const u64 out = gmem_.alloc(4 * 512 * 4);
+    const RunResult r = gpu.run(fatKernel(60, out), {512, 4});
+    EXPECT_EQ(r.ctas, 4u);
+    for (double frac : r.bankGatedFraction) {
+        EXPECT_GE(frac, 0.0);
+        EXPECT_LE(frac, 1.0);
+    }
+}
+
 TEST_F(CapacityTest, EnergyScalesWithGridSize)
 {
     const u64 out = gmem_.alloc(4 * 128 * 24);

@@ -94,6 +94,30 @@ TEST_F(CoalescingTest, StridedTouchesManySegments)
     EXPECT_EQ(coalescedSegments(addrs_, kFullMask), 32u);
 }
 
+TEST_F(CoalescingTest, ReverseStrideIsStillWorstCase)
+{
+    // Descending addresses: every lane probes the whole seen-segment
+    // list without a match — the dedup scan's worst case, 32 distinct
+    // segments.
+    for (u32 i = 0; i < kWarpSize; ++i)
+        addrs_[i] = 4096 + 128ull * (kWarpSize - 1 - i);
+    EXPECT_EQ(coalescedSegments(addrs_, kFullMask), 32u);
+}
+
+TEST_F(CoalescingTest, RepeatedSegmentsCountOnce)
+{
+    // Lanes alternate over two segments with distinct words; the match
+    // scan must stop at the first hit and never double-count a segment.
+    for (u32 i = 0; i < kWarpSize; ++i)
+        addrs_[i] = 4096 + 128ull * (i % 2) + 4ull * (i / 2);
+    EXPECT_EQ(coalescedSegments(addrs_, kFullMask), 2u);
+
+    // Same segment everywhere, all different words.
+    for (u32 i = 0; i < kWarpSize; ++i)
+        addrs_[i] = 8192 + 4ull * i;
+    EXPECT_EQ(coalescedSegments(addrs_, kFullMask), 1u);
+}
+
 TEST_F(CoalescingTest, MaskLimitsSegments)
 {
     for (u32 i = 0; i < kWarpSize; ++i)

@@ -239,9 +239,25 @@ TEST(UnitPool, PerCycleThroughput)
     UnitPool pool(2, 3);
     EXPECT_EQ(pool.tryIssue(10), 13u);
     EXPECT_EQ(pool.tryIssue(10), 13u);
-    EXPECT_EQ(pool.tryIssue(10), 0u);           // both units taken
+    EXPECT_EQ(pool.tryIssue(10), std::nullopt); // both units taken
     EXPECT_EQ(pool.tryIssue(11), 14u);          // next cycle frees slots
     EXPECT_EQ(pool.activations(), 3u);
+}
+
+TEST(UnitPool, ZeroLatencyIsNotTheNoUnitSentinel)
+{
+    // A decompressLatency = 0 sweep must stay distinguishable from
+    // "every unit already accepted an op this cycle": completion at
+    // cycle 0 is a real grant, exhaustion is nullopt.
+    UnitPool pool(1, 0);
+    const auto first = pool.tryIssue(0);
+    ASSERT_TRUE(first.has_value());
+    EXPECT_EQ(*first, 0u);                      // completes immediately
+    EXPECT_EQ(pool.tryIssue(0), std::nullopt);  // pool exhausted
+    const auto next = pool.tryIssue(7);
+    ASSERT_TRUE(next.has_value());
+    EXPECT_EQ(*next, 7u);
+    EXPECT_EQ(pool.activations(), 2u);
 }
 
 TEST(UnitPool, CanIssueDoesNotConsume)
