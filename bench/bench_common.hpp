@@ -15,6 +15,7 @@
 
 #include "harness/experiment.hpp"
 #include "harness/perf_json.hpp"
+#include "harness/thread_pool.hpp"
 #include "power/report.hpp"
 
 namespace warpcomp {
@@ -44,6 +45,8 @@ runSelected(const HarnessOptions &opt, ExperimentConfig cfg,
 {
     cfg.scale = opt.scale;
     cfg.numSms = opt.numSms;
+    if (opt.faults.enabled())
+        cfg.faults = opt.faults;
     if (!opt.jsonPath.empty())
         perfRecorder().setOutput(opt.benchName, opt.jsonPath);
 
@@ -60,6 +63,8 @@ runSelected(const HarnessOptions &opt, ExperimentConfig cfg,
         rec.label = label.empty()
             ? "suite " + std::to_string(suite_counter) : std::move(label);
         rec.threads = opt.threads;
+        rec.resolvedThreads = resolveThreadCount(opt.threads);
+        rec.seedSalt = cfg.seedSalt;
         rec.wallSeconds = wall.count();
         for (const ExperimentResult &r : results) {
             rec.totalCycles += r.run.cycles;

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Fault-tolerance sweep: BER vs usable register capacity, execution
+ * time, and register-file energy for the three tolerance policies
+ * (None / DisableEntry / CompressRemap), over the full workload suite.
+ * Emits a deterministic JSON document on stdout — every field is a
+ * pure function of (seed, config), so fixed seeds give byte-identical
+ * output run over run.
+ */
+
+#include <array>
+#include <iomanip>
+
+#include "bench_common.hpp"
+
+using namespace warpcomp;
+
+namespace {
+
+constexpr std::array<double, 4> kBers = {1e-4, 5e-4, 1e-3, 5e-3};
+constexpr std::array<FaultPolicy, 3> kPolicies = {
+    FaultPolicy::None, FaultPolicy::DisableEntry,
+    FaultPolicy::CompressRemap};
+
+/** One sweep point aggregated over the workload suite. */
+struct SweepPoint
+{
+    double ber = 0.0;
+    FaultPolicy policy = FaultPolicy::None;
+    double usableCapacity = 1.0;    ///< usable / total warp registers
+    double relCycles = 1.0;         ///< geomean vs fault-free baseline
+    double relEnergy = 1.0;         ///< suite energy vs baseline
+    u64 toleratedWrites = 0;
+    u64 remapWrites = 0;
+    u64 remapReads = 0;
+    u64 corruptedWrites = 0;
+    u64 unrecoverableAccesses = 0;
+    u32 unschedulable = 0;          ///< workloads that could not launch
+    u32 hung = 0;                   ///< workloads livelocked by corruption
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const HarnessOptions opt = parseHarnessArgs(argc, argv);
+
+    // Config 0 is the fault-free reference; the rest is the
+    // BER x policy cross product, all flattened onto one thread pool.
+    std::vector<ExperimentConfig> configs;
+    ExperimentConfig base;
+    base.scale = opt.scale;
+    base.numSms = opt.numSms;
+    configs.push_back(base);
+    for (double ber : kBers) {
+        for (FaultPolicy policy : kPolicies) {
+            ExperimentConfig cfg = base;
+            cfg.faults.ber = ber;
+            cfg.faults.policy = policy;
+            cfg.faults.seed = opt.faults.seed;
+            configs.push_back(cfg);
+        }
+    }
+
+    const std::vector<std::string> workloads = bench::selectedWorkloads(opt);
+    const auto grid = runGrid(configs, workloads, opt.threads);
+    const auto &ref = grid[0];
+
+    double ref_energy_total = 0.0;
+    for (const ExperimentResult &r : ref)
+        ref_energy_total += bench::totalEnergy(r, base.energy);
+
+    std::vector<SweepPoint> points;
+    for (std::size_t c = 1; c < grid.size(); ++c) {
+        const auto &runs = grid[c];
+        SweepPoint pt;
+        pt.ber = configs[c].faults.ber;
+        pt.policy = configs[c].faults.policy;
+
+        // Capacity census is a property of the fault map + policy, not
+        // of the workload; read it off the first completed run.
+        const FaultStats &census = runs[0].run.fault;
+        pt.usableCapacity = static_cast<double>(census.usableRegs) /
+            static_cast<double>(census.totalRegs);
+
+        std::vector<double> cyc_ratios;
+        double energy = 0.0;
+        double ref_energy = 0.0;
+        for (std::size_t w = 0; w < runs.size(); ++w) {
+            const RunResult &run = runs[w].run;
+            pt.toleratedWrites += run.fault.toleratedWrites;
+            pt.remapWrites += run.fault.remapWrites;
+            pt.remapReads += run.fault.remapReads;
+            pt.corruptedWrites += run.fault.corruptedWrites;
+            pt.unrecoverableAccesses += run.fault.unrecoverableAccesses;
+            if (run.unschedulable || run.hung) {
+                // No meaningful cycle/energy figure for a run that
+                // never launched or never finished.
+                pt.unschedulable += run.unschedulable ? 1 : 0;
+                pt.hung += run.hung ? 1 : 0;
+                continue;
+            }
+            cyc_ratios.push_back(static_cast<double>(run.cycles) /
+                                 static_cast<double>(ref[w].run.cycles));
+            energy += bench::totalEnergy(runs[w], base.energy);
+            ref_energy += bench::totalEnergy(ref[w], base.energy);
+        }
+        pt.relCycles = geomean(cyc_ratios);
+        pt.relEnergy = ref_energy > 0.0 ? energy / ref_energy : 0.0;
+        points.push_back(pt);
+    }
+
+    std::cout << std::setprecision(6) << std::fixed;
+    std::cout << "{\n";
+    std::cout << "  \"workloads\": " << workloads.size() << ",\n";
+    std::cout << "  \"sms\": " << opt.numSms << ",\n";
+    std::cout << "  \"fault_seed\": " << opt.faults.seed << ",\n";
+    std::cout << "  \"baseline_energy_pj\": " << ref_energy_total << ",\n";
+    std::cout << "  \"points\": [\n";
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        const SweepPoint &p = points[i];
+        std::cout << "    {\"ber\": " << std::scientific << p.ber
+                  << std::fixed
+                  << ", \"policy\": \"" << faultPolicyName(p.policy)
+                  << "\", \"usable_capacity\": " << p.usableCapacity
+                  << ", \"rel_cycles\": " << p.relCycles
+                  << ", \"rel_energy\": " << p.relEnergy
+                  << ", \"tolerated_writes\": " << p.toleratedWrites
+                  << ", \"remap_writes\": " << p.remapWrites
+                  << ", \"remap_reads\": " << p.remapReads
+                  << ", \"corrupted_writes\": " << p.corruptedWrites
+                  << ", \"unrecoverable_accesses\": "
+                  << p.unrecoverableAccesses
+                  << ", \"unschedulable\": " << p.unschedulable
+                  << ", \"hung\": " << p.hung << "}"
+                  << (i + 1 < points.size() ? "," : "") << "\n";
+    }
+    std::cout << "  ]\n";
+    std::cout << "}\n";
+    return 0;
+}

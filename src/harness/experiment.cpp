@@ -31,6 +31,7 @@ makeGpuParams(const ExperimentConfig &cfg)
     gp.sm.regfile.drowsyEnabled = cfg.drowsy;
     gp.sm.regfile.drowsyAfterCycles = cfg.drowsyAfterCycles;
     gp.sm.rfcEntriesPerWarp = cfg.rfcEntries;
+    gp.sm.faults = cfg.faults;
     return gp;
 }
 
@@ -132,6 +133,25 @@ parseHarnessArgs(int argc, char **argv)
             opt.jsonPath = arg + 7;
             if (opt.jsonPath.empty())
                 WC_FATAL("--json needs a file path");
+        } else if (std::strncmp(arg, "--faults=", 9) == 0) {
+            const char *spec = arg + 9;
+            const char *comma = std::strchr(spec, ',');
+            if (comma == nullptr)
+                WC_FATAL("--faults wants BER,POLICY (e.g. "
+                         "--faults=1e-4,CompressRemap)");
+            const double ber = std::atof(spec);
+            if (ber < 0.0 || ber >= 1.0)
+                WC_FATAL("--faults BER must be in [0, 1)");
+            const auto policy = faultPolicyFromName(comma + 1);
+            if (!policy.has_value())
+                WC_FATAL("unknown fault policy '"
+                         << (comma + 1)
+                         << "' (None | DisableEntry | CompressRemap)");
+            opt.faults.ber = ber;
+            opt.faults.policy = *policy;
+        } else if (std::strncmp(arg, "--fault-seed=", 13) == 0) {
+            opt.faults.seed =
+                std::strtoull(arg + 13, nullptr, 0);
         }
     }
     return opt;

@@ -47,6 +47,9 @@ struct ExperimentConfig
      * fresh deterministic input set per (workload, config) pair.
      */
     u64 seedSalt = 0;
+    /** Stuck-at fault injection (BER 0 = fault-free, bit-identical to
+     *  a build without the subsystem). */
+    FaultParams faults{};
     EnergyParams energy{};
 };
 
@@ -106,10 +109,12 @@ struct HarnessOptions
     std::string jsonPath;
     /** Basename of argv[0]; names the bench in the perf record. */
     std::string benchName;
+    /** Fault injection requested via --faults=BER,POLICY. */
+    FaultParams faults{};
 };
 
-/** Parse --scale=N --sms=N --threads=N --only=name --json=FILE; ignores
- *  unknown arguments. */
+/** Parse --scale=N --sms=N --threads=N --only=name --json=FILE
+ *  --faults=BER,POLICY --fault-seed=N; ignores unknown arguments. */
 HarnessOptions parseHarnessArgs(int argc, char **argv);
 
 /**

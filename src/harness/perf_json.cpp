@@ -4,8 +4,15 @@
 #include <iomanip>
 #include <iostream>
 #include <ostream>
+#include <thread>
 
 #include "common/log.hpp"
+
+// The build stamps perf_json.cpp with the checkout's short SHA (see
+// src/CMakeLists.txt); keep non-CMake builds compiling.
+#ifndef WC_GIT_SHA
+#define WC_GIT_SHA "unknown"
+#endif
 
 namespace warpcomp {
 
@@ -56,12 +63,17 @@ PerfRecorder::writeJson(std::ostream &os) const
     os << std::setprecision(6) << std::fixed;
     os << "{\n";
     os << "  \"bench\": \"" << jsonEscape(benchName_) << "\",\n";
+    os << "  \"git_sha\": \"" << jsonEscape(WC_GIT_SHA) << "\",\n";
+    os << "  \"hw_concurrency\": "
+       << std::thread::hardware_concurrency() << ",\n";
     os << "  \"suites\": [\n";
     for (std::size_t s = 0; s < suites_.size(); ++s) {
         const PerfSuiteRecord &r = suites_[s];
         os << "    {\n";
         os << "      \"label\": \"" << jsonEscape(r.label) << "\",\n";
         os << "      \"threads\": " << r.threads << ",\n";
+        os << "      \"resolved_threads\": " << r.resolvedThreads << ",\n";
+        os << "      \"seed_salt\": " << r.seedSalt << ",\n";
         os << "      \"wall_seconds\": " << r.wallSeconds << ",\n";
         os << "      \"total_cycles\": " << r.totalCycles << ",\n";
         os << "      \"workloads\": [\n";

@@ -34,6 +34,10 @@ struct PerfSuiteRecord
 {
     std::string label;      ///< caller-supplied, e.g. "baseline serial"
     u32 threads = 0;        ///< worker threads (0 = hardware concurrency)
+    /** Actual worker count after resolving threads==0. */
+    u32 resolvedThreads = 0;
+    /** Input-RNG salt the suite ran under (see ExperimentConfig). */
+    u64 seedSalt = 0;
     double wallSeconds = 0.0;
     u64 totalCycles = 0;
     std::vector<PerfWorkloadRow> rows;

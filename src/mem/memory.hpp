@@ -70,6 +70,7 @@ class ConstantMemory
 
     void write32(u32 addr, u32 value);
     u32 read32(u32 addr) const;
+    u32 size() const { return static_cast<u32>(data_.size()); }
 
     /** Append one 32-bit parameter; returns its byte address. */
     u32 push(u32 value);

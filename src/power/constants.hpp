@@ -45,6 +45,9 @@ struct EnergyParams
     double rfcAccessPj = 1.2;
     /** Register-file-cache leakage when present (mW, whole structure). */
     double rfcLeakMw = 0.3;
+    /** Fault-remap table lookup/update energy (pJ per remapped access;
+     *  a small CAM/RAM beside the bank arbiter, RRCD-style). */
+    double remapTablePj = 0.9;
 
     /** Sec. 6.7 sweep: scale comp/decomp activation energy. */
     double compDecompScale = 1.0;
@@ -69,6 +72,7 @@ struct EnergyBreakdown
     double bankDynamicPj = 0;   ///< SRAM array access energy
     double wireDynamicPj = 0;   ///< bank <-> collector wire energy
     double rfcDynamicPj = 0;    ///< register-file-cache accesses
+    double faultRemapPj = 0;    ///< fault-remap table traffic
     double compressionPj = 0;   ///< compressor activations
     double decompressionPj = 0; ///< decompressor activations
     double bankLeakagePj = 0;   ///< non-gated bank leakage
@@ -77,7 +81,8 @@ struct EnergyBreakdown
     double
     dynamicPj() const
     {
-        return bankDynamicPj + wireDynamicPj + rfcDynamicPj;
+        return bankDynamicPj + wireDynamicPj + rfcDynamicPj +
+            faultRemapPj;
     }
 
     double

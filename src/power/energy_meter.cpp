@@ -15,6 +15,7 @@ EnergyMeter::merge(const EnergyMeter &other)
     bankReads_ += other.bankReads_;
     bankWrites_ += other.bankWrites_;
     rfcAccesses_ += other.rfcAccesses_;
+    remapAccesses_ += other.remapAccesses_;
     rfcPresent_ = rfcPresent_ || other.rfcPresent_;
     compActs_ += other.compActs_;
     decompActs_ += other.decompActs_;
@@ -39,6 +40,7 @@ EnergyMeter::breakdownWith(const EnergyParams &p) const
     e.wireDynamicPj = accesses * p.wirePjPerBankTransfer() * p.accessScale;
 
     e.rfcDynamicPj = static_cast<double>(rfcAccesses_) * p.rfcAccessPj;
+    e.faultRemapPj = static_cast<double>(remapAccesses_) * p.remapTablePj;
 
     e.compressionPj = static_cast<double>(compActs_) * p.compPj *
         p.compDecompScale;

@@ -31,6 +31,8 @@ class EnergyMeter
     void addRfcAccesses(u64 n) { rfcAccesses_ += n; }
     /** Mark the RFC structure present so its leakage is charged. */
     void setRfcPresent(bool present) { rfcPresent_ = present; }
+    /** Fault-remap table lookups/updates (CompressRemap policy). */
+    void addRemapAccesses(u64 n) { remapAccesses_ += n; }
     void addCompActivations(u64 n) { compActs_ += n; }
     void addDecompActivations(u64 n) { decompActs_ += n; }
     /** Call once per simulated cycle with the number of non-gated banks. */
@@ -43,6 +45,7 @@ class EnergyMeter
     u64 bankWrites() const { return bankWrites_; }
     u64 bankAccesses() const { return bankReads_ + bankWrites_; }
     u64 rfcAccesses() const { return rfcAccesses_; }
+    u64 remapAccesses() const { return remapAccesses_; }
     u64 compActivations() const { return compActs_; }
     u64 decompActivations() const { return decompActs_; }
     u64 awakeBankCycles() const { return awakeBankCycles_; }
@@ -71,6 +74,7 @@ class EnergyMeter
     u64 bankReads_ = 0;
     u64 bankWrites_ = 0;
     u64 rfcAccesses_ = 0;
+    u64 remapAccesses_ = 0;
     bool rfcPresent_ = false;
     u64 compActs_ = 0;
     u64 decompActs_ = 0;

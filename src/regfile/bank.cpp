@@ -2,8 +2,9 @@
 
 namespace warpcomp {
 
-Bank::Bank(u32 entries, u32 wakeup_latency, bool gating_enabled)
-    : valid_(entries, false), gate_(wakeup_latency, gating_enabled)
+Bank::Bank(u32 index, u32 entries, u32 wakeup_latency, bool gating_enabled)
+    : index_(index), valid_(entries, false),
+      gate_(wakeup_latency, gating_enabled)
 {
 }
 

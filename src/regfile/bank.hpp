@@ -20,19 +20,23 @@ class Bank
 {
   public:
     /**
+     * @param index global bank id (only used to coordinate diagnostics)
      * @param entries rows in the bank
      * @param wakeup_latency power-gate wakeup cycles
      * @param gating_enabled false for the baseline configuration
      */
-    Bank(u32 entries, u32 wakeup_latency, bool gating_enabled);
+    Bank(u32 index, u32 entries, u32 wakeup_latency, bool gating_enabled);
 
+    u32 index() const { return index_; }
     u32 entries() const { return static_cast<u32>(valid_.size()); }
     u32 validCount() const { return validCount_; }
 
     bool
     valid(u32 entry) const
     {
-        WC_ASSERT(entry < valid_.size(), "bank entry out of range");
+        WC_ASSERT(entry < valid_.size(),
+                  "bank " << index_ << " entry " << entry
+                  << " out of range (" << valid_.size() << " entries)");
         return valid_[entry];
     }
 
@@ -44,17 +48,21 @@ class Bank
     void
     setValid(u32 entry, bool v, Cycle now)
     {
-        WC_ASSERT(entry < valid_.size(), "bank entry out of range");
+        WC_ASSERT(entry < valid_.size(),
+                  "bank " << index_ << " entry " << entry
+                  << " out of range (" << valid_.size() << " entries)");
         if (valid_[entry] == v)
             return;
         valid_[entry] = v;
         if (v) {
             WC_ASSERT(!gate_.isOff(now),
-                      "marking an entry valid in a gated bank; wake it "
-                      "first");
+                      "marking entry " << entry << " valid in gated bank "
+                      << index_ << "; wake it first");
             ++validCount_;
         } else {
-            WC_ASSERT(validCount_ > 0, "valid count underflow");
+            WC_ASSERT(validCount_ > 0,
+                      "valid count underflow in bank " << index_
+                      << " (entry " << entry << ")");
             --validCount_;
             if (validCount_ == 0)
                 gate_.sleep(now);
@@ -87,6 +95,7 @@ class Bank
     Cycle lastAccess() const { return lastAccess_; }
 
   private:
+    u32 index_;
     std::vector<bool> valid_;
     u32 validCount_ = 0;
     PowerGate gate_;

@@ -6,7 +6,9 @@
 
 namespace warpcomp {
 
-RegisterFile::RegisterFile(const RegFileParams &params) : params_(params)
+RegisterFile::RegisterFile(const RegFileParams &params,
+                           const FaultParams &faults)
+    : params_(params)
 {
     WC_ASSERT(params.numBanks % kBanksPerWarpReg == 0,
               "bank count must be a multiple of " << kBanksPerWarpReg);
@@ -14,16 +16,62 @@ RegisterFile::RegisterFile(const RegFileParams &params) : params_(params)
               "degenerate register file");
     banks_.reserve(params.numBanks);
     for (u32 i = 0; i < params.numBanks; ++i) {
-        banks_.emplace_back(params.entriesPerBank, params.wakeupLatency,
-                            params.gatingEnabled);
+        banks_.emplace_back(i, params.entriesPerBank,
+                            params.wakeupLatency, params.gatingEnabled);
     }
     regs_.resize(params.totalWarpRegs());
-    freeRanges_.emplace_back(0, params.totalWarpRegs());
+
+    const u32 total = params.totalWarpRegs();
+    faultStats_.totalRegs = total;
+    faultStats_.usableRegs = total;
+    if (faults.enabled()) {
+        faults_ = std::make_unique<FaultMap>(
+            params.numBanks, params.entriesPerBank, faults.ber,
+            faults.seed);
+        faultPolicy_ = faults.policy;
+        faultStats_.faultyCells = faults_->faultyCells();
+
+        // Static capacity census under the configured policy: None and
+        // DisableEntry can only trust fully healthy stripes, while
+        // CompressRemap also salvages stripes whose healthy prefix can
+        // still host a compressed register.
+        u32 healthy = 0, compress_usable = 0;
+        for (u32 id = 0; id < total; ++id) {
+            const RegSlot s = slotOf(id);
+            const u32 prefix =
+                faults_->healthyPrefixBytes(s.firstBank(), s.entry);
+            if (prefix == kWarpRegBytes)
+                ++healthy;
+            if (prefix >= FaultMap::kMinCompressedBytes)
+                ++compress_usable;
+        }
+        faultStats_.usableRegs =
+            faultPolicy_ == FaultPolicy::CompressRemap ? compress_usable
+                                                       : healthy;
+
+        if (faultPolicy_ == FaultPolicy::DisableEntry) {
+            // Faulty stripes leave the allocator entirely; the healthy
+            // ids no longer form contiguous ranges, so allocation
+            // switches to the explicit free-id list.
+            idAlloc_ = true;
+            freeIds_.reserve(healthy);
+            for (u32 id = 0; id < total; ++id) {
+                const RegSlot s = slotOf(id);
+                if (!faults_->stripeFaulty(s.firstBank(), s.entry))
+                    freeIds_.push_back(id);
+            }
+            faultStats_.disabledRegs = total - healthy;
+            return;
+        }
+    }
+    freeRanges_.emplace_back(0, total);
 }
 
 bool
 RegisterFile::canAllocate(u32 num_regs) const
 {
+    if (idAlloc_)
+        return freeIds_.size() >= num_regs;
     for (const auto &[base, count] : freeRanges_) {
         (void)base;
         if (count >= num_regs)
@@ -41,6 +89,33 @@ RegisterFile::allocate(u32 warp_slot, u32 num_regs, Cycle now)
     WC_ASSERT(!slots_[warp_slot].active,
               "warp slot " << warp_slot << " already allocated");
 
+    if (idAlloc_) {
+        // DisableEntry mode: hand out the lowest healthy ids. The slot
+        // keeps an explicit id list because faulty stripes fragment the
+        // id space.
+        if (freeIds_.size() < num_regs)
+            return false;
+        SlotAlloc &slot = slots_[warp_slot];
+        slot.ids.assign(freeIds_.begin(), freeIds_.begin() + num_regs);
+        freeIds_.erase(freeIds_.begin(), freeIds_.begin() + num_regs);
+        slot.base = 0;
+        slot.count = num_regs;
+        slot.active = true;
+        allocatedRegs_ += num_regs;
+
+        if (params_.validAtAlloc) {
+            for (u32 id : slot.ids) {
+                const RegSlot s = slotOf(id);
+                for (u32 b = 0; b < kBanksPerWarpReg; ++b) {
+                    Bank &bank = banks_[s.firstBank() + b];
+                    bank.gate().wake(now);
+                    bank.setValid(s.entry, true, now);
+                }
+            }
+        }
+        return true;
+    }
+
     for (auto it = freeRanges_.begin(); it != freeRanges_.end(); ++it) {
         if (it->second < num_regs)
             continue;
@@ -50,7 +125,9 @@ RegisterFile::allocate(u32 warp_slot, u32 num_regs, Cycle now)
         if (it->second == 0)
             freeRanges_.erase(it);
 
-        slots_[warp_slot] = {base, num_regs, true};
+        slots_[warp_slot].base = base;
+        slots_[warp_slot].count = num_regs;
+        slots_[warp_slot].active = true;
         allocatedRegs_ += num_regs;
 
         if (params_.validAtAlloc) {
@@ -71,33 +148,57 @@ RegisterFile::allocate(u32 warp_slot, u32 num_regs, Cycle now)
 }
 
 void
+RegisterFile::releaseId(u32 id, Cycle now)
+{
+    const RegSlot s = slotOf(id);
+    // Valid entries of a register form a prefix of its bank stripe:
+    // recordWrite sets banks [0, footprint) and clears the rest (all
+    // 8 under validAtAlloc). Probing only the prefix makes teardown
+    // proportional to the compressed footprint, not the stripe.
+    const u32 nb = params_.validAtAlloc ? kBanksPerWarpReg
+                                        : footprintBanks(id);
+    for (u32 b = 0; b < nb; ++b) {
+        Bank &bank = banks_[s.firstBank() + b];
+        if (bank.valid(s.entry))
+            bank.setValid(s.entry, false, now);
+    }
+    if (regs_[id].written) {
+        --writtenCount_;
+        if (regs_[id].ind != RangeIndicator::Uncompressed)
+            --compressedCount_;
+    }
+    regs_[id] = RegState{};
+}
+
+void
 RegisterFile::release(u32 warp_slot, Cycle now)
 {
     WC_ASSERT(warp_slot < slots_.size() && slots_[warp_slot].active,
               "releasing inactive warp slot " << warp_slot);
     SlotAlloc &slot = slots_[warp_slot];
 
-    for (u32 r = 0; r < slot.count; ++r) {
-        const u32 id = slot.base + r;
-        const RegSlot s = slotOf(id);
-        // Valid entries of a register form a prefix of its bank stripe:
-        // recordWrite sets banks [0, footprint) and clears the rest (all
-        // 8 under validAtAlloc). Probing only the prefix makes teardown
-        // proportional to the compressed footprint, not the stripe.
-        const u32 nb = params_.validAtAlloc ? kBanksPerWarpReg
-                                            : footprintBanks(id);
-        for (u32 b = 0; b < nb; ++b) {
-            Bank &bank = banks_[s.firstBank() + b];
-            if (bank.valid(s.entry))
-                bank.setValid(s.entry, false, now);
-        }
-        if (regs_[id].written) {
-            --writtenCount_;
-            if (regs_[id].ind != RangeIndicator::Uncompressed)
-                --compressedCount_;
-        }
-        regs_[id] = RegState{};
+    if (idAlloc_) {
+        for (u32 id : slot.ids)
+            releaseId(id, now);
+        // Merge the slot's (ascending) ids back into the sorted free
+        // list. Launch/teardown path: allocation here is fine.
+        const std::size_t mid = freeIds_.size();
+        freeIds_.insert(freeIds_.end(), slot.ids.begin(),
+                        slot.ids.end());
+        std::inplace_merge(freeIds_.begin(),
+                           freeIds_.begin() + static_cast<long>(mid),
+                           freeIds_.end());
+        WC_ASSERT(allocatedRegs_ >= slot.count, "allocation underflow");
+        allocatedRegs_ -= slot.count;
+        slot.ids.clear();
+        slot.base = 0;
+        slot.count = 0;
+        slot.active = false;
+        return;
     }
+
+    for (u32 r = 0; r < slot.count; ++r)
+        releaseId(slot.base + r, now);
 
     // Return the range, keeping the free list sorted and coalesced.
     auto pos = std::lower_bound(
@@ -132,7 +233,7 @@ RegisterFile::regId(u32 warp_slot, u32 reg) const
     const SlotAlloc &slot = slots_[warp_slot];
     WC_ASSERT(reg < slot.count, "register r" << reg
               << " beyond slot allocation of " << slot.count);
-    return slot.base + reg;
+    return idAlloc_ ? slot.ids[reg] : slot.base + reg;
 }
 
 RegSlot
@@ -190,6 +291,7 @@ RegisterFile::readAccess(u32 warp_slot, u32 reg) const
     a.compressed = st.written && st.ind != RangeIndicator::Uncompressed;
     a.bytes = st.written ? indicatorBytes(st.ind)
                          : (params_.validAtAlloc ? kWarpRegBytes : 0);
+    a.remapped = st.written && st.remapped;
     return a;
 }
 
@@ -205,6 +307,27 @@ RegisterFile::recordWrite(u32 warp_slot, u32 reg, const BdiEncoded &enc,
     const RangeIndicator ind = indicatorFor(enc);
     const u32 new_banks = params_.validAtAlloc ? kBanksPerWarpReg
                                                : indicatorBanks(ind);
+
+    // CompressRemap (RRCD-style): a faulty stripe still hosts the
+    // register when the encoded form lies entirely inside the healthy
+    // leading bytes; otherwise the write is redirected to a healthy
+    // spare entry through the remap table. Either way no corruption can
+    // occur. The spare's bank traffic is modeled on the home stripe
+    // (same footprint), only the remap-table traffic is extra.
+    bool remapped = false;
+    if (faults_ != nullptr &&
+        faultPolicy_ == FaultPolicy::CompressRemap) {
+        const u32 healthy =
+            faults_->healthyPrefixBytes(s.firstBank(), s.entry);
+        if (healthy < kWarpRegBytes) {
+            if (enc.sizeBytes() <= healthy) {
+                ++faultStats_.toleratedWrites;
+            } else {
+                remapped = true;
+                ++faultStats_.remapWrites;
+            }
+        }
+    }
 
     // Wake every bank the write touches; the write completes when the
     // slowest wakeup finishes.
@@ -239,6 +362,7 @@ RegisterFile::recordWrite(u32 warp_slot, u32 reg, const BdiEncoded &enc,
     }
     st.written = true;
     st.ind = ind;
+    st.remapped = remapped;
 
     RegAccess a;
     a.firstBank = s.firstBank();
@@ -246,6 +370,7 @@ RegisterFile::recordWrite(u32 warp_slot, u32 reg, const BdiEncoded &enc,
     a.numBanks = new_banks;
     a.compressed = ind != RangeIndicator::Uncompressed;
     a.bytes = enc.sizeBytes();
+    a.remapped = remapped;
     return {ready, a};
 }
 

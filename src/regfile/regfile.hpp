@@ -9,11 +9,13 @@
 #ifndef WARPCOMP_REGFILE_REGFILE_HPP
 #define WARPCOMP_REGFILE_REGFILE_HPP
 
+#include <memory>
 #include <optional>
 #include <vector>
 
 #include "common/types.hpp"
 #include "compress/schemes.hpp"
+#include "fault/fault.hpp"
 #include "regfile/bank.hpp"
 
 namespace warpcomp {
@@ -62,6 +64,8 @@ struct RegAccess
     u32 entry = 0;          ///< row within each bank
     u32 bytes = 0;          ///< payload bytes moved over the wires
     bool compressed = false;
+    /** Access goes through the fault-remap table (CompressRemap). */
+    bool remapped = false;
 };
 
 /**
@@ -73,9 +77,31 @@ struct RegAccess
 class RegisterFile
 {
   public:
-    explicit RegisterFile(const RegFileParams &params);
+    /**
+     * @param params organization and policy parameters
+     * @param faults fault-injection configuration; when enabled, a
+     *   deterministic FaultMap is generated from faults.seed and the
+     *   configured tolerance policy governs allocation and writes
+     */
+    explicit RegisterFile(const RegFileParams &params,
+                          const FaultParams &faults = {});
 
     const RegFileParams &params() const { return params_; }
+
+    /** The stuck-at fault map, or nullptr when injection is disabled
+     *  (the null check is the hot-path fast path). */
+    const FaultMap *faultMap() const { return faults_.get(); }
+    FaultPolicy faultPolicy() const { return faultPolicy_; }
+
+    /** Fault-tolerance counters (static census + runtime traffic). */
+    const FaultStats &faultStats() const { return faultStats_; }
+
+    /** Count one write whose stored image was changed by stuck cells
+     *  (policy None; detected by the SM at writeback commit). */
+    void noteCorruptedWrite() { ++faultStats_.corruptedWrites; }
+
+    /** Count one operand read served through the remap table. */
+    void noteRemapRead() { ++faultStats_.remapReads; }
 
     /** True when @p num_regs warp registers can still be allocated. */
     bool canAllocate(u32 num_regs) const;
@@ -155,6 +181,9 @@ class RegisterFile
     {
         RangeIndicator ind = RangeIndicator::Uncompressed;
         bool written = false;
+        /** Register currently lives in a spare entry via the remap
+         *  table (CompressRemap over a faulty stripe). */
+        bool remapped = false;
     };
 
     struct SlotAlloc
@@ -162,11 +191,15 @@ class RegisterFile
         u32 base = 0;
         u32 count = 0;
         bool active = false;
+        /** Explicit id list, used only under DisableEntry where the
+         *  healthy ids no longer form contiguous ranges. */
+        std::vector<u32> ids;
     };
 
     u32 regId(u32 warp_slot, u32 reg) const;
     RegSlot slotOf(u32 id) const;
     u32 footprintBanks(u32 id) const;
+    void releaseId(u32 id, Cycle now);
 
     RegFileParams params_;
     std::vector<Bank> banks_;
@@ -174,6 +207,17 @@ class RegisterFile
     std::vector<SlotAlloc> slots_;
     /** Free-range list over warp-register ids, kept sorted/coalesced. */
     std::vector<std::pair<u32, u32>> freeRanges_; // (base, count)
+    /**
+     * DisableEntry allocation mode: faulty stripes punch holes into the
+     * id space, so slots draw from this sorted free-id list instead of
+     * contiguous ranges. Empty (and unused) in every other mode, which
+     * keeps the historical contiguous first-fit behaviour bit-exact.
+     */
+    bool idAlloc_ = false;
+    std::vector<u32> freeIds_;
+    std::unique_ptr<FaultMap> faults_;
+    FaultPolicy faultPolicy_ = FaultPolicy::None;
+    FaultStats faultStats_;
     u32 allocatedRegs_ = 0;
     u32 compressedCount_ = 0;
     u32 writtenCount_ = 0;

@@ -72,6 +72,31 @@ FunctionalExecutor::FunctionalExecutor(GlobalMemory &gmem,
 {
 }
 
+bool
+FunctionalExecutor::addrValid(Opcode op, u64 addr,
+                              const SharedMemory *smem) const
+{
+    u64 size = 0;
+    switch (op) {
+      case Opcode::Ldg:
+      case Opcode::Stg:
+        size = gmem_.size();
+        break;
+      case Opcode::Lds:
+      case Opcode::Sts:
+        size = smem != nullptr ? smem->size() : 0;
+        break;
+      case Opcode::Ldc:
+        size = cmem_.size();
+        break;
+      default:
+        WC_PANIC("addrValid on a non-memory opcode");
+    }
+    // Word-aligned and fully in range; anything else would raise an
+    // out-of-range or misaligned-address fault on hardware.
+    return (addr & 3) == 0 && addr < size && size - addr >= 4;
+}
+
 ExecOutcome
 FunctionalExecutor::execute(Warp &warp, u32 pc, SharedMemory *smem,
                             const LaunchDims &dims)
@@ -274,6 +299,15 @@ FunctionalExecutor::execute(Warp &warp, u32 pc, SharedMemory *smem,
             const u64 addr = static_cast<u64>(s0(lane)) +
                 static_cast<i64>(in.memOffset);
             out.addrs[lane] = addr;
+            if (containFaults_ && !addrValid(in.op, addr, smem)) {
+                // Fault injection drove this address out of range; on
+                // hardware this raises a memory fault. Squash the lane
+                // access and count it as unrecoverable.
+                ++contained_;
+                if (in.isLoad())
+                    warp.reg(in.dst)[lane] = 0;
+                continue;
+            }
             switch (in.op) {
               case Opcode::Ldg:
                 warp.reg(in.dst)[lane] = gmem_.read32(addr);

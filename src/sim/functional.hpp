@@ -43,6 +43,19 @@ class FunctionalExecutor
     FunctionalExecutor(GlobalMemory &gmem, ConstantMemory &cmem);
 
     /**
+     * Contain out-of-range memory accesses instead of panicking: the
+     * access is squashed (loads return 0, stores are dropped) and
+     * counted. Used under fault injection with no tolerance policy,
+     * where corrupted address registers otherwise take down the
+     * simulation — on hardware that access raises a detectable memory
+     * fault, so counting it as unrecoverable mirrors reality.
+     */
+    void enableFaultContainment() { containFaults_ = true; }
+
+    /** Accesses squashed by fault containment. */
+    u64 containedAccesses() const { return contained_; }
+
+    /**
      * Execute the instruction at @p pc of the warp's kernel, applying
      * guards, updating lane values and the SIMT stack (pc advance /
      * branch / exit).
@@ -57,8 +70,14 @@ class FunctionalExecutor
                         const LaunchDims &dims);
 
   private:
+    /** True when (space, addr) lies inside its memory; only consulted
+     *  with containment on. */
+    bool addrValid(Opcode op, u64 addr, const SharedMemory *smem) const;
+
     GlobalMemory &gmem_;
     ConstantMemory &cmem_;
+    bool containFaults_ = false;
+    u64 contained_ = 0;
 };
 
 } // namespace warpcomp

@@ -29,30 +29,65 @@ Gpu::run(const Kernel &kernel, const LaunchDims &dims,
     std::vector<std::unique_ptr<Sm>> sms;
     sms.reserve(params_.numSms);
     for (u32 i = 0; i < params_.numSms; ++i) {
+        // Each SM draws an independent deterministic stuck-at map:
+        // salt the fault seed by SM index (a pure function, so reruns
+        // and the parallel harness stay bit-reproducible).
+        SmParams smp = params_.sm;
+        if (smp.faults.enabled())
+            smp.faults.seed = faultSeedForSm(params_.sm.faults.seed, i);
         sms.push_back(std::make_unique<Sm>(
-            params_.sm, params_.energy, gmem_, cmem_, kernel, dims,
+            smp, params_.energy, gmem_, cmem_, kernel, dims,
             collect_bdi_breakdown));
     }
 
     u32 next_cta = 0;
     Cycle now = 0;
+    u32 stalled_cycles = 0;
+    bool unschedulable = false;
+    bool hung = false;
+    // Uncontained corruption (policy None) can livelock a kernel; cap
+    // such runs at the configured budget instead of the hard guard.
+    const Cycle hang_budget =
+        (params_.sm.faults.enabled() &&
+         params_.sm.faults.policy == FaultPolicy::None)
+            ? params_.sm.faults.hangCycles
+            : 0;
     while (true) {
         // Each SM may accept one new CTA per cycle. The launch carries
         // the current cycle: register allocation timestamps valid bits
         // and power-gate wakeups, and later waves launch at now > 0.
+        bool launched = false;
         for (auto &sm : sms) {
-            if (next_cta < dims.gridDim && sm->tryLaunchCta(next_cta, now))
+            if (next_cta < dims.gridDim &&
+                sm->tryLaunchCta(next_cta, now)) {
                 ++next_cta;
+                launched = true;
+            }
         }
 
-        bool any_busy = next_cta < dims.gridDim;
+        bool sm_busy = false;
         for (auto &sm : sms) {
             sm->cycle(now);
-            any_busy = any_busy || sm->busy();
+            sm_busy = sm_busy || sm->busy();
         }
         ++now;
-        if (!any_busy)
+        if (next_cta >= dims.gridDim && !sm_busy)
             break;
+        if (hang_budget != 0 && now >= hang_budget) {
+            hung = true;
+            break;
+        }
+        // CTAs pending, every SM idle, and no launch succeeded: the
+        // machine state is frozen, so the next CTA can never become
+        // resident (fault policies can shrink capacity below one CTA).
+        if (!sm_busy && !launched) {
+            if (++stalled_cycles >= 2) {
+                unschedulable = true;
+                break;
+            }
+        } else {
+            stalled_cycles = 0;
+        }
         WC_ASSERT(now < kMaxCycles,
                   "simulation exceeded " << kMaxCycles
                   << " cycles; likely a deadlock in kernel "
@@ -61,6 +96,8 @@ Gpu::run(const Kernel &kernel, const LaunchDims &dims,
 
     RunResult result(params_.energy);
     result.cycles = now;
+    result.unschedulable = unschedulable;
+    result.hung = hung;
     const u32 num_banks = params_.sm.regfile.numBanks;
     result.bankGatedFraction.assign(num_banks, 0.0);
     for (auto &sm : sms) {
@@ -69,6 +106,8 @@ Gpu::run(const Kernel &kernel, const LaunchDims &dims,
         result.ctas += sm->ctasCompleted();
         result.rfcHits += sm->rfc().hits();
         result.rfcMisses += sm->rfc().misses();
+        result.fault.merge(sm->regfile().faultStats());
+        result.fault.unrecoverableAccesses += sm->unrecoverableAccesses();
         for (u32 b = 0; b < num_banks; ++b) {
             result.bankGatedFraction[b] +=
                 static_cast<double>(sm->regfile().gatedCycles(b, now)) /
@@ -78,7 +117,7 @@ Gpu::run(const Kernel &kernel, const LaunchDims &dims,
     for (u32 b = 0; b < num_banks; ++b)
         result.bankGatedFraction[b] /= static_cast<double>(sms.size());
 
-    WC_ASSERT(result.ctas == dims.gridDim,
+    WC_ASSERT(unschedulable || hung || result.ctas == dims.gridDim,
               "grid did not fully execute: " << result.ctas << " of "
               << dims.gridDim);
     return result;

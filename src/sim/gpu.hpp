@@ -27,6 +27,22 @@ struct RunResult
     u64 ctas = 0;                   ///< CTAs executed
     u64 rfcHits = 0;                ///< register-file-cache hits
     u64 rfcMisses = 0;              ///< register-file-cache misses
+    /** Fault-injection census + traffic, merged over SMs. */
+    FaultStats fault;
+    /**
+     * The grid could not finish: some CTA can never become resident
+     * (e.g. DisableEntry removed too much register capacity). The
+     * simulation stops as soon as no resident work remains instead of
+     * spinning to the deadlock guard; `ctas` holds the completed count.
+     */
+    bool unschedulable = false;
+    /**
+     * The run exceeded FaultParams::hangCycles under uncontained fault
+     * injection (policy None): corruption livelocked a kernel — e.g. a
+     * stuck-at cell under a loop counter. Deterministic for a fixed
+     * seed, like every other fault outcome.
+     */
+    bool hung = false;
 
     explicit RunResult(const EnergyParams &energy) : meter(energy, 0, 0) {}
 };

@@ -9,6 +9,7 @@
 
 #include "common/types.hpp"
 #include "compress/schemes.hpp"
+#include "fault/fault.hpp"
 #include "mem/mem_timing.hpp"
 #include "power/constants.hpp"
 #include "regfile/regfile.hpp"
@@ -66,6 +67,12 @@ struct SmParams
 
     RegFileParams regfile{};
     MemTimingParams mem{};
+    /**
+     * Register-file fault injection (disabled by default). The GPU
+     * salts `faults.seed` per SM via faultSeedForSm so each SM draws an
+     * independent deterministic stuck-at map.
+     */
+    FaultParams faults{};
 
     /**
      * Make the register-file policy consistent with the compression

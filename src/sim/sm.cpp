@@ -50,7 +50,7 @@ Sm::Sm(const SmParams &params, const EnergyParams &energy,
        const LaunchDims &dims, bool collect_bdi_breakdown)
     : params_(params), kernel_(kernel), dims_(dims),
       collectBdi_(collect_bdi_breakdown),
-      rf_(params.regfile),
+      rf_(params.regfile, params.faults),
       rfc_(params.maxWarps, params.rfcEntriesPerWarp),
       scoreboard_(params.maxWarps),
       arbiter_(params.regfile.numBanks),
@@ -69,6 +69,12 @@ Sm::Sm(const SmParams &params, const EnergyParams &energy,
     WC_ASSERT(dims.blockDim >= 1 && dims.blockDim <= params.maxThreads,
               "CTA size " << dims.blockDim << " unsupported");
     meter_.setRfcPresent(rfc_.enabled());
+    // With stuck-at faults and no tolerance policy, corrupted address
+    // registers produce wild memory accesses; contain them as detected
+    // unrecoverable faults instead of panicking the simulation.
+    if (rf_.faultMap() != nullptr &&
+        rf_.faultPolicy() == FaultPolicy::None)
+        fex_.enableFaultContainment();
     // Steady-state cycle loop is allocation-free: pre-size the exec
     // list to its bound (every in-flight op holds either an MSHR slot
     // or a collector-dispatched short-latency op) and the launch
@@ -245,6 +251,25 @@ Sm::stepWritebackAndExec(Cycle now)
                 meter_.addBankWrites(f.writeAcc.numBanks);
                 if (f.writeAcc.compressed)
                     ++stats_.writesStoredCompressed;
+                if (f.writeAcc.remapped)
+                    meter_.addRemapAccesses(1);
+                // Fault injection, policy None: the stored image passes
+                // through stuck cells unmitigated. Any change becomes
+                // architectural state (decompression of a corrupted
+                // payload amplifies the damage, exactly as in hardware).
+                if (const FaultMap *fm = rf_.faultMap();
+                    fm != nullptr &&
+                    rf_.faultPolicy() == FaultPolicy::None) {
+                    BdiEncoded stored = f.encoded;
+                    if (fm->corrupt(f.writeAcc.firstBank,
+                                    f.writeAcc.entry,
+                                    stored.bytes.data(),
+                                    stored.bytes.size())) {
+                        rf_.noteCorruptedWrite();
+                        warps_[f.warpSlot].reg(f.inst.dst) =
+                            fromBytes(bdiDecompress(stored));
+                    }
+                }
                 if (rfc_.enabled()) {
                     // Write-allocate into the register file cache.
                     rfc_.fill(f.warpSlot, f.inst.dst);
@@ -429,6 +454,10 @@ Sm::issueDummyMov(u32 slot, u8 dst, Cycle now)
     f.ops[0].acc = rf_.readAccess(slot, dst);
     if (f.ops[0].acc.compressed)
         f.compressedSrcs = 1;
+    if (f.ops[0].acc.remapped) {
+        rf_.noteRemapRead();
+        meter_.addRemapAccesses(1);
+    }
 
     const auto img = toBytes(w.reg(dst));
     f.encoded.compressed = false;
@@ -520,6 +549,10 @@ Sm::issueFrom(u32 slot, Cycle now)
         f.ops[i].acc = rf_.readAccess(slot, inst.regSource(i));
         if (f.ops[i].acc.compressed)
             ++f.compressedSrcs;
+        if (f.ops[i].acc.remapped) {
+            rf_.noteRemapRead();
+            meter_.addRemapAccesses(1);
+        }
     }
 
     // MergeRecompress: a divergent write also fetches the destination's
@@ -538,6 +571,10 @@ Sm::issueFrom(u32 slot, Cycle now)
             f.ops[f.numOps].acc = rf_.readAccess(slot, inst.dst);
             if (f.ops[f.numOps].acc.compressed)
                 ++f.compressedSrcs;
+            if (f.ops[f.numOps].acc.remapped) {
+                rf_.noteRemapRead();
+                meter_.addRemapAccesses(1);
+            }
             ++f.numOps;
         }
     }

@@ -99,6 +99,8 @@ class Sm
     const EnergyMeter &meter() const { return meter_; }
     const SimStats &stats() const { return stats_; }
     const RegisterFile &regfile() const { return rf_; }
+    /** Memory accesses squashed by fault containment (policy None). */
+    u64 unrecoverableAccesses() const { return fex_.containedAccesses(); }
     const RegFileCache &rfc() const { return rfc_; }
     u64 ctasCompleted() const { return ctasCompleted_; }
 

@@ -84,25 +84,25 @@ spinKernel()
     return b.build();
 }
 
-TEST(AllocGuard, SteadyStateCycleLoopIsAllocationFree)
+/** Steady-state window of one Sm run; returns allocations observed. */
+unsigned long long
+measureSteadyState(const SmParams &sp)
 {
     GlobalMemory gmem(1 << 20);
     ConstantMemory cmem(64);
     const Kernel kernel = spinKernel();
 
-    SmParams sp;
-    sp.applyScheme();               // default warped-compression config
     const EnergyParams ep;
     const LaunchDims dims{256, 1};  // one CTA: no mid-run launches
     Sm sm(sp, ep, gmem, cmem, kernel, dims);
-    ASSERT_TRUE(sm.tryLaunchCta(0, 0));
+    EXPECT_TRUE(sm.tryLaunchCta(0, 0));
 
     // Warm up: scratch vectors (exec list, SIMT stacks, collector pool
     // bookkeeping) reach their steady-state capacity.
     Cycle now = 0;
     for (; now < 2000; ++now)
         sm.cycle(now);
-    ASSERT_TRUE(sm.busy()) << "kernel finished during warm-up; "
+    EXPECT_TRUE(sm.busy()) << "kernel finished during warm-up; "
                               "lengthen the spin loop";
 
     const auto before = g_allocations.load(std::memory_order_relaxed);
@@ -112,12 +112,44 @@ TEST(AllocGuard, SteadyStateCycleLoopIsAllocationFree)
 
     // The window must lie strictly inside the kernel run: CTA launch
     // and completion are allowed to allocate, the cycle loop is not.
-    ASSERT_TRUE(sm.busy()) << "kernel finished inside the measured "
+    EXPECT_TRUE(sm.busy()) << "kernel finished inside the measured "
                               "window; lengthen the spin loop";
     EXPECT_EQ(sm.ctasCompleted(), 0u);
-    EXPECT_EQ(after - before, 0u)
-        << "steady-state cycle loop allocated " << (after - before)
-        << " times over 10000 cycles";
+    return after - before;
+}
+
+TEST(AllocGuard, SteadyStateCycleLoopIsAllocationFree)
+{
+    SmParams sp;
+    sp.applyScheme();               // default warped-compression config
+    EXPECT_EQ(measureSteadyState(sp), 0u)
+        << "steady-state cycle loop allocated over 10000 cycles";
+}
+
+TEST(AllocGuard, FaultInjectionKeepsCycleLoopAllocationFree)
+{
+    // The CompressRemap hooks (healthy-prefix probe on every write,
+    // remap accounting on reads) sit on the hot path and must not
+    // allocate once the fault map is built.
+    SmParams sp;
+    sp.applyScheme();
+    sp.faults.ber = 1e-3;
+    sp.faults.policy = FaultPolicy::CompressRemap;
+    EXPECT_EQ(measureSteadyState(sp), 0u)
+        << "CompressRemap hot path allocated over 10000 cycles";
+}
+
+TEST(AllocGuard, SilentCorruptionPathIsAllocationFree)
+{
+    // Policy None corrupts the stored image at writeback commit via
+    // fixed-size buffers (BdiEncoded copy + decompress into an array);
+    // a high BER makes the corrupt branch actually execute.
+    SmParams sp;
+    sp.applyScheme();
+    sp.faults.ber = 5e-3;
+    sp.faults.policy = FaultPolicy::None;
+    EXPECT_EQ(measureSteadyState(sp), 0u)
+        << "stuck-at corruption path allocated over 10000 cycles";
 }
 
 } // namespace

@@ -92,7 +92,7 @@ TEST(PowerGate, SleepWhileWakingIgnored)
 
 TEST(Bank, ValidCountTracksEntries)
 {
-    Bank b(16, 10, true);
+    Bank b(0, 16, 10, true);
     b.gate().wake(0);
     b.setValid(3, true, 10);
     b.setValid(4, true, 10);
@@ -107,7 +107,7 @@ TEST(Bank, ValidCountTracksEntries)
 
 TEST(Bank, RedundantSetValidIsIdempotent)
 {
-    Bank b(8, 10, true);
+    Bank b(0, 8, 10, true);
     b.gate().wake(0);
     b.setValid(0, true, 10);
     b.setValid(0, true, 10);
@@ -116,7 +116,7 @@ TEST(Bank, RedundantSetValidIsIdempotent)
 
 TEST(Bank, SettingValidInGatedBankDies)
 {
-    Bank b(8, 10, true);
+    Bank b(0, 8, 10, true);
     EXPECT_DEATH(b.setValid(0, true, 0), "wake it first");
 }
 
