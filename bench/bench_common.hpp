@@ -47,6 +47,8 @@ runSelected(const HarnessOptions &opt, ExperimentConfig cfg,
     cfg.numSms = opt.numSms;
     if (opt.faults.enabled())
         cfg.faults = opt.faults;
+    if (opt.seu.enabled())
+        cfg.seu = opt.seu;
     if (!opt.jsonPath.empty())
         perfRecorder().setOutput(opt.benchName, opt.jsonPath);
 
@@ -65,6 +67,12 @@ runSelected(const HarnessOptions &opt, ExperimentConfig cfg,
         rec.threads = opt.threads;
         rec.resolvedThreads = resolveThreadCount(opt.threads);
         rec.seedSalt = cfg.seedSalt;
+        rec.faultBer = cfg.faults.ber;
+        rec.faultPolicy = faultPolicyName(cfg.faults.policy);
+        rec.faultSeed = cfg.faults.seed;
+        rec.seuRate = cfg.seu.flipsPerCycle;
+        rec.seuScheme = seuSchemeName(cfg.seu.scheme);
+        rec.seuScrubInterval = cfg.seu.scrubInterval;
         rec.wallSeconds = wall.count();
         for (const ExperimentResult &r : results) {
             rec.totalCycles += r.run.cycles;

@@ -1,0 +1,204 @@
+/**
+ * @file
+ * Transient-fault (SEU) sweep: silent-corruption rate, detected
+ * uncorrectable events, execution time, and register-file energy for
+ * the four protection schemes (Unprotected / Ecc / Scrub / EccScrub),
+ * under both the compressed (Warped) and uncompressed (None) register
+ * file, over the full workload suite. A second section sweeps the
+ * scrub period at a fixed rate to expose the scrub-energy vs
+ * double-bit-loss tradeoff.
+ *
+ * Emits a deterministic JSON document on stdout — every field is a
+ * pure function of (seed, config), so fixed seeds give byte-identical
+ * output run over run and across --threads values (the CI determinism
+ * gate diffs two runs of this binary).
+ */
+
+#include <array>
+#include <iomanip>
+
+#include "bench_common.hpp"
+
+using namespace warpcomp;
+
+namespace {
+
+constexpr std::array<double, 4> kRates = {1e-5, 1e-4, 1e-3, 1e-2};
+constexpr std::array<SeuScheme, 4> kSchemes = {
+    SeuScheme::Unprotected, SeuScheme::Ecc, SeuScheme::Scrub,
+    SeuScheme::EccScrub};
+constexpr std::array<CompressionScheme, 2> kCompression = {
+    CompressionScheme::Warped, CompressionScheme::None};
+constexpr std::array<Cycle, 4> kScrubIntervals = {16, 64, 256, 1024};
+constexpr double kScrubSweepRate = 1e-3;
+
+/** Unprotected runs at high rates can livelock on corrupted loop
+ *  state; bound them so the sweep terminates (a tripped budget is
+ *  reported as hung, not silently dropped). */
+constexpr Cycle kHangBudget = 2'000'000;
+
+/** One sweep point aggregated over the workload suite. */
+struct SweepPoint
+{
+    ExperimentConfig cfg;
+    /** Index into the per-compression reference runs. */
+    std::size_t refIndex = 0;
+    SeuStats seu;
+    u64 unrecoverableAccesses = 0;  ///< from a composed stuck-at map
+    double relCycles = 1.0;         ///< geomean vs same-compression ref
+    double relEnergy = 1.0;         ///< suite energy vs that ref
+    u32 corruptedRuns = 0;          ///< runs with any silent corruption
+    u32 unschedulable = 0;
+    u32 hung = 0;
+};
+
+void
+printPoint(const SweepPoint &p, std::size_t workloads, bool last)
+{
+    std::cout << "    {\"rate\": " << std::scientific
+              << p.cfg.seu.flipsPerCycle << std::fixed
+              << ", \"scheme\": \"" << seuSchemeName(p.cfg.seu.scheme)
+              << "\", \"compression\": \"" << schemeName(p.cfg.scheme)
+              << "\", \"scrub_interval\": " << p.cfg.seu.scrubInterval
+              << ", \"corrupted_runs\": " << p.corruptedRuns
+              << ", \"corrupted_fraction\": "
+              << (workloads > 0
+                      ? static_cast<double>(p.corruptedRuns) /
+                            static_cast<double>(workloads)
+                      : 0.0)
+              << ", \"flips\": " << p.seu.flips
+              << ", \"live_hits\": " << p.seu.liveHits
+              << ", \"corrupted_reads\": " << p.seu.corruptedReads
+              << ", \"amplified_reads\": " << p.seu.amplifiedReads
+              << ", \"ecc_corrected\": " << p.seu.eccCorrectedReads
+              << ", \"detected_uncorrectable\": "
+              << p.seu.detectedUncorrectable
+              << ", \"scrub_writes\": " << p.seu.scrubWrites
+              << ", \"scrub_corrected\": " << p.seu.scrubCorrected
+              << ", \"unrecoverable_accesses\": " << p.unrecoverableAccesses
+              << ", \"rel_cycles\": " << p.relCycles
+              << ", \"rel_energy\": " << p.relEnergy
+              << ", \"unschedulable\": " << p.unschedulable
+              << ", \"hung\": " << p.hung << "}"
+              << (last ? "" : ",") << "\n";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const HarnessOptions opt = parseHarnessArgs(argc, argv);
+
+    ExperimentConfig base;
+    base.scale = opt.scale;
+    base.numSms = opt.numSms;
+    base.faults = opt.faults;       // compose with a stuck-at map if asked
+    base.faults.hangCycles = kHangBudget;
+    base.seu.seed = opt.seu.seed;
+
+    // Configs 0..1 are the SEU-free references per compression scheme;
+    // the rest is the rate x protection x compression cross product
+    // followed by the scrub-period sweep, all flattened onto one pool.
+    std::vector<ExperimentConfig> configs;
+    std::vector<std::size_t> ref_of;    // per sweep config (offset by 2)
+    for (CompressionScheme comp : kCompression) {
+        ExperimentConfig cfg = base;
+        cfg.scheme = comp;
+        configs.push_back(cfg);
+    }
+    for (std::size_t ci = 0; ci < kCompression.size(); ++ci) {
+        for (double rate : kRates) {
+            for (SeuScheme scheme : kSchemes) {
+                ExperimentConfig cfg = base;
+                cfg.scheme = kCompression[ci];
+                cfg.seu.flipsPerCycle = rate;
+                cfg.seu.scheme = scheme;
+                configs.push_back(cfg);
+                ref_of.push_back(ci);
+            }
+        }
+    }
+    const std::size_t scrub_begin = configs.size();
+    for (Cycle interval : kScrubIntervals) {
+        for (SeuScheme scheme : {SeuScheme::Scrub, SeuScheme::EccScrub}) {
+            ExperimentConfig cfg = base;
+            cfg.scheme = CompressionScheme::Warped;
+            cfg.seu.flipsPerCycle = kScrubSweepRate;
+            cfg.seu.scheme = scheme;
+            cfg.seu.scrubInterval = interval;
+            configs.push_back(cfg);
+            ref_of.push_back(0);
+        }
+    }
+
+    const std::vector<std::string> workloads = bench::selectedWorkloads(opt);
+    const auto grid = runGrid(configs, workloads, opt.threads);
+
+    std::array<double, 2> ref_energy_total{};
+    for (std::size_t ci = 0; ci < kCompression.size(); ++ci)
+        for (const ExperimentResult &r : grid[ci])
+            ref_energy_total[ci] += bench::totalEnergy(r, base.energy);
+
+    std::vector<SweepPoint> points;
+    for (std::size_t c = kCompression.size(); c < grid.size(); ++c) {
+        const auto &runs = grid[c];
+        const auto &ref = grid[ref_of[c - kCompression.size()]];
+        SweepPoint pt;
+        pt.cfg = configs[c];
+        pt.refIndex = ref_of[c - kCompression.size()];
+
+        std::vector<double> cyc_ratios;
+        double energy = 0.0;
+        double ref_energy = 0.0;
+        for (std::size_t w = 0; w < runs.size(); ++w) {
+            const RunResult &run = runs[w].run;
+            pt.seu.merge(run.seu);
+            pt.unrecoverableAccesses += run.fault.unrecoverableAccesses;
+            if (run.seu.corruptedReads > 0 || run.hung ||
+                run.fault.unrecoverableAccesses > 0)
+                ++pt.corruptedRuns;
+            if (run.unschedulable || run.hung) {
+                // No meaningful cycle/energy figure for a run that
+                // never launched or never finished.
+                pt.unschedulable += run.unschedulable ? 1 : 0;
+                pt.hung += run.hung ? 1 : 0;
+                continue;
+            }
+            cyc_ratios.push_back(static_cast<double>(run.cycles) /
+                                 static_cast<double>(ref[w].run.cycles));
+            energy += bench::totalEnergy(runs[w], base.energy);
+            ref_energy += bench::totalEnergy(ref[w], base.energy);
+        }
+        pt.relCycles = geomean(cyc_ratios);
+        pt.relEnergy = ref_energy > 0.0 ? energy / ref_energy : 0.0;
+        points.push_back(pt);
+    }
+    const std::size_t n_cross = scrub_begin - kCompression.size();
+
+    std::cout << std::setprecision(6) << std::fixed;
+    std::cout << "{\n";
+    std::cout << "  \"workloads\": " << workloads.size() << ",\n";
+    std::cout << "  \"sms\": " << opt.numSms << ",\n";
+    std::cout << "  \"seu_seed\": " << base.seu.seed << ",\n";
+    std::cout << "  \"fault_ber\": " << std::scientific << base.faults.ber
+              << std::fixed << ",\n";
+    std::cout << "  \"ecc_storage_overhead\": "
+              << base.energy.eccStorageOverhead << ",\n";
+    std::cout << "  \"baseline_energy_pj\": {";
+    for (std::size_t ci = 0; ci < kCompression.size(); ++ci)
+        std::cout << "\"" << schemeName(kCompression[ci])
+                  << "\": " << ref_energy_total[ci]
+                  << (ci + 1 < kCompression.size() ? ", " : "");
+    std::cout << "},\n";
+    std::cout << "  \"points\": [\n";
+    for (std::size_t i = 0; i < n_cross; ++i)
+        printPoint(points[i], workloads.size(), i + 1 == n_cross);
+    std::cout << "  ],\n";
+    std::cout << "  \"scrub_period_sweep\": [\n";
+    for (std::size_t i = n_cross; i < points.size(); ++i)
+        printPoint(points[i], workloads.size(), i + 1 == points.size());
+    std::cout << "  ]\n";
+    std::cout << "}\n";
+    return 0;
+}

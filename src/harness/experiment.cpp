@@ -2,6 +2,7 @@
 
 #include <chrono>
 #include <cmath>
+#include <cstdlib>
 #include <cstring>
 #include <optional>
 #include <utility>
@@ -32,6 +33,7 @@ makeGpuParams(const ExperimentConfig &cfg)
     gp.sm.regfile.drowsyAfterCycles = cfg.drowsyAfterCycles;
     gp.sm.rfcEntriesPerWarp = cfg.rfcEntries;
     gp.sm.faults = cfg.faults;
+    gp.sm.seu = cfg.seu;
     return gp;
 }
 
@@ -103,6 +105,28 @@ runGrid(const std::vector<ExperimentConfig> &configs,
     return grid;
 }
 
+namespace {
+
+/**
+ * Strict double parse over [spec, end): the whole span must be
+ * numeric and the value finite. atof-style parsing silently maps
+ * garbage to 0.0 and lets NaN through range checks (every comparison
+ * with NaN is false), so rates go through this instead.
+ */
+std::optional<double>
+parseRate(const char *spec, const char *end)
+{
+    if (spec == end)
+        return std::nullopt;
+    char *parsed = nullptr;
+    const double v = std::strtod(spec, &parsed);
+    if (parsed != end || !std::isfinite(v))
+        return std::nullopt;
+    return v;
+}
+
+} // namespace
+
 HarnessOptions
 parseHarnessArgs(int argc, char **argv)
 {
@@ -139,19 +163,48 @@ parseHarnessArgs(int argc, char **argv)
             if (comma == nullptr)
                 WC_FATAL("--faults wants BER,POLICY (e.g. "
                          "--faults=1e-4,CompressRemap)");
-            const double ber = std::atof(spec);
-            if (ber < 0.0 || ber >= 1.0)
-                WC_FATAL("--faults BER must be in [0, 1)");
+            const auto ber = parseRate(spec, comma);
+            if (!ber.has_value() || *ber < 0.0 || *ber >= 1.0)
+                WC_FATAL("--faults BER must be a finite value in "
+                         "[0, 1), got '"
+                         << std::string(spec, comma) << "'");
             const auto policy = faultPolicyFromName(comma + 1);
             if (!policy.has_value())
                 WC_FATAL("unknown fault policy '"
                          << (comma + 1)
                          << "' (None | DisableEntry | CompressRemap)");
-            opt.faults.ber = ber;
+            opt.faults.ber = *ber;
             opt.faults.policy = *policy;
         } else if (std::strncmp(arg, "--fault-seed=", 13) == 0) {
             opt.faults.seed =
                 std::strtoull(arg + 13, nullptr, 0);
+        } else if (std::strncmp(arg, "--seu=", 6) == 0) {
+            const char *spec = arg + 6;
+            const char *comma = std::strchr(spec, ',');
+            if (comma == nullptr)
+                WC_FATAL("--seu wants RATE,SCHEME (e.g. "
+                         "--seu=1e-4,EccScrub)");
+            const auto rate = parseRate(spec, comma);
+            if (!rate.has_value() || *rate < 0.0)
+                WC_FATAL("--seu rate must be a finite flips-per-cycle "
+                         "value >= 0, got '"
+                         << std::string(spec, comma) << "'");
+            const auto scheme = seuSchemeFromName(comma + 1);
+            if (!scheme.has_value())
+                WC_FATAL("unknown SEU scheme '"
+                         << (comma + 1)
+                         << "' (Unprotected | Ecc | Scrub | EccScrub)");
+            opt.seu.flipsPerCycle = *rate;
+            opt.seu.scheme = *scheme;
+        } else if (std::strncmp(arg, "--seu-seed=", 11) == 0) {
+            opt.seu.seed = std::strtoull(arg + 11, nullptr, 0);
+        } else if (std::strncmp(arg, "--seu-scrub=", 12) == 0) {
+            char *end = nullptr;
+            const u64 interval = std::strtoull(arg + 12, &end, 0);
+            if (end == arg + 12 || *end != '\0' || interval < 1)
+                WC_FATAL("--seu-scrub must be a cycle count >= 1, "
+                         "got '" << (arg + 12) << "'");
+            opt.seu.scrubInterval = interval;
         }
     }
     return opt;

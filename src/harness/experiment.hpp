@@ -50,6 +50,9 @@ struct ExperimentConfig
     /** Stuck-at fault injection (BER 0 = fault-free, bit-identical to
      *  a build without the subsystem). */
     FaultParams faults{};
+    /** Transient SEU injection (rate 0 = disabled, bit-identical to a
+     *  build without the subsystem); composes with `faults`. */
+    SeuParams seu{};
     EnergyParams energy{};
 };
 
@@ -111,10 +114,17 @@ struct HarnessOptions
     std::string benchName;
     /** Fault injection requested via --faults=BER,POLICY. */
     FaultParams faults{};
+    /** SEU injection requested via --seu=RATE,SCHEME. */
+    SeuParams seu{};
 };
 
-/** Parse --scale=N --sms=N --threads=N --only=name --json=FILE
- *  --faults=BER,POLICY --fault-seed=N; ignores unknown arguments. */
+/**
+ * Parse --scale=N --sms=N --threads=N --only=name --json=FILE
+ * --faults=BER,POLICY --fault-seed=N --seu=RATE,SCHEME --seu-seed=N
+ * --seu-scrub=CYCLES; ignores unknown arguments. Malformed values
+ * (non-numeric, NaN, negative rates, unknown policy/scheme names) are
+ * a one-line fatal error with nonzero exit, never a silent default.
+ */
 HarnessOptions parseHarnessArgs(int argc, char **argv);
 
 /**

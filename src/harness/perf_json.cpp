@@ -74,6 +74,17 @@ PerfRecorder::writeJson(std::ostream &os) const
         os << "      \"threads\": " << r.threads << ",\n";
         os << "      \"resolved_threads\": " << r.resolvedThreads << ",\n";
         os << "      \"seed_salt\": " << r.seedSalt << ",\n";
+        os << "      \"fault_ber\": " << std::scientific << r.faultBer
+           << std::fixed << ",\n";
+        os << "      \"fault_policy\": \"" << jsonEscape(r.faultPolicy)
+           << "\",\n";
+        os << "      \"fault_seed\": " << r.faultSeed << ",\n";
+        os << "      \"seu_rate\": " << std::scientific << r.seuRate
+           << std::fixed << ",\n";
+        os << "      \"seu_scheme\": \"" << jsonEscape(r.seuScheme)
+           << "\",\n";
+        os << "      \"seu_scrub_interval\": " << r.seuScrubInterval
+           << ",\n";
         os << "      \"wall_seconds\": " << r.wallSeconds << ",\n";
         os << "      \"total_cycles\": " << r.totalCycles << ",\n";
         os << "      \"workloads\": [\n";

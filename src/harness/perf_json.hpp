@@ -38,6 +38,15 @@ struct PerfSuiteRecord
     u32 resolvedThreads = 0;
     /** Input-RNG salt the suite ran under (see ExperimentConfig). */
     u64 seedSalt = 0;
+    /** Active fault/SEU configuration, so fault-sweep artifacts are
+     *  self-describing (all zero / "None" / "Unprotected" when the
+     *  suite ran fault-free). */
+    double faultBer = 0.0;
+    std::string faultPolicy = "None";
+    u64 faultSeed = 0;
+    double seuRate = 0.0;
+    std::string seuScheme = "Unprotected";
+    u64 seuScrubInterval = 0;
     double wallSeconds = 0.0;
     u64 totalCycles = 0;
     std::vector<PerfWorkloadRow> rows;

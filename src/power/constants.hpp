@@ -48,6 +48,15 @@ struct EnergyParams
     /** Fault-remap table lookup/update energy (pJ per remapped access;
      *  a small CAM/RAM beside the bank arbiter, RRCD-style). */
     double remapTablePj = 0.9;
+    /** SEC-DED check-bit encode energy per row write (pJ; XOR tree
+     *  over 1024 data bits producing 12 check bits). */
+    double eccEncodePj = 1.4;
+    /** SEC-DED syndrome decode + correct energy per row read (pJ). */
+    double eccDecodePj = 1.1;
+    /** Check-bit storage overhead of the SEC-DED baseline: 12 extra
+     *  bits per 1024-bit row, scaling bank access and leakage energy
+     *  when ECC is present (the array is that much wider). */
+    double eccStorageOverhead = 12.0 / 1024.0;
 
     /** Sec. 6.7 sweep: scale comp/decomp activation energy. */
     double compDecompScale = 1.0;
@@ -73,6 +82,7 @@ struct EnergyBreakdown
     double wireDynamicPj = 0;   ///< bank <-> collector wire energy
     double rfcDynamicPj = 0;    ///< register-file-cache accesses
     double faultRemapPj = 0;    ///< fault-remap table traffic
+    double eccPj = 0;           ///< SEC-DED encode/decode logic
     double compressionPj = 0;   ///< compressor activations
     double decompressionPj = 0; ///< decompressor activations
     double bankLeakagePj = 0;   ///< non-gated bank leakage
@@ -82,7 +92,7 @@ struct EnergyBreakdown
     dynamicPj() const
     {
         return bankDynamicPj + wireDynamicPj + rfcDynamicPj +
-            faultRemapPj;
+            faultRemapPj + eccPj;
     }
 
     double

@@ -16,7 +16,10 @@ EnergyMeter::merge(const EnergyMeter &other)
     bankWrites_ += other.bankWrites_;
     rfcAccesses_ += other.rfcAccesses_;
     remapAccesses_ += other.remapAccesses_;
+    eccEncodes_ += other.eccEncodes_;
+    eccDecodes_ += other.eccDecodes_;
     rfcPresent_ = rfcPresent_ || other.rfcPresent_;
+    eccPresent_ = eccPresent_ || other.eccPresent_;
     compActs_ += other.compActs_;
     decompActs_ += other.decompActs_;
     awakeBankCycles_ += other.awakeBankCycles_;
@@ -35,12 +38,22 @@ EnergyMeter::breakdownWith(const EnergyParams &p) const
 {
     EnergyBreakdown e;
 
+    // SEC-DED widens every bank row by its check bits: array access
+    // and leakage energy scale with the extra storage. The wires to
+    // the collector carry only data bits (syndrome logic sits at the
+    // bank port), so wire energy is unscaled.
+    const double bank_scale =
+        eccPresent_ ? 1.0 + p.eccStorageOverhead : 1.0;
+
     const double accesses = static_cast<double>(bankAccesses());
-    e.bankDynamicPj = accesses * p.bankAccessPj * p.accessScale;
+    e.bankDynamicPj = accesses * p.bankAccessPj * p.accessScale *
+        bank_scale;
     e.wireDynamicPj = accesses * p.wirePjPerBankTransfer() * p.accessScale;
 
     e.rfcDynamicPj = static_cast<double>(rfcAccesses_) * p.rfcAccessPj;
     e.faultRemapPj = static_cast<double>(remapAccesses_) * p.remapTablePj;
+    e.eccPj = static_cast<double>(eccEncodes_) * p.eccEncodePj +
+        static_cast<double>(eccDecodes_) * p.eccDecodePj;
 
     e.compressionPj = static_cast<double>(compActs_) * p.compPj *
         p.compDecompScale;
@@ -53,6 +66,7 @@ EnergyMeter::breakdownWith(const EnergyParams &p) const
         p.bankLeakMw * 1e9;
     e.bankLeakagePj += static_cast<double>(drowsyBankCycles_) * cycle_s *
         p.bankLeakMw * p.drowsyLeakFraction * 1e9;
+    e.bankLeakagePj *= bank_scale;
     double unit_leak_mw =
         static_cast<double>(numCompressors_) * p.compLeakMw +
         static_cast<double>(numDecompressors_) * p.decompLeakMw;

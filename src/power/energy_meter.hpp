@@ -33,6 +33,13 @@ class EnergyMeter
     void setRfcPresent(bool present) { rfcPresent_ = present; }
     /** Fault-remap table lookups/updates (CompressRemap policy). */
     void addRemapAccesses(u64 n) { remapAccesses_ += n; }
+    /** SEC-DED check-bit encodes (one per protected row write). */
+    void addEccEncodes(u64 n) { eccEncodes_ += n; }
+    /** SEC-DED syndrome decodes (one per protected row read). */
+    void addEccDecodes(u64 n) { eccDecodes_ += n; }
+    /** Mark SEC-DED present: check-bit storage widens the banks, so
+     *  bank access and leakage energy scale by eccStorageOverhead. */
+    void setEccPresent(bool present) { eccPresent_ = present; }
     void addCompActivations(u64 n) { compActs_ += n; }
     void addDecompActivations(u64 n) { decompActs_ += n; }
     /** Call once per simulated cycle with the number of non-gated banks. */
@@ -46,6 +53,9 @@ class EnergyMeter
     u64 bankAccesses() const { return bankReads_ + bankWrites_; }
     u64 rfcAccesses() const { return rfcAccesses_; }
     u64 remapAccesses() const { return remapAccesses_; }
+    u64 eccEncodes() const { return eccEncodes_; }
+    u64 eccDecodes() const { return eccDecodes_; }
+    bool eccPresent() const { return eccPresent_; }
     u64 compActivations() const { return compActs_; }
     u64 decompActivations() const { return decompActs_; }
     u64 awakeBankCycles() const { return awakeBankCycles_; }
@@ -75,7 +85,10 @@ class EnergyMeter
     u64 bankWrites_ = 0;
     u64 rfcAccesses_ = 0;
     u64 remapAccesses_ = 0;
+    u64 eccEncodes_ = 0;
+    u64 eccDecodes_ = 0;
     bool rfcPresent_ = false;
+    bool eccPresent_ = false;
     u64 compActs_ = 0;
     u64 decompActs_ = 0;
     u64 awakeBankCycles_ = 0;

@@ -7,7 +7,8 @@
 namespace warpcomp {
 
 RegisterFile::RegisterFile(const RegFileParams &params,
-                           const FaultParams &faults)
+                           const FaultParams &faults,
+                           const SeuParams &seu)
     : params_(params)
 {
     WC_ASSERT(params.numBanks % kBanksPerWarpReg == 0,
@@ -20,6 +21,8 @@ RegisterFile::RegisterFile(const RegFileParams &params,
                             params.wakeupLatency, params.gatingEnabled);
     }
     regs_.resize(params.totalWarpRegs());
+    if (seu.enabled())
+        seu_ = std::make_unique<SeuEngine>(*this, seu);
 
     const u32 total = params.totalWarpRegs();
     faultStats_.totalRegs = total;
@@ -151,6 +154,9 @@ void
 RegisterFile::releaseId(u32 id, Cycle now)
 {
     const RegSlot s = slotOf(id);
+    // Pending transient flips die with the row's content.
+    if (seu_ != nullptr && seu_->hasPending())
+        seu_->clearEntry(s.cluster, s.entry);
     // Valid entries of a register form a prefix of its bank stripe:
     // recordWrite sets banks [0, footprint) and clears the rest (all
     // 8 under validAtAlloc). Probing only the prefix makes teardown
@@ -303,6 +309,13 @@ RegisterFile::recordWrite(u32 warp_slot, u32 reg, const BdiEncoded &enc,
     const RegSlot s = slotOf(id);
     RegState &st = regs_[id];
 
+    // A write replaces the whole row (data and, in the ECC schemes,
+    // freshly encoded check bits): accumulated flips are gone. This is
+    // also what gives ECC its correct no-detection-if-overwritten
+    // semantics.
+    if (seu_ != nullptr && seu_->hasPending())
+        seu_->clearEntry(s.cluster, s.entry);
+
     const u32 old_banks = footprintBanks(id);
     const RangeIndicator ind = indicatorFor(enc);
     const u32 new_banks = params_.validAtAlloc ? kBanksPerWarpReg
@@ -372,6 +385,25 @@ RegisterFile::recordWrite(u32 warp_slot, u32 reg, const BdiEncoded &enc,
     a.bytes = enc.sizeBytes();
     a.remapped = remapped;
     return {ready, a};
+}
+
+RegisterFile::EntryExtent
+RegisterFile::entryExtent(u32 cluster, u32 entry) const
+{
+    const u32 id = entry * params_.numClusters() + cluster;
+    const RegState &st = regs_[id];
+    if (st.written)
+        return {indicatorBytes(st.ind),
+                st.ind != RangeIndicator::Uncompressed};
+    // Baseline (validAtAlloc): an allocated register exposes its full
+    // stripe from allocation on, written or not — the bank valid bit
+    // is the allocation witness. The compressed design only ever
+    // exposes written bytes, which is the cross-section shrinkage the
+    // SEU sweep measures.
+    if (params_.validAtAlloc &&
+        banks_[cluster * kBanksPerWarpReg].valid(entry))
+        return {kWarpRegBytes, false};
+    return {};
 }
 
 void

@@ -16,6 +16,7 @@
 #include "common/types.hpp"
 #include "compress/schemes.hpp"
 #include "fault/fault.hpp"
+#include "fault/seu.hpp"
 #include "regfile/bank.hpp"
 
 namespace warpcomp {
@@ -82,11 +83,36 @@ class RegisterFile
      * @param faults fault-injection configuration; when enabled, a
      *   deterministic FaultMap is generated from faults.seed and the
      *   configured tolerance policy governs allocation and writes
+     * @param seu transient-fault configuration; when enabled, a
+     *   deterministic SeuEngine accumulates per-cycle bit flips over
+     *   the live bank rows (see fault/seu.hpp)
      */
     explicit RegisterFile(const RegFileParams &params,
-                          const FaultParams &faults = {});
+                          const FaultParams &faults = {},
+                          const SeuParams &seu = {});
 
     const RegFileParams &params() const { return params_; }
+
+    /** The SEU engine, or nullptr when transient injection is disabled
+     *  (the null check is the hot-path fast path). */
+    SeuEngine *seu() { return seu_.get(); }
+    const SeuEngine *seu() const { return seu_.get(); }
+
+    /** Live stored bytes of one bank row, as the SEU process sees it. */
+    struct EntryExtent
+    {
+        u32 bytes = 0;          ///< 0: nothing stored (flips masked)
+        bool compressed = false;
+    };
+
+    /**
+     * Extent of row (cluster, entry): the stored byte count of the
+     * register living there (its compressed encoding, or the full 128
+     * bytes; under validAtAlloc an allocated-but-unwritten register
+     * already exposes the whole stripe), or 0 when the row holds
+     * nothing a flip could touch.
+     */
+    EntryExtent entryExtent(u32 cluster, u32 entry) const;
 
     /** The stuck-at fault map, or nullptr when injection is disabled
      *  (the null check is the hot-path fast path). */
@@ -216,6 +242,7 @@ class RegisterFile
     bool idAlloc_ = false;
     std::vector<u32> freeIds_;
     std::unique_ptr<FaultMap> faults_;
+    std::unique_ptr<SeuEngine> seu_;
     FaultPolicy faultPolicy_ = FaultPolicy::None;
     FaultStats faultStats_;
     u32 allocatedRegs_ = 0;

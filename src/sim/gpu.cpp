@@ -35,6 +35,9 @@ Gpu::run(const Kernel &kernel, const LaunchDims &dims,
         SmParams smp = params_.sm;
         if (smp.faults.enabled())
             smp.faults.seed = faultSeedForSm(params_.sm.faults.seed, i);
+        // Same salting for the transient flip stream.
+        if (smp.seu.enabled())
+            smp.seu.seed = seuSeedForSm(params_.sm.seu.seed, i);
         sms.push_back(std::make_unique<Sm>(
             smp, params_.energy, gmem_, cmem_, kernel, dims,
             collect_bdi_breakdown));
@@ -45,13 +48,15 @@ Gpu::run(const Kernel &kernel, const LaunchDims &dims,
     u32 stalled_cycles = 0;
     bool unschedulable = false;
     bool hung = false;
-    // Uncontained corruption (policy None) can livelock a kernel; cap
-    // such runs at the configured budget instead of the hard guard.
-    const Cycle hang_budget =
+    // Uncontained corruption — stuck-at policy None, or an SEU scheme
+    // without ECC — can livelock a kernel; cap such runs at the
+    // configured budget instead of the hard guard.
+    const bool silent_corruption =
         (params_.sm.faults.enabled() &&
-         params_.sm.faults.policy == FaultPolicy::None)
-            ? params_.sm.faults.hangCycles
-            : 0;
+         params_.sm.faults.policy == FaultPolicy::None) ||
+        (params_.sm.seu.enabled() && params_.sm.seu.canCorrupt());
+    const Cycle hang_budget =
+        silent_corruption ? params_.sm.faults.hangCycles : 0;
     while (true) {
         // Each SM may accept one new CTA per cycle. The launch carries
         // the current cycle: register allocation timestamps valid bits
@@ -108,6 +113,8 @@ Gpu::run(const Kernel &kernel, const LaunchDims &dims,
         result.rfcMisses += sm->rfc().misses();
         result.fault.merge(sm->regfile().faultStats());
         result.fault.unrecoverableAccesses += sm->unrecoverableAccesses();
+        if (const SeuEngine *e = sm->regfile().seu())
+            result.seu.merge(e->stats());
         for (u32 b = 0; b < num_banks; ++b) {
             result.bankGatedFraction[b] +=
                 static_cast<double>(sm->regfile().gatedCycles(b, now)) /

@@ -29,6 +29,8 @@ struct RunResult
     u64 rfcMisses = 0;              ///< register-file-cache misses
     /** Fault-injection census + traffic, merged over SMs. */
     FaultStats fault;
+    /** Transient-fault (SEU) counters, merged over SMs. */
+    SeuStats seu;
     /**
      * The grid could not finish: some CTA can never become resident
      * (e.g. DisableEntry removed too much register capacity). The
@@ -37,10 +39,11 @@ struct RunResult
      */
     bool unschedulable = false;
     /**
-     * The run exceeded FaultParams::hangCycles under uncontained fault
-     * injection (policy None): corruption livelocked a kernel — e.g. a
-     * stuck-at cell under a loop counter. Deterministic for a fixed
-     * seed, like every other fault outcome.
+     * The run exceeded FaultParams::hangCycles under uncontained
+     * corruption — stuck-at policy None, or an SEU scheme that can
+     * silently corrupt (Unprotected/Scrub): a flipped loop counter can
+     * livelock a kernel. Deterministic for a fixed seed, like every
+     * other fault outcome.
      */
     bool hung = false;
 

@@ -73,6 +73,13 @@ struct SmParams
      * independent deterministic stuck-at map.
      */
     FaultParams faults{};
+    /**
+     * Transient soft-error (SEU) injection (disabled by default). The
+     * GPU salts `seu.seed` per SM via seuSeedForSm so each SM draws an
+     * independent deterministic flip stream. Composes with `faults`:
+     * stuck-at cells and transient flips can both be active.
+     */
+    SeuParams seu{};
 
     /**
      * Make the register-file policy consistent with the compression

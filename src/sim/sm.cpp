@@ -50,7 +50,7 @@ Sm::Sm(const SmParams &params, const EnergyParams &energy,
        const LaunchDims &dims, bool collect_bdi_breakdown)
     : params_(params), kernel_(kernel), dims_(dims),
       collectBdi_(collect_bdi_breakdown),
-      rf_(params.regfile, params.faults),
+      rf_(params.regfile, params.faults, params.seu),
       rfc_(params.maxWarps, params.rfcEntriesPerWarp),
       scoreboard_(params.maxWarps),
       arbiter_(params.regfile.numBanks),
@@ -75,6 +75,14 @@ Sm::Sm(const SmParams &params, const EnergyParams &energy,
     if (rf_.faultMap() != nullptr &&
         rf_.faultPolicy() == FaultPolicy::None)
         fex_.enableFaultContainment();
+    // Same containment for transient flips that can silently reach
+    // architectural state (Unprotected / Scrub-only SEU schemes).
+    if (const SeuEngine *e = rf_.seu()) {
+        seuEcc_ = e->params().eccEnabled();
+        meter_.setEccPresent(seuEcc_);
+        if (e->params().canCorrupt())
+            fex_.enableFaultContainment();
+    }
     // Steady-state cycle loop is allocation-free: pre-size the exec
     // list to its bound (every in-flight op holds either an MSHR slot
     // or a collector-dispatched short-latency op) and the launch
@@ -180,6 +188,8 @@ void
 Sm::cycle(Cycle now)
 {
     arbiter_.newCycle();
+    if (SeuEngine *e = rf_.seu())
+        stepSeu(*e, now);
     stepWritebackAndExec(now);
     stepCollect(now);
     stepIssue(now);
@@ -187,6 +197,84 @@ Sm::cycle(Cycle now)
     const RegisterFile::BankActivity act = rf_.bankActivity(now);
     meter_.addAwakeBankCycles(act.active);
     meter_.addDrowsyBankCycles(act.drowsy);
+}
+
+void
+Sm::stepSeu(SeuEngine &seu, Cycle now)
+{
+    seu.sampleCycle(now);
+    const SeuEngine::ScrubVisit v = seu.scrubTick(now);
+    if (v.banks == 0)
+        return;
+    // The scrubber reads the live row and writes it back (re-encoding
+    // the check bits when ECC is present). It runs beside the arbiter
+    // on spare port cycles, so only energy is charged, not bandwidth.
+    for (u32 b = 0; b < v.banks; ++b) {
+        Bank &bank = rf_.bank(v.firstBank + b);
+        bank.noteRead(now);
+        bank.noteWrite(now);
+    }
+    meter_.addBankReads(v.banks);
+    meter_.addBankWrites(v.banks);
+    if (seuEcc_) {
+        meter_.addEccDecodes(1);
+        meter_.addEccEncodes(1);
+    }
+}
+
+void
+Sm::resolveSeuRead(SeuEngine &seu, u32 slot, u32 reg)
+{
+    const SeuEngine::ReadResolution res = seu.resolveRead(slot, reg);
+    if (!res.corrupt)
+        return;
+
+    // The banks hold no payload in this model — architectural values
+    // live in the warp context — so reconstruct the stored image by
+    // re-encoding the value exactly as the write path stored it, XOR
+    // the pending flips in, and decode back. A flipped byte inside a
+    // BDI base or delta corrupts every lane that chunk feeds: the
+    // amplification the paper's reliability tradeoff has to own.
+    Warp &w = warps_[slot];
+    const WarpRegValue before = w.reg(reg);
+    const auto img = toBytes(before);
+    WarpRegValue after;
+    bool amplified = false;
+    if (rf_.isCompressed(slot, reg)) {
+        BdiEncoded enc =
+            bdiCompress(img, schemeCandidates(params_.scheme));
+        // Flip positions were recorded against the stored extent; a
+        // position beyond the re-encoded size (possible only after
+        // composed stuck-at corruption changed compressibility) is
+        // dropped.
+        for (u32 i = 0; i < res.tracked; ++i) {
+            const u32 byte = res.pos[i] / 8;
+            if (byte < enc.sizeBytes())
+                enc.bytes[byte] ^=
+                    static_cast<u8>(1u << (res.pos[i] % 8));
+        }
+        after = fromBytes(bdiDecompress(enc));
+        amplified = enc.compressed;
+    } else {
+        auto raw = img;
+        for (u32 i = 0; i < res.tracked; ++i) {
+            const u32 byte = res.pos[i] / 8;
+            if (byte < raw.size())
+                raw[byte] ^=
+                    static_cast<u8>(1u << (res.pos[i] % 8));
+        }
+        after = fromBytes(raw);
+    }
+
+    u32 lanes = 0;
+    for (u32 l = 0; l < kWarpSize; ++l) {
+        if (after[l] != before[l])
+            ++lanes;
+    }
+    if (lanes == 0)
+        return;
+    w.reg(reg) = after;
+    seu.noteCorruption(lanes, amplified);
 }
 
 void
@@ -249,6 +337,8 @@ Sm::stepWritebackAndExec(Cycle now)
                 arbiter_.tryWriteRange(f.writeAcc.firstBank,
                                        f.writeAcc.numBanks)) {
                 meter_.addBankWrites(f.writeAcc.numBanks);
+                if (seuEcc_)
+                    meter_.addEccEncodes(1);
                 if (f.writeAcc.compressed)
                     ++stats_.writesStoredCompressed;
                 if (f.writeAcc.remapped)
@@ -313,6 +403,9 @@ Sm::stepCollect(Cycle now)
                 ++op.granted;
                 meter_.addBankReads(1);
                 rf_.bank(bank).noteRead(now);
+                // SEC-DED decode once per completed row fetch.
+                if (seuEcc_ && op.done())
+                    meter_.addEccDecodes(1);
             }
         }
         if (!f->collected()) {
@@ -434,6 +527,11 @@ Sm::issueDummyMov(u32 slot, u8 dst, Cycle now)
     (void)now;
     Warp &w = warps_[slot];
 
+    // The MOV reads dst's current value below; pending flips must land
+    // first so the decompress-MOV reads what the banks actually hold.
+    if (SeuEngine *e = rf_.seu(); e != nullptr && e->hasPending())
+        resolveSeuRead(*e, slot, dst);
+
     ++stats_.issued;
     ++stats_.dummyMovs;
 
@@ -506,6 +604,20 @@ Sm::issueFrom(u32 slot, Cycle now)
                 static_cast<double>(comp) / static_cast<double>(alloc);
             ++stats_.compressedFracSamples[phase];
         }
+    }
+
+    // Transient flips resolve at the read port: every register value
+    // the instruction consumes settles before the functional execute.
+    // A partial write also "reads" the inactive lanes of its
+    // destination (they retain the stored value), so pending flips
+    // there become architectural too.
+    if (SeuEngine *e = rf_.seu(); e != nullptr && e->hasPending()) {
+        const u32 nsrc = inst.numRegSources();
+        for (u32 i = 0; i < nsrc; ++i)
+            resolveSeuRead(*e, slot, inst.regSource(i));
+        if (inst.hasDst() && eff != 0 && eff != w.fullMask() &&
+            rf_.isWritten(slot, inst.dst))
+            resolveSeuRead(*e, slot, inst.dst);
     }
 
     Cta &cta = ctas_[w.ctaSlot()];

@@ -120,6 +120,11 @@ class Sm
     void stepWritebackAndExec(Cycle now);
     void stepCollect(Cycle now);
     void stepIssue(Cycle now);
+    /** Per-cycle SEU work: draw this cycle's flips, run the scrubber. */
+    void stepSeu(SeuEngine &seu, Cycle now);
+    /** Consume pending flips of (slot, reg) before its value is read,
+     *  committing corruption architecturally when unprotected. */
+    void resolveSeuRead(SeuEngine &seu, u32 slot, u32 reg);
     bool canIssueFrom(u32 slot) const;
     void issueFrom(u32 slot, Cycle now);
     void issueDummyMov(u32 slot, u8 dst, Cycle now);
@@ -158,6 +163,8 @@ class Sm
     u32 outstandingMem_ = 0;
     u64 ageCounter_ = 0;
     u64 ctasCompleted_ = 0;
+    /** Cached: SEC-DED active, so reads/writes charge decode/encode. */
+    bool seuEcc_ = false;
 
     EnergyMeter meter_;
     SimStats stats_;

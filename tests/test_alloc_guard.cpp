@@ -152,5 +152,33 @@ TEST(AllocGuard, SilentCorruptionPathIsAllocationFree)
         << "stuck-at corruption path allocated over 10000 cycles";
 }
 
+TEST(AllocGuard, SeuUnprotectedPathIsAllocationFree)
+{
+    // The SEU hot path — per-cycle flip sampling, pending bookkeeping,
+    // read resolution with re-encode/XOR/decode on corruption — runs
+    // entirely in preallocated fixed-size structures. A high rate makes
+    // the corrupt branch execute inside the measured window.
+    SmParams sp;
+    sp.applyScheme();
+    sp.seu.flipsPerCycle = 0.05;
+    sp.seu.scheme = SeuScheme::Unprotected;
+    EXPECT_EQ(measureSteadyState(sp), 0u)
+        << "SEU corruption path allocated over 10000 cycles";
+}
+
+TEST(AllocGuard, SeuEccScrubPathIsAllocationFree)
+{
+    // ECC resolution plus the background scrubber (one row visit every
+    // scrubInterval cycles, rewriting live rows) must also stay
+    // allocation-free in steady state.
+    SmParams sp;
+    sp.applyScheme();
+    sp.seu.flipsPerCycle = 0.05;
+    sp.seu.scheme = SeuScheme::EccScrub;
+    sp.seu.scrubInterval = 16;
+    EXPECT_EQ(measureSteadyState(sp), 0u)
+        << "SEU ECC+scrub path allocated over 10000 cycles";
+}
+
 } // namespace
 } // namespace warpcomp

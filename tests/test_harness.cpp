@@ -6,10 +6,21 @@
 
 #include <gtest/gtest.h>
 
+#include <sstream>
+
 #include "harness/experiment.hpp"
+#include "harness/perf_json.hpp"
 
 namespace warpcomp {
 namespace {
+
+/** Run parseHarnessArgs on one flag (death-test helper). */
+HarnessOptions
+parseOne(const char *flag)
+{
+    const char *argv[] = {"bench", flag};
+    return parseHarnessArgs(2, const_cast<char **>(argv));
+}
 
 TEST(Harness, SchemeAppliesRegFilePolicy)
 {
@@ -56,6 +67,92 @@ TEST(Harness, ArgDefaults)
     EXPECT_EQ(opt.numSms, 15u);
     EXPECT_EQ(opt.threads, 0u);     // 0 = auto (hardware concurrency)
     EXPECT_TRUE(opt.only.empty());
+}
+
+TEST(Harness, FaultAndSeuArgsParse)
+{
+    const char *argv[] = {"bench", "--faults=1e-3,CompressRemap",
+                          "--fault-seed=11", "--seu=2.5e-4,EccScrub",
+                          "--seu-seed=7", "--seu-scrub=128"};
+    const HarnessOptions opt =
+        parseHarnessArgs(6, const_cast<char **>(argv));
+    EXPECT_DOUBLE_EQ(opt.faults.ber, 1e-3);
+    EXPECT_EQ(opt.faults.policy, FaultPolicy::CompressRemap);
+    EXPECT_EQ(opt.faults.seed, 11u);
+    EXPECT_DOUBLE_EQ(opt.seu.flipsPerCycle, 2.5e-4);
+    EXPECT_EQ(opt.seu.scheme, SeuScheme::EccScrub);
+    EXPECT_EQ(opt.seu.seed, 7u);
+    EXPECT_EQ(opt.seu.scrubInterval, 128u);
+}
+
+TEST(HarnessDeathTest, MalformedFaultSpecsExitNonzero)
+{
+    // Malformed rates must be a one-line fatal error with nonzero
+    // exit — never a silent atof-style default. NaN in particular
+    // sails through naive range checks (every comparison is false).
+    EXPECT_EXIT(parseOne("--faults=1e-4"),
+                ::testing::ExitedWithCode(1), "wants BER,POLICY");
+    EXPECT_EXIT(parseOne("--faults=abc,None"),
+                ::testing::ExitedWithCode(1), "must be a finite value");
+    EXPECT_EXIT(parseOne("--faults=nan,None"),
+                ::testing::ExitedWithCode(1), "must be a finite value");
+    EXPECT_EXIT(parseOne("--faults=-0.5,None"),
+                ::testing::ExitedWithCode(1), "must be a finite value");
+    EXPECT_EXIT(parseOne("--faults=1.5,None"),
+                ::testing::ExitedWithCode(1), "must be a finite value");
+    EXPECT_EXIT(parseOne("--faults=1e-4,Bogus"),
+                ::testing::ExitedWithCode(1), "unknown fault policy");
+}
+
+TEST(HarnessDeathTest, MalformedSeuSpecsExitNonzero)
+{
+    EXPECT_EXIT(parseOne("--seu=1e-4"),
+                ::testing::ExitedWithCode(1), "wants RATE,SCHEME");
+    EXPECT_EXIT(parseOne("--seu=abc,Ecc"),
+                ::testing::ExitedWithCode(1), "finite flips-per-cycle");
+    EXPECT_EXIT(parseOne("--seu=nan,Scrub"),
+                ::testing::ExitedWithCode(1), "finite flips-per-cycle");
+    EXPECT_EXIT(parseOne("--seu=inf,Ecc"),
+                ::testing::ExitedWithCode(1), "finite flips-per-cycle");
+    EXPECT_EXIT(parseOne("--seu=-1,Ecc"),
+                ::testing::ExitedWithCode(1), "finite flips-per-cycle");
+    EXPECT_EXIT(parseOne("--seu=1e-4,Bogus"),
+                ::testing::ExitedWithCode(1), "unknown SEU scheme");
+    EXPECT_EXIT(parseOne("--seu-scrub=0"),
+                ::testing::ExitedWithCode(1), "cycle count >= 1");
+    EXPECT_EXIT(parseOne("--seu-scrub=12abc"),
+                ::testing::ExitedWithCode(1), "cycle count >= 1");
+}
+
+TEST(Harness, PerfJsonRecordsFaultAndSeuConfig)
+{
+    // Sweep artifacts must be self-describing: the active fault/SEU
+    // configuration rides along in every suite record.
+    PerfRecorder rec;
+    rec.setOutput("bench_test", "/dev/null");
+    PerfSuiteRecord suite;
+    suite.label = "seu point";
+    suite.faultBer = 1e-3;
+    suite.faultPolicy = "CompressRemap";
+    suite.faultSeed = 11;
+    suite.seuRate = 2.5e-4;
+    suite.seuScheme = "EccScrub";
+    suite.seuScrubInterval = 128;
+    rec.addSuite(std::move(suite));
+    std::ostringstream os;
+    rec.writeJson(os);
+    const std::string json = os.str();
+    EXPECT_NE(json.find("\"fault_ber\": 1.000000e-03"),
+              std::string::npos);
+    EXPECT_NE(json.find("\"fault_policy\": \"CompressRemap\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"fault_seed\": 11"), std::string::npos);
+    EXPECT_NE(json.find("\"seu_rate\": 2.500000e-04"),
+              std::string::npos);
+    EXPECT_NE(json.find("\"seu_scheme\": \"EccScrub\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"seu_scrub_interval\": 128"),
+              std::string::npos);
 }
 
 TEST(Harness, Means)
