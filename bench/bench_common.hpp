@@ -9,13 +9,17 @@
 #define WARPCOMP_BENCH_BENCH_COMMON_HPP
 
 #include <chrono>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
 
+#include "common/log.hpp"
 #include "harness/experiment.hpp"
 #include "harness/perf_json.hpp"
 #include "harness/thread_pool.hpp"
+#include "obs/chrome_trace.hpp"
+#include "obs/stats_json.hpp"
 #include "power/report.hpp"
 
 namespace warpcomp {
@@ -38,6 +42,12 @@ selectedWorkloads(const HarnessOptions &opt)
  * Every call is wall-clock timed; with --json=FILE the run is appended
  * to the process perf record flushed at exit (see PerfRecorder). @p
  * label names the suite in that record ("suite N" when omitted).
+ *
+ * Observability: --stats-json=FILE arms the StatsRecorder (every suite
+ * is recorded, flushed at exit); --trace=FILE writes a Chrome trace of
+ * the FIRST suite the process runs and requires --only so the file
+ * holds exactly one workload's lanes. Both enable windowed counters at
+ * the --trace-window interval.
  */
 inline std::vector<ExperimentResult>
 runSelected(const HarnessOptions &opt, ExperimentConfig cfg,
@@ -51,6 +61,27 @@ runSelected(const HarnessOptions &opt, ExperimentConfig cfg,
         cfg.seu = opt.seu;
     if (!opt.jsonPath.empty())
         perfRecorder().setOutput(opt.benchName, opt.jsonPath);
+    if (!opt.statsJsonPath.empty())
+        statsRecorder().setOutput(opt.benchName, opt.statsJsonPath);
+
+    static u32 suite_counter = 0;
+    ++suite_counter;
+    const std::string suite_label = label.empty()
+        ? "suite " + std::to_string(suite_counter) : std::move(label);
+
+    if (!opt.tracePath.empty() || !opt.statsJsonPath.empty())
+        cfg.obs.windowInterval = opt.traceWindow;
+    static bool trace_taken = false;
+    const bool trace_this = !opt.tracePath.empty() && !trace_taken;
+    if (trace_this) {
+        trace_taken = true;
+        if (opt.only.empty())
+            WC_FATAL("--trace requires --only=WORKLOAD (one trace file "
+                     "holds one workload's warp/bank lanes)");
+        cfg.obs.trace = true;
+        cfg.obs.traceStart = opt.traceStart;
+        cfg.obs.traceEnd = opt.traceEnd;
+    }
 
     const auto t0 = std::chrono::steady_clock::now();
     auto results =
@@ -58,12 +89,34 @@ runSelected(const HarnessOptions &opt, ExperimentConfig cfg,
     const std::chrono::duration<double> wall =
         std::chrono::steady_clock::now() - t0;
 
+    if (trace_this && !results.empty() &&
+        results.front().run.obs != nullptr) {
+        ChromeTraceMeta meta;
+        meta.workload = results.front().workload;
+        meta.config = suite_label;
+        meta.numSms = cfg.numSms;
+        meta.numBanks = makeGpuParams(cfg).sm.regfile.numBanks;
+        meta.cycles = results.front().run.cycles;
+        std::ofstream os(opt.tracePath);
+        if (!os)
+            WC_FATAL("cannot write trace to '" << opt.tracePath << "'");
+        writeChromeTrace(os, *results.front().run.obs, meta);
+    }
+
+    if (statsRecorder().enabled()) {
+        StatsSuiteRecord rec;
+        rec.label = suite_label;
+        rec.numSms = cfg.numSms;
+        rec.scale = cfg.scale;
+        rec.seedSalt = cfg.seedSalt;
+        for (const ExperimentResult &r : results)
+            rec.rows.push_back({r.workload, r.run});
+        statsRecorder().addSuite(std::move(rec));
+    }
+
     if (perfRecorder().enabled()) {
-        static u32 suite_counter = 0;
-        ++suite_counter;
         PerfSuiteRecord rec;
-        rec.label = label.empty()
-            ? "suite " + std::to_string(suite_counter) : std::move(label);
+        rec.label = suite_label;
         rec.threads = opt.threads;
         rec.resolvedThreads = resolveThreadCount(opt.threads);
         rec.seedSalt = cfg.seedSalt;

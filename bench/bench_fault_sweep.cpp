@@ -9,9 +9,9 @@
  */
 
 #include <array>
-#include <iomanip>
 
 #include "bench_common.hpp"
+#include "common/json_writer.hpp"
 
 using namespace warpcomp;
 
@@ -111,32 +111,31 @@ main(int argc, char **argv)
         points.push_back(pt);
     }
 
-    std::cout << std::setprecision(6) << std::fixed;
-    std::cout << "{\n";
-    std::cout << "  \"workloads\": " << workloads.size() << ",\n";
-    std::cout << "  \"sms\": " << opt.numSms << ",\n";
-    std::cout << "  \"fault_seed\": " << opt.faults.seed << ",\n";
-    std::cout << "  \"baseline_energy_pj\": " << ref_energy_total << ",\n";
-    std::cout << "  \"points\": [\n";
-    for (std::size_t i = 0; i < points.size(); ++i) {
-        const SweepPoint &p = points[i];
-        std::cout << "    {\"ber\": " << std::scientific << p.ber
-                  << std::fixed
-                  << ", \"policy\": \"" << faultPolicyName(p.policy)
-                  << "\", \"usable_capacity\": " << p.usableCapacity
-                  << ", \"rel_cycles\": " << p.relCycles
-                  << ", \"rel_energy\": " << p.relEnergy
-                  << ", \"tolerated_writes\": " << p.toleratedWrites
-                  << ", \"remap_writes\": " << p.remapWrites
-                  << ", \"remap_reads\": " << p.remapReads
-                  << ", \"corrupted_writes\": " << p.corruptedWrites
-                  << ", \"unrecoverable_accesses\": "
-                  << p.unrecoverableAccesses
-                  << ", \"unschedulable\": " << p.unschedulable
-                  << ", \"hung\": " << p.hung << "}"
-                  << (i + 1 < points.size() ? "," : "") << "\n";
+    JsonWriter w(std::cout);
+    w.beginObject();
+    w.field("workloads", static_cast<u64>(workloads.size()));
+    w.field("sms", opt.numSms);
+    w.field("fault_seed", opt.faults.seed);
+    w.field("baseline_energy_pj", ref_energy_total);
+    w.key("points");
+    w.beginArray();
+    for (const SweepPoint &p : points) {
+        w.beginObject();
+        w.field("ber", p.ber);
+        w.field("policy", faultPolicyName(p.policy));
+        w.field("usable_capacity", p.usableCapacity);
+        w.field("rel_cycles", p.relCycles);
+        w.field("rel_energy", p.relEnergy);
+        w.field("tolerated_writes", p.toleratedWrites);
+        w.field("remap_writes", p.remapWrites);
+        w.field("remap_reads", p.remapReads);
+        w.field("corrupted_writes", p.corruptedWrites);
+        w.field("unrecoverable_accesses", p.unrecoverableAccesses);
+        w.field("unschedulable", p.unschedulable);
+        w.field("hung", p.hung);
+        w.endObject();
     }
-    std::cout << "  ]\n";
-    std::cout << "}\n";
+    w.endArray();
+    w.endObject();
     return 0;
 }

@@ -15,9 +15,9 @@
  */
 
 #include <array>
-#include <iomanip>
 
 #include "bench_common.hpp"
+#include "common/json_writer.hpp"
 
 using namespace warpcomp;
 
@@ -53,34 +53,32 @@ struct SweepPoint
 };
 
 void
-printPoint(const SweepPoint &p, std::size_t workloads, bool last)
+writePoint(JsonWriter &w, const SweepPoint &p, std::size_t workloads)
 {
-    std::cout << "    {\"rate\": " << std::scientific
-              << p.cfg.seu.flipsPerCycle << std::fixed
-              << ", \"scheme\": \"" << seuSchemeName(p.cfg.seu.scheme)
-              << "\", \"compression\": \"" << schemeName(p.cfg.scheme)
-              << "\", \"scrub_interval\": " << p.cfg.seu.scrubInterval
-              << ", \"corrupted_runs\": " << p.corruptedRuns
-              << ", \"corrupted_fraction\": "
-              << (workloads > 0
-                      ? static_cast<double>(p.corruptedRuns) /
-                            static_cast<double>(workloads)
-                      : 0.0)
-              << ", \"flips\": " << p.seu.flips
-              << ", \"live_hits\": " << p.seu.liveHits
-              << ", \"corrupted_reads\": " << p.seu.corruptedReads
-              << ", \"amplified_reads\": " << p.seu.amplifiedReads
-              << ", \"ecc_corrected\": " << p.seu.eccCorrectedReads
-              << ", \"detected_uncorrectable\": "
-              << p.seu.detectedUncorrectable
-              << ", \"scrub_writes\": " << p.seu.scrubWrites
-              << ", \"scrub_corrected\": " << p.seu.scrubCorrected
-              << ", \"unrecoverable_accesses\": " << p.unrecoverableAccesses
-              << ", \"rel_cycles\": " << p.relCycles
-              << ", \"rel_energy\": " << p.relEnergy
-              << ", \"unschedulable\": " << p.unschedulable
-              << ", \"hung\": " << p.hung << "}"
-              << (last ? "" : ",") << "\n";
+    w.beginObject();
+    w.field("rate", p.cfg.seu.flipsPerCycle);
+    w.field("scheme", seuSchemeName(p.cfg.seu.scheme));
+    w.field("compression", schemeName(p.cfg.scheme));
+    w.field("scrub_interval", p.cfg.seu.scrubInterval);
+    w.field("corrupted_runs", p.corruptedRuns);
+    w.field("corrupted_fraction",
+            workloads > 0 ? static_cast<double>(p.corruptedRuns) /
+                                static_cast<double>(workloads)
+                          : 0.0);
+    w.field("flips", p.seu.flips);
+    w.field("live_hits", p.seu.liveHits);
+    w.field("corrupted_reads", p.seu.corruptedReads);
+    w.field("amplified_reads", p.seu.amplifiedReads);
+    w.field("ecc_corrected", p.seu.eccCorrectedReads);
+    w.field("detected_uncorrectable", p.seu.detectedUncorrectable);
+    w.field("scrub_writes", p.seu.scrubWrites);
+    w.field("scrub_corrected", p.seu.scrubCorrected);
+    w.field("unrecoverable_accesses", p.unrecoverableAccesses);
+    w.field("rel_cycles", p.relCycles);
+    w.field("rel_energy", p.relEnergy);
+    w.field("unschedulable", p.unschedulable);
+    w.field("hung", p.hung);
+    w.endObject();
 }
 
 } // namespace
@@ -176,29 +174,28 @@ main(int argc, char **argv)
     }
     const std::size_t n_cross = scrub_begin - kCompression.size();
 
-    std::cout << std::setprecision(6) << std::fixed;
-    std::cout << "{\n";
-    std::cout << "  \"workloads\": " << workloads.size() << ",\n";
-    std::cout << "  \"sms\": " << opt.numSms << ",\n";
-    std::cout << "  \"seu_seed\": " << base.seu.seed << ",\n";
-    std::cout << "  \"fault_ber\": " << std::scientific << base.faults.ber
-              << std::fixed << ",\n";
-    std::cout << "  \"ecc_storage_overhead\": "
-              << base.energy.eccStorageOverhead << ",\n";
-    std::cout << "  \"baseline_energy_pj\": {";
+    JsonWriter w(std::cout);
+    w.beginObject();
+    w.field("workloads", static_cast<u64>(workloads.size()));
+    w.field("sms", opt.numSms);
+    w.field("seu_seed", base.seu.seed);
+    w.field("fault_ber", base.faults.ber);
+    w.field("ecc_storage_overhead", base.energy.eccStorageOverhead);
+    w.key("baseline_energy_pj");
+    w.beginObject();
     for (std::size_t ci = 0; ci < kCompression.size(); ++ci)
-        std::cout << "\"" << schemeName(kCompression[ci])
-                  << "\": " << ref_energy_total[ci]
-                  << (ci + 1 < kCompression.size() ? ", " : "");
-    std::cout << "},\n";
-    std::cout << "  \"points\": [\n";
+        w.field(schemeName(kCompression[ci]), ref_energy_total[ci]);
+    w.endObject();
+    w.key("points");
+    w.beginArray();
     for (std::size_t i = 0; i < n_cross; ++i)
-        printPoint(points[i], workloads.size(), i + 1 == n_cross);
-    std::cout << "  ],\n";
-    std::cout << "  \"scrub_period_sweep\": [\n";
+        writePoint(w, points[i], workloads.size());
+    w.endArray();
+    w.key("scrub_period_sweep");
+    w.beginArray();
     for (std::size_t i = n_cross; i < points.size(); ++i)
-        printPoint(points[i], workloads.size(), i + 1 == points.size());
-    std::cout << "  ]\n";
-    std::cout << "}\n";
+        writePoint(w, points[i], workloads.size());
+    w.endArray();
+    w.endObject();
     return 0;
 }

@@ -1,0 +1,181 @@
+#include "common/json_writer.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/log.hpp"
+
+namespace warpcomp {
+
+std::string
+JsonWriter::escape(std::string_view s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(c)));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+std::string
+JsonWriter::formatDouble(double v)
+{
+    if (!std::isfinite(v))
+        return "null";
+    char buf[40];
+    std::snprintf(buf, sizeof buf, "%.12g", v);
+    return buf;
+}
+
+void
+JsonWriter::newlineIndent()
+{
+    os_ << '\n';
+    for (std::size_t i = 0; i < stack_.size(); ++i)
+        os_ << "  ";
+}
+
+void
+JsonWriter::beforeValue()
+{
+    if (stack_.empty())
+        return;
+    if (stack_.back() == Ctx::Object) {
+        WC_ASSERT(pendingKey_, "JSON object value without a key");
+        pendingKey_ = false;
+        return;
+    }
+    if (counts_.back() > 0)
+        os_ << ',';
+    newlineIndent();
+    ++counts_.back();
+}
+
+void
+JsonWriter::key(std::string_view k)
+{
+    WC_ASSERT(!stack_.empty() && stack_.back() == Ctx::Object,
+              "JSON key outside an object");
+    WC_ASSERT(!pendingKey_, "two JSON keys in a row");
+    if (counts_.back() > 0)
+        os_ << ',';
+    newlineIndent();
+    ++counts_.back();
+    os_ << '"' << escape(k) << "\": ";
+    pendingKey_ = true;
+}
+
+void
+JsonWriter::beginObject()
+{
+    beforeValue();
+    os_ << '{';
+    stack_.push_back(Ctx::Object);
+    counts_.push_back(0);
+}
+
+void
+JsonWriter::endObject()
+{
+    WC_ASSERT(!stack_.empty() && stack_.back() == Ctx::Object,
+              "unbalanced endObject");
+    const bool empty = counts_.back() == 0;
+    stack_.pop_back();
+    counts_.pop_back();
+    if (!empty) {
+        os_ << '\n';
+        for (std::size_t i = 0; i < stack_.size(); ++i)
+            os_ << "  ";
+    }
+    os_ << '}';
+    if (stack_.empty())
+        os_ << '\n';
+}
+
+void
+JsonWriter::beginArray()
+{
+    beforeValue();
+    os_ << '[';
+    stack_.push_back(Ctx::Array);
+    counts_.push_back(0);
+}
+
+void
+JsonWriter::endArray()
+{
+    WC_ASSERT(!stack_.empty() && stack_.back() == Ctx::Array,
+              "unbalanced endArray");
+    const bool empty = counts_.back() == 0;
+    stack_.pop_back();
+    counts_.pop_back();
+    if (!empty) {
+        os_ << '\n';
+        for (std::size_t i = 0; i < stack_.size(); ++i)
+            os_ << "  ";
+    }
+    os_ << ']';
+    if (stack_.empty())
+        os_ << '\n';
+}
+
+void
+JsonWriter::value(std::string_view v)
+{
+    beforeValue();
+    os_ << '"' << escape(v) << '"';
+}
+
+void
+JsonWriter::value(bool v)
+{
+    beforeValue();
+    os_ << (v ? "true" : "false");
+}
+
+void
+JsonWriter::value(double v)
+{
+    beforeValue();
+    os_ << formatDouble(v);
+}
+
+void
+JsonWriter::value(u64 v)
+{
+    beforeValue();
+    os_ << v;
+}
+
+void
+JsonWriter::value(i64 v)
+{
+    beforeValue();
+    os_ << v;
+}
+
+void
+JsonWriter::valueNull()
+{
+    beforeValue();
+    os_ << "null";
+}
+
+} // namespace warpcomp

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Streaming JSON writer shared by every machine-readable output path
+ * (perf records, sweep benches, the structured-stats dump, and the
+ * Chrome trace exporter). Centralizes string escaping and stable float
+ * formatting so all documents are deterministic byte-for-byte given the
+ * same data, regardless of which binary produced them.
+ */
+
+#ifndef WARPCOMP_COMMON_JSON_WRITER_HPP
+#define WARPCOMP_COMMON_JSON_WRITER_HPP
+
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace warpcomp {
+
+/**
+ * Minimal structural JSON emitter. Call begin/end for containers,
+ * key() inside objects, value() for leaves; commas and newlines are
+ * inserted automatically. Layout is fixed: containers indent by two
+ * spaces per level, one element per line, so output is both diffable
+ * and byte-stable across runs.
+ */
+class JsonWriter
+{
+  public:
+    explicit JsonWriter(std::ostream &os) : os_(os) {}
+
+    void beginObject();
+    void endObject();
+    void beginArray();
+    void endArray();
+
+    /** Object member key; must be followed by a value or container. */
+    void key(std::string_view k);
+
+    void value(std::string_view v);
+    void value(const char *v) { value(std::string_view(v)); }
+    void value(const std::string &v) { value(std::string_view(v)); }
+    void value(bool v);
+    void value(double v);
+    void value(u64 v);
+    void value(u32 v) { value(static_cast<u64>(v)); }
+    void value(u16 v) { value(static_cast<u64>(v)); }
+    void value(i64 v);
+    void value(i32 v) { value(static_cast<i64>(v)); }
+    /** JSON null (also what non-finite doubles degrade to). */
+    void valueNull();
+
+    /** key + value in one call. */
+    template <typename T>
+    void
+    field(std::string_view k, T v)
+    {
+        key(k);
+        value(v);
+    }
+
+    /** Escape one string body (no surrounding quotes). */
+    static std::string escape(std::string_view s);
+
+    /**
+     * Stable float formatting: shortest fixed/scientific form with up
+     * to 12 significant digits ("%.12g"), identical run over run for
+     * the same bits. Non-finite values (JSON has no NaN/Inf) render as
+     * null.
+     */
+    static std::string formatDouble(double v);
+
+  private:
+    enum class Ctx : u8 { Object, Array };
+
+    void beforeValue();
+    void newlineIndent();
+
+    std::ostream &os_;
+    std::vector<Ctx> stack_;
+    /** Elements already emitted at each open level. */
+    std::vector<u32> counts_;
+    bool pendingKey_ = false;
+};
+
+} // namespace warpcomp
+
+#endif // WARPCOMP_COMMON_JSON_WRITER_HPP

@@ -14,15 +14,17 @@ StatGroup::dump(std::ostream &os) const
 void
 Histogram::add(std::size_t bin, u64 v)
 {
-    WC_ASSERT(bin < bins_.size(), "histogram bin " << bin << " out of "
-              << bins_.size());
+    if (bin >= bins_.size()) {
+        overflow_ += v;
+        return;
+    }
     bins_[bin] += v;
 }
 
 u64
 Histogram::total() const
 {
-    u64 sum = 0;
+    u64 sum = overflow_;
     for (u64 b : bins_)
         sum += b;
     return sum;
@@ -41,6 +43,7 @@ Histogram::reset()
 {
     for (u64 &b : bins_)
         b = 0;
+    overflow_ = 0;
 }
 
 } // namespace warpcomp

@@ -68,6 +68,13 @@ class StatGroup
 
     const std::string &name() const { return name_; }
 
+    /** All counters, sorted by name (map order) — serialization walks
+     *  this so dumps are deterministic. */
+    const std::map<std::string, Counter> &counters() const
+    {
+        return counters_;
+    }
+
   private:
     std::string name_;
     std::map<std::string, Counter> counters_;
@@ -75,7 +82,9 @@ class StatGroup
 
 /**
  * Fixed-bin histogram for distributions such as the per-bank gated-cycle
- * counts and value-similarity bins.
+ * counts and value-similarity bins. Adds past the last bin saturate into
+ * a dedicated overflow bin instead of failing, so a histogram sized for
+ * the expected range survives an outlier sample and still reports it.
  */
 class Histogram
 {
@@ -86,6 +95,9 @@ class Histogram
 
     u64 bin(std::size_t i) const { return bins_.at(i); }
     std::size_t size() const { return bins_.size(); }
+    /** Samples that landed past the last bin. */
+    u64 overflow() const { return overflow_; }
+    /** Sum over all bins, including the overflow bin. */
     u64 total() const;
     /** Bin value as a fraction of the histogram total (0 when empty). */
     double fraction(std::size_t i) const;
@@ -93,6 +105,7 @@ class Histogram
 
   private:
     std::vector<u64> bins_;
+    u64 overflow_ = 0;
 };
 
 } // namespace warpcomp

@@ -34,6 +34,7 @@ makeGpuParams(const ExperimentConfig &cfg)
     gp.sm.rfcEntriesPerWarp = cfg.rfcEntries;
     gp.sm.faults = cfg.faults;
     gp.sm.seu = cfg.seu;
+    gp.obs = cfg.obs;
     return gp;
 }
 
@@ -205,6 +206,43 @@ parseHarnessArgs(int argc, char **argv)
                 WC_FATAL("--seu-scrub must be a cycle count >= 1, "
                          "got '" << (arg + 12) << "'");
             opt.seu.scrubInterval = interval;
+        } else if (std::strncmp(arg, "--trace=", 8) == 0) {
+            const char *spec = arg + 8;
+            const char *comma = std::strchr(spec, ',');
+            if (comma == nullptr) {
+                opt.tracePath = spec;
+            } else {
+                opt.tracePath.assign(spec, comma);
+                const char *start_spec = comma + 1;
+                const char *comma2 = std::strchr(start_spec, ',');
+                char *end = nullptr;
+                if (comma2 == nullptr)
+                    WC_FATAL("--trace wants FILE or FILE,START,END "
+                             "(e.g. --trace=t.json,1000,5000)");
+                opt.traceStart = std::strtoull(start_spec, &end, 0);
+                if (end != comma2)
+                    WC_FATAL("--trace START must be a cycle count, "
+                             "got '" << std::string(start_spec, comma2)
+                             << "'");
+                opt.traceEnd = std::strtoull(comma2 + 1, &end, 0);
+                if (end == comma2 + 1 || *end != '\0' ||
+                    opt.traceEnd <= opt.traceStart)
+                    WC_FATAL("--trace END must be a cycle count > "
+                             "START, got '" << (comma2 + 1) << "'");
+            }
+            if (opt.tracePath.empty())
+                WC_FATAL("--trace needs a file path");
+        } else if (std::strncmp(arg, "--trace-window=", 15) == 0) {
+            char *end = nullptr;
+            const u64 interval = std::strtoull(arg + 15, &end, 0);
+            if (end == arg + 15 || *end != '\0' || interval < 1)
+                WC_FATAL("--trace-window must be a cycle count >= 1, "
+                         "got '" << (arg + 15) << "'");
+            opt.traceWindow = static_cast<u32>(interval);
+        } else if (std::strncmp(arg, "--stats-json=", 13) == 0) {
+            opt.statsJsonPath = arg + 13;
+            if (opt.statsJsonPath.empty())
+                WC_FATAL("--stats-json needs a file path");
         }
     }
     return opt;

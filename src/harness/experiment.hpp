@@ -8,6 +8,7 @@
 #ifndef WARPCOMP_HARNESS_EXPERIMENT_HPP
 #define WARPCOMP_HARNESS_EXPERIMENT_HPP
 
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -54,6 +55,8 @@ struct ExperimentConfig
      *  build without the subsystem); composes with `faults`. */
     SeuParams seu{};
     EnergyParams energy{};
+    /** Observability (disabled by default; see --trace/--stats-json). */
+    ObsParams obs{};
 };
 
 /** Result of one (workload, config) simulation. */
@@ -116,12 +119,22 @@ struct HarnessOptions
     FaultParams faults{};
     /** SEU injection requested via --seu=RATE,SCHEME. */
     SeuParams seu{};
+    /** Chrome trace output via --trace=FILE[,START,END] (empty =
+     *  disabled). Requires --only; the first suite run is traced. */
+    std::string tracePath;
+    Cycle traceStart = 0;
+    Cycle traceEnd = std::numeric_limits<Cycle>::max();
+    /** Windowed-counter interval via --trace-window=N. */
+    u32 traceWindow = 1000;
+    /** Structured stats dump via --stats-json=FILE (empty = disabled). */
+    std::string statsJsonPath;
 };
 
 /**
  * Parse --scale=N --sms=N --threads=N --only=name --json=FILE
  * --faults=BER,POLICY --fault-seed=N --seu=RATE,SCHEME --seu-seed=N
- * --seu-scrub=CYCLES; ignores unknown arguments. Malformed values
+ * --seu-scrub=CYCLES --trace=FILE[,START,END] --trace-window=N
+ * --stats-json=FILE; ignores unknown arguments. Malformed values
  * (non-numeric, NaN, negative rates, unknown policy/scheme names) are
  * a one-line fatal error with nonzero exit, never a silent default.
  */

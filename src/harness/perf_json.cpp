@@ -1,11 +1,11 @@
 #include "harness/perf_json.hpp"
 
 #include <fstream>
-#include <iomanip>
 #include <iostream>
 #include <ostream>
 #include <thread>
 
+#include "common/json_writer.hpp"
 #include "common/log.hpp"
 
 // The build stamps perf_json.cpp with the checkout's short SHA (see
@@ -15,29 +15,6 @@
 #endif
 
 namespace warpcomp {
-
-namespace {
-
-/** Minimal JSON string escape (labels/workload names are plain ASCII,
- *  but a path or label with a quote must not corrupt the document). */
-std::string
-jsonEscape(const std::string &s)
-{
-    std::string out;
-    out.reserve(s.size());
-    for (char c : s) {
-        switch (c) {
-          case '"': out += "\\\""; break;
-          case '\\': out += "\\\\"; break;
-          case '\n': out += "\\n"; break;
-          case '\t': out += "\\t"; break;
-          default: out += c;
-        }
-    }
-    return out;
-}
-
-} // namespace
 
 PerfRecorder::~PerfRecorder()
 {
@@ -60,46 +37,42 @@ PerfRecorder::addSuite(PerfSuiteRecord record)
 void
 PerfRecorder::writeJson(std::ostream &os) const
 {
-    os << std::setprecision(6) << std::fixed;
-    os << "{\n";
-    os << "  \"bench\": \"" << jsonEscape(benchName_) << "\",\n";
-    os << "  \"git_sha\": \"" << jsonEscape(WC_GIT_SHA) << "\",\n";
-    os << "  \"hw_concurrency\": "
-       << std::thread::hardware_concurrency() << ",\n";
-    os << "  \"suites\": [\n";
-    for (std::size_t s = 0; s < suites_.size(); ++s) {
-        const PerfSuiteRecord &r = suites_[s];
-        os << "    {\n";
-        os << "      \"label\": \"" << jsonEscape(r.label) << "\",\n";
-        os << "      \"threads\": " << r.threads << ",\n";
-        os << "      \"resolved_threads\": " << r.resolvedThreads << ",\n";
-        os << "      \"seed_salt\": " << r.seedSalt << ",\n";
-        os << "      \"fault_ber\": " << std::scientific << r.faultBer
-           << std::fixed << ",\n";
-        os << "      \"fault_policy\": \"" << jsonEscape(r.faultPolicy)
-           << "\",\n";
-        os << "      \"fault_seed\": " << r.faultSeed << ",\n";
-        os << "      \"seu_rate\": " << std::scientific << r.seuRate
-           << std::fixed << ",\n";
-        os << "      \"seu_scheme\": \"" << jsonEscape(r.seuScheme)
-           << "\",\n";
-        os << "      \"seu_scrub_interval\": " << r.seuScrubInterval
-           << ",\n";
-        os << "      \"wall_seconds\": " << r.wallSeconds << ",\n";
-        os << "      \"total_cycles\": " << r.totalCycles << ",\n";
-        os << "      \"workloads\": [\n";
-        for (std::size_t w = 0; w < r.rows.size(); ++w) {
-            const PerfWorkloadRow &row = r.rows[w];
-            os << "        {\"workload\": \"" << jsonEscape(row.workload)
-               << "\", \"cycles\": " << row.cycles
-               << ", \"wall_seconds\": " << row.wallSeconds << "}"
-               << (w + 1 < r.rows.size() ? "," : "") << "\n";
+    JsonWriter w(os);
+    w.beginObject();
+    w.field("bench", benchName_);
+    w.field("git_sha", WC_GIT_SHA);
+    w.field("hw_concurrency",
+            static_cast<u64>(std::thread::hardware_concurrency()));
+    w.key("suites");
+    w.beginArray();
+    for (const PerfSuiteRecord &r : suites_) {
+        w.beginObject();
+        w.field("label", r.label);
+        w.field("threads", r.threads);
+        w.field("resolved_threads", r.resolvedThreads);
+        w.field("seed_salt", r.seedSalt);
+        w.field("fault_ber", r.faultBer);
+        w.field("fault_policy", r.faultPolicy);
+        w.field("fault_seed", r.faultSeed);
+        w.field("seu_rate", r.seuRate);
+        w.field("seu_scheme", r.seuScheme);
+        w.field("seu_scrub_interval", r.seuScrubInterval);
+        w.field("wall_seconds", r.wallSeconds);
+        w.field("total_cycles", r.totalCycles);
+        w.key("workloads");
+        w.beginArray();
+        for (const PerfWorkloadRow &row : r.rows) {
+            w.beginObject();
+            w.field("workload", row.workload);
+            w.field("cycles", row.cycles);
+            w.field("wall_seconds", row.wallSeconds);
+            w.endObject();
         }
-        os << "      ]\n";
-        os << "    }" << (s + 1 < suites_.size() ? "," : "") << "\n";
+        w.endArray();
+        w.endObject();
     }
-    os << "  ]\n";
-    os << "}\n";
+    w.endArray();
+    w.endObject();
 }
 
 void

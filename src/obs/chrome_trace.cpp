@@ -1,0 +1,268 @@
+#include "obs/chrome_trace.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <utility>
+
+#include "common/json_writer.hpp"
+
+namespace warpcomp {
+
+namespace {
+
+/** pid 0 is the GPU-wide counter track; SM i maps to pid i+1. */
+u32
+pidOfSm(u16 sm)
+{
+    return static_cast<u32>(sm) + 1;
+}
+
+bool
+isBankLaneEvent(TraceEventKind kind)
+{
+    switch (kind) {
+      case TraceEventKind::GateOff:
+      case TraceEventKind::GateWake:
+      case TraceEventKind::ScrubVisit:
+        return true;
+      default:
+        return false;
+    }
+}
+
+u32
+tidOf(const TraceEvent &ev)
+{
+    return isBankLaneEvent(ev.kind) ? kBankLaneBase + ev.lane : ev.lane;
+}
+
+void
+metadataEvent(JsonWriter &w, const char *name, u32 pid, u32 tid,
+              const char *arg_key, const std::string &arg_value)
+{
+    w.beginObject();
+    w.field("name", name);
+    w.field("ph", "M");
+    w.field("pid", pid);
+    w.field("tid", tid);
+    w.key("args");
+    w.beginObject();
+    w.field(arg_key, arg_value);
+    w.endObject();
+    w.endObject();
+}
+
+void
+completeEvent(JsonWriter &w, const char *name, u32 pid, u32 tid,
+              Cycle start, Cycle end)
+{
+    w.beginObject();
+    w.field("name", name);
+    w.field("ph", "X");
+    w.field("ts", static_cast<u64>(start));
+    w.field("dur", static_cast<u64>(end > start ? end - start : 0));
+    w.field("pid", pid);
+    w.field("tid", tid);
+    w.endObject();
+}
+
+void
+counterEvent(JsonWriter &w, const char *name, Cycle ts,
+             const char *value_key, double value)
+{
+    w.beginObject();
+    w.field("name", name);
+    w.field("ph", "C");
+    w.field("ts", static_cast<u64>(ts));
+    w.field("pid", 0u);
+    w.field("tid", 0u);
+    w.key("args");
+    w.beginObject();
+    w.field(value_key, value);
+    w.endObject();
+    w.endObject();
+}
+
+/** Per-kind args object for instant pipeline/bank events. */
+void
+eventArgs(JsonWriter &w, const TraceEvent &ev)
+{
+    w.key("args");
+    w.beginObject();
+    switch (ev.kind) {
+      case TraceEventKind::WarpIssue:
+        w.field("pc", ev.a);
+        w.field("lanes", ev.b);
+        break;
+      case TraceEventKind::DummyMov:
+        w.field("dst", ev.a);
+        break;
+      case TraceEventKind::CompressDecision:
+        w.field("achieved_bytes", ev.a);
+        w.field("stored_bytes", ev.b);
+        break;
+      case TraceEventKind::OperandCollect:
+        w.field("ops", ev.a);
+        w.field("compressed_srcs", ev.b);
+        break;
+      case TraceEventKind::Writeback:
+        w.field("banks", ev.a);
+        w.field("compressed", ev.b != 0);
+        break;
+      case TraceEventKind::SeuCorruption:
+        w.field("lanes", ev.a);
+        w.field("amplified", ev.b != 0);
+        break;
+      case TraceEventKind::ScrubVisit:
+        w.field("banks", ev.a);
+        break;
+      case TraceEventKind::GateWake:
+        w.field("wakeup_latency", ev.a);
+        break;
+      default:
+        break;
+    }
+    w.endObject();
+}
+
+} // namespace
+
+void
+writeChromeTrace(std::ostream &os, const ObsRun &obs,
+                 const ChromeTraceMeta &meta)
+{
+    const TraceRing &ring = obs.ring();
+    const ObsParams &cfg = obs.params();
+    // Gate intervals are clamped to the traced window; a wake with no
+    // recorded gate-off means the bank was gated since before the
+    // window opened (banks reset gated in the compressed design).
+    const Cycle window_start = cfg.traceStart;
+    const Cycle window_end =
+        std::min<Cycle>(meta.cycles, cfg.traceEnd);
+
+    // Pass 1: lanes present, so every lane gets a stable name.
+    std::set<u16> sms;
+    std::set<std::pair<u16, u16>> warp_lanes; // (sm, warp slot)
+    std::set<std::pair<u16, u16>> bank_lanes; // (sm, bank)
+    for (std::size_t i = 0; i < ring.size(); ++i) {
+        const TraceEvent &ev = ring.at(i);
+        sms.insert(ev.sm);
+        if (isBankLaneEvent(ev.kind))
+            bank_lanes.insert({ev.sm, ev.lane});
+        else
+            warp_lanes.insert({ev.sm, ev.lane});
+    }
+
+    JsonWriter w(os);
+    w.beginObject();
+    w.key("otherData");
+    w.beginObject();
+    w.field("workload", meta.workload);
+    w.field("config", meta.config);
+    w.field("sms", meta.numSms);
+    w.field("banks", meta.numBanks);
+    w.field("cycles", static_cast<u64>(meta.cycles));
+    w.field("trace_start", static_cast<u64>(window_start));
+    w.field("trace_end", static_cast<u64>(window_end));
+    w.field("events_recorded", static_cast<u64>(ring.size()));
+    w.field("events_dropped", ring.dropped());
+    w.field("window_interval", obs.windows().interval());
+    w.field("timestamp_unit", "cycle");
+    w.endObject();
+
+    w.key("traceEvents");
+    w.beginArray();
+
+    // Lane metadata. Bank lanes sort after warp lanes via their tid
+    // offset; sort indices make Perfetto keep that order.
+    const bool have_counters = !obs.windows().rows().empty();
+    if (have_counters)
+        metadataEvent(w, "process_name", 0, 0, "name", "GPU");
+    for (u16 sm : sms) {
+        metadataEvent(w, "process_name", pidOfSm(sm), 0, "name",
+                      "SM" + std::to_string(sm));
+    }
+    for (const auto &[sm, warp] : warp_lanes) {
+        metadataEvent(w, "thread_name", pidOfSm(sm), warp, "name",
+                      "warp " + std::to_string(warp));
+    }
+    for (const auto &[sm, bank] : bank_lanes) {
+        metadataEvent(w, "thread_name", pidOfSm(sm),
+                      kBankLaneBase + bank, "name",
+                      "bank " + std::to_string(bank));
+    }
+
+    // Pass 2: events in chronological order. Gate-off/wake pairs fold
+    // into "gated" intervals on the bank lane (plus a short "waking"
+    // interval covering the wakeup latency); everything else is an
+    // instant event.
+    std::map<std::pair<u16, u16>, Cycle> open_off;
+    for (std::size_t i = 0; i < ring.size(); ++i) {
+        const TraceEvent &ev = ring.at(i);
+        const u32 pid = pidOfSm(ev.sm);
+        if (ev.kind == TraceEventKind::GateOff) {
+            open_off[{ev.sm, ev.lane}] = ev.cycle;
+            continue;
+        }
+        if (ev.kind == TraceEventKind::GateWake) {
+            const auto key = std::make_pair(ev.sm, ev.lane);
+            const auto it = open_off.find(key);
+            const Cycle off_at =
+                it != open_off.end() ? it->second : window_start;
+            if (it != open_off.end())
+                open_off.erase(it);
+            completeEvent(w, "gated", pid, kBankLaneBase + ev.lane,
+                          off_at, ev.cycle);
+            completeEvent(w, "waking", pid, kBankLaneBase + ev.lane,
+                          ev.cycle, ev.cycle + ev.a);
+            continue;
+        }
+
+        w.beginObject();
+        w.field("name", traceEventName(ev.kind));
+        w.field("ph", "i");
+        w.field("s", "t");
+        w.field("ts", static_cast<u64>(ev.cycle));
+        w.field("pid", pid);
+        w.field("tid", tidOf(ev));
+        eventArgs(w, ev);
+        w.endObject();
+    }
+    // Banks still gated when the run (or the traced window) ended.
+    for (const auto &[key, off_at] : open_off) {
+        completeEvent(w, "gated", pidOfSm(key.first),
+                      kBankLaneBase + key.second, off_at, window_end);
+    }
+
+    // GPU-wide counter tracks from the windowed timelines.
+    const ObsWindows &win = obs.windows();
+    for (std::size_t i = 0; i < win.rows().size(); ++i) {
+        const WindowRow &r = win.rows()[i];
+        const Cycle ts = static_cast<Cycle>(i) * win.interval();
+        const double cycles_in_window = meta.numSms > 0
+            ? static_cast<double>(r.smCycles) /
+                static_cast<double>(meta.numSms)
+            : 0.0;
+        counterEvent(w, "ipc", ts, "ipc",
+                     cycles_in_window > 0.0
+                         ? static_cast<double>(r.issued) /
+                               cycles_in_window
+                         : 0.0);
+        counterEvent(w, "compression_ratio", ts, "ratio",
+                     r.storedBytes > 0
+                         ? static_cast<double>(r.rawBytes) /
+                               static_cast<double>(r.storedBytes)
+                         : 0.0);
+        counterEvent(w, "gated_banks", ts, "banks",
+                     r.smCycles > 0
+                         ? static_cast<double>(r.gatedBankCycles) /
+                               static_cast<double>(r.smCycles)
+                         : 0.0);
+    }
+
+    w.endArray();
+    w.endObject();
+}
+
+} // namespace warpcomp

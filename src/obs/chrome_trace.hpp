@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Chrome trace-event JSON exporter for one traced run. The document
+ * loads in Perfetto / chrome://tracing: one process per SM, one thread
+ * lane per warp slot (pipeline events) and per register bank
+ * (power-gate intervals, scrub visits), plus GPU-wide counter tracks
+ * derived from the windowed timelines (IPC, compression ratio, gated
+ * banks). Timestamps are simulation cycles, exported 1 cycle = 1 µs so
+ * viewer zoom levels behave.
+ */
+
+#ifndef WARPCOMP_OBS_CHROME_TRACE_HPP
+#define WARPCOMP_OBS_CHROME_TRACE_HPP
+
+#include <ostream>
+#include <string>
+
+#include "obs/obs.hpp"
+
+namespace warpcomp {
+
+/** Run context stamped into the trace document. */
+struct ChromeTraceMeta
+{
+    std::string workload;
+    std::string config;     ///< human label, e.g. "Warped" / "None"
+    u32 numSms = 0;
+    u32 numBanks = 0;
+    Cycle cycles = 0;       ///< run length; closes open gate intervals
+};
+
+/** Thread-id base for bank lanes (warp lanes use the slot id). */
+inline constexpr u32 kBankLaneBase = 1000;
+
+/** Serialize @p obs as Chrome trace-event JSON onto @p os. */
+void writeChromeTrace(std::ostream &os, const ObsRun &obs,
+                      const ChromeTraceMeta &meta);
+
+} // namespace warpcomp
+
+#endif // WARPCOMP_OBS_CHROME_TRACE_HPP

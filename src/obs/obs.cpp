@@ -1,0 +1,38 @@
+#include "obs/obs.hpp"
+
+#include "common/log.hpp"
+
+namespace warpcomp {
+
+const char *
+traceEventName(TraceEventKind kind)
+{
+    switch (kind) {
+      case TraceEventKind::WarpIssue: return "issue";
+      case TraceEventKind::DummyMov: return "dummy_mov";
+      case TraceEventKind::CompressDecision: return "compress";
+      case TraceEventKind::Decompress: return "decompress";
+      case TraceEventKind::OperandCollect: return "collect";
+      case TraceEventKind::Writeback: return "writeback";
+      case TraceEventKind::GateOff: return "gate_off";
+      case TraceEventKind::GateWake: return "gate_wake";
+      case TraceEventKind::SeuCorruption: return "seu_corruption";
+      case TraceEventKind::ScrubVisit: return "scrub";
+      case TraceEventKind::FaultCorruptedWrite:
+        return "fault_corrupted_write";
+    }
+    WC_PANIC("unknown trace event kind");
+}
+
+StatGroup
+ObsRun::statGroup() const
+{
+    StatGroup g("obs");
+    g.counter("events_recorded") += ring_.size();
+    g.counter("events_dropped") += ring_.dropped();
+    g.counter("events_offered") += ring_.pushed();
+    g.counter("windows") += windows_.rows().size();
+    return g;
+}
+
+} // namespace warpcomp

@@ -165,8 +165,14 @@ RegisterFile::releaseId(u32 id, Cycle now)
                                         : footprintBanks(id);
     for (u32 b = 0; b < nb; ++b) {
         Bank &bank = banks_[s.firstBank() + b];
-        if (bank.valid(s.entry))
+        if (bank.valid(s.entry)) {
             bank.setValid(s.entry, false, now);
+            // A bank holding valid data cannot have been gated, so an
+            // off gate here means this invalidation just gated it.
+            if (obs_ != nullptr && bank.gate().isOff(now))
+                obs_->onGateOff(
+                    smId_, static_cast<u16>(s.firstBank() + b), now);
+        }
     }
     if (regs_[id].written) {
         --writtenCount_;
@@ -347,7 +353,12 @@ RegisterFile::recordWrite(u32 warp_slot, u32 reg, const BdiEncoded &enc,
     Cycle ready = now;
     for (u32 b = 0; b < new_banks; ++b) {
         Bank &bank = banks_[s.firstBank() + b];
+        const bool was_off = obs_ != nullptr && bank.gate().isOff(now);
         ready = std::max(ready, bank.gate().wake(now));
+        if (was_off)
+            obs_->onGateWake(smId_,
+                             static_cast<u16>(s.firstBank() + b),
+                             bank.gate().wakeupLatency(), now);
     }
     for (u32 b = 0; b < new_banks; ++b) {
         Bank &bank = banks_[s.firstBank() + b];
@@ -357,8 +368,12 @@ RegisterFile::recordWrite(u32 warp_slot, u32 reg, const BdiEncoded &enc,
     // A shrinking footprint frees the banks beyond the new extent.
     for (u32 b = new_banks; b < old_banks; ++b) {
         Bank &bank = banks_[s.firstBank() + b];
-        if (bank.valid(s.entry))
+        if (bank.valid(s.entry)) {
             bank.setValid(s.entry, false, now);
+            if (obs_ != nullptr && bank.gate().isOff(now))
+                obs_->onGateOff(
+                    smId_, static_cast<u16>(s.firstBank() + b), now);
+        }
     }
 
     if (!st.written) {

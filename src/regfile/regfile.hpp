@@ -17,6 +17,7 @@
 #include "compress/schemes.hpp"
 #include "fault/fault.hpp"
 #include "fault/seu.hpp"
+#include "obs/obs.hpp"
 #include "regfile/bank.hpp"
 
 namespace warpcomp {
@@ -92,6 +93,18 @@ class RegisterFile
                           const SeuParams &seu = {});
 
     const RegFileParams &params() const { return params_; }
+
+    /**
+     * Attach shared observability state (nullptr detaches): bank
+     * power-gate transitions are emitted from the release/write paths,
+     * where gating decisions actually happen.
+     */
+    void
+    attachObs(ObsRun *obs, u16 sm_id)
+    {
+        obs_ = obs;
+        smId_ = sm_id;
+    }
 
     /** The SEU engine, or nullptr when transient injection is disabled
      *  (the null check is the hot-path fast path). */
@@ -248,6 +261,9 @@ class RegisterFile
     u32 allocatedRegs_ = 0;
     u32 compressedCount_ = 0;
     u32 writtenCount_ = 0;
+    /** Shared observability sink; nullptr = disabled (zero cost). */
+    ObsRun *obs_ = nullptr;
+    u16 smId_ = 0;
 };
 
 } // namespace warpcomp

@@ -43,6 +43,15 @@ Gpu::run(const Kernel &kernel, const LaunchDims &dims,
             collect_bdi_breakdown));
     }
 
+    // One shared observability sink for the whole (single-threaded,
+    // lockstep) run; events arrive in deterministic (cycle, SM) order.
+    std::shared_ptr<ObsRun> obs;
+    if (params_.obs.enabled()) {
+        obs = std::make_shared<ObsRun>(params_.obs);
+        for (u32 i = 0; i < sms.size(); ++i)
+            sms[i]->attachObs(obs.get(), static_cast<u16>(i));
+    }
+
     u32 next_cta = 0;
     Cycle now = 0;
     u32 stalled_cycles = 0;
@@ -103,6 +112,7 @@ Gpu::run(const Kernel &kernel, const LaunchDims &dims,
     result.cycles = now;
     result.unschedulable = unschedulable;
     result.hung = hung;
+    result.obs = std::move(obs);
     const u32 num_banks = params_.sm.regfile.numBanks;
     result.bankGatedFraction.assign(num_banks, 0.0);
     for (auto &sm : sms) {

@@ -8,6 +8,7 @@
 #ifndef WARPCOMP_SIM_GPU_HPP
 #define WARPCOMP_SIM_GPU_HPP
 
+#include <memory>
 #include <vector>
 
 #include "power/energy_meter.hpp"
@@ -38,6 +39,12 @@ struct RunResult
      * spinning to the deadlock guard; `ctas` holds the completed count.
      */
     bool unschedulable = false;
+    /**
+     * Observability state of the run (trace ring + windowed counters);
+     * null unless GpuParams::obs was enabled. Shared so results can be
+     * copied into recorders without duplicating the ring.
+     */
+    std::shared_ptr<ObsRun> obs;
     /**
      * The run exceeded FaultParams::hangCycles under uncontained
      * corruption — stuck-at policy None, or an SEU scheme that can

@@ -11,6 +11,7 @@
 #include "compress/schemes.hpp"
 #include "fault/fault.hpp"
 #include "mem/mem_timing.hpp"
+#include "obs/obs.hpp"
 #include "power/constants.hpp"
 #include "regfile/regfile.hpp"
 
@@ -107,6 +108,9 @@ struct GpuParams
     u32 numSms = 15;
     SmParams sm{};
     EnergyParams energy{};
+    /** Observability (tracing / windowed counters); disabled by
+     *  default, in which case no ObsRun is ever created. */
+    ObsParams obs{};
 };
 
 } // namespace warpcomp

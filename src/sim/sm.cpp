@@ -197,6 +197,19 @@ Sm::cycle(Cycle now)
     const RegisterFile::BankActivity act = rf_.bankActivity(now);
     meter_.addAwakeBankCycles(act.active);
     meter_.addDrowsyBankCycles(act.drowsy);
+    if (obs_ != nullptr) {
+        const u32 total = params_.regfile.numBanks;
+        obs_->onCycle(obsSmId_, total - act.active - act.drowsy, total,
+                      now);
+    }
+}
+
+void
+Sm::attachObs(ObsRun *obs, u16 sm_id)
+{
+    obs_ = obs;
+    obsSmId_ = sm_id;
+    rf_.attachObs(obs, sm_id);
 }
 
 void
@@ -220,10 +233,13 @@ Sm::stepSeu(SeuEngine &seu, Cycle now)
         meter_.addEccDecodes(1);
         meter_.addEccEncodes(1);
     }
+    if (obs_ != nullptr)
+        obs_->onScrubVisit(obsSmId_, static_cast<u16>(v.firstBank),
+                           v.banks, now);
 }
 
 void
-Sm::resolveSeuRead(SeuEngine &seu, u32 slot, u32 reg)
+Sm::resolveSeuRead(SeuEngine &seu, u32 slot, u32 reg, Cycle now)
 {
     const SeuEngine::ReadResolution res = seu.resolveRead(slot, reg);
     if (!res.corrupt)
@@ -275,6 +291,9 @@ Sm::resolveSeuRead(SeuEngine &seu, u32 slot, u32 reg)
         return;
     w.reg(reg) = after;
     seu.noteCorruption(lanes, amplified);
+    if (obs_ != nullptr)
+        obs_->onSeuCorruption(obsSmId_, static_cast<u16>(slot), lanes,
+                              amplified, now);
 }
 
 void
@@ -337,6 +356,11 @@ Sm::stepWritebackAndExec(Cycle now)
                 arbiter_.tryWriteRange(f.writeAcc.firstBank,
                                        f.writeAcc.numBanks)) {
                 meter_.addBankWrites(f.writeAcc.numBanks);
+                if (obs_ != nullptr)
+                    obs_->onWriteback(obsSmId_,
+                                      static_cast<u16>(f.warpSlot),
+                                      f.writeAcc.numBanks,
+                                      f.writeAcc.compressed, now);
                 if (seuEcc_)
                     meter_.addEccEncodes(1);
                 if (f.writeAcc.compressed)
@@ -358,6 +382,10 @@ Sm::stepWritebackAndExec(Cycle now)
                         rf_.noteCorruptedWrite();
                         warps_[f.warpSlot].reg(f.inst.dst) =
                             fromBytes(bdiDecompress(stored));
+                        if (obs_ != nullptr)
+                            obs_->onFaultCorruptedWrite(
+                                obsSmId_, static_cast<u16>(f.warpSlot),
+                                now);
                     }
                 }
                 if (rfc_.enabled()) {
@@ -419,6 +447,10 @@ Sm::stepCollect(Cycle now)
                 if (!done)
                     break;
                 meter_.addDecompActivations(1);
+                if (obs_ != nullptr)
+                    obs_->onDecompress(obsSmId_,
+                                       static_cast<u16>(f->warpSlot),
+                                       now);
                 f->decompReadyAt = std::max(f->decompReadyAt, *done);
                 ++f->decompIssued;
             }
@@ -437,6 +469,11 @@ Sm::stepCollect(Cycle now)
         }
 
         InFlight moved = collectors_.take(idx);
+        if (obs_ != nullptr)
+            obs_->onOperandCollect(obsSmId_,
+                                   static_cast<u16>(moved.warpSlot),
+                                   moved.numOps, moved.compressedSrcs,
+                                   now);
         moved.stage = InFlight::Stage::Exec;
         moved.readyAt = now + (moved.inst.isMemory()
                                ? moved.memLatency
@@ -524,16 +561,17 @@ Sm::recordWriteStats(const Warp &warp, const Instruction &inst,
 void
 Sm::issueDummyMov(u32 slot, u8 dst, Cycle now)
 {
-    (void)now;
     Warp &w = warps_[slot];
 
     // The MOV reads dst's current value below; pending flips must land
     // first so the decompress-MOV reads what the banks actually hold.
     if (SeuEngine *e = rf_.seu(); e != nullptr && e->hasPending())
-        resolveSeuRead(*e, slot, dst);
+        resolveSeuRead(*e, slot, dst, now);
 
     ++stats_.issued;
     ++stats_.dummyMovs;
+    if (obs_ != nullptr)
+        obs_->onDummyMov(obsSmId_, static_cast<u16>(slot), dst, now);
 
     Instruction mov;
     mov.op = Opcode::Mov;
@@ -591,6 +629,9 @@ Sm::issueFrom(u32 slot, Cycle now)
     ++stats_.issued;
     if (divergent)
         ++stats_.issuedDivergent;
+    if (obs_ != nullptr)
+        obs_->onWarpIssue(obsSmId_, static_cast<u16>(slot), pc,
+                          popcount(active), now);
 
     // Fig 12 sampling: compressed share of the allocated registers,
     // attributed to the issuing warp's phase.
@@ -614,10 +655,10 @@ Sm::issueFrom(u32 slot, Cycle now)
     if (SeuEngine *e = rf_.seu(); e != nullptr && e->hasPending()) {
         const u32 nsrc = inst.numRegSources();
         for (u32 i = 0; i < nsrc; ++i)
-            resolveSeuRead(*e, slot, inst.regSource(i));
+            resolveSeuRead(*e, slot, inst.regSource(i), now);
         if (inst.hasDst() && eff != 0 && eff != w.fullMask() &&
             rf_.isWritten(slot, inst.dst))
-            resolveSeuRead(*e, slot, inst.dst);
+            resolveSeuRead(*e, slot, inst.dst, now);
     }
 
     Cta &cta = ctas_[w.ctaSlot()];
@@ -723,6 +764,14 @@ Sm::issueFrom(u32 slot, Cycle now)
             ? warpedCandidates() : schemeCandidates(params_.scheme);
         BdiEncoded enc = bdiCompress(img, cands);
         recordWriteStats(w, inst, eff, divergent, img, enc);
+        if (obs_ != nullptr) {
+            const bool stores_compressed =
+                params_.compressionEnabled() && !f.divergentWrite;
+            obs_->onCompressDecision(
+                obsSmId_, static_cast<u16>(slot), enc.sizeBytes(),
+                stores_compressed ? enc.sizeBytes() : kWarpRegBytes,
+                now);
+        }
 
         if (params_.compressionEnabled() && !f.divergentWrite) {
             f.encoded = std::move(enc);

@@ -92,6 +92,14 @@ class Sm
     /** Simulate one cycle at global time @p now. */
     void cycle(Cycle now);
 
+    /**
+     * Attach shared observability state (nullptr detaches). Forwarded
+     * to the register file so bank gate transitions are traced too.
+     * Every hook site branches on the pointer: an unattached SM runs
+     * the exact pre-observability instruction stream.
+     */
+    void attachObs(ObsRun *obs, u16 sm_id);
+
     /** True while any CTA is resident or instructions are in flight. */
     bool busy() const;
 
@@ -124,7 +132,7 @@ class Sm
     void stepSeu(SeuEngine &seu, Cycle now);
     /** Consume pending flips of (slot, reg) before its value is read,
      *  committing corruption architecturally when unprotected. */
-    void resolveSeuRead(SeuEngine &seu, u32 slot, u32 reg);
+    void resolveSeuRead(SeuEngine &seu, u32 slot, u32 reg, Cycle now);
     bool canIssueFrom(u32 slot) const;
     void issueFrom(u32 slot, Cycle now);
     void issueDummyMov(u32 slot, u8 dst, Cycle now);
@@ -168,6 +176,10 @@ class Sm
 
     EnergyMeter meter_;
     SimStats stats_;
+
+    /** Shared observability sink; nullptr = disabled (zero cost). */
+    ObsRun *obs_ = nullptr;
+    u16 obsSmId_ = 0;
 };
 
 } // namespace warpcomp

@@ -15,6 +15,7 @@
 
 #include "isa/builder.hpp"
 #include "mem/memory.hpp"
+#include "obs/obs.hpp"
 #include "sim/sm.hpp"
 
 namespace {
@@ -84,9 +85,11 @@ spinKernel()
     return b.build();
 }
 
-/** Steady-state window of one Sm run; returns allocations observed. */
+/** Steady-state window of one Sm run; returns allocations observed.
+ *  When @p obs is non-null it is attached before warm-up, so the
+ *  measured window covers the tracing hot path too. */
 unsigned long long
-measureSteadyState(const SmParams &sp)
+measureSteadyState(const SmParams &sp, ObsRun *obs = nullptr)
 {
     GlobalMemory gmem(1 << 20);
     ConstantMemory cmem(64);
@@ -95,6 +98,8 @@ measureSteadyState(const SmParams &sp)
     const EnergyParams ep;
     const LaunchDims dims{256, 1};  // one CTA: no mid-run launches
     Sm sm(sp, ep, gmem, cmem, kernel, dims);
+    if (obs != nullptr)
+        sm.attachObs(obs, 0);
     EXPECT_TRUE(sm.tryLaunchCta(0, 0));
 
     // Warm up: scratch vectors (exec list, SIMT stacks, collector pool
@@ -164,6 +169,35 @@ TEST(AllocGuard, SeuUnprotectedPathIsAllocationFree)
     sp.seu.scheme = SeuScheme::Unprotected;
     EXPECT_EQ(measureSteadyState(sp), 0u)
         << "SEU corruption path allocated over 10000 cycles";
+}
+
+TEST(AllocGuard, TracingDisabledAddsNoAllocations)
+{
+    // The observability hooks are a branch on a null pointer when no
+    // ObsRun is attached (the default); the hot loop must stay
+    // allocation-free exactly as before the subsystem existed.
+    SmParams sp;
+    sp.applyScheme();
+    EXPECT_EQ(measureSteadyState(sp, nullptr), 0u)
+        << "null-obs hook path allocated over 10000 cycles";
+}
+
+TEST(AllocGuard, TracingEnabledHotPathIsAllocationFree)
+{
+    // With tracing and windowed counters armed, every emit lands in the
+    // preallocated ring and the reserved window table — the cycle loop
+    // still must not allocate (ring wrap drops oldest, never grows).
+    SmParams sp;
+    sp.applyScheme();
+    ObsParams op;
+    op.trace = true;
+    op.ringCapacity = 1u << 16;
+    op.windowInterval = 256;
+    ObsRun obs(op);
+    EXPECT_EQ(measureSteadyState(sp, &obs), 0u)
+        << "tracing hot path allocated over 10000 cycles";
+    EXPECT_GT(obs.ring().pushed(), 0u)
+        << "tracing was armed but no events were recorded";
 }
 
 TEST(AllocGuard, SeuEccScrubPathIsAllocationFree)

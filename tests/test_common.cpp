@@ -154,6 +154,23 @@ TEST(Stats, Histogram)
     EXPECT_DOUBLE_EQ(h.fraction(0), 0.0);
 }
 
+TEST(Stats, HistogramOverflowSaturates)
+{
+    Histogram h(4);
+    h.add(2, 3);
+    h.add(4);           // first bin past the end
+    h.add(1000, 6);     // far past the end
+    EXPECT_EQ(h.overflow(), 7u);
+    EXPECT_EQ(h.total(), 10u);
+    EXPECT_EQ(h.bin(2), 3u);
+    // In-range bins are untouched by overflow samples.
+    EXPECT_EQ(h.bin(3), 0u);
+    EXPECT_DOUBLE_EQ(h.fraction(2), 0.3);
+    h.reset();
+    EXPECT_EQ(h.overflow(), 0u);
+    EXPECT_EQ(h.total(), 0u);
+}
+
 TEST(Report, TableAlignment)
 {
     TextTable t({"bench", "a", "b"});

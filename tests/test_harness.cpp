@@ -142,13 +142,11 @@ TEST(Harness, PerfJsonRecordsFaultAndSeuConfig)
     std::ostringstream os;
     rec.writeJson(os);
     const std::string json = os.str();
-    EXPECT_NE(json.find("\"fault_ber\": 1.000000e-03"),
-              std::string::npos);
+    EXPECT_NE(json.find("\"fault_ber\": 0.001"), std::string::npos);
     EXPECT_NE(json.find("\"fault_policy\": \"CompressRemap\""),
               std::string::npos);
     EXPECT_NE(json.find("\"fault_seed\": 11"), std::string::npos);
-    EXPECT_NE(json.find("\"seu_rate\": 2.500000e-04"),
-              std::string::npos);
+    EXPECT_NE(json.find("\"seu_rate\": 0.00025"), std::string::npos);
     EXPECT_NE(json.find("\"seu_scheme\": \"EccScrub\""),
               std::string::npos);
     EXPECT_NE(json.find("\"seu_scrub_interval\": 128"),

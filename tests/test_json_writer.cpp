@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Tests for the shared JSON writer: structural layout, string escaping,
+ * and stable float formatting. Every machine-readable exporter (perf
+ * records, sweep benches, stats dump, Chrome trace) rides on this, so
+ * the byte-level guarantees are pinned here once.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "common/json_writer.hpp"
+
+namespace warpcomp {
+namespace {
+
+TEST(JsonWriter, EmptyContainers)
+{
+    std::ostringstream o1, o2;
+    {
+        JsonWriter w(o1);
+        w.beginObject();
+        w.endObject();
+    }
+    {
+        JsonWriter w(o2);
+        w.beginArray();
+        w.endArray();
+    }
+    EXPECT_EQ(o1.str(), "{}\n");
+    EXPECT_EQ(o2.str(), "[]\n");
+}
+
+TEST(JsonWriter, ObjectLayoutIsTwoSpaceIndentOnePerLine)
+{
+    std::ostringstream os;
+    JsonWriter w(os);
+    w.beginObject();
+    w.field("a", u64{1});
+    w.key("b");
+    w.beginArray();
+    w.value(u64{2});
+    w.value(u64{3});
+    w.endArray();
+    w.endObject();
+    EXPECT_EQ(os.str(),
+              "{\n"
+              "  \"a\": 1,\n"
+              "  \"b\": [\n"
+              "    2,\n"
+              "    3\n"
+              "  ]\n"
+              "}\n");
+}
+
+TEST(JsonWriter, NestedObjectsInArrays)
+{
+    std::ostringstream os;
+    JsonWriter w(os);
+    w.beginArray();
+    w.beginObject();
+    w.field("x", true);
+    w.endObject();
+    w.beginObject();
+    w.field("y", false);
+    w.endObject();
+    w.endArray();
+    EXPECT_EQ(os.str(),
+              "[\n"
+              "  {\n"
+              "    \"x\": true\n"
+              "  },\n"
+              "  {\n"
+              "    \"y\": false\n"
+              "  }\n"
+              "]\n");
+}
+
+TEST(JsonWriter, EscapesControlAndSpecialCharacters)
+{
+    EXPECT_EQ(JsonWriter::escape("plain"), "plain");
+    EXPECT_EQ(JsonWriter::escape("a\"b"), "a\\\"b");
+    EXPECT_EQ(JsonWriter::escape("a\\b"), "a\\\\b");
+    EXPECT_EQ(JsonWriter::escape("a\nb\tc\rd"), "a\\nb\\tc\\rd");
+    EXPECT_EQ(JsonWriter::escape(std::string_view("\x01\x1f", 2)),
+              "\\u0001\\u001f");
+    // Multibyte UTF-8 passes through untouched.
+    EXPECT_EQ(JsonWriter::escape("caf\xc3\xa9"), "caf\xc3\xa9");
+}
+
+TEST(JsonWriter, EscapedStringValueRoundTrips)
+{
+    std::ostringstream os;
+    JsonWriter w(os);
+    w.beginObject();
+    w.field("s", "line1\nline2\" end");
+    w.endObject();
+    EXPECT_EQ(os.str(), "{\n  \"s\": \"line1\\nline2\\\" end\"\n}\n");
+}
+
+TEST(JsonWriter, FloatFormattingIsStable)
+{
+    EXPECT_EQ(JsonWriter::formatDouble(0.0), "0");
+    EXPECT_EQ(JsonWriter::formatDouble(1.0), "1");
+    EXPECT_EQ(JsonWriter::formatDouble(0.5), "0.5");
+    EXPECT_EQ(JsonWriter::formatDouble(1e-4), "0.0001");
+    EXPECT_EQ(JsonWriter::formatDouble(5e-3), "0.005");
+    EXPECT_EQ(JsonWriter::formatDouble(1.0 / 3.0), "0.333333333333");
+    // Same bits must give the same bytes, run over run.
+    const double v = 0.1 + 0.2;
+    EXPECT_EQ(JsonWriter::formatDouble(v), JsonWriter::formatDouble(v));
+}
+
+TEST(JsonWriter, NonFiniteDoublesBecomeNull)
+{
+    EXPECT_EQ(JsonWriter::formatDouble(
+                  std::numeric_limits<double>::quiet_NaN()),
+              "null");
+    EXPECT_EQ(JsonWriter::formatDouble(
+                  std::numeric_limits<double>::infinity()),
+              "null");
+    EXPECT_EQ(JsonWriter::formatDouble(
+                  -std::numeric_limits<double>::infinity()),
+              "null");
+
+    std::ostringstream os;
+    JsonWriter w(os);
+    w.beginObject();
+    w.field("bad", std::nan(""));
+    w.endObject();
+    EXPECT_EQ(os.str(), "{\n  \"bad\": null\n}\n");
+}
+
+TEST(JsonWriter, SignedAndUnsignedIntegers)
+{
+    std::ostringstream os;
+    JsonWriter w(os);
+    w.beginObject();
+    w.field("neg", i64{-42});
+    w.field("big", std::numeric_limits<u64>::max());
+    w.field("u16v", u16{7});
+    w.endObject();
+    EXPECT_EQ(os.str(),
+              "{\n"
+              "  \"neg\": -42,\n"
+              "  \"big\": 18446744073709551615,\n"
+              "  \"u16v\": 7\n"
+              "}\n");
+}
+
+TEST(JsonWriter, NullValueAndRootNewline)
+{
+    std::ostringstream os;
+    JsonWriter w(os);
+    w.beginArray();
+    w.valueNull();
+    w.endArray();
+    EXPECT_EQ(os.str(), "[\n  null\n]\n");
+}
+
+} // namespace
+} // namespace warpcomp
