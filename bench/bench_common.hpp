@@ -55,6 +55,7 @@ runSelected(const HarnessOptions &opt, ExperimentConfig cfg,
 {
     cfg.scale = opt.scale;
     cfg.numSms = opt.numSms;
+    cfg.skipIdle = !opt.noSkip;
     if (opt.faults.enabled())
         cfg.faults = opt.faults;
     if (opt.seu.enabled())

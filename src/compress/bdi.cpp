@@ -95,6 +95,99 @@ scanDeltas(std::span<const u8> data, u32 base_bytes)
     return f;
 }
 
+/**
+ * Base-4 fast path over the 32 contiguous u32 lanes of a warp
+ * register: fixed trip count, no data-dependent exits, mask
+ * accumulators instead of short-circuit booleans — straight-line code
+ * the compiler can auto-vectorize. Deltas are computed in i64 (a u32
+ * subtraction would wrap for e.g. an INT32_MIN base against an
+ * INT32_MAX lane). Equivalent to scanDeltas(data, 4): the early break
+ * there only skips deltas once every fit is already dead.
+ */
+DeltaFits
+scanDeltas4(std::span<const u8> data)
+{
+    u32 lanes[kWarpSize];
+    std::memcpy(lanes, data.data(), kWarpRegBytes);
+    const i64 base = static_cast<i32>(lanes[0]);
+    u64 nonzero = 0;
+    u32 bad1 = 0, bad2 = 0, bad4 = 0;
+    for (u32 i = 1; i < kWarpSize; ++i) {
+        const i64 d = static_cast<i32>(lanes[i]) - base;
+        nonzero |= static_cast<u64>(d);
+        bad1 |= static_cast<u32>(!fitsSigned(d, 1));
+        bad2 |= static_cast<u32>(!fitsSigned(d, 2));
+        bad4 |= static_cast<u32>(!fitsSigned(d, 4));
+    }
+    DeltaFits f;
+    f.zero = nonzero == 0;
+    f.one = bad1 == 0;
+    f.two = bad2 == 0;
+    f.four = bad4 == 0;
+    return f;
+}
+
+/** Encode the base-4 candidates (<4,0> <4,1> <4,2>) with one flat pass
+ *  writing the payload in place. Byte-identical to the generic
+ *  storeBytes loop: deltas store their low little-endian bytes. */
+void
+encodeBase4(std::span<const u8> data, u32 delta_bytes, BdiByteBuf &out)
+{
+    u32 lanes[kWarpSize];
+    std::memcpy(lanes, data.data(), kWarpRegBytes);
+    const i64 base = static_cast<i32>(lanes[0]);
+    out.resize(4 + delta_bytes * (kWarpSize - 1));
+    u8 *p = out.data();
+    std::memcpy(p, &lanes[0], 4);
+    p += 4;
+    if (delta_bytes == 1) {
+        for (u32 i = 1; i < kWarpSize; ++i)
+            p[i - 1] = static_cast<u8>(
+                static_cast<i32>(lanes[i]) - base);
+    } else if (delta_bytes == 2) {
+        for (u32 i = 1; i < kWarpSize; ++i) {
+            const u16 d = static_cast<u16>(
+                static_cast<i32>(lanes[i]) - base);
+            std::memcpy(p + 2 * (i - 1), &d, 2);
+        }
+    }
+}
+
+/** Decode a base-4 encoding into the 128-byte image with flat loops. */
+void
+decodeBase4(const BdiEncoded &enc, std::array<u8, kWarpRegBytes> &out)
+{
+    u32 lanes[kWarpSize];
+    u32 base_raw = 0;
+    std::memcpy(&base_raw, enc.bytes.data(), 4);
+    const i64 base = static_cast<i32>(base_raw);
+    lanes[0] = base_raw;
+    const u8 *d = enc.bytes.data() + 4;
+    switch (enc.params.deltaBytes) {
+      case 0:
+        for (u32 i = 1; i < kWarpSize; ++i)
+            lanes[i] = base_raw;
+        break;
+      case 1:
+        for (u32 i = 1; i < kWarpSize; ++i)
+            lanes[i] = static_cast<u32>(
+                base + static_cast<i8>(d[i - 1]));
+        break;
+      case 2:
+        for (u32 i = 1; i < kWarpSize; ++i) {
+            u16 raw = 0;
+            std::memcpy(&raw, d + 2 * (i - 1), 2);
+            lanes[i] = static_cast<u32>(
+                base + static_cast<i16>(raw));
+        }
+        break;
+      default:
+        WC_PANIC("unsupported base-4 delta width "
+                 << enc.params.deltaBytes);
+    }
+    std::memcpy(out.data(), lanes, kWarpRegBytes);
+}
+
 constexpr BdiParams kFullCandidates[] = {
     {4, 0}, {4, 1}, {4, 2}, {8, 0}, {8, 1}, {8, 2}, {8, 4},
 };
@@ -180,7 +273,7 @@ bdiCompress(std::span<const u8> data, std::span<const BdiParams> candidates)
             p.deltaBytes == 2 || p.deltaBytes == 4;
         if (p.baseBytes == 4 && scannable) {
             if (!fits4)
-                fits4 = scanDeltas(data, 4);
+                fits4 = scanDeltas4(data);
             ok = fits4->fits(p.deltaBytes);
         } else if (p.baseBytes == 8 && scannable) {
             if (!fits8)
@@ -204,6 +297,14 @@ bdiCompress(std::span<const u8> data, std::span<const BdiParams> candidates)
 
     enc.compressed = true;
     enc.params = *best;
+    if (best->baseBytes == 4 && best->deltaBytes <= 2) {
+        // The warped candidates (<4,0> <4,1> <4,2>) take the flat
+        // lane-wise path over the contiguous 32x4B image.
+        encodeBase4(data, best->deltaBytes, enc.bytes);
+        WC_ASSERT(enc.bytes.size() == best_size,
+                  "compressed size mismatch");
+        return enc;
+    }
     const u32 chunks = kWarpRegBytes / best->baseBytes;
     const i64 base = loadChunk(data, 0, best->baseBytes);
     storeBytes(enc.bytes, base, best->baseBytes);
@@ -227,6 +328,10 @@ bdiDecompress(const BdiEncoded &enc)
     }
 
     const BdiParams p = enc.params;
+    if (p.baseBytes == 4 && p.deltaBytes <= 2) {
+        decodeBase4(enc, out);
+        return out;
+    }
     const u32 chunks = kWarpRegBytes / p.baseBytes;
     const i64 base = loadSigned(enc.bytes.data(), p.baseBytes);
     // Base chunk.

@@ -82,6 +82,15 @@ class BdiByteBuf
 
     void clear() { size_ = 0; }
 
+    /** Set the logical size; the codec fast paths write the payload
+     *  in place through data() instead of byte-wise push_back. */
+    void
+    resize(u32 size)
+    {
+        assert(size <= kWarpRegBytes);
+        size_ = size;
+    }
+
     void
     push_back(u8 b)
     {

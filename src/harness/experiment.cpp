@@ -35,6 +35,7 @@ makeGpuParams(const ExperimentConfig &cfg)
     gp.sm.faults = cfg.faults;
     gp.sm.seu = cfg.seu;
     gp.obs = cfg.obs;
+    gp.skipIdleCycles = cfg.skipIdle;
     return gp;
 }
 
@@ -243,6 +244,8 @@ parseHarnessArgs(int argc, char **argv)
             opt.statsJsonPath = arg + 13;
             if (opt.statsJsonPath.empty())
                 WC_FATAL("--stats-json needs a file path");
+        } else if (std::strcmp(arg, "--no-skip") == 0) {
+            opt.noSkip = true;
         }
     }
     return opt;

@@ -57,6 +57,9 @@ struct ExperimentConfig
     EnergyParams energy{};
     /** Observability (disabled by default; see --trace/--stats-json). */
     ObsParams obs{};
+    /** Event-driven idle-cycle skipping (--no-skip disables; results
+     *  are bit-identical either way). */
+    bool skipIdle = true;
 };
 
 /** Result of one (workload, config) simulation. */
@@ -128,13 +131,16 @@ struct HarnessOptions
     u32 traceWindow = 1000;
     /** Structured stats dump via --stats-json=FILE (empty = disabled). */
     std::string statsJsonPath;
+    /** Disable event-driven idle-cycle skipping via --no-skip (for
+     *  differential checks against per-cycle stepping). */
+    bool noSkip = false;
 };
 
 /**
  * Parse --scale=N --sms=N --threads=N --only=name --json=FILE
  * --faults=BER,POLICY --fault-seed=N --seu=RATE,SCHEME --seu-seed=N
  * --seu-scrub=CYCLES --trace=FILE[,START,END] --trace-window=N
- * --stats-json=FILE; ignores unknown arguments. Malformed values
+ * --stats-json=FILE --no-skip; ignores unknown arguments. Malformed values
  * (non-numeric, NaN, negative rates, unknown policy/scheme names) are
  * a one-line fatal error with nonzero exit, never a silent default.
  */

@@ -8,13 +8,50 @@
 #include "common/json_writer.hpp"
 #include "common/log.hpp"
 
-// The build stamps perf_json.cpp with the checkout's short SHA (see
-// src/CMakeLists.txt); keep non-CMake builds compiling.
+// The build stamps perf_json.cpp with the checkout's short SHA plus the
+// compiler identity and effective flags (see src/CMakeLists.txt); keep
+// non-CMake builds compiling.
 #ifndef WC_GIT_SHA
 #define WC_GIT_SHA "unknown"
 #endif
+#ifndef WC_CXX_COMPILER
+#define WC_CXX_COMPILER "unknown"
+#endif
+#ifndef WC_CXX_FLAGS
+#define WC_CXX_FLAGS "unknown"
+#endif
 
 namespace warpcomp {
+
+namespace {
+
+/**
+ * Widest SIMD instruction set this translation unit was compiled for.
+ * Wall-clock numbers from builds targeting different vector ISAs are
+ * not comparable (the BDI scan and functional loops vectorize), so the
+ * perf record carries this alongside the compiler identity.
+ */
+const char *
+simdIsa()
+{
+#if defined(__AVX512F__)
+    return "avx512f";
+#elif defined(__AVX2__)
+    return "avx2";
+#elif defined(__AVX__)
+    return "avx";
+#elif defined(__SSE4_2__)
+    return "sse4.2";
+#elif defined(__SSE2__) || defined(__x86_64__)
+    return "sse2";
+#elif defined(__ARM_NEON)
+    return "neon";
+#else
+    return "scalar";
+#endif
+}
+
+} // namespace
 
 PerfRecorder::~PerfRecorder()
 {
@@ -41,6 +78,9 @@ PerfRecorder::writeJson(std::ostream &os) const
     w.beginObject();
     w.field("bench", benchName_);
     w.field("git_sha", WC_GIT_SHA);
+    w.field("compiler", WC_CXX_COMPILER);
+    w.field("cxx_flags", WC_CXX_FLAGS);
+    w.field("simd_isa", simdIsa());
     w.field("hw_concurrency",
             static_cast<u64>(std::thread::hardware_concurrency()));
     w.key("suites");

@@ -112,6 +112,21 @@ struct Instruction
     u32 numRegSources() const;
     /** i-th GPR source register read (0 <= i < numRegSources()). */
     u8 regSource(u32 i) const;
+
+    /**
+     * Issue-time metadata cached off the operand fields (filled by
+     * Kernel::append, or finalizeIssueMasks() for hand-built
+     * instructions). The scoreboard probe runs once per candidate warp
+     * per scheduler cycle; with these the whole hazard check collapses
+     * to two mask tests instead of an operand walk.
+     */
+    u64 sbRegMask = 0;   ///< every GPR read or written (bit per reg)
+    u8 sbPredMask = 0;   ///< every predicate read or written
+    bool sbPipeline = false; ///< occupies a collector / exec slot
+    bool sbMemory = false;   ///< counts against the MSHR budget
+
+    /** (Re)derive the cached issue metadata from the operand fields. */
+    void finalizeIssueMasks();
 };
 
 } // namespace warpcomp

@@ -19,6 +19,7 @@ u32
 Kernel::append(const Instruction &inst)
 {
     code_.push_back(inst);
+    code_.back().finalizeIssueMasks();
     return static_cast<u32>(code_.size()) - 1;
 }
 

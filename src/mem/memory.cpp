@@ -7,8 +7,12 @@
 
 namespace warpcomp {
 
-GlobalMemory::GlobalMemory(u64 bytes) : data_(bytes, 0)
+GlobalMemory::GlobalMemory(u64 bytes)
+    : data_(static_cast<u8 *>(std::calloc(bytes > 0 ? bytes : 1, 1))),
+      size_(bytes)
 {
+    WC_ASSERT(data_ != nullptr,
+              "cannot allocate " << bytes << " B global memory image");
 }
 
 u64
@@ -17,9 +21,9 @@ GlobalMemory::alloc(u64 bytes, u64 align)
     WC_ASSERT(align != 0 && (align & (align - 1)) == 0,
               "alignment must be a power of two");
     const u64 base = (brk_ + align - 1) & ~(align - 1);
-    WC_ASSERT(base + bytes <= data_.size(),
+    WC_ASSERT(base + bytes <= size_,
               "global memory exhausted: need " << base + bytes
-              << " have " << data_.size());
+              << " have " << size_);
     brk_ = base + bytes;
     return base;
 }
@@ -27,8 +31,8 @@ GlobalMemory::alloc(u64 bytes, u64 align)
 void
 GlobalMemory::checkAddr(u64 addr) const
 {
-    WC_ASSERT(addr + 4 <= data_.size(),
-              "global access at " << addr << " beyond " << data_.size());
+    WC_ASSERT(addr + 4 <= size_,
+              "global access at " << addr << " beyond " << size_);
     WC_ASSERT((addr & 3) == 0, "unaligned 32-bit global access at " << addr);
 }
 
@@ -37,7 +41,7 @@ GlobalMemory::read32(u64 addr) const
 {
     checkAddr(addr);
     u32 v;
-    std::memcpy(&v, data_.data() + addr, 4);
+    std::memcpy(&v, data_.get() + addr, 4);
     return v;
 }
 
@@ -45,7 +49,7 @@ void
 GlobalMemory::write32(u64 addr, u32 value)
 {
     checkAddr(addr);
-    std::memcpy(data_.data() + addr, &value, 4);
+    std::memcpy(data_.get() + addr, &value, 4);
 }
 
 float

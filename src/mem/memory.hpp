@@ -8,6 +8,9 @@
 #ifndef WARPCOMP_MEM_MEMORY_HPP
 #define WARPCOMP_MEM_MEMORY_HPP
 
+#include <cstdlib>
+#include <memory>
+#include <span>
 #include <vector>
 
 #include "common/types.hpp"
@@ -33,15 +36,23 @@ class GlobalMemory
     float readF32(u64 addr) const;
     void writeF32(u64 addr, float value);
 
-    u64 size() const { return data_.size(); }
+    u64 size() const { return size_; }
 
     /** Raw backing store; lets tests diff whole memory images. */
-    const std::vector<u8> &bytes() const { return data_; }
+    std::span<const u8> bytes() const { return {data_.get(), size_}; }
 
   private:
     void checkAddr(u64 addr) const;
 
-    std::vector<u8> data_;
+    struct FreeDeleter
+    {
+        void operator()(u8 *p) const { std::free(p); }
+    };
+
+    /** calloc-backed so a multi-megabyte image costs zero-page
+     *  mappings, not an eager memset, per simulation run. */
+    std::unique_ptr<u8[], FreeDeleter> data_;
+    u64 size_ = 0;
     u64 brk_ = 0;
 };
 

@@ -22,6 +22,7 @@
 #ifndef WARPCOMP_OBS_OBS_HPP
 #define WARPCOMP_OBS_OBS_HPP
 
+#include <algorithm>
 #include <limits>
 #include <vector>
 
@@ -161,6 +162,22 @@ class ObsWindows
         r.gatedBankCycles += gated_banks;
         r.bankCycles += total_banks;
         ++r.smCycles;
+    }
+
+    /** Bulk equivalent of onCycle over [from, to) with a per-cycle
+     *  constant census, splitting exactly across window boundaries. */
+    void
+    onCycleSpan(Cycle from, Cycle to, u32 gated_banks, u32 total_banks)
+    {
+        while (from < to) {
+            WindowRow &r = rowAt(from);
+            const Cycle window_end = (from / interval_ + 1) * interval_;
+            const u64 n = std::min(to, window_end) - from;
+            r.gatedBankCycles += n * gated_banks;
+            r.bankCycles += n * total_banks;
+            r.smCycles += n;
+            from += n;
+        }
     }
 
     void
@@ -306,6 +323,17 @@ class ObsRun
     {
         if (windowsOn_)
             windows_.onCycle(now, gated_banks, total_banks);
+    }
+
+    /** Idle-skip bulk hook: account [from, to) cycles during which the
+     *  bank census provably cannot change (no issues, writebacks, or
+     *  scrub visits occur inside a skipped span). */
+    void
+    onCycleSpan(u16 /*sm*/, u32 gated_banks, u32 total_banks, Cycle from,
+                Cycle to)
+    {
+        if (windowsOn_)
+            windows_.onCycleSpan(from, to, gated_banks, total_banks);
     }
 
   private:

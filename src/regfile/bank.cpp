@@ -1,11 +1,124 @@
+/**
+ * @file
+ * BankSet implementation: valid-bit bookkeeping with incremental
+ * gated-bank counting, and the per-cycle / closed-form leakage census.
+ */
+
 #include "regfile/bank.hpp"
+
+#include <algorithm>
+
+#include "common/bitops.hpp"
 
 namespace warpcomp {
 
-Bank::Bank(u32 index, u32 entries, u32 wakeup_latency, bool gating_enabled)
-    : index_(index), valid_(entries, false),
-      gate_(wakeup_latency, gating_enabled)
+BankSet::BankSet(u32 num_banks, u32 entries, u32 wakeup_latency,
+                 bool gating_enabled)
+    : entries_(entries)
 {
+    WC_ASSERT(num_banks > 0 && entries > 0, "degenerate bank geometry");
+    gates_.reserve(num_banks);
+    for (u32 b = 0; b < num_banks; ++b)
+        gates_.emplace_back(wakeup_latency, gating_enabled);
+    reads_.assign(num_banks, 0);
+    writes_.assign(num_banks, 0);
+    lastAccess_.assign(num_banks, 0);
+    validCount_.assign(num_banks, 0);
+    const u32 clusters = ceilDiv(num_banks, kBanksPerWarpReg);
+    validMask_.assign(static_cast<size_t>(clusters) * entries, 0);
+    // An enabled PowerGate constructs in the Off state, so every bank
+    // starts gated; without gating nothing is ever off.
+    offCount_ = gating_enabled ? num_banks : 0;
+}
+
+void
+BankSet::setValid(u32 bank, u32 entry, bool v, Cycle now)
+{
+    WC_ASSERT(bank < numBanks() && entry < entries_,
+              "bank " << bank << " entry " << entry << " out of range");
+    const u32 row = rowOf(bank, entry);
+    const u8 bit = static_cast<u8>(1u << (bank % kBanksPerWarpReg));
+    const bool cur = (validMask_[row] & bit) != 0;
+    if (cur == v)
+        return;
+    if (v) {
+        WC_ASSERT(!gates_[bank].isOff(now),
+                  "marking entry " << entry << " valid in gated bank "
+                  << bank << "; wake it first");
+        validMask_[row] = static_cast<u8>(validMask_[row] | bit);
+        ++validCount_[bank];
+    } else {
+        WC_ASSERT(validCount_[bank] > 0,
+                  "valid-count underflow in bank " << bank);
+        validMask_[row] = static_cast<u8>(validMask_[row] & ~bit);
+        if (--validCount_[bank] == 0) {
+            // Last valid entry gone: gate the bank. sleep() no-ops when
+            // gating is disabled or the gate is mid-wakeup, so recheck
+            // the state before counting it as off.
+            const bool was_off = gates_[bank].isOff(now);
+            gates_[bank].sleep(now);
+            if (!was_off && gates_[bank].isOff(now))
+                ++offCount_;
+        }
+    }
+}
+
+Cycle
+BankSet::wake(u32 bank, Cycle now)
+{
+    WC_ASSERT(bank < numBanks(), "bank " << bank << " out of range");
+    PowerGate &g = gates_[bank];
+    if (g.isOff(now)) {
+        WC_ASSERT(offCount_ > 0, "gated-bank count underflow");
+        --offCount_;
+    }
+    return g.wake(now);
+}
+
+BankSet::Activity
+BankSet::activity(Cycle now, bool drowsy_enabled, u32 drowsy_after) const
+{
+    Activity act;
+    const u32 n = numBanks();
+    if (!drowsy_enabled) {
+        act.active = n - offCount_;
+        return act;
+    }
+    for (u32 b = 0; b < n; ++b) {
+        if (gates_[b].isOff(now))
+            continue;
+        if (now > lastAccess_[b] + drowsy_after)
+            ++act.drowsy;
+        else
+            ++act.active;
+    }
+    return act;
+}
+
+void
+BankSet::activitySpan(Cycle from, Cycle to, bool drowsy_enabled,
+                      u32 drowsy_after, u64 &active, u64 &drowsy) const
+{
+    WC_ASSERT(to >= from, "inverted census span");
+    const u64 span = to - from;
+    const u32 n = numBanks();
+    if (!drowsy_enabled) {
+        active += span * (n - offCount_);
+        return;
+    }
+    for (u32 b = 0; b < n; ++b) {
+        if (gates_[b].isOff(from))
+            continue;
+        // A powered bank is active while now <= lastAccess + after and
+        // drowsy from active_end on; lastAccess is frozen across the
+        // span, so the split is a single clamp.
+        const Cycle active_end = lastAccess_[b] + drowsy_after + 1;
+        u64 a = 0;
+        if (active_end > from)
+            a = std::min<u64>(to, active_end) - from;
+        active += a;
+        drowsy += span - a;
+    }
 }
 
 } // namespace warpcomp

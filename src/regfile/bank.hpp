@@ -1,7 +1,15 @@
 /**
  * @file
- * One SRAM register bank: 256 entries x 128 bit, one read and one write
- * port, a valid bit per entry, and a power gate (Table 2 / Sec. 5.3).
+ * Structure-of-arrays state for every SRAM register bank of one SM:
+ * power gates, access counters, and per-entry valid bits packed as one
+ * byte per (cluster, entry) row so the 8 valid bits of a warp-register
+ * stripe live contiguously (Table 2 / Sec. 5.3).
+ *
+ * The SoA layout replaces the old per-Bank object array. What it buys:
+ * the per-cycle leakage census is O(1) through an incrementally
+ * maintained count of fully-gated banks, stripe teardown probes one
+ * packed mask byte instead of eight vector<bool> bits, and the drowsy
+ * comparator scans a flat timestamp array.
  */
 
 #ifndef WARPCOMP_REGFILE_BANK_HPP
@@ -15,93 +23,133 @@
 
 namespace warpcomp {
 
-/** A single register bank. */
-class Bank
+/** All register banks of one SM, stored structure-of-arrays. */
+class BankSet
 {
   public:
     /**
-     * @param index global bank id (only used to coordinate diagnostics)
-     * @param entries rows in the bank
+     * @param num_banks banks in the file
+     * @param entries rows per bank
      * @param wakeup_latency power-gate wakeup cycles
      * @param gating_enabled false for the baseline configuration
      */
-    Bank(u32 index, u32 entries, u32 wakeup_latency, bool gating_enabled);
+    BankSet(u32 num_banks, u32 entries, u32 wakeup_latency,
+            bool gating_enabled);
 
-    u32 index() const { return index_; }
-    u32 entries() const { return static_cast<u32>(valid_.size()); }
-    u32 validCount() const { return validCount_; }
+    u32 numBanks() const { return static_cast<u32>(gates_.size()); }
+    u32 entries() const { return entries_; }
 
     bool
-    valid(u32 entry) const
+    valid(u32 bank, u32 entry) const
     {
-        WC_ASSERT(entry < valid_.size(),
-                  "bank " << index_ << " entry " << entry
-                  << " out of range (" << valid_.size() << " entries)");
-        return valid_[entry];
+        WC_ASSERT(bank < numBanks() && entry < entries_,
+                  "bank " << bank << " entry " << entry
+                  << " out of range");
+        return (validMask_[rowOf(bank, entry)] >>
+                (bank % kBanksPerWarpReg)) & 1u;
     }
+
+    /** Packed valid bits of one warp-register stripe: bit b is bank
+     *  cluster*8+b. The stripe's 8 bits live in one byte — release and
+     *  SEU extent probes read it in one load. */
+    u8
+    validMask(u32 cluster, u32 entry) const
+    {
+        WC_ASSERT(cluster * entries_ + entry < validMask_.size(),
+                  "stripe (" << cluster << ", " << entry
+                  << ") out of range");
+        return validMask_[cluster * entries_ + entry];
+    }
+
+    u32 validCount(u32 bank) const { return validCount_[bank]; }
 
     /**
      * Mark one entry valid/invalid. Gates the bank when the last valid
      * entry disappears. Marking an entry valid requires the bank to be
      * powered; the caller wakes it first (see RegisterFile::recordWrite).
      */
-    void
-    setValid(u32 entry, bool v, Cycle now)
+    void setValid(u32 bank, u32 entry, bool v, Cycle now);
+
+    const PowerGate &gate(u32 bank) const { return gates_[bank]; }
+    bool isOff(u32 bank, Cycle now) const
     {
-        WC_ASSERT(entry < valid_.size(),
-                  "bank " << index_ << " entry " << entry
-                  << " out of range (" << valid_.size() << " entries)");
-        if (valid_[entry] == v)
-            return;
-        valid_[entry] = v;
-        if (v) {
-            WC_ASSERT(!gate_.isOff(now),
-                      "marking entry " << entry << " valid in gated bank "
-                      << index_ << "; wake it first");
-            ++validCount_;
-        } else {
-            WC_ASSERT(validCount_ > 0,
-                      "valid count underflow in bank " << index_
-                      << " (entry " << entry << ")");
-            --validCount_;
-            if (validCount_ == 0)
-                gate_.sleep(now);
-        }
+        return gates_[bank].isOff(now);
     }
 
-    PowerGate &gate() { return gate_; }
-    const PowerGate &gate() const { return gate_; }
+    /**
+     * Ensure a bank is powered; returns the first usable cycle. All
+     * wake-ups route through here (never the raw PowerGate) so the
+     * gated-bank count stays exact.
+     */
+    Cycle wake(u32 bank, Cycle now);
 
-    /** Access counters (reads/writes of this bank, for stats) and the
+    u64 gatedCycles(u32 bank, Cycle now) const
+    {
+        return gates_[bank].gatedCycles(now);
+    }
+
+    /** Access counters (per-bank read/write totals for stats) and the
      *  last-access timestamp driving the drowsy-mode comparator. */
     void
-    noteRead(Cycle now)
+    noteRead(u32 bank, Cycle now)
     {
-        ++reads_;
-        lastAccess_ = now;
+        ++reads_[bank];
+        lastAccess_[bank] = now;
     }
 
     void
-    noteWrite(Cycle now)
+    noteWrite(u32 bank, Cycle now)
     {
-        ++writes_;
-        lastAccess_ = now;
+        ++writes_[bank];
+        lastAccess_[bank] = now;
     }
 
-    u64 reads() const { return reads_; }
-    u64 writes() const { return writes_; }
+    u64 reads(u32 bank) const { return reads_[bank]; }
+    u64 writes(u32 bank) const { return writes_[bank]; }
+    Cycle lastAccess(u32 bank) const { return lastAccess_[bank]; }
 
-    /** Cycle of the most recent read or write. */
-    Cycle lastAccess() const { return lastAccess_; }
+    /** Fully-gated banks right now. Gating transitions only happen in
+     *  setValid/wake, so this is a plain counter, not a scan. */
+    u32 offCount() const { return offCount_; }
+
+    /** Per-cycle leakage census. */
+    struct Activity
+    {
+        u32 active = 0;     ///< powered and recently accessed
+        u32 drowsy = 0;     ///< powered, idle past the drowsy threshold
+    };
+
+    /** Census at @p now: O(1) without drowsy mode, one flat scan with. */
+    Activity activity(Cycle now, bool drowsy_enabled,
+                      u32 drowsy_after) const;
+
+    /**
+     * Closed-form census over the uneventful span [from, to): no gate
+     * or access-timestamp transition can occur inside a skipped span
+     * (nothing issues, writes, or releases), so each bank contributes
+     * a contiguous active prefix up to its drowsy threshold and drowsy
+     * cycles after. Accumulates into @p active / @p drowsy exactly what
+     * per-cycle activity() calls would have summed.
+     */
+    void activitySpan(Cycle from, Cycle to, bool drowsy_enabled,
+                      u32 drowsy_after, u64 &active, u64 &drowsy) const;
 
   private:
-    u32 index_;
-    std::vector<bool> valid_;
-    u32 validCount_ = 0;
-    PowerGate gate_;
-    u64 reads_ = 0;
-    u64 writes_ = 0;
-    Cycle lastAccess_ = 0;
+    u32
+    rowOf(u32 bank, u32 entry) const
+    {
+        return (bank / kBanksPerWarpReg) * entries_ + entry;
+    }
+
+    u32 entries_;
+    std::vector<PowerGate> gates_;
+    std::vector<u64> reads_;
+    std::vector<u64> writes_;
+    std::vector<Cycle> lastAccess_;
+    std::vector<u32> validCount_;
+    /** One byte per (cluster, entry) row; bit b = bank cluster*8+b. */
+    std::vector<u8> validMask_;
+    u32 offCount_ = 0;
 };
 
 } // namespace warpcomp

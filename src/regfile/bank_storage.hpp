@@ -1,0 +1,114 @@
+/**
+ * @file
+ * SoA payload storage for the register banks: one contiguous 128-byte
+ * row per (cluster, entry) warp-register stripe plus a stored-encoding
+ * descriptor (size and BDI parameters). The 32 4-byte lanes of a warp
+ * register occupy consecutive bytes of one row, so the BDI codec and
+ * the SEU flip machinery run straight-line passes over a single buffer
+ * instead of strided walks across bank objects.
+ *
+ * The row holds exactly the bytes the banks would store physically:
+ * the BDI-encoded image for compressed registers, the raw 128-byte
+ * image otherwise. RegisterFile::recordWrite refreshes it on every
+ * writeback, and the corruption paths re-store after mutating
+ * architectural state, so the row always matches the encoding of the
+ * current architectural value (the stored-payload fidelity invariant
+ * the SEU fast path relies on).
+ */
+
+#ifndef WARPCOMP_REGFILE_BANK_STORAGE_HPP
+#define WARPCOMP_REGFILE_BANK_STORAGE_HPP
+
+#include <cstring>
+#include <vector>
+
+#include "common/log.hpp"
+#include "common/types.hpp"
+#include "compress/bdi.hpp"
+
+namespace warpcomp {
+
+/** Contiguous stored-byte rows for every warp-register stripe. */
+class BankStorage
+{
+  public:
+    BankStorage(u32 clusters, u32 entries)
+    {
+        WC_ASSERT(clusters > 0 && entries > 0,
+                  "degenerate storage geometry");
+        meta_.assign(static_cast<size_t>(clusters) * entries, StoredMeta{});
+        payload_.assign(meta_.size() * kWarpRegBytes, 0);
+    }
+
+    u32 rows() const { return static_cast<u32>(meta_.size()); }
+
+    /** True once store() ran for the row (cleared on release). */
+    bool
+    hasStored(u32 row) const
+    {
+        WC_ASSERT(row < rows(), "row " << row << " out of range");
+        return meta_[row].size != 0;
+    }
+
+    /** Record the encoded image a writeback (or corruption commit)
+     *  leaves in the banks. */
+    void
+    store(u32 row, const BdiEncoded &enc)
+    {
+        WC_ASSERT(row < rows(), "row " << row << " out of range");
+        const u32 size = enc.sizeBytes();
+        WC_ASSERT(size > 0 && size <= kWarpRegBytes,
+                  "stored size " << size << " out of range");
+        meta_[row] = StoredMeta{
+            static_cast<u8>(size),
+            static_cast<u8>(enc.params.baseBytes),
+            static_cast<u8>(enc.params.deltaBytes),
+            static_cast<u8>(enc.compressed ? 1 : 0),
+        };
+        std::memcpy(&payload_[static_cast<size_t>(row) * kWarpRegBytes],
+                    enc.bytes.data(), size);
+    }
+
+    /** Reconstruct the stored encoding (descriptor + payload bytes). */
+    BdiEncoded
+    load(u32 row) const
+    {
+        WC_ASSERT(row < rows() && meta_[row].size != 0,
+                  "loading empty row " << row);
+        const StoredMeta &m = meta_[row];
+        BdiEncoded enc;
+        enc.params = BdiParams{m.baseBytes, m.deltaBytes};
+        enc.compressed = m.compressed != 0;
+        const u8 *p =
+            &payload_[static_cast<size_t>(row) * kWarpRegBytes];
+        enc.bytes.assign(std::span<const u8>(p, m.size));
+        return enc;
+    }
+
+    void
+    clear(u32 row)
+    {
+        WC_ASSERT(row < rows(), "row " << row << " out of range");
+        meta_[row] = StoredMeta{};
+    }
+
+  private:
+    /** Descriptor of the bytes a row currently holds; size 0 = empty.
+     *  Kept separate from the RegState indicator because a corrupted
+     *  re-encode may go uncompressed while the allocation footprint
+     *  (and indicator) still reflect the original compressed write. */
+    struct StoredMeta
+    {
+        u8 size = 0;
+        u8 baseBytes = 0;
+        u8 deltaBytes = 0;
+        u8 compressed = 0;
+    };
+
+    std::vector<StoredMeta> meta_;
+    std::vector<u8> payload_;
+};
+
+} // namespace warpcomp
+
+#endif // WARPCOMP_REGFILE_BANK_STORAGE_HPP

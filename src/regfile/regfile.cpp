@@ -9,17 +9,15 @@ namespace warpcomp {
 RegisterFile::RegisterFile(const RegFileParams &params,
                            const FaultParams &faults,
                            const SeuParams &seu)
-    : params_(params)
+    : params_(params),
+      banks_(params.numBanks, params.entriesPerBank, params.wakeupLatency,
+             params.gatingEnabled),
+      store_(params.numClusters(), params.entriesPerBank)
 {
     WC_ASSERT(params.numBanks % kBanksPerWarpReg == 0,
               "bank count must be a multiple of " << kBanksPerWarpReg);
     WC_ASSERT(params.numBanks > 0 && params.entriesPerBank > 0,
               "degenerate register file");
-    banks_.reserve(params.numBanks);
-    for (u32 i = 0; i < params.numBanks; ++i) {
-        banks_.emplace_back(i, params.entriesPerBank,
-                            params.wakeupLatency, params.gatingEnabled);
-    }
     regs_.resize(params.totalWarpRegs());
     if (seu.enabled())
         seu_ = std::make_unique<SeuEngine>(*this, seu);
@@ -110,9 +108,9 @@ RegisterFile::allocate(u32 warp_slot, u32 num_regs, Cycle now)
             for (u32 id : slot.ids) {
                 const RegSlot s = slotOf(id);
                 for (u32 b = 0; b < kBanksPerWarpReg; ++b) {
-                    Bank &bank = banks_[s.firstBank() + b];
-                    bank.gate().wake(now);
-                    bank.setValid(s.entry, true, now);
+                    banks_.wake(s.firstBank() + b, now);
+                    banks_.setValid(s.firstBank() + b, s.entry, true,
+                                    now);
                 }
             }
         }
@@ -139,9 +137,9 @@ RegisterFile::allocate(u32 warp_slot, u32 num_regs, Cycle now)
             for (u32 r = 0; r < num_regs; ++r) {
                 const RegSlot s = slotOf(base + r);
                 for (u32 b = 0; b < kBanksPerWarpReg; ++b) {
-                    Bank &bank = banks_[s.firstBank() + b];
-                    bank.gate().wake(now);
-                    bank.setValid(s.entry, true, now);
+                    banks_.wake(s.firstBank() + b, now);
+                    banks_.setValid(s.firstBank() + b, s.entry, true,
+                                    now);
                 }
             }
         }
@@ -157,6 +155,7 @@ RegisterFile::releaseId(u32 id, Cycle now)
     // Pending transient flips die with the row's content.
     if (seu_ != nullptr && seu_->hasPending())
         seu_->clearEntry(s.cluster, s.entry);
+    store_.clear(rowOf(s));
     // Valid entries of a register form a prefix of its bank stripe:
     // recordWrite sets banks [0, footprint) and clears the rest (all
     // 8 under validAtAlloc). Probing only the prefix makes teardown
@@ -164,14 +163,13 @@ RegisterFile::releaseId(u32 id, Cycle now)
     const u32 nb = params_.validAtAlloc ? kBanksPerWarpReg
                                         : footprintBanks(id);
     for (u32 b = 0; b < nb; ++b) {
-        Bank &bank = banks_[s.firstBank() + b];
-        if (bank.valid(s.entry)) {
-            bank.setValid(s.entry, false, now);
+        const u32 bank = s.firstBank() + b;
+        if (banks_.valid(bank, s.entry)) {
+            banks_.setValid(bank, s.entry, false, now);
             // A bank holding valid data cannot have been gated, so an
             // off gate here means this invalidation just gated it.
-            if (obs_ != nullptr && bank.gate().isOff(now))
-                obs_->onGateOff(
-                    smId_, static_cast<u16>(s.firstBank() + b), now);
+            if (obs_ != nullptr && banks_.isOff(bank, now))
+                obs_->onGateOff(smId_, static_cast<u16>(bank), now);
         }
     }
     if (regs_[id].written) {
@@ -352,29 +350,30 @@ RegisterFile::recordWrite(u32 warp_slot, u32 reg, const BdiEncoded &enc,
     // slowest wakeup finishes.
     Cycle ready = now;
     for (u32 b = 0; b < new_banks; ++b) {
-        Bank &bank = banks_[s.firstBank() + b];
-        const bool was_off = obs_ != nullptr && bank.gate().isOff(now);
-        ready = std::max(ready, bank.gate().wake(now));
-        if (was_off)
-            obs_->onGateWake(smId_,
-                             static_cast<u16>(s.firstBank() + b),
-                             bank.gate().wakeupLatency(), now);
+        const u32 bank = s.firstBank() + b;
+        const bool was_off = banks_.isOff(bank, now);
+        ready = std::max(ready, banks_.wake(bank, now));
+        if (was_off && obs_ != nullptr)
+            obs_->onGateWake(smId_, static_cast<u16>(bank),
+                             banks_.gate(bank).wakeupLatency(), now);
     }
     for (u32 b = 0; b < new_banks; ++b) {
-        Bank &bank = banks_[s.firstBank() + b];
-        bank.noteWrite(now);
-        bank.setValid(s.entry, true, now);
+        const u32 bank = s.firstBank() + b;
+        banks_.noteWrite(bank, now);
+        banks_.setValid(bank, s.entry, true, now);
     }
     // A shrinking footprint frees the banks beyond the new extent.
     for (u32 b = new_banks; b < old_banks; ++b) {
-        Bank &bank = banks_[s.firstBank() + b];
-        if (bank.valid(s.entry)) {
-            bank.setValid(s.entry, false, now);
-            if (obs_ != nullptr && bank.gate().isOff(now))
-                obs_->onGateOff(
-                    smId_, static_cast<u16>(s.firstBank() + b), now);
+        const u32 bank = s.firstBank() + b;
+        if (banks_.valid(bank, s.entry)) {
+            banks_.setValid(bank, s.entry, false, now);
+            if (obs_ != nullptr && banks_.isOff(bank, now))
+                obs_->onGateOff(smId_, static_cast<u16>(bank), now);
         }
     }
+
+    // The banks now hold exactly this encoding (fidelity invariant).
+    store_.store(rowOf(s), enc);
 
     if (!st.written) {
         ++writtenCount_;
@@ -402,6 +401,23 @@ RegisterFile::recordWrite(u32 warp_slot, u32 reg, const BdiEncoded &enc,
     return {ready, a};
 }
 
+BdiEncoded
+RegisterFile::storedEncoding(u32 warp_slot, u32 reg) const
+{
+    const RegSlot s = locate(warp_slot, reg);
+    WC_ASSERT(regs_[regId(warp_slot, reg)].written,
+              "stored encoding of an unwritten register");
+    return store_.load(rowOf(s));
+}
+
+void
+RegisterFile::refreshStored(u32 warp_slot, u32 reg,
+                            const BdiEncoded &enc)
+{
+    const RegSlot s = locate(warp_slot, reg);
+    store_.store(rowOf(s), enc);
+}
+
 RegisterFile::EntryExtent
 RegisterFile::entryExtent(u32 cluster, u32 entry) const
 {
@@ -416,7 +432,7 @@ RegisterFile::entryExtent(u32 cluster, u32 entry) const
     // exposes written bytes, which is the cross-section shrinkage the
     // SEU sweep measures.
     if (params_.validAtAlloc &&
-        banks_[cluster * kBanksPerWarpReg].valid(entry))
+        banks_.valid(cluster * kBanksPerWarpReg, entry))
         return {kWarpRegBytes, false};
     return {};
 }
@@ -425,56 +441,30 @@ void
 RegisterFile::noteRead(const RegAccess &access, Cycle now)
 {
     for (u32 b = 0; b < access.numBanks; ++b)
-        banks_[access.firstBank + b].noteRead(now);
-}
-
-u32
-RegisterFile::awakeBanks(Cycle now) const
-{
-    u32 n = 0;
-    for (const Bank &b : banks_) {
-        if (!b.gate().isOff(now))
-            ++n;
-    }
-    return n;
+        banks_.noteRead(access.firstBank + b, now);
 }
 
 RegisterFile::BankActivity
 RegisterFile::bankActivity(Cycle now) const
 {
-    BankActivity act;
-    for (const Bank &b : banks_) {
-        if (b.gate().isOff(now))
-            continue;
-        if (params_.drowsyEnabled &&
-            now > b.lastAccess() + params_.drowsyAfterCycles) {
-            ++act.drowsy;
-        } else {
-            ++act.active;
-        }
-    }
-    return act;
+    const BankSet::Activity act = banks_.activity(
+        now, params_.drowsyEnabled, params_.drowsyAfterCycles);
+    return BankActivity{act.active, act.drowsy};
+}
+
+void
+RegisterFile::activitySpan(Cycle from, Cycle to, u64 &active,
+                           u64 &drowsy) const
+{
+    banks_.activitySpan(from, to, params_.drowsyEnabled,
+                        params_.drowsyAfterCycles, active, drowsy);
 }
 
 u64
 RegisterFile::gatedCycles(u32 bank, Cycle now) const
 {
-    WC_ASSERT(bank < banks_.size(), "bank index out of range");
-    return banks_[bank].gate().gatedCycles(now);
-}
-
-Bank &
-RegisterFile::bank(u32 i)
-{
-    WC_ASSERT(i < banks_.size(), "bank index out of range");
-    return banks_[i];
-}
-
-const Bank &
-RegisterFile::bank(u32 i) const
-{
-    WC_ASSERT(i < banks_.size(), "bank index out of range");
-    return banks_[i];
+    WC_ASSERT(bank < banks_.numBanks(), "bank index out of range");
+    return banks_.gatedCycles(bank, now);
 }
 
 } // namespace warpcomp

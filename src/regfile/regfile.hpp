@@ -4,6 +4,11 @@
  * 4 clusters of 8, warp registers allocated on the 8 consecutive banks of
  * one cluster at one entry index, with per-register compression state
  * (the 2-bit range indicator of Sec. 4) and bank-level power gating.
+ *
+ * Bank state lives structure-of-arrays in a BankSet, and the stored
+ * payload bytes of every stripe live contiguously in a BankStorage row,
+ * so the hot paths (census, SEU resolution, release probing) are flat
+ * array passes.
  */
 
 #ifndef WARPCOMP_REGFILE_REGFILE_HPP
@@ -19,6 +24,7 @@
 #include "fault/seu.hpp"
 #include "obs/obs.hpp"
 #include "regfile/bank.hpp"
+#include "regfile/bank_storage.hpp"
 
 namespace warpcomp {
 
@@ -172,19 +178,50 @@ class RegisterFile
     /**
      * Record a write with compression outcome @p enc. Updates valid
      * bits, shrinks/grows the footprint, wakes gated banks the write
-     * needs, bumps bank write counters. Returns the cycle the write can
-     * complete (now, or later when a wakeup was required) and the
+     * needs, bumps bank write counters, and stores the encoded payload
+     * bytes into the stripe's storage row. Returns the cycle the write
+     * can complete (now, or later when a wakeup was required) and the
      * resulting access footprint.
      */
     std::pair<Cycle, RegAccess> recordWrite(u32 warp_slot, u32 reg,
                                             const BdiEncoded &enc,
                                             Cycle now);
 
+    /**
+     * The encoding the banks currently hold for a written register
+     * (descriptor + payload bytes). Invariant: equal to re-encoding the
+     * current architectural value — recordWrite stores it and the
+     * corruption-commit paths refresh it.
+     */
+    BdiEncoded storedEncoding(u32 warp_slot, u32 reg) const;
+
+    /** Re-store a row after a corruption commit mutated architectural
+     *  state, preserving the stored-payload fidelity invariant. */
+    void refreshStored(u32 warp_slot, u32 reg, const BdiEncoded &enc);
+
     /** Bump bank read counters for a read access at @p now. */
     void noteRead(const RegAccess &access, Cycle now);
 
+    /** Per-bank access bookkeeping (scrub engine, collector reads). */
+    void noteBankRead(u32 bank, Cycle now) { banks_.noteRead(bank, now); }
+    void noteBankWrite(u32 bank, Cycle now)
+    {
+        banks_.noteWrite(bank, now);
+    }
+
+    /** Per-bank counters and valid bits (stats and tests). */
+    u64 bankReads(u32 bank) const { return banks_.reads(bank); }
+    u64 bankWrites(u32 bank) const { return banks_.writes(bank); }
+    bool bankValid(u32 bank, u32 entry) const
+    {
+        return banks_.valid(bank, entry);
+    }
+
     /** Banks currently not fully gated (for leakage integration). */
-    u32 awakeBanks(Cycle now) const;
+    u32 awakeBanks(Cycle) const
+    {
+        return banks_.numBanks() - banks_.offCount();
+    }
 
     /** Per-cycle leakage census: fully-on and drowsy bank counts. */
     struct BankActivity
@@ -196,12 +233,18 @@ class RegisterFile
     /** Leakage census at @p now (drowsy == 0 unless drowsyEnabled). */
     BankActivity bankActivity(Cycle now) const;
 
+    /**
+     * Closed-form leakage census over the uneventful span [from, to):
+     * accumulates exactly what per-cycle bankActivity() sums would
+     * have, used by event-driven idle skipping.
+     */
+    void activitySpan(Cycle from, Cycle to, u64 &active,
+                      u64 &drowsy) const;
+
     /** Cumulative gated cycles of one bank (Fig 10). */
     u64 gatedCycles(u32 bank, Cycle now) const;
 
-    Bank &bank(u32 i);
-    const Bank &bank(u32 i) const;
-    u32 numBanks() const { return static_cast<u32>(banks_.size()); }
+    u32 numBanks() const { return banks_.numBanks(); }
 
     /** Warp registers currently allocated (occupancy accounting). */
     u32 allocatedRegs() const { return allocatedRegs_; }
@@ -240,8 +283,15 @@ class RegisterFile
     u32 footprintBanks(u32 id) const;
     void releaseId(u32 id, Cycle now);
 
+    u32
+    rowOf(const RegSlot &s) const
+    {
+        return s.cluster * params_.entriesPerBank + s.entry;
+    }
+
     RegFileParams params_;
-    std::vector<Bank> banks_;
+    BankSet banks_;
+    BankStorage store_;
     std::vector<RegState> regs_;
     std::vector<SlotAlloc> slots_;
     /** Free-range list over warp-register ids, kept sorted/coalesced. */

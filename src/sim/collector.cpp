@@ -6,7 +6,7 @@
 
 namespace warpcomp {
 
-CollectorPool::CollectorPool(u32 num_units) : units_(num_units)
+CollectorPool::CollectorPool(u32 num_units) : units_(num_units, nullptr)
 {
     WC_ASSERT(num_units > 0, "need at least one collector unit");
     order_.reserve(num_units);
@@ -19,11 +19,12 @@ CollectorPool::hasFree() const
 }
 
 u32
-CollectorPool::insert(InFlight &&entry)
+CollectorPool::insert(InFlight *entry)
 {
+    WC_ASSERT(entry != nullptr, "inserting a null in-flight entry");
     for (u32 i = 0; i < units_.size(); ++i) {
-        if (!units_[i].has_value()) {
-            units_[i] = std::move(entry);
+        if (units_[i] == nullptr) {
+            units_[i] = entry;
             order_.push_back(i);
             return i;
         }
@@ -31,13 +32,13 @@ CollectorPool::insert(InFlight &&entry)
     WC_PANIC("insert into a full collector pool");
 }
 
-InFlight
+InFlight *
 CollectorPool::take(u32 index)
 {
-    WC_ASSERT(index < units_.size() && units_[index].has_value(),
+    WC_ASSERT(index < units_.size() && units_[index] != nullptr,
               "taking an empty collector unit " << index);
-    InFlight out = std::move(*units_[index]);
-    units_[index].reset();
+    InFlight *out = units_[index];
+    units_[index] = nullptr;
     order_.erase(std::find(order_.begin(), order_.end(), index));
     return out;
 }

@@ -78,7 +78,10 @@ struct InFlight
 
 /**
  * Fixed pool of collector units. An instruction occupies a unit from
- * issue until it dispatches to an execution unit.
+ * issue until it dispatches to an execution unit. The pool references
+ * entries owned elsewhere (the SM's in-flight slab): moving a warp
+ * instruction through the pipeline shuffles pointers, never the
+ * multi-hundred-byte InFlight payload.
  */
 class CollectorPool
 {
@@ -87,17 +90,18 @@ class CollectorPool
 
     bool hasFree() const;
 
-    /** Claim a unit; returns its index. Requires hasFree(). */
-    u32 insert(InFlight &&entry);
+    /** Claim a unit for @p entry (not owned); returns its index.
+     *  Requires hasFree(). */
+    u32 insert(InFlight *entry);
 
-    /** Release unit @p index; returns the entry by move. */
-    InFlight take(u32 index);
+    /** Release unit @p index; returns the entry pointer. */
+    InFlight *take(u32 index);
 
     InFlight *
     at(u32 index)
     {
         WC_ASSERT(index < units_.size(), "collector index out of range");
-        return units_[index].has_value() ? &*units_[index] : nullptr;
+        return units_[index];
     }
 
     u32 size() const { return static_cast<u32>(units_.size()); }
@@ -106,7 +110,7 @@ class CollectorPool
     const std::vector<u32> &occupiedOrder() const { return order_; }
 
   private:
-    std::vector<std::optional<InFlight>> units_;
+    std::vector<InFlight *> units_;
     std::vector<u32> order_;
 };
 

@@ -10,20 +10,6 @@ namespace warpcomp {
 
 namespace {
 
-/** Read a source operand's value in one lane. */
-u32
-operandValue(const Warp &warp, const Operand &o, u32 lane)
-{
-    switch (o.kind) {
-      case Operand::Kind::Reg:
-        return warp.reg(o.reg)[lane];
-      case Operand::Kind::Imm:
-        return static_cast<u32>(o.imm);
-      default:
-        WC_PANIC("reading an absent operand");
-    }
-}
-
 bool
 compareI(CmpOp op, i32 a, i32 b)
 {
@@ -123,9 +109,26 @@ FunctionalExecutor::execute(Warp &warp, u32 pc, SharedMemory *smem,
         }
         out.wroteReg = eff != 0;
     };
-    auto s0 = [&](u32 lane) { return operandValue(warp, in.src[0], lane); };
-    auto s1 = [&](u32 lane) { return operandValue(warp, in.src[1], lane); };
-    auto s2 = [&](u32 lane) { return operandValue(warp, in.src[2], lane); };
+    // Resolve each source once per instruction — a lane pointer for
+    // registers, a broadcast value for immediates — so the per-lane
+    // loops below index flat arrays instead of re-deriving the operand
+    // kind 32 times.
+    struct SrcRef
+    {
+        const u32 *lanes = nullptr;
+        u32 imm = 0;
+    };
+    const auto resolve = [&warp](const Operand &o) -> SrcRef {
+        if (o.isReg())
+            return {warp.reg(o.reg).data(), 0};
+        return {nullptr, static_cast<u32>(o.imm)};
+    };
+    const SrcRef r0 = resolve(in.src[0]);
+    const SrcRef r1 = resolve(in.src[1]);
+    const SrcRef r2 = resolve(in.src[2]);
+    auto s0 = [&](u32 lane) { return r0.lanes ? r0.lanes[lane] : r0.imm; };
+    auto s1 = [&](u32 lane) { return r1.lanes ? r1.lanes[lane] : r1.imm; };
+    auto s2 = [&](u32 lane) { return r2.lanes ? r2.lanes[lane] : r2.imm; };
 
     switch (in.op) {
       case Opcode::Nop:

@@ -1,5 +1,6 @@
 #include "sim/gpu.hpp"
 
+#include <algorithm>
 #include <memory>
 
 #include "common/log.hpp"
@@ -80,9 +81,13 @@ Gpu::run(const Kernel &kernel, const LaunchDims &dims,
         }
 
         bool sm_busy = false;
+        bool cta_completed = false;
         for (auto &sm : sms) {
+            const u64 done_before = sm->ctasCompleted();
             sm->cycle(now);
             sm_busy = sm_busy || sm->busy();
+            cta_completed =
+                cta_completed || sm->ctasCompleted() != done_before;
         }
         ++now;
         if (next_cta >= dims.gridDim && !sm_busy)
@@ -101,6 +106,40 @@ Gpu::run(const Kernel &kernel, const LaunchDims &dims,
             }
         } else {
             stalled_cycles = 0;
+        }
+        // Event-driven idle skipping: when every SM is provably
+        // uneventful until some future cycle (all warps stalled on
+        // memory, power-gate wakes, or barriers), jump straight there,
+        // bulk-accounting the gap. Launch attempts gate the skip: with
+        // CTAs still pending, a launch this cycle or a completion last
+        // cycle could make the next launch attempt succeed, so those
+        // boundaries step normally.
+        if (params_.skipIdleCycles && sm_busy &&
+            (next_cta >= dims.gridDim ||
+             (!launched && !cta_completed))) {
+            Cycle ev = Sm::kNoEvent;
+            for (auto &sm : sms)
+                ev = std::min(ev, sm->cachedNextEvent());
+            WC_ASSERT(ev != Sm::kNoEvent,
+                      "busy GPU reported no future event");
+            if (ev > now) {
+                WC_ASSERT(ev < kMaxCycles,
+                          "next event beyond the deadlock guard in "
+                          "kernel " << kernel.name());
+                Cycle target = ev;
+                bool to_budget = false;
+                if (hang_budget != 0 && target >= hang_budget) {
+                    target = hang_budget;
+                    to_budget = true;
+                }
+                for (auto &sm : sms)
+                    sm->skipCycles(now, target);
+                now = target;
+                if (to_budget) {
+                    hung = true;
+                    break;
+                }
+            }
         }
         WC_ASSERT(now < kMaxCycles,
                   "simulation exceeded " << kMaxCycles
@@ -141,3 +180,4 @@ Gpu::run(const Kernel &kernel, const LaunchDims &dims,
 }
 
 } // namespace warpcomp
+

@@ -111,6 +111,11 @@ struct GpuParams
     /** Observability (tracing / windowed counters); disabled by
      *  default, in which case no ObsRun is ever created. */
     ObsParams obs{};
+    /** Event-driven idle skipping: jump over provably uneventful cycle
+     *  spans (all warps stalled) instead of stepping them one by one.
+     *  Bit-identical to per-cycle stepping by construction; --no-skip
+     *  turns it off for differential checks. */
+    bool skipIdleCycles = true;
 };
 
 } // namespace warpcomp

@@ -1,23 +1,36 @@
 #include "sim/scheduler.hpp"
 
+#include "common/log.hpp"
+
 namespace warpcomp {
 
 WarpScheduler::WarpScheduler(SchedPolicy policy, std::vector<u32> slots)
     : policy_(policy), slots_(std::move(slots))
 {
+    u32 max_slot = 0;
+    for (u32 s : slots_)
+        max_slot = std::max(max_slot, s);
+    slotIndex_.assign(slots_.empty() ? 0 : max_slot + 1, -1);
+    for (u32 i = 0; i < slots_.size(); ++i) {
+        WC_ASSERT(slotIndex_[slots_[i]] < 0,
+                  "duplicate warp slot " << slots_[i]
+                  << " in scheduler slot list");
+        slotIndex_[slots_[i]] = static_cast<i32>(i);
+    }
 }
 
 void
 WarpScheduler::noteIssued(u32 slot)
 {
+    // A slot this scheduler does not own would silently corrupt the
+    // rotation state; that is a caller bug, not a recoverable input.
+    WC_ASSERT(slot < slotIndex_.size() && slotIndex_[slot] >= 0,
+              "noteIssued for foreign warp slot " << slot);
     lastIssued_ = static_cast<i32>(slot);
     if (policy_ == SchedPolicy::Lrr) {
-        for (u32 i = 0; i < slots_.size(); ++i) {
-            if (slots_[i] == slot) {
-                rrCursor_ = (i + 1) % static_cast<u32>(slots_.size());
-                break;
-            }
-        }
+        const u32 n = static_cast<u32>(slots_.size());
+        WC_ASSERT(n > 0, "noteIssued on a slotless scheduler");
+        rrCursor_ = (static_cast<u32>(slotIndex_[slot]) + 1) % n;
     }
 }
 

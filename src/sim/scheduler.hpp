@@ -8,6 +8,7 @@
 #ifndef WARPCOMP_SIM_SCHEDULER_HPP
 #define WARPCOMP_SIM_SCHEDULER_HPP
 
+#include <algorithm>
 #include <vector>
 
 #include "common/types.hpp"
@@ -45,19 +46,24 @@ class WarpScheduler
             // Greedy: stick with the last issuer while it can go.
             if (lastIssued_ >= 0 && ready(static_cast<u32>(lastIssued_)))
                 return lastIssued_;
-            // Then-oldest: smallest age stamp among ready warps.
-            i32 best = -1;
-            u64 best_age = ~u64{0};
-            for (u32 slot : slots_) {
-                if (!ready(slot))
-                    continue;
-                const u64 a = age(slot);
-                if (a < best_age) {
-                    best_age = a;
-                    best = static_cast<i32>(slot);
-                }
+            // Then-oldest: first ready slot in age order. Age stamps
+            // only change when a CTA launches onto this SM
+            // (invalidateOrder), so the sorted view is cached and the
+            // scan stops at the first hit instead of probing every
+            // slot for an explicit min.
+            if (orderDirty_) {
+                ageOrder_ = slots_;
+                std::sort(ageOrder_.begin(), ageOrder_.end(),
+                          [&age](u32 a, u32 b) {
+                              return age(a) < age(b);
+                          });
+                orderDirty_ = false;
             }
-            return best;
+            for (u32 slot : ageOrder_) {
+                if (ready(slot))
+                    return static_cast<i32>(slot);
+            }
+            return -1;
         }
 
         // LRR: scan from one past the previous pick.
@@ -70,14 +76,26 @@ class WarpScheduler
         return -1;
     }
 
-    /** Inform the scheduler which slot actually issued. */
+    /** Inform the scheduler which slot actually issued; @p slot must
+     *  be one this scheduler owns. */
     void noteIssued(u32 slot);
+
+    /** Age stamps changed (a warp [re]launched): re-derive the GTO
+     *  oldest-first order on the next pick. */
+    void invalidateOrder() { orderDirty_ = true; }
 
     const std::vector<u32> &slots() const { return slots_; }
 
   private:
     SchedPolicy policy_;
     std::vector<u32> slots_;
+    /** slot -> position in slots_, -1 for foreign slots; built once at
+     *  construction so noteIssued is O(1) instead of a linear scan. */
+    std::vector<i32> slotIndex_;
+    /** GTO: slots_ sorted oldest-first, rebuilt lazily after
+     *  invalidateOrder(). */
+    std::vector<u32> ageOrder_;
+    bool orderDirty_ = true;
     i32 lastIssued_ = -1;   ///< GTO greedy candidate
     u32 rrCursor_ = 0;      ///< LRR rotation point
 };

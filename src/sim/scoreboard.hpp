@@ -27,24 +27,11 @@ class Scoreboard
     canIssue(u32 warp, const Instruction &inst) const
     {
         WC_ASSERT(warp < regBits_.size(), "warp slot out of range");
-        const u64 regs = regBits_[warp];
-        const u8 preds = predBits_[warp];
-
-        for (const Operand &o : inst.src) {
-            if (o.isReg() && (regs >> o.reg) & 1)
-                return false;
-        }
-        if (inst.hasDst() && ((regs >> inst.dst) & 1))
-            return false;
-        if (inst.guardPred != kNoPred && ((preds >> inst.guardPred) & 1))
-            return false;
-        if (inst.srcPred != kNoPred && ((preds >> inst.srcPred) & 1))
-            return false;
-        if (inst.srcPred2 != kNoPred && ((preds >> inst.srcPred2) & 1))
-            return false;
-        if (inst.dstPred != kNoPred && ((preds >> inst.dstPred) & 1))
-            return false;
-        return true;
+        // The masks are cached by Kernel::append /
+        // Instruction::finalizeIssueMasks: one test each replaces the
+        // per-operand walk on the hottest probe in the simulator.
+        return (regBits_[warp] & inst.sbRegMask) == 0 &&
+               (predBits_[warp] & inst.sbPredMask) == 0;
     }
 
     /** Reserve the destinations of @p inst. */

@@ -7,25 +7,6 @@
 
 namespace warpcomp {
 
-namespace {
-
-/** Control-only instructions never occupy a collector / exec slot. */
-bool
-needsPipeline(const Instruction &inst)
-{
-    switch (inst.op) {
-      case Opcode::Bra:
-      case Opcode::Bar:
-      case Opcode::Exit:
-      case Opcode::Nop:
-        return false;
-      default:
-        return true;
-    }
-}
-
-} // namespace
-
 void
 SimStats::merge(const SimStats &other)
 {
@@ -88,6 +69,7 @@ Sm::Sm(const SmParams &params, const EnergyParams &energy,
     // or a collector-dispatched short-latency op) and the launch
     // scratch to the warp count.
     execList_.reserve(params.mem.maxOutstanding + params.maxWarps);
+    issueBlocked_.assign(params.maxWarps, 0);
     launchSlots_.reserve(params.maxWarps);
 }
 
@@ -105,6 +87,12 @@ Sm::freeSmemBytes() const
 bool
 Sm::tryLaunchCta(u32 cta_id, Cycle now)
 {
+    // Every CTA of one launch has the same resource footprint, and
+    // resources are only returned at CTA completion (which clears the
+    // flag): a failed attempt stays failed, skip the rescans.
+    if (launchBlocked_)
+        return false;
+
     const u32 warps_per_cta = ceilDiv(dims_.blockDim, kWarpSize);
     WC_ASSERT(warps_per_cta <= params_.maxWarps,
               "CTA needs more warps than the SM has");
@@ -117,8 +105,10 @@ Sm::tryLaunchCta(u32 cta_id, Cycle now)
             break;
         }
     }
-    if (cta_slot == ~0u)
+    if (cta_slot == ~0u) {
+        launchBlocked_ = true;
         return false;
+    }
 
     // Threads and shared memory.
     u32 resident_threads = 0;
@@ -126,10 +116,14 @@ Sm::tryLaunchCta(u32 cta_id, Cycle now)
         if (c.active)
             resident_threads += dims_.blockDim;
     }
-    if (resident_threads + dims_.blockDim > params_.maxThreads)
+    if (resident_threads + dims_.blockDim > params_.maxThreads) {
+        launchBlocked_ = true;
         return false;
-    if (kernel_.smemBytes() > freeSmemBytes())
+    }
+    if (kernel_.smemBytes() > freeSmemBytes()) {
+        launchBlocked_ = true;
         return false;
+    }
 
     // Free warp slots.
     std::vector<u32> &slots = launchSlots_;
@@ -139,8 +133,10 @@ Sm::tryLaunchCta(u32 cta_id, Cycle now)
         if (warps_[s].status() == Warp::Status::Idle)
             slots.push_back(s);
     }
-    if (slots.size() < warps_per_cta)
+    if (slots.size() < warps_per_cta) {
+        launchBlocked_ = true;
         return false;
+    }
 
     // Register allocation, with rollback on partial failure. Later
     // waves launch at now > 0; the allocation timestamp must be the
@@ -150,6 +146,7 @@ Sm::tryLaunchCta(u32 cta_id, Cycle now)
         if (!rf_.allocate(slots[allocated], kernel_.numRegs(), now)) {
             for (u32 a = 0; a < allocated; ++a)
                 rf_.release(slots[a], now);
+            launchBlocked_ = true;
             return false;
         }
     }
@@ -170,7 +167,15 @@ Sm::tryLaunchCta(u32 cta_id, Cycle now)
         remaining -= lanes;
         warps_[slots[w]].launch(kernel_, cta_slot, cta_id, w, lanes,
                                 ageCounter_++);
+        issueBlocked_[slots[w]] = 0;
     }
+    // Fresh warps can issue immediately: drop the uneventful-span
+    // cache so the next cycle takes the full path, and re-derive the
+    // GTO oldest-first order (new age stamps).
+    nextEvent_ = 0;
+    issueCandidate_ = true;
+    for (WarpScheduler &sched : schedulers_)
+        sched.invalidateOrder();
     return true;
 }
 
@@ -187,12 +192,25 @@ Sm::busy() const
 void
 Sm::cycle(Cycle now)
 {
-    arbiter_.newCycle();
-    if (SeuEngine *e = rf_.seu())
-        stepSeu(*e, now);
-    stepWritebackAndExec(now);
-    stepCollect(now);
-    stepIssue(now);
+    // Light path for cached-uneventful cycles: the pipeline walk is a
+    // provable no-op (nothing ready, nothing issuable, no collector in
+    // flight), so only the per-cycle streams run — the SEU flip draw
+    // and the energy/census/obs accounting. nextEventCycle caps the
+    // cache at scrub ticks, so scrubTick work never lands here.
+    if (now < nextEvent_) {
+        if (SeuEngine *e = rf_.seu())
+            e->sampleCycle(now);
+    } else {
+        if (SeuEngine *e = rf_.seu())
+            stepSeu(*e, now);
+        if (busy()) {
+            arbiter_.newCycle();
+            stepWritebackAndExec(now);
+            stepCollect(now);
+            stepIssue(now);
+        }
+        nextEvent_ = nextEventCycle(now + 1);
+    }
     meter_.addCycles(1);
     const RegisterFile::BankActivity act = rf_.bankActivity(now);
     meter_.addAwakeBankCycles(act.active);
@@ -201,6 +219,85 @@ Sm::cycle(Cycle now)
         const u32 total = params_.regfile.numBanks;
         obs_->onCycle(obsSmId_, total - act.active - act.drowsy, total,
                       now);
+    }
+}
+
+Cycle
+Sm::nextEventCycle(Cycle now)
+{
+    // Precondition: called at the end of a fully executed cycle
+    // (cycle now - 1), so noIssuable_ and execMinReady_ reflect the
+    // state the next cycle will see.
+    Cycle ev = kNoEvent;
+    if (busy()) {
+        // Operand collectors retry bank reads, decompressor slots, and
+        // dispatch ports every cycle: any occupied collector means the
+        // very next cycle can make progress.
+        if (!collectors_.occupiedOrder().empty())
+            return now;
+
+        // The issue scan this cycle was complete (every scheduler
+        // probed every slot) and fruitless, and nothing after it could
+        // unblock a warp; a fresh scan would find the same answer.
+        if (!noIssuable_)
+            return now;
+
+        // In-flight ops act at execMinReady_ (maintained as
+        // max(readyAt, retry cycle) by the writeback walk).
+        ev = execMinReady_;
+
+        // A busy SM always has a future event (barriers release at
+        // issue time, so all-at-barrier implies an in-flight release
+        // already happened). Never skip on an unmodeled dependency.
+        if (ev == kNoEvent)
+            return now;
+        WC_ASSERT(ev >= now, "stale exec-list ready cache");
+    }
+
+    // The scrub engine advances its cursor and counters at every
+    // interval tick, even over an otherwise idle SM: cap the skip so
+    // tick cycles always execute normally.
+    if (const SeuEngine *e = rf_.seu();
+        e != nullptr && e->params().scrubEnabled()) {
+        const Cycle interval = e->params().scrubInterval;
+        const Cycle tick = (now != 0 && now % interval == 0)
+            ? now
+            : (now / interval + 1) * interval;
+        ev = std::min(ev, tick);
+    }
+    return ev;
+}
+
+void
+Sm::skipCycles(Cycle from, Cycle to)
+{
+    WC_ASSERT(to >= from, "skip span runs backwards");
+    if (to == from)
+        return;
+    meter_.addCycles(to - from);
+
+    // No writes, reads, gate transitions, or scrub visits happen inside
+    // a skipped span, so the census evolves in closed form.
+    u64 active = 0;
+    u64 drowsy = 0;
+    rf_.activitySpan(from, to, active, drowsy);
+    meter_.addAwakeBankCycles(active);
+    meter_.addDrowsyBankCycles(drowsy);
+
+    // The flip stream is a per-cycle function of (seed, cycle): replay
+    // it so pending flips accumulate bit-identically to per-cycle
+    // stepping. Scrub ticks never fall inside a span (nextEventCycle
+    // caps at them), and scrubTick is a pure no-op off-tick.
+    if (SeuEngine *e = rf_.seu()) {
+        for (Cycle c = from; c < to; ++c)
+            e->sampleCycle(c);
+    }
+
+    if (obs_ != nullptr) {
+        const u32 total = params_.regfile.numBanks;
+        const u32 gated =
+            static_cast<u32>(total - rf_.awakeBanks(from));
+        obs_->onCycleSpan(obsSmId_, gated, total, from, to);
     }
 }
 
@@ -223,9 +320,8 @@ Sm::stepSeu(SeuEngine &seu, Cycle now)
     // the check bits when ECC is present). It runs beside the arbiter
     // on spare port cycles, so only energy is charged, not bandwidth.
     for (u32 b = 0; b < v.banks; ++b) {
-        Bank &bank = rf_.bank(v.firstBank + b);
-        bank.noteRead(now);
-        bank.noteWrite(now);
+        rf_.noteBankRead(v.firstBank + b, now);
+        rf_.noteBankWrite(v.firstBank + b, now);
     }
     meter_.addBankReads(v.banks);
     meter_.addBankWrites(v.banks);
@@ -245,22 +341,21 @@ Sm::resolveSeuRead(SeuEngine &seu, u32 slot, u32 reg, Cycle now)
     if (!res.corrupt)
         return;
 
-    // The banks hold no payload in this model — architectural values
-    // live in the warp context — so reconstruct the stored image by
-    // re-encoding the value exactly as the write path stored it, XOR
-    // the pending flips in, and decode back. A flipped byte inside a
-    // BDI base or delta corrupts every lane that chunk feeds: the
-    // amplification the paper's reliability tradeoff has to own.
+    // XOR the pending flips into the stored row image and decode back.
+    // The storage row holds exactly the bytes the write path stored
+    // (fidelity invariant; the corruption-commit paths re-store after
+    // mutating architectural state), so no re-encode is needed here.
+    // A flipped byte inside a BDI base or delta corrupts every lane
+    // that chunk feeds: the amplification the paper's reliability
+    // tradeoff has to own.
     Warp &w = warps_[slot];
     const WarpRegValue before = w.reg(reg);
-    const auto img = toBytes(before);
     WarpRegValue after;
     bool amplified = false;
     if (rf_.isCompressed(slot, reg)) {
-        BdiEncoded enc =
-            bdiCompress(img, schemeCandidates(params_.scheme));
+        BdiEncoded enc = rf_.storedEncoding(slot, reg);
         // Flip positions were recorded against the stored extent; a
-        // position beyond the re-encoded size (possible only after
+        // position beyond the stored size (possible only after
         // composed stuck-at corruption changed compressibility) is
         // dropped.
         for (u32 i = 0; i < res.tracked; ++i) {
@@ -272,7 +367,7 @@ Sm::resolveSeuRead(SeuEngine &seu, u32 slot, u32 reg, Cycle now)
         after = fromBytes(bdiDecompress(enc));
         amplified = enc.compressed;
     } else {
-        auto raw = img;
+        auto raw = toBytes(before);
         for (u32 i = 0; i < res.tracked; ++i) {
             const u32 byte = res.pos[i] / 8;
             if (byte < raw.size())
@@ -290,6 +385,12 @@ Sm::resolveSeuRead(SeuEngine &seu, u32 slot, u32 reg, Cycle now)
     if (lanes == 0)
         return;
     w.reg(reg) = after;
+    // The corrupted value is architectural now; re-store its encoding
+    // so the next read of this row sees consistent bytes.
+    if (rf_.isCompressed(slot, reg))
+        rf_.refreshStored(slot, reg,
+                          bdiCompress(toBytes(after),
+                                      schemeCandidates(params_.scheme)));
     seu.noteCorruption(lanes, amplified);
     if (obs_ != nullptr)
         obs_->onSeuCorruption(obsSmId_, static_cast<u16>(slot), lanes,
@@ -299,6 +400,10 @@ Sm::resolveSeuRead(SeuEngine &seu, u32 slot, u32 reg, Cycle now)
 void
 Sm::finishInFlight(InFlight &f, Cycle now)
 {
+    // Completion releases scoreboard entries (the callers) and CTA
+    // in-flight counts; both can unblock issue.
+    issueCandidate_ = true;
+    issueBlocked_[f.warpSlot] = 0;
     f.stage = InFlight::Stage::Done;
     Cta &cta = ctas_[warps_[f.warpSlot].ctaSlot()];
     WC_ASSERT(cta.inFlight > 0, "in-flight underflow");
@@ -306,17 +411,42 @@ Sm::finishInFlight(InFlight &f, Cycle now)
     maybeCompleteCta(warps_[f.warpSlot].ctaSlot(), now);
 }
 
+InFlight *
+Sm::allocFlight()
+{
+    if (flightFree_.empty())
+        return &flightSlab_.emplace_back();
+    InFlight *f = flightFree_.back();
+    flightFree_.pop_back();
+    *f = InFlight{};
+    return f;
+}
+
+void
+Sm::freeFlight(InFlight *f)
+{
+    flightFree_.push_back(f);
+}
+
 void
 Sm::stepWritebackAndExec(Cycle now)
 {
+    // Nothing in flight is due yet: the walk below would visit every
+    // entry and do nothing.
+    if (execMinReady_ > now)
+        return;
+
+    Cycle min_ready = kNoEvent;
     for (std::size_t i = 0; i < execList_.size();) {
-        InFlight &f = execList_[i];
+        InFlight &f = *execList_[i];
 
         if (f.stage == InFlight::Stage::Exec && now >= f.readyAt) {
             if (f.inst.isMemory() && !f.memReleased) {
                 WC_ASSERT(outstandingMem_ > 0, "MSHR underflow");
                 --outstandingMem_;
                 f.memReleased = true;
+                // A freed MSHR slot can unblock memory issue.
+                issueCandidate_ = true;
             }
             if (!f.writesBack) {
                 // Stores, compares, zero-mask writers: nothing reaches
@@ -341,6 +471,16 @@ Sm::stepWritebackAndExec(Cycle now)
             }
         }
 
+        // Intentional same-cycle Exec -> Writeback fall-through: an
+        // entry the block above just promoted with readyAt == now (the
+        // compression-disabled and divergent-write paths) writes back
+        // this very cycle — zero-latency writeback is the modeled
+        // baseline, and compressLatency adds on top of it. The
+        // `now >= f.readyAt` re-test is what stops a double advance:
+        // when a compressor assigned readyAt = now + compressLatency,
+        // the promoted entry is skipped here and again on every walk
+        // until its readyAt arrives (test_pipeline_latency.cpp pins
+        // both behaviours).
         if (f.stage == InFlight::Stage::Writeback && now >= f.readyAt) {
             if (!f.wbRecorded) {
                 auto [ready, acc] = rf_.recordWrite(f.warpSlot, f.inst.dst,
@@ -382,6 +522,16 @@ Sm::stepWritebackAndExec(Cycle now)
                         rf_.noteCorruptedWrite();
                         warps_[f.warpSlot].reg(f.inst.dst) =
                             fromBytes(bdiDecompress(stored));
+                        // Keep the storage row consistent with the
+                        // corrupted architectural value (fidelity
+                        // invariant for the SEU read path).
+                        if (rf_.isCompressed(f.warpSlot, f.inst.dst))
+                            rf_.refreshStored(
+                                f.warpSlot, f.inst.dst,
+                                bdiCompress(
+                                    toBytes(warps_[f.warpSlot]
+                                                .reg(f.inst.dst)),
+                                    schemeCandidates(params_.scheme)));
                         if (obs_ != nullptr)
                             obs_->onFaultCorruptedWrite(
                                 obsSmId_, static_cast<u16>(f.warpSlot),
@@ -399,12 +549,19 @@ Sm::stepWritebackAndExec(Cycle now)
         }
 
         if (f.stage == InFlight::Stage::Done) {
-            execList_[i] = std::move(execList_.back());
+            freeFlight(execList_[i]);
+            execList_[i] = execList_.back();
             execList_.pop_back();
         } else {
+            // Entries blocked this cycle (compressor pool, arbiter
+            // conflict) retry next cycle; future entries act at their
+            // readyAt.
+            min_ready = std::min(min_ready,
+                                 std::max(f.readyAt, now + 1));
             ++i;
         }
     }
+    execMinReady_ = min_ready;
 }
 
 void
@@ -430,7 +587,7 @@ Sm::stepCollect(Cycle now)
                     break;
                 ++op.granted;
                 meter_.addBankReads(1);
-                rf_.bank(bank).noteRead(now);
+                rf_.noteBankRead(bank, now);
                 // SEC-DED decode once per completed row fetch.
                 if (seuEcc_ && op.done())
                     meter_.addEccDecodes(1);
@@ -468,32 +625,42 @@ Sm::stepCollect(Cycle now)
             continue;
         }
 
-        InFlight moved = collectors_.take(idx);
+        InFlight *moved = collectors_.take(idx);
+        // A freed collector can unblock pipeline-bound issue.
+        issueCandidate_ = true;
         if (obs_ != nullptr)
             obs_->onOperandCollect(obsSmId_,
-                                   static_cast<u16>(moved.warpSlot),
-                                   moved.numOps, moved.compressedSrcs,
+                                   static_cast<u16>(moved->warpSlot),
+                                   moved->numOps, moved->compressedSrcs,
                                    now);
-        moved.stage = InFlight::Stage::Exec;
-        moved.readyAt = now + (moved.inst.isMemory()
-                               ? moved.memLatency
-                               : resultLatency(moved.inst.op));
-        execList_.push_back(std::move(moved));
+        moved->stage = InFlight::Stage::Exec;
+        moved->readyAt = now + (moved->inst.isMemory()
+                                ? moved->memLatency
+                                : resultLatency(moved->inst.op));
+        execMinReady_ = std::min(execMinReady_,
+                                 std::max(moved->readyAt, now + 1));
+        execList_.push_back(moved);
     }
 }
 
 bool
-Sm::canIssueFrom(u32 slot) const
+Sm::canIssueFrom(u32 slot)
 {
+    if (issueBlocked_[slot] != 0)
+        return false;
     const Warp &w = warps_[slot];
-    if (!w.schedulable())
+    if (!w.schedulable()) {
+        issueBlocked_[slot] = 1;
         return false;
+    }
     const Instruction &inst = kernel_.at(w.stack().pc());
-    if (!scoreboard_.canIssue(slot, inst))
+    if (!scoreboard_.canIssue(slot, inst)) {
+        issueBlocked_[slot] = 1;
         return false;
-    if (needsPipeline(inst) && !collectors_.hasFree())
+    }
+    if (inst.sbPipeline && !collectors_.hasFree())
         return false;
-    if (inst.isMemory() && outstandingMem_ >= params_.mem.maxOutstanding)
+    if (inst.sbMemory && outstandingMem_ >= params_.mem.maxOutstanding)
         return false;
     return true;
 }
@@ -501,6 +668,14 @@ Sm::canIssueFrom(u32 slot) const
 void
 Sm::stepIssue(Cycle now)
 {
+    // The last complete scan found nothing issuable and no event since
+    // could unblock a warp (see issueCandidate_): the answer is still
+    // "nothing".
+    if (!issueCandidate_) {
+        noIssuable_ = true;
+        return;
+    }
+
     // Lazily build the schedulers once warps exist (policy from params).
     if (schedulers_.empty()) {
         for (u32 s = 0; s < params_.numSchedulers; ++s) {
@@ -513,12 +688,7 @@ Sm::stepIssue(Cycle now)
         }
     }
 
-    // Pop reconverged entries so pc/mask reflect the next instruction.
-    for (Warp &w : warps_) {
-        if (w.schedulable())
-            w.stack().popReconverged();
-    }
-
+    bool issued_any = false;
     for (WarpScheduler &sched : schedulers_) {
         const i32 slot = sched.pick(
             [this](u32 s) { return canIssueFrom(s); },
@@ -527,7 +697,14 @@ Sm::stepIssue(Cycle now)
             continue;
         issueFrom(static_cast<u32>(slot), now);
         sched.noteIssued(static_cast<u32>(slot));
+        issued_any = true;
     }
+    // pick() == -1 means that scheduler probed every slot it owns; if
+    // none issued anywhere, the combined scan was complete and the
+    // outcome stays valid until an unblocking event flips
+    // issueCandidate_ back on.
+    noIssuable_ = !issued_any;
+    issueCandidate_ = issued_any;
 }
 
 void
@@ -577,8 +754,9 @@ Sm::issueDummyMov(u32 slot, u8 dst, Cycle now)
     mov.op = Opcode::Mov;
     mov.dst = dst;
     mov.src[0] = Operand::fromReg(dst);
+    mov.finalizeIssueMasks();
 
-    InFlight f;
+    InFlight &f = *allocFlight();
     f.inst = mov;
     f.warpSlot = slot;
     f.effMask = w.fullMask();
@@ -601,7 +779,7 @@ Sm::issueDummyMov(u32 slot, u8 dst, Cycle now)
 
     scoreboard_.reserve(slot, mov);
     ++ctas_[w.ctaSlot()].inFlight;
-    collectors_.insert(std::move(f));
+    collectors_.insert(&f);
 }
 
 void
@@ -664,6 +842,11 @@ Sm::issueFrom(u32 slot, Cycle now)
     Cta &cta = ctas_[w.ctaSlot()];
     SharedMemory *smem = cta.smem.get();
     const ExecOutcome out = fex_.execute(w, pc, smem, dims_);
+    // The SIMT stack only changes inside execute, so reconverged
+    // entries are popped eagerly here — the next fetch (any later
+    // cycle) sees the post-reconvergence pc/mask without a per-cycle
+    // sweep over every warp slot.
+    w.stack().popReconverged();
 
     if (inst.isBarrier()) {
         w.setStatus(Warp::Status::AtBarrier);
@@ -680,10 +863,10 @@ Sm::issueFrom(u32 slot, Cycle now)
         // The warp may still have writes in flight; CTA teardown waits
         // for cta.inFlight to drain.
     }
-    if (!needsPipeline(inst))
+    if (!inst.sbPipeline)
         return;
 
-    InFlight f;
+    InFlight &f = *allocFlight();
     f.inst = inst;
     f.warpSlot = slot;
     f.effMask = eff;
@@ -783,7 +966,7 @@ Sm::issueFrom(u32 slot, Cycle now)
 
     scoreboard_.reserve(slot, inst);
     ++cta.inFlight;
-    collectors_.insert(std::move(f));
+    collectors_.insert(&f);
 }
 
 void
@@ -792,8 +975,10 @@ Sm::tryReleaseBarrier(Cta &cta)
     if (cta.liveWarps == 0 || cta.atBarrier < cta.liveWarps)
         return;
     for (u32 s : cta.warpSlots) {
-        if (warps_[s].status() == Warp::Status::AtBarrier)
+        if (warps_[s].status() == Warp::Status::AtBarrier) {
             warps_[s].setStatus(Warp::Status::Running);
+            issueBlocked_[s] = 0;
+        }
     }
     cta.atBarrier = 0;
 }
@@ -816,6 +1001,8 @@ Sm::maybeCompleteCta(u32 cta_slot, Cycle now)
     cta.active = false;
     cta.warpSlots.clear();
     ++ctasCompleted_;
+    // Freed warp slots / registers / smem: launches may succeed again.
+    launchBlocked_ = false;
 }
 
 } // namespace warpcomp

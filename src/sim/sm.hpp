@@ -9,6 +9,8 @@
 #ifndef WARPCOMP_SIM_SM_HPP
 #define WARPCOMP_SIM_SM_HPP
 
+#include <deque>
+#include <limits>
 #include <memory>
 #include <span>
 #include <vector>
@@ -92,6 +94,39 @@ class Sm
     /** Simulate one cycle at global time @p now. */
     void cycle(Cycle now);
 
+    /** Returned by nextEventCycle when the SM has no future event at
+     *  all (idle, no scrub engine): the GPU may skip arbitrarily far. */
+    static constexpr Cycle kNoEvent = std::numeric_limits<Cycle>::max();
+
+    /**
+     * Earliest cycle >= @p now at which executing a cycle on this SM
+     * could change architectural or counted state. Returns @p now when
+     * anything might happen this very cycle (an operand collector is
+     * retrying, an in-flight op is ready, a warp can issue), the
+     * minimum in-flight readyAt / power-gate wake otherwise, capped at
+     * the next scrub-engine tick, and kNoEvent for an idle SM with no
+     * scrubbing. Cycles in (now, nextEventCycle) are provably
+     * uneventful and may be bulk-accounted with skipCycles.
+     */
+    Cycle nextEventCycle(Cycle now);
+
+    /**
+     * The cached next-event cycle maintained by cycle()/tryLaunchCta:
+     * cycles strictly before it are uneventful for this SM (they take
+     * the light path inside cycle(), and the GPU may bulk-skip to the
+     * minimum across SMs). 0 until the first cycle executes.
+     */
+    Cycle cachedNextEvent() const { return nextEvent_; }
+
+    /**
+     * Bulk-account the uneventful span [@p from, @p to): energy-meter
+     * cycles, the bank activity census (closed form), the per-cycle SEU
+     * flip stream (replayed cycle by cycle so pending flips accumulate
+     * bit-identically), and observability windows. Only valid for spans
+     * nextEventCycle declared event-free.
+     */
+    void skipCycles(Cycle from, Cycle to);
+
     /**
      * Attach shared observability state (nullptr detaches). Forwarded
      * to the register file so bank gate transitions are traced too.
@@ -125,6 +160,10 @@ class Sm
         u32 inFlight = 0;
     };
 
+    /** Claim a zeroed slab entry / return one to the freelist. */
+    InFlight *allocFlight();
+    void freeFlight(InFlight *f);
+
     void stepWritebackAndExec(Cycle now);
     void stepCollect(Cycle now);
     void stepIssue(Cycle now);
@@ -133,7 +172,7 @@ class Sm
     /** Consume pending flips of (slot, reg) before its value is read,
      *  committing corruption architecturally when unprotected. */
     void resolveSeuRead(SeuEngine &seu, u32 slot, u32 reg, Cycle now);
-    bool canIssueFrom(u32 slot) const;
+    bool canIssueFrom(u32 slot);
     void issueFrom(u32 slot, Cycle now);
     void issueDummyMov(u32 slot, u8 dst, Cycle now);
     void finishInFlight(InFlight &f, Cycle now);
@@ -154,7 +193,13 @@ class Sm
     Scoreboard scoreboard_;
     BankArbiter arbiter_;
     CollectorPool collectors_;
-    std::vector<InFlight> execList_;
+    std::vector<InFlight *> execList_;
+    /** Stable backing store for in-flight entries: deque growth never
+     *  moves existing entries, and freed ones recycle through
+     *  flightFree_, so the steady-state pipeline allocates nothing and
+     *  moves pointers instead of ~400-byte InFlight payloads. */
+    std::deque<InFlight> flightSlab_;
+    std::vector<InFlight *> flightFree_;
     std::vector<WarpScheduler> schedulers_;
     UnitPool compPool_;
     UnitPool decompPool_;
@@ -163,12 +208,41 @@ class Sm
     FunctionalExecutor fex_;
 
     std::vector<Warp> warps_;
+    /** Per-slot fast-fail byte for the issue probe: nonzero while the
+     *  slot is known unissuable for a sticky reason (scoreboard hazard
+     *  at the current pc, or not schedulable). Lets the scheduler scan
+     *  skip blocked slots without touching the large Warp objects.
+     *  Cleared wherever the sticky reason can lapse: writeback
+     *  releases (finishInFlight), barrier release, and CTA launch.
+     *  Volatile reasons (no free collector, MSHR budget) never set
+     *  it. */
+    std::vector<u8> issueBlocked_;
     std::vector<Cta> ctas_;
     /** Scratch for tryLaunchCta's free-slot scan (capacity reserved at
      *  construction so the launch path performs no per-wave allocation
      *  for it). */
     std::vector<u32> launchSlots_;
     u32 outstandingMem_ = 0;
+    /** Cycles before this are provably uneventful (see
+     *  cachedNextEvent); recomputed after every fully executed cycle,
+     *  reset by a successful CTA launch. */
+    Cycle nextEvent_ = 0;
+    /** Earliest cycle any execList_ entry can act (kNoEvent when the
+     *  list is empty): lets stepWritebackAndExec skip its walk on
+     *  cycles where nothing is due and feeds nextEventCycle. */
+    Cycle execMinReady_ = kNoEvent;
+    /** False while the last complete issue scan found nothing issuable
+     *  and no event since (scoreboard release, freed collector, MSHR
+     *  release, barrier release, CTA launch) could change that — the
+     *  scheduler scan is provably fruitless and is skipped. */
+    bool issueCandidate_ = true;
+    /** The most recent cycle's issue scan completed with no issuable
+     *  warp; consumed by nextEventCycle in place of a re-scan. */
+    bool noIssuable_ = false;
+    /** A failed CTA launch stays failed until some CTA completes:
+     *  every CTA of one kernel launch has identical resource needs,
+     *  and resources are only freed at CTA completion. */
+    bool launchBlocked_ = false;
     u64 ageCounter_ = 0;
     u64 ctasCompleted_ = 0;
     /** Cached: SEC-DED active, so reads/writes charge decode/encode. */

@@ -261,6 +261,43 @@ INSTANTIATE_TEST_SUITE_P(Seeds, BdiRandomRoundtrip,
                          ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u, 21u,
                                            34u, 55u, 89u));
 
+TEST(BdiCompress, WideDeltaWraparoundExtremes)
+{
+    // Base INT32_MIN, other lanes INT32_MAX: the lane delta is
+    // 2^32 - 1 in i64, which u32 arithmetic would wrap to -1 and
+    // wrongly classify as a 1-byte delta.
+    WarpRegValue v{};
+    v[0] = 0x80000000u;
+    for (u32 i = 1; i < kWarpSize; ++i)
+        v[i] = 0x7FFFFFFFu;
+    const auto img = toBytes(v);
+    EXPECT_FALSE(bdiCompressible(img, BdiParams{4, 1}));
+    EXPECT_FALSE(bdiCompressible(img, BdiParams{4, 2}));
+    const BdiEncoded enc = bdiCompress(img, warpedCandidates());
+    EXPECT_FALSE(enc.compressed);
+    EXPECT_EQ(bdiDecompress(enc), img);
+}
+
+TEST(BdiCompress, Base4PayloadLayout)
+{
+    // Pin the wire format of the base-4 encoder: little-endian base
+    // word, then one low-byte two's-complement delta per lane.
+    WarpRegValue v{};
+    for (u32 i = 0; i < kWarpSize; ++i)
+        v[i] = 1000u - 3u * i;
+    const BdiEncoded enc = bdiCompress(toBytes(v), warpedCandidates());
+    ASSERT_TRUE(enc.compressed);
+    EXPECT_EQ(enc.params, (BdiParams{4, 1}));
+    ASSERT_EQ(enc.sizeBytes(), 35u);
+    u32 base = 0;
+    std::memcpy(&base, enc.bytes.data(), 4);
+    EXPECT_EQ(base, 1000u);
+    for (u32 i = 1; i < kWarpSize; ++i)
+        EXPECT_EQ(static_cast<i8>(enc.bytes[4 + i - 1]),
+                  static_cast<i8>(-3 * static_cast<i32>(i)));
+    EXPECT_EQ(bdiDecompress(enc), toBytes(v));
+}
+
 TEST(BdiBytes, ToFromInverse)
 {
     WarpRegValue v{};

@@ -36,7 +36,8 @@ runArch(const std::string &name, CompressionScheme scheme)
     Gpu gpu(makeGpuParams(cfg), *wl.gmem, *wl.cmem);
     const RunResult run = gpu.run(wl.kernel, wl.dims);
     ArchOutcome out;
-    out.gmemImage = wl.gmem->bytes();
+    const auto img = wl.gmem->bytes();
+    out.gmemImage.assign(img.begin(), img.end());
     out.programInstructions = run.stats.issued - run.stats.dummyMovs;
     out.regWrites = run.stats.regWrites;
     out.ctas = run.ctas;

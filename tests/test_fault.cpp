@@ -136,7 +136,9 @@ runFaulty(const std::string &name, double ber, FaultPolicy policy,
     WorkloadInstance wl = makeWorkload(name, cfg.scale, cfg.seedSalt);
     Gpu gpu(makeGpuParams(cfg), *wl.gmem, *wl.cmem);
     RunResult run = gpu.run(wl.kernel, wl.dims);
-    return FaultOutcome(wl.gmem->bytes(), std::move(run));
+    const auto img = wl.gmem->bytes();
+    return FaultOutcome(std::vector<u8>(img.begin(), img.end()),
+                        std::move(run));
 }
 
 TEST(FaultPolicies, BerZeroIsBitIdenticalToBaseline)

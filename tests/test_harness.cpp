@@ -153,6 +153,25 @@ TEST(Harness, PerfJsonRecordsFaultAndSeuConfig)
               std::string::npos);
 }
 
+TEST(Harness, PerfJsonRecordsBuildMetadata)
+{
+    // The CI perf gate matches these fields before comparing wall
+    // clocks; a record missing them would silently compare an -O2
+    // build against an -O3 one.
+    PerfRecorder rec;
+    rec.setOutput("bench_test", "/dev/null");
+    rec.addSuite(PerfSuiteRecord{});
+    std::ostringstream os;
+    rec.writeJson(os);
+    const std::string json = os.str();
+    EXPECT_NE(json.find("\"compiler\": "), std::string::npos);
+    EXPECT_NE(json.find("\"cxx_flags\": "), std::string::npos);
+    EXPECT_NE(json.find("\"simd_isa\": "), std::string::npos);
+    // CMake stamps real values; only a non-CMake build may say unknown.
+    EXPECT_EQ(json.find("\"compiler\": \"unknown\""), std::string::npos);
+    EXPECT_EQ(json.find("\"cxx_flags\": \"unknown\""), std::string::npos);
+}
+
 TEST(Harness, Means)
 {
     EXPECT_DOUBLE_EQ(mean({1.0, 2.0, 3.0}), 2.0);

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Per-stage latency pinning: the cycle cost of the compress and
+ * decompress pipeline stages must shift end-to-end run length by
+ * exactly the configured latency per critical-path traversal. These
+ * tests guard the Exec -> Writeback hand-off in Sm::stepWritebackAndExec
+ * against double-advance bugs (an entry must never retire earlier than
+ * its readyAt, and the intended same-cycle fall-through for zero-latency
+ * pools must keep working).
+ */
+
+#include <gtest/gtest.h>
+
+#include "harness/experiment.hpp"
+#include "isa/builder.hpp"
+
+namespace warpcomp {
+namespace {
+
+/** Fixture wiring a kernel + memories through the Gpu front door. */
+class PipelineLatencyTest : public ::testing::Test
+{
+  protected:
+    PipelineLatencyTest() : gmem_(1 << 20), cmem_(1024) {}
+
+    RunResult
+    runOn(const Kernel &k, CompressionScheme scheme, u32 comp_latency,
+          u32 decomp_latency, bool disable_gating = false)
+    {
+        GpuParams gp;
+        gp.numSms = 1;
+        gp.sm.scheme = scheme;
+        gp.sm.compressLatency = comp_latency;
+        gp.sm.decompressLatency = decomp_latency;
+        gp.sm.applyScheme();
+        if (disable_gating) {
+            // Isolate pipeline-stage timing from bank power gating
+            // (gated-bank wakeups add write latency orthogonal to the
+            // compressor stage under test).
+            gp.sm.regfile.gatingEnabled = false;
+            gp.sm.regfile.validAtAlloc = true;
+        }
+        Gpu gpu(gp, gmem_, cmem_);
+        return gpu.run(k, {32, 1});
+    }
+
+    GlobalMemory gmem_;
+    ConstantMemory cmem_;
+};
+
+/**
+ * A strict dependency chain of @p links uniform full-mask writes: every
+ * instruction reads the previous one's destination, so each writeback
+ * (and therefore each compressor traversal) sits on the critical path.
+ */
+Kernel
+chainKernel(u32 links)
+{
+    KernelBuilder b("chain");
+    Reg r = b.newReg();
+    b.movImm(r, 5);
+    for (u32 i = 0; i < links; ++i) {
+        Reg next = b.newReg();
+        b.iadd(next, r, KernelBuilder::imm(1));
+        r = next;
+    }
+    return b.build();
+}
+
+/**
+ * Raising compressLatency by N must lengthen the run by exactly N
+ * cycles per serialized full-mask write: each chain link issues only
+ * after the previous link's compressor finishes and releases the
+ * scoreboard. An early (double-advance) or late retirement in
+ * stepWritebackAndExec breaks the equality in opposite directions.
+ */
+TEST_F(PipelineLatencyTest, CompressLatencyShiftsCyclesByExactDelta)
+{
+    const u32 links = 8;
+    const Kernel k = chainKernel(links);
+    // movImm + every chain link traverse the compressor.
+    const u64 writes = links + 1;
+
+    const u64 c0 = runOn(k, CompressionScheme::Warped, 0, 1).cycles;
+    const u64 c2 = runOn(k, CompressionScheme::Warped, 2, 1).cycles;
+    const u64 c5 = runOn(k, CompressionScheme::Warped, 5, 1).cycles;
+
+    EXPECT_EQ(c2 - c0, 2 * writes) << "c0=" << c0 << " c2=" << c2;
+    EXPECT_EQ(c5 - c2, 3 * writes) << "c2=" << c2 << " c5=" << c5;
+}
+
+/**
+ * compressLatency == 0 exercises the intended same-cycle
+ * Exec -> Writeback fall-through: an entry promoted with
+ * readyAt == now must write back that very cycle. Independent writes
+ * (no reads of compressed registers, so no decompress dummy MOVs) make
+ * a zero-latency compressor pipeline-shape-identical to the
+ * uncompressed baseline — any extra cycle means the promoted entry
+ * waited a walk instead of falling through.
+ */
+TEST_F(PipelineLatencyTest, ZeroCompressLatencyMatchesBaselineShape)
+{
+    KernelBuilder b("indep");
+    for (u32 i = 0; i < 8; ++i)
+        b.movImm(b.newReg(), static_cast<i32>(i));
+    const Kernel k = b.build();
+
+    const u64 none = runOn(k, CompressionScheme::None, 2, 1).cycles;
+    const u64 zero = runOn(k, CompressionScheme::Warped, 0, 1,
+                           /*disable_gating=*/true).cycles;
+
+    EXPECT_EQ(zero, none) << "zero-latency compression must not change "
+                             "pipeline timing";
+}
+
+/** With compression disabled the compressor pool is never entered, so
+ *  its latency knob must be completely inert. */
+TEST_F(PipelineLatencyTest, NoneSchemeIgnoresCompressLatency)
+{
+    const Kernel k = chainKernel(8);
+    const u64 a = runOn(k, CompressionScheme::None, 0, 1).cycles;
+    const u64 b = runOn(k, CompressionScheme::None, 2, 1).cycles;
+    const u64 c = runOn(k, CompressionScheme::None, 7, 1).cycles;
+    EXPECT_EQ(a, b);
+    EXPECT_EQ(b, c);
+}
+
+/**
+ * Raising decompressLatency by N must lengthen the run by exactly N
+ * cycles per critical-path read of a compressed register (each such
+ * read injects a dummy MOV through the decompressor pool).
+ */
+TEST_F(PipelineLatencyTest, DecompressLatencyShiftsCyclesByExactDelta)
+{
+    const u32 links = 8;
+    const Kernel k = chainKernel(links);
+
+    const u64 d1 = runOn(k, CompressionScheme::Warped, 2, 1).cycles;
+    const u64 d4 = runOn(k, CompressionScheme::Warped, 2, 4).cycles;
+
+    // Every chain link reads one compressed register before it can
+    // execute; each read's decompression is serialized on the chain.
+    const u64 reads = links;
+    EXPECT_EQ(d4 - d1, 3 * reads) << "d1=" << d1 << " d4=" << d4;
+}
+
+} // namespace
+} // namespace warpcomp

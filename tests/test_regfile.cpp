@@ -90,34 +90,96 @@ TEST(PowerGate, SleepWhileWakingIgnored)
     EXPECT_EQ(g.state(10), PowerGate::State::On);
 }
 
-TEST(Bank, ValidCountTracksEntries)
+TEST(BankSet, ValidCountTracksEntries)
 {
-    Bank b(0, 16, 10, true);
-    b.gate().wake(0);
-    b.setValid(3, true, 10);
-    b.setValid(4, true, 10);
-    EXPECT_EQ(b.validCount(), 2u);
-    b.setValid(3, false, 11);
-    EXPECT_EQ(b.validCount(), 1u);
-    EXPECT_FALSE(b.gate().isOff(11));
-    b.setValid(4, false, 12);
-    EXPECT_EQ(b.validCount(), 0u);
-    EXPECT_TRUE(b.gate().isOff(12));
+    BankSet bs(1, 16, 10, true);
+    bs.wake(0, 0);
+    bs.setValid(0, 3, true, 10);
+    bs.setValid(0, 4, true, 10);
+    EXPECT_EQ(bs.validCount(0), 2u);
+    bs.setValid(0, 3, false, 11);
+    EXPECT_EQ(bs.validCount(0), 1u);
+    EXPECT_FALSE(bs.isOff(0, 11));
+    bs.setValid(0, 4, false, 12);
+    EXPECT_EQ(bs.validCount(0), 0u);
+    EXPECT_TRUE(bs.isOff(0, 12));
 }
 
-TEST(Bank, RedundantSetValidIsIdempotent)
+TEST(BankSet, RedundantSetValidIsIdempotent)
 {
-    Bank b(0, 8, 10, true);
-    b.gate().wake(0);
-    b.setValid(0, true, 10);
-    b.setValid(0, true, 10);
-    EXPECT_EQ(b.validCount(), 1u);
+    BankSet bs(1, 8, 10, true);
+    bs.wake(0, 0);
+    bs.setValid(0, 0, true, 10);
+    bs.setValid(0, 0, true, 10);
+    EXPECT_EQ(bs.validCount(0), 1u);
 }
 
-TEST(Bank, SettingValidInGatedBankDies)
+TEST(BankSet, SettingValidInGatedBankDies)
 {
-    Bank b(0, 8, 10, true);
-    EXPECT_DEATH(b.setValid(0, true, 0), "wake it first");
+    BankSet bs(1, 8, 10, true);
+    EXPECT_DEATH(bs.setValid(0, 0, true, 0), "wake it first");
+}
+
+TEST(BankSet, OffCountTracksGatingIncrementally)
+{
+    BankSet bs(8, 8, 10, true);
+    EXPECT_EQ(bs.offCount(), 8u);       // enabled gates start Off
+    bs.wake(0, 0);
+    bs.wake(1, 0);
+    EXPECT_EQ(bs.offCount(), 6u);
+    bs.wake(1, 3);                      // waking twice counts once
+    EXPECT_EQ(bs.offCount(), 6u);
+    bs.setValid(0, 2, true, 10);
+    bs.setValid(0, 2, false, 20);       // last entry gone: bank gates
+    EXPECT_EQ(bs.offCount(), 7u);
+    // Bank 1 never held data and never slept: still powered.
+    EXPECT_FALSE(bs.isOff(1, 30));
+}
+
+TEST(BankSet, OffCountDisabledGatingIsZero)
+{
+    BankSet bs(8, 8, 10, false);
+    EXPECT_EQ(bs.offCount(), 0u);
+    bs.setValid(3, 1, true, 0);
+    bs.setValid(3, 1, false, 5);
+    EXPECT_EQ(bs.offCount(), 0u);
+}
+
+TEST(BankSet, ValidMaskPacksStripeBits)
+{
+    BankSet bs(16, 4, 10, false);
+    bs.setValid(8, 2, true, 0);         // cluster 1, bit 0
+    bs.setValid(10, 2, true, 0);        // cluster 1, bit 2
+    EXPECT_EQ(bs.validMask(1, 2), 0b101u);
+    EXPECT_EQ(bs.validMask(0, 2), 0u);
+    bs.setValid(8, 2, false, 1);
+    EXPECT_EQ(bs.validMask(1, 2), 0b100u);
+}
+
+TEST(BankSet, ActivitySpanMatchesPerCycleCensus)
+{
+    BankSet bs(8, 8, 10, true);
+    bs.wake(0, 0);
+    bs.wake(3, 0);
+    bs.noteWrite(0, 12);
+    bs.noteWrite(3, 40);
+    const Cycle from = 30, to = 130;
+    u64 want_active = 0, want_drowsy = 0;
+    for (Cycle c = from; c < to; ++c) {
+        const BankSet::Activity a = bs.activity(c, true, 64);
+        want_active += a.active;
+        want_drowsy += a.drowsy;
+    }
+    u64 got_active = 0, got_drowsy = 0;
+    bs.activitySpan(from, to, true, 64, got_active, got_drowsy);
+    EXPECT_EQ(got_active, want_active);
+    EXPECT_EQ(got_drowsy, want_drowsy);
+
+    // Non-drowsy closed form: awake banks times span length.
+    u64 plain_active = 0, plain_drowsy = 0;
+    bs.activitySpan(from, to, false, 64, plain_active, plain_drowsy);
+    EXPECT_EQ(plain_active, (to - from) * 2);
+    EXPECT_EQ(plain_drowsy, 0u);
 }
 
 class RegFileTest : public ::testing::Test
@@ -234,9 +296,9 @@ TEST_F(RegFileTest, UncompressedOverwriteGrowsThenShrinks)
     // Banks 3..7 of the cluster must have been invalidated.
     const RegSlot s = rf.locate(0, 0);
     for (u32 b = 3; b < 8; ++b)
-        EXPECT_FALSE(rf.bank(s.firstBank() + b).valid(s.entry));
+        EXPECT_FALSE(rf.bankValid(s.firstBank() + b, s.entry));
     for (u32 b = 0; b < 3; ++b)
-        EXPECT_TRUE(rf.bank(s.firstBank() + b).valid(s.entry));
+        EXPECT_TRUE(rf.bankValid(s.firstBank() + b, s.entry));
 }
 
 TEST_F(RegFileTest, WakeupStallOnGatedBank)
@@ -299,8 +361,28 @@ TEST_F(RegFileTest, WriteCountersPerBank)
     auto [ready, acc] = rf.recordWrite(0, 0, encodeStride(0, 1), 0);
     u64 writes = 0;
     for (u32 b = 0; b < rf.numBanks(); ++b)
-        writes += rf.bank(b).writes();
+        writes += rf.bankWrites(b);
     EXPECT_EQ(writes, acc.numBanks);
+}
+
+TEST_F(RegFileTest, StoredEncodingRoundTrips)
+{
+    RegisterFile rf(wcParams());
+    ASSERT_TRUE(rf.allocate(0, 2, 0));
+    const BdiEncoded enc = encodeStride(100, 3);
+    rf.recordWrite(0, 0, enc, 0);
+    const BdiEncoded back = rf.storedEncoding(0, 0);
+    EXPECT_EQ(back.compressed, enc.compressed);
+    EXPECT_EQ(back.params, enc.params);
+    EXPECT_TRUE(back.bytes == enc.bytes);
+    EXPECT_EQ(bdiDecompress(back), bdiDecompress(enc));
+
+    // An overwrite replaces the stored row wholesale.
+    const BdiEncoded enc2 = encodeRandomish();
+    rf.recordWrite(0, 0, enc2, 10);
+    const BdiEncoded back2 = rf.storedEncoding(0, 0);
+    EXPECT_FALSE(back2.compressed);
+    EXPECT_TRUE(back2.bytes == enc2.bytes);
 }
 
 TEST_F(RegFileTest, DoubleAllocateSameSlotDies)

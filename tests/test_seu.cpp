@@ -282,7 +282,9 @@ runSeu(const std::string &name, double rate, SeuScheme scheme,
     WorkloadInstance wl = makeWorkload(name, cfg.scale, cfg.seedSalt);
     Gpu gpu(makeGpuParams(cfg), *wl.gmem, *wl.cmem);
     RunResult run = gpu.run(wl.kernel, wl.dims);
-    return SeuOutcome{wl.gmem->bytes(), std::move(run)};
+    const auto img = wl.gmem->bytes();
+    return SeuOutcome{std::vector<u8>(img.begin(), img.end()),
+                      std::move(run)};
 }
 
 TEST(SeuSchemes, RateZeroIsBitIdenticalToBaseline)

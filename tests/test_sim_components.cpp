@@ -25,6 +25,7 @@ addInst(u8 dst, u8 a, u8 b)
     in.dst = dst;
     in.src[0] = Operand::fromReg(a);
     in.src[1] = Operand::fromReg(b);
+    in.finalizeIssueMasks();
     return in;
 }
 
@@ -62,10 +63,12 @@ TEST(Scoreboard, PredicateHazards)
     setp.dstPred = 1;
     setp.src[0] = Operand::fromReg(0);
     setp.src[1] = Operand::fromImm(0);
+    setp.finalizeIssueMasks();
     sb.reserve(0, setp);
 
     Instruction guarded = addInst(2, 0, 1);
     guarded.guardPred = 1;
+    guarded.finalizeIssueMasks();
     EXPECT_FALSE(sb.canIssue(0, guarded));
 
     Instruction pand;
@@ -73,6 +76,7 @@ TEST(Scoreboard, PredicateHazards)
     pand.dstPred = 2;
     pand.srcPred = 0;
     pand.srcPred2 = 1;          // reads pending p1
+    pand.finalizeIssueMasks();
     EXPECT_FALSE(sb.canIssue(0, pand));
 
     sb.releasePred(0, 1);
@@ -152,6 +156,62 @@ TEST(Scheduler, NothingReady)
     EXPECT_EQ(s.pick(none, age), -1);
 }
 
+TEST(Scheduler, EmptySlotListPicksNothing)
+{
+    // A scheduler owning no slots must answer -1 without dividing by
+    // its (zero) slot count.
+    WarpScheduler s(SchedPolicy::Lrr, {});
+    auto all_ready = [](u32) { return true; };
+    auto age = [](u32) { return u64{0}; };
+    EXPECT_EQ(s.pick(all_ready, age), -1);
+}
+
+TEST(Scheduler, LrrRotatesOverNonContiguousSlots)
+{
+    // Dual-scheduler SMs hand each scheduler a strided slot subset;
+    // rotation must follow list position, not raw slot numbering.
+    WarpScheduler s(SchedPolicy::Lrr, {3, 8, 21});
+    auto all_ready = [](u32) { return true; };
+    auto age = [](u32) { return u64{0}; };
+    EXPECT_EQ(s.pick(all_ready, age), 3);
+    s.noteIssued(3);
+    EXPECT_EQ(s.pick(all_ready, age), 8);
+    s.noteIssued(8);
+    EXPECT_EQ(s.pick(all_ready, age), 21);
+    s.noteIssued(21);
+    EXPECT_EQ(s.pick(all_ready, age), 3);
+}
+
+TEST(Scheduler, GtoReordersAfterInvalidate)
+{
+    WarpScheduler s(SchedPolicy::Gto, {0, 1});
+    auto all_ready = [](u32) { return true; };
+    u64 stamps[2] = {5, 9};
+    auto age = [&stamps](u32 slot) { return stamps[slot]; };
+    EXPECT_EQ(s.pick(all_ready, age), 0);   // 5 < 9
+    // Slot 0 relaunches with a younger stamp; after invalidateOrder
+    // the cached oldest-first order must re-derive.
+    stamps[0] = 20;
+    s.invalidateOrder();
+    EXPECT_EQ(s.pick(all_ready, age), 1);   // 9 < 20
+}
+
+TEST(SchedulerDeathTest, NoteIssuedForeignSlotDies)
+{
+    // Slots the scheduler does not own would corrupt its rotation
+    // state: both in-range-but-unowned and out-of-range slots must
+    // trip the assertion.
+    WarpScheduler s(SchedPolicy::Lrr, {0, 2, 4});
+    EXPECT_DEATH(s.noteIssued(1), "foreign warp slot");
+    EXPECT_DEATH(s.noteIssued(7), "foreign warp slot");
+}
+
+TEST(SchedulerDeathTest, DuplicateSlotDies)
+{
+    EXPECT_DEATH(WarpScheduler(SchedPolicy::Gto, {1, 1}),
+                 "duplicate warp slot");
+}
+
 TEST(Arbiter, OneReadPortPerBank)
 {
     BankArbiter a(32);
@@ -194,14 +254,15 @@ TEST(CollectorPool, InsertTakeLifecycle)
 
     InFlight a;
     a.warpSlot = 7;
-    const u32 ia = pool.insert(std::move(a));
+    const u32 ia = pool.insert(&a);
     InFlight b;
     b.warpSlot = 9;
-    pool.insert(std::move(b));
+    pool.insert(&b);
     EXPECT_FALSE(pool.hasFree());
 
-    const InFlight out = pool.take(ia);
-    EXPECT_EQ(out.warpSlot, 7u);
+    const InFlight *out = pool.take(ia);
+    EXPECT_EQ(out, &a);
+    EXPECT_EQ(out->warpSlot, 7u);
     EXPECT_TRUE(pool.hasFree());
     EXPECT_EQ(pool.at(ia), nullptr);
 }
@@ -210,12 +271,12 @@ TEST(CollectorPool, OccupiedOrderIsFifo)
 {
     CollectorPool pool(3);
     InFlight x;
-    const u32 i0 = pool.insert(std::move(x));
+    const u32 i0 = pool.insert(&x);
     InFlight y;
-    const u32 i1 = pool.insert(std::move(y));
+    const u32 i1 = pool.insert(&y);
     pool.take(i0);
     InFlight z;
-    const u32 i2 = pool.insert(std::move(z));
+    const u32 i2 = pool.insert(&z);
     ASSERT_EQ(pool.occupiedOrder().size(), 2u);
     EXPECT_EQ(pool.occupiedOrder()[0], i1);
     EXPECT_EQ(pool.occupiedOrder()[1], i2);

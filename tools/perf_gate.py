@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""CI perf gate: compare a fresh bench_perf record against a baseline.
+
+Usage: perf_gate.py BASELINE.json CURRENT.json [--max-regress=0.10]
+
+Both files are ``--json`` records written by ``bench_perf``. The gate
+
+* exits 0 ("incomparable") without comparing when the build metadata
+  (compiler, effective C++ flags, SIMD ISA) differs — an -O2 record
+  measured against an -O3 build is not a simulator regression;
+* exits 0 without comparing when the serial suites simulated different
+  total cycles — the workload set or simulated behaviour changed on
+  purpose, so wall clocks measure different work;
+* exits 1 when the serial-suite wall clock regressed by more than
+  ``--max-regress`` (default 10%);
+* exits 0 otherwise, printing both wall clocks and the ratio.
+
+Only the serial suite ("suite serial", threads == 1) is gated: parallel
+wall clock depends on runner core count, which CI does not control.
+"""
+
+import argparse
+import json
+import sys
+
+METADATA_KEYS = ("compiler", "cxx_flags", "simd_isa")
+
+
+def load(path):
+    with open(path, encoding="utf-8") as f:
+        return json.load(f)
+
+
+def serial_suite(record):
+    """The serial suite of a bench_perf record, or None."""
+    for suite in record.get("suites", []):
+        if suite.get("label") == "suite serial":
+            return suite
+    # Fall back to any single-threaded suite (older records).
+    for suite in record.get("suites", []):
+        if suite.get("resolved_threads") == 1:
+            return suite
+    return None
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("baseline")
+    ap.add_argument("current")
+    ap.add_argument("--max-regress", type=float, default=0.10,
+                    help="allowed fractional serial-wall-clock growth")
+    args = ap.parse_args()
+
+    base = load(args.baseline)
+    cur = load(args.current)
+
+    for key in METADATA_KEYS:
+        if base.get(key) != cur.get(key):
+            print(f"perf gate: SKIP — {key} differs "
+                  f"({base.get(key)!r} vs {cur.get(key)!r}); "
+                  "records are not comparable")
+            return 0
+
+    base_suite = serial_suite(base)
+    cur_suite = serial_suite(cur)
+    if base_suite is None or cur_suite is None:
+        print("perf gate: SKIP — no serial suite in one of the records")
+        return 0
+
+    base_cycles = base_suite.get("total_cycles")
+    cur_cycles = cur_suite.get("total_cycles")
+    if base_cycles != cur_cycles:
+        print(f"perf gate: SKIP — simulated work changed "
+              f"({base_cycles} vs {cur_cycles} total cycles); "
+              "wall clocks measure different runs")
+        return 0
+
+    base_wall = base_suite["wall_seconds"]
+    cur_wall = cur_suite["wall_seconds"]
+    if base_wall <= 0:
+        print("perf gate: SKIP — baseline wall clock is not positive")
+        return 0
+
+    ratio = cur_wall / base_wall
+    verdict = "OK" if ratio <= 1.0 + args.max_regress else "FAIL"
+    print(f"perf gate: {verdict} — serial wall {base_wall:.3f}s -> "
+          f"{cur_wall:.3f}s ({ratio:.2%} of baseline, limit "
+          f"{1.0 + args.max_regress:.2%})")
+    return 0 if verdict == "OK" else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())
