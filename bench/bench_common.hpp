@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "common/log.hpp"
+#include "frontend/frontend.hpp"
 #include "harness/experiment.hpp"
 #include "harness/perf_json.hpp"
 #include "harness/thread_pool.hpp"
@@ -25,10 +26,12 @@
 namespace warpcomp {
 namespace bench {
 
-/** Workload list honouring --only. */
+/** Workload list honouring --kernel and --only (in that order). */
 inline std::vector<std::string>
 selectedWorkloads(const HarnessOptions &opt)
 {
+    if (!opt.kernelPath.empty())
+        return {kernelFileSpec(opt.kernelPath, opt.kernelEntry)};
     if (opt.only.empty())
         return workloadNames();
     return {opt.only};
@@ -111,7 +114,8 @@ runSelected(const HarnessOptions &opt, ExperimentConfig cfg,
         rec.scale = cfg.scale;
         rec.seedSalt = cfg.seedSalt;
         for (const ExperimentResult &r : results)
-            rec.rows.push_back({r.workload, r.run});
+            rec.rows.push_back({r.workload, r.run, r.frontend,
+                                r.imageSha});
         statsRecorder().addSuite(std::move(rec));
     }
 
@@ -130,7 +134,8 @@ runSelected(const HarnessOptions &opt, ExperimentConfig cfg,
         rec.wallSeconds = wall.count();
         for (const ExperimentResult &r : results) {
             rec.totalCycles += r.run.cycles;
-            rec.rows.push_back({r.workload, r.run.cycles, r.wallSeconds});
+            rec.rows.push_back({r.workload, r.run.cycles, r.wallSeconds,
+                                r.frontend, r.imageSha});
         }
         perfRecorder().addSuite(std::move(rec));
     }

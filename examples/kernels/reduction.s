@@ -1,0 +1,53 @@
+# Block-level tree reduction: OUT[ctaid] = sum of this block's slice
+# of A. Each thread loads one element into shared memory, then the
+# block halves the active range each step (fence = CTA barrier), and
+# thread 0 writes the block total.
+#
+# Twin of the DSL `reduction` workload (src/frontend/twins.cpp) — keep
+# the instruction stream in lockstep with the twin.
+#
+# Constant-bank parameter block:
+#   [0]=&A  [8]=&OUT  [12]=n      (param [4] unused here)
+.name reduction
+.block 64
+.smem 256
+
+    lw      a0, 0(x0)           # &A
+    lw      a2, 8(x0)           # &OUT
+    lw      a3, 12(x0)          # n
+    csrr    t0, tid
+    csrr    t1, ctaid
+    csrr    t2, ntid
+    mul     t3, t1, t2          # gid = ctaid*ntid + tid
+    add     t3, t3, t0
+    addi    t4, x0, 0           # x = 0 (out-of-range lanes add zero)
+    bge     t3, a3, Lskip       # guard: gid < n
+    slli    t4, t3, 2
+    add     t4, a0, t4
+    lw      t4, 0(t4)           # x = A[gid]
+Lskip:
+    slli    t6, t0, 2           # saddr = tid*4
+    sts.w   t4, 0(t6)           # smem[tid] = x
+    fence                       # CTA barrier
+    addi    s0, x0, 32          # stride = blockDim/2
+Lloop:
+    bge     x0, s0, Lend        # while (stride > 0)
+    bge     t0, s0, Lnext       #   if (tid < stride)
+    add     t5, t0, s0          #     partner = tid + stride
+    slli    t5, t5, 2
+    lds.w   t5, 0(t5)           #     t = smem[partner]
+    lds.w   s1, 0(t6)           #     own = smem[tid]
+    add     s1, s1, t5
+    sts.w   s1, 0(t6)           #     smem[tid] = own + t
+Lnext:
+    fence                       #   CTA barrier
+    srai    s0, s0, 1           #   stride >>= 1
+    jal     x0, Lloop
+Lend:
+    bne     t0, x0, Lout        # leader (tid == 0) writes the total
+    lds.w   t5, 0(t6)
+    slli    s1, t1, 2
+    add     s1, a2, s1
+    sw      t5, 0(s1)           # OUT[ctaid]
+Lout:
+    ecall

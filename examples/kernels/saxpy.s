@@ -1,0 +1,32 @@
+# SAXPY: OUT[i] = alpha*A[i] + B[i] for i in [0, n).
+#
+# Twin of the DSL `saxpy` workload (src/frontend/twins.cpp) — keep the
+# instruction stream in lockstep with the twin.
+#
+# Constant-bank parameter block:
+#   [0]=&A  [4]=&B  [8]=&OUT  [12]=n  [16]=alpha
+.name saxpy
+.block 128
+
+    lw      a0, 0(x0)           # &A
+    lw      a1, 4(x0)           # &B
+    lw      a2, 8(x0)           # &OUT
+    lw      a3, 12(x0)          # n
+    lw      a4, 16(x0)          # alpha
+    csrr    t0, tid
+    csrr    t1, ctaid
+    csrr    t2, ntid
+    mul     t3, t1, t2          # gid = ctaid*ntid + tid
+    add     t3, t3, t0
+    bge     t3, a3, Lend        # guard: gid < n
+    slli    t4, t3, 2           # byte offset
+    add     t5, a0, t4
+    lw      t5, 0(t5)           # A[gid]
+    mul     t5, t5, a4          # alpha * A[gid]
+    add     t6, a1, t4
+    lw      t6, 0(t6)           # B[gid]
+    add     t5, t5, t6
+    add     t6, a2, t4
+    sw      t5, 0(t6)           # OUT[gid]
+Lend:
+    ecall

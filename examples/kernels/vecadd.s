@@ -1,0 +1,31 @@
+# Vector add: OUT[i] = A[i] + B[i] for i in [0, n).
+#
+# Twin of the DSL `vecadd` workload (src/frontend/twins.cpp) — the
+# translated stream must stay disasm-identical to the twin, so edits
+# here need a matching edit there (and vice versa).
+#
+# Constant-bank parameter block (lw off(x0) reads the constant bank):
+#   [0]=&A  [4]=&B  [8]=&OUT  [12]=n
+.name vecadd
+.block 128
+
+    lw      a0, 0(x0)           # &A
+    lw      a1, 4(x0)           # &B
+    lw      a2, 8(x0)           # &OUT
+    lw      a3, 12(x0)          # n
+    csrr    t0, tid
+    csrr    t1, ctaid
+    csrr    t2, ntid
+    mul     t3, t1, t2          # gid = ctaid*ntid + tid
+    add     t3, t3, t0
+    bge     t3, a3, Lend        # guard: gid < n
+    slli    t4, t3, 2           # byte offset
+    add     t5, a0, t4
+    lw      t5, 0(t5)           # A[gid]
+    add     t6, a1, t4
+    lw      t6, 0(t6)           # B[gid]
+    add     t5, t5, t6
+    add     t6, a2, t4
+    sw      t5, 0(t6)           # OUT[gid]
+Lend:
+    ecall

@@ -1,0 +1,107 @@
+#include "common/sha256.hpp"
+
+#include <array>
+#include <cstring>
+
+namespace warpcomp {
+
+namespace {
+
+constexpr std::array<u32, 64> kK = {
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b,
+    0x59f111f1, 0x923f82a4, 0xab1c5ed5, 0xd807aa98, 0x12835b01,
+    0x243185be, 0x550c7dc3, 0x72be5d74, 0x80deb1fe, 0x9bdc06a7,
+    0xc19bf174, 0xe49b69c1, 0xefbe4786, 0x0fc19dc6, 0x240ca1cc,
+    0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da, 0x983e5152,
+    0xa831c66d, 0xb00327c8, 0xbf597fc7, 0xc6e00bf3, 0xd5a79147,
+    0x06ca6351, 0x14292967, 0x27b70a85, 0x2e1b2138, 0x4d2c6dfc,
+    0x53380d13, 0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85,
+    0xa2bfe8a1, 0xa81a664b, 0xc24b8b70, 0xc76c51a3, 0xd192e819,
+    0xd6990624, 0xf40e3585, 0x106aa070, 0x19a4c116, 0x1e376c08,
+    0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a, 0x5b9cca4f,
+    0x682e6ff3, 0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208,
+    0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2,
+};
+
+u32
+rotr(u32 v, u32 n)
+{
+    return (v >> n) | (v << (32 - n));
+}
+
+void
+compress(std::array<u32, 8> &h, const u8 *block)
+{
+    std::array<u32, 64> w{};
+    for (u32 i = 0; i < 16; ++i) {
+        w[i] = (static_cast<u32>(block[4 * i]) << 24) |
+               (static_cast<u32>(block[4 * i + 1]) << 16) |
+               (static_cast<u32>(block[4 * i + 2]) << 8) |
+               static_cast<u32>(block[4 * i + 3]);
+    }
+    for (u32 i = 16; i < 64; ++i) {
+        const u32 s0 = rotr(w[i - 15], 7) ^ rotr(w[i - 15], 18) ^
+                       (w[i - 15] >> 3);
+        const u32 s1 = rotr(w[i - 2], 17) ^ rotr(w[i - 2], 19) ^
+                       (w[i - 2] >> 10);
+        w[i] = w[i - 16] + s0 + w[i - 7] + s1;
+    }
+    u32 a = h[0], b = h[1], c = h[2], d = h[3];
+    u32 e = h[4], f = h[5], g = h[6], hh = h[7];
+    for (u32 i = 0; i < 64; ++i) {
+        const u32 s1 = rotr(e, 6) ^ rotr(e, 11) ^ rotr(e, 25);
+        const u32 ch = (e & f) ^ (~e & g);
+        const u32 t1 = hh + s1 + ch + kK[i] + w[i];
+        const u32 s0 = rotr(a, 2) ^ rotr(a, 13) ^ rotr(a, 22);
+        const u32 maj = (a & b) ^ (a & c) ^ (b & c);
+        const u32 t2 = s0 + maj;
+        hh = g;
+        g = f;
+        f = e;
+        e = d + t1;
+        d = c;
+        c = b;
+        b = a;
+        a = t1 + t2;
+    }
+    h[0] += a; h[1] += b; h[2] += c; h[3] += d;
+    h[4] += e; h[5] += f; h[6] += g; h[7] += hh;
+}
+
+} // namespace
+
+std::string
+sha256Hex(std::span<const u8> data)
+{
+    std::array<u32, 8> h = {0x6a09e667, 0xbb67ae85, 0x3c6ef372,
+                            0xa54ff53a, 0x510e527f, 0x9b05688c,
+                            0x1f83d9ab, 0x5be0cd19};
+    const u64 n = data.size();
+    u64 off = 0;
+    for (; off + 64 <= n; off += 64)
+        compress(h, data.data() + off);
+
+    // Final block(s): message tail, 0x80, zero pad, 64-bit bit length.
+    std::array<u8, 128> tail{};
+    const u64 rem = n - off;
+    std::memcpy(tail.data(), data.data() + off, rem);
+    tail[rem] = 0x80;
+    const u64 pad_len = rem + 1 + 8 <= 64 ? 64 : 128;
+    const u64 bits = n * 8;
+    for (u32 i = 0; i < 8; ++i)
+        tail[pad_len - 1 - i] = static_cast<u8>(bits >> (8 * i));
+    compress(h, tail.data());
+    if (pad_len == 128)
+        compress(h, tail.data() + 64);
+
+    std::string hex;
+    hex.reserve(64);
+    static const char *digits = "0123456789abcdef";
+    for (u32 word : h) {
+        for (int shift = 28; shift >= 0; shift -= 4)
+            hex.push_back(digits[(word >> shift) & 0xF]);
+    }
+    return hex;
+}
+
+} // namespace warpcomp

@@ -1,0 +1,48 @@
+#include "frontend/env.hpp"
+
+#include <algorithm>
+
+#include "common/log.hpp"
+#include "common/rng.hpp"
+#include "workloads/inputs.hpp"
+#include "workloads/workload.hpp"
+
+namespace warpcomp {
+
+u32
+kernelEnvElems(u32 scale)
+{
+    return 2048u * scale;
+}
+
+KernelEnv
+makeKernelEnv(u32 blockDim, u32 scale, u64 salt)
+{
+    WC_ASSERT(blockDim >= 1 && blockDim <= 1024,
+              "blockDim " << blockDim << " out of range");
+    const u32 n = kernelEnvElems(scale);
+    const u32 grid = (n + blockDim - 1) / blockDim;
+
+    auto gmem = std::make_unique<GlobalMemory>(16ull << 20);
+    auto cmem = std::make_unique<ConstantMemory>();
+    Rng rng(mixSeed(0xF00Du, salt));
+
+    const u64 a = gmem->alloc(4ull * n);
+    const u64 b = gmem->alloc(4ull * n);
+    // OUT is sized for either an elementwise result (n words) or a
+    // per-CTA result (grid words); calloc backing keeps it zeroed.
+    const u64 out = gmem->alloc(4ull * std::max(n, grid));
+
+    fillRandomI32(*gmem, a, n, -64, 63, rng);
+    fillRandomI32(*gmem, b, n, -64, 63, rng);
+
+    pushAddr(*cmem, a);     // [0]
+    pushAddr(*cmem, b);     // [4]
+    pushAddr(*cmem, out);   // [8]
+    cmem->push(n);          // [12]
+    cmem->push(3);          // [16] alpha
+
+    return {{blockDim, grid}, std::move(gmem), std::move(cmem)};
+}
+
+} // namespace warpcomp

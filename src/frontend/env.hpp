@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Canonical execution environment for binary (and twin) kernels.
+ *
+ * A binary image carries code only — no input buffers — so every
+ * kernel loaded through `--kernel` runs against one fixed, documented
+ * environment: buffers A and B of n = 2048*scale random words in
+ * [-64, 63], a zeroed OUT buffer, and a five-parameter constant bank.
+ * The DSL twins in twins.cpp use the same environment by construction,
+ * which is what makes the differential suite meaningful: identical
+ * code + identical inputs => identical figure stats.
+ *
+ * Parameter layout (constant bank, one 32-bit word each):
+ *   [0]  &A        [4]  &B        [8]  &OUT
+ *   [12] n         [16] alpha (= 3)
+ */
+
+#ifndef WARPCOMP_FRONTEND_ENV_HPP
+#define WARPCOMP_FRONTEND_ENV_HPP
+
+#include <memory>
+
+#include "mem/memory.hpp"
+#include "sim/functional.hpp"
+
+namespace warpcomp {
+
+/** Memory image + launch shape shared by binary kernels and twins. */
+struct KernelEnv
+{
+    LaunchDims dims;
+    std::unique_ptr<GlobalMemory> gmem;
+    std::unique_ptr<ConstantMemory> cmem;
+};
+
+/** Elements processed at @p scale (2048 * scale). */
+u32 kernelEnvElems(u32 scale);
+
+/** Build the canonical environment for a @p blockDim-thread kernel. */
+KernelEnv makeKernelEnv(u32 blockDim, u32 scale, u64 salt);
+
+} // namespace warpcomp
+
+#endif // WARPCOMP_FRONTEND_ENV_HPP

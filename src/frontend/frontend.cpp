@@ -1,0 +1,97 @@
+#include "frontend/frontend.hpp"
+
+#include "common/log.hpp"
+#include "frontend/env.hpp"
+
+namespace warpcomp {
+
+namespace {
+
+constexpr const char *kSpecPrefix = "file:";
+
+/** Split "PATH[,entry=SYM]" into its parts; false on malformed tail. */
+bool
+splitSpec(const std::string &body, std::string *path, std::string *entry)
+{
+    const size_t comma = body.find(',');
+    if (comma == std::string::npos) {
+        *path = body;
+        entry->clear();
+        return true;
+    }
+    *path = body.substr(0, comma);
+    const std::string tail = body.substr(comma + 1);
+    if (tail.rfind("entry=", 0) != 0 || tail.size() == 6)
+        return false;
+    *entry = tail.substr(6);
+    return true;
+}
+
+} // namespace
+
+KernelLoadResult
+loadKernelFile(const std::string &path, const std::string &entry)
+{
+    ImageLoadResult img = loadKernelImage(path);
+    if (!img.ok())
+        return {std::nullopt, img.error};
+
+    u32 entryWord = 0;
+    if (!entry.empty()) {
+        const auto it = img.image->symbols.find(entry);
+        if (it == img.image->symbols.end())
+            return {std::nullopt, path + ": entry symbol `" + entry +
+                                      "` not found in image"};
+        entryWord = it->second;
+    }
+
+    TranslateResult tr = translateImage(*img.image, entryWord);
+    if (!tr.ok())
+        return {std::nullopt, tr.error};
+
+    LoadedKernel lk{std::move(*tr.kernel), img.image->blockDim,
+                    img.image->sha256, path};
+    return {std::move(lk), {}};
+}
+
+LoadedKernel
+loadKernelFileOrExit(const std::string &path, const std::string &entry)
+{
+    KernelLoadResult r = loadKernelFile(path, entry);
+    if (!r.ok())
+        WC_FATAL("--kernel: " << r.error);
+    return std::move(*r.loaded);
+}
+
+bool
+isKernelFileSpec(const std::string &name)
+{
+    return name.rfind(kSpecPrefix, 0) == 0;
+}
+
+std::string
+kernelFileSpec(const std::string &path, const std::string &entry)
+{
+    std::string spec = std::string(kSpecPrefix) + path;
+    if (!entry.empty())
+        spec += ",entry=" + entry;
+    return spec;
+}
+
+WorkloadInstance
+makeKernelFileWorkload(const std::string &spec, u32 scale, u64 salt)
+{
+    WC_ASSERT(isKernelFileSpec(spec), "not a kernel file spec: " << spec);
+    std::string path, entry;
+    if (!splitSpec(spec.substr(5), &path, &entry) || path.empty())
+        WC_FATAL("--kernel: malformed spec `" << spec
+                 << "` (expected file:PATH[,entry=SYM])");
+
+    LoadedKernel lk = loadKernelFileOrExit(path, entry);
+    KernelEnv env = makeKernelEnv(lk.blockDim, scale, salt);
+    return {lk.kernel.name(), std::move(lk.kernel), env.dims,
+            std::move(env.gmem), std::move(env.cmem), "rv32",
+            std::move(lk.imageSha)};
+}
+
+} // namespace warpcomp

@@ -1,0 +1,346 @@
+#include "frontend/image.hpp"
+
+#include <cctype>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "common/sha256.hpp"
+
+namespace warpcomp {
+
+namespace {
+
+ImageLoadResult
+fail(const std::string &msg)
+{
+    return {std::nullopt, msg};
+}
+
+std::string
+fileStem(const std::string &path)
+{
+    const size_t slash = path.find_last_of('/');
+    const size_t start = slash == std::string::npos ? 0 : slash + 1;
+    const size_t dot = path.find_last_of('.');
+    const size_t end = (dot == std::string::npos || dot <= start)
+                           ? path.size()
+                           : dot;
+    return path.substr(start, end - start);
+}
+
+std::string
+fileExtension(const std::string &path)
+{
+    const std::string stemless = path.substr(path.find_last_of('/') + 1);
+    const size_t dot = stemless.find_last_of('.');
+    return dot == std::string::npos ? "" : stemless.substr(dot);
+}
+
+std::string
+trim(const std::string &s)
+{
+    size_t b = 0;
+    size_t e = s.size();
+    while (b < e && std::isspace(static_cast<unsigned char>(s[b])))
+        ++b;
+    while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])))
+        --e;
+    return s.substr(b, e - b);
+}
+
+bool
+parseU32(const std::string &tok, int base, u32 *out)
+{
+    if (tok.empty())
+        return false;
+    u64 v = 0;
+    for (char c : tok) {
+        int digit;
+        if (c >= '0' && c <= '9')
+            digit = c - '0';
+        else if (base == 16 && c >= 'a' && c <= 'f')
+            digit = c - 'a' + 10;
+        else if (base == 16 && c >= 'A' && c <= 'F')
+            digit = c - 'A' + 10;
+        else
+            return false;
+        v = v * static_cast<u64>(base) + static_cast<u64>(digit);
+        if (v > 0xFFFFFFFFull)
+            return false;
+    }
+    *out = static_cast<u32>(v);
+    return true;
+}
+
+bool
+validSymbolName(const std::string &s)
+{
+    if (s.empty())
+        return false;
+    for (char c : s) {
+        if (!std::isalnum(static_cast<unsigned char>(c)) && c != '_' &&
+            c != '.')
+            return false;
+    }
+    return true;
+}
+
+u16
+readU16(const std::vector<u8> &b, size_t off)
+{
+    return static_cast<u16>(b[off] | (b[off + 1] << 8));
+}
+
+u32
+readU32(const std::vector<u8> &b, size_t off)
+{
+    return static_cast<u32>(b[off]) | (static_cast<u32>(b[off + 1]) << 8) |
+           (static_cast<u32>(b[off + 2]) << 16) |
+           (static_cast<u32>(b[off + 3]) << 24);
+}
+
+// ELF constants (32-bit little-endian subset we accept).
+constexpr u16 kEmRiscv = 243;
+constexpr u32 kShtProgbits = 1;
+constexpr u32 kShtSymtab = 2;
+constexpr u32 kShfExecinstr = 0x4;
+constexpr u16 kShnAbs = 0xFFF1;
+
+} // namespace
+
+ImageLoadResult
+parseHexImage(const std::string &text, const std::string &path)
+{
+    KernelImage img;
+    img.path = path;
+    img.name = fileStem(path);
+
+    std::istringstream in(text);
+    std::string line;
+    u32 lineNo = 0;
+    while (std::getline(in, line)) {
+        ++lineNo;
+        const size_t hash = line.find('#');
+        if (hash != std::string::npos)
+            line = line.substr(0, hash);
+        line = trim(line);
+        if (line.empty())
+            continue;
+
+        std::ostringstream where;
+        where << path << ":" << lineNo << ": ";
+
+        if (line[0] == '.') {
+            std::istringstream dir(line);
+            std::string key, value, extra;
+            dir >> key >> value;
+            if (dir >> extra)
+                return fail(where.str() + "trailing junk after directive `" +
+                            key + "`");
+            if (key == ".name") {
+                if (!validSymbolName(value))
+                    return fail(where.str() + "bad kernel name `" + value +
+                                "`");
+                img.name = value;
+            } else if (key == ".block") {
+                u32 n = 0;
+                if (!parseU32(value, 10, &n) || n == 0 || n > 1024)
+                    return fail(where.str() + ".block expects 1..1024, got `" +
+                                value + "`");
+                img.blockDim = n;
+            } else if (key == ".smem") {
+                u32 n = 0;
+                if (!parseU32(value, 10, &n))
+                    return fail(where.str() + ".smem expects a byte count, "
+                                "got `" + value + "`");
+                img.smemBytes = n;
+            } else {
+                return fail(where.str() + "unknown directive `" + key + "`");
+            }
+            continue;
+        }
+
+        if (line[0] == '@') {
+            const std::string sym = line.substr(1);
+            if (!validSymbolName(sym))
+                return fail(where.str() + "bad label `" + line + "`");
+            if (img.symbols.count(sym))
+                return fail(where.str() + "duplicate label `" + sym + "`");
+            img.symbols[sym] = static_cast<u32>(img.words.size());
+            continue;
+        }
+
+        u32 word = 0;
+        if (line.size() > 8 || !parseU32(line, 16, &word))
+            return fail(where.str() + "expected a 32-bit hex instruction "
+                        "word, got `" + line + "`");
+        img.words.push_back(word);
+    }
+
+    if (img.words.empty())
+        return fail(path + ": image contains no instruction words");
+    return {std::move(img), {}};
+}
+
+ImageLoadResult
+parseBinImage(const std::vector<u8> &bytes, const std::string &path)
+{
+    if (bytes.empty())
+        return fail(path + ": empty image");
+    if (bytes.size() % 4 != 0)
+        return fail(path + ": truncated image (" +
+                    std::to_string(bytes.size()) +
+                    " bytes is not a multiple of 4)");
+    KernelImage img;
+    img.path = path;
+    img.name = fileStem(path);
+    img.words.reserve(bytes.size() / 4);
+    for (size_t off = 0; off < bytes.size(); off += 4)
+        img.words.push_back(readU32(bytes, off));
+    return {std::move(img), {}};
+}
+
+ImageLoadResult
+parseElfImage(const std::vector<u8> &bytes, const std::string &path)
+{
+    if (bytes.size() < 52)
+        return fail(path + ": truncated ELF header (" +
+                    std::to_string(bytes.size()) + " bytes)");
+    if (bytes[0] != 0x7F || bytes[1] != 'E' || bytes[2] != 'L' ||
+        bytes[3] != 'F')
+        return fail(path + ": not an ELF file (bad magic)");
+    if (bytes[4] != 1)
+        return fail(path + ": only 32-bit ELF is supported");
+    if (bytes[5] != 1)
+        return fail(path + ": only little-endian ELF is supported");
+    const u16 machine = readU16(bytes, 18);
+    if (machine != kEmRiscv)
+        return fail(path + ": e_machine=" + std::to_string(machine) +
+                    ", expected RISC-V (243)");
+
+    const u32 shoff = readU32(bytes, 32);
+    const u16 shentsize = readU16(bytes, 46);
+    const u16 shnum = readU16(bytes, 48);
+    if (shentsize < 40 || shnum == 0)
+        return fail(path + ": missing section header table");
+    if (static_cast<u64>(shoff) + static_cast<u64>(shentsize) * shnum >
+        bytes.size())
+        return fail(path + ": truncated section header table");
+
+    KernelImage img;
+    img.path = path;
+    img.name = fileStem(path);
+
+    // Pass 1: the first executable PROGBITS section is the text image.
+    u32 textAddr = 0;
+    i32 textShndx = -1;
+    for (u16 i = 0; i < shnum; ++i) {
+        const size_t sh = shoff + static_cast<size_t>(i) * shentsize;
+        const u32 type = readU32(bytes, sh + 4);
+        const u32 flags = readU32(bytes, sh + 8);
+        if (type != kShtProgbits || !(flags & kShfExecinstr))
+            continue;
+        const u32 addr = readU32(bytes, sh + 12);
+        const u32 off = readU32(bytes, sh + 16);
+        const u32 size = readU32(bytes, sh + 20);
+        if (static_cast<u64>(off) + size > bytes.size())
+            return fail(path + ": text section extends past end of file");
+        if (size == 0 || size % 4 != 0)
+            return fail(path + ": text section size " +
+                        std::to_string(size) + " is not a non-zero "
+                        "multiple of 4");
+        for (u32 o = 0; o < size; o += 4)
+            img.words.push_back(readU32(bytes, off + o));
+        textAddr = addr;
+        textShndx = i;
+        break;
+    }
+    if (textShndx < 0)
+        return fail(path + ": no executable PROGBITS section found");
+
+    // Pass 2: harvest symbols for entry lookup and launch metadata.
+    for (u16 i = 0; i < shnum; ++i) {
+        const size_t sh = shoff + static_cast<size_t>(i) * shentsize;
+        if (readU32(bytes, sh + 4) != kShtSymtab)
+            continue;
+        const u32 off = readU32(bytes, sh + 16);
+        const u32 size = readU32(bytes, sh + 20);
+        const u32 link = readU32(bytes, sh + 24);
+        const u32 entsize = readU32(bytes, sh + 36);
+        if (entsize < 16 || link >= shnum)
+            return fail(path + ": malformed symbol table");
+        const size_t strSh = shoff + static_cast<size_t>(link) * shentsize;
+        const u32 strOff = readU32(bytes, strSh + 16);
+        const u32 strSize = readU32(bytes, strSh + 20);
+        if (static_cast<u64>(off) + size > bytes.size() ||
+            static_cast<u64>(strOff) + strSize > bytes.size())
+            return fail(path + ": truncated symbol/string table");
+        for (u32 so = 0; so + entsize <= size; so += entsize) {
+            const u32 nameOff = readU32(bytes, off + so);
+            const u32 value = readU32(bytes, off + so + 4);
+            const u16 shndx = readU16(bytes, off + so + 14);
+            if (nameOff >= strSize)
+                continue;
+            const char *cname =
+                reinterpret_cast<const char *>(bytes.data()) + strOff +
+                nameOff;
+            const std::string name(
+                cname, strnlen(cname, strSize - nameOff));
+            if (name.empty())
+                continue;
+            if (shndx == kShnAbs) {
+                if (name == "__block") {
+                    if (value == 0 || value > 1024)
+                        return fail(path + ": __block=" +
+                                    std::to_string(value) +
+                                    " out of range 1..1024");
+                    img.blockDim = value;
+                } else if (name == "__smem") {
+                    img.smemBytes = value;
+                }
+                continue;
+            }
+            if (shndx != static_cast<u16>(textShndx))
+                continue;
+            if (value < textAddr || (value - textAddr) % 4 != 0)
+                return fail(path + ": symbol `" + name +
+                            "` at 0x" + std::to_string(value) +
+                            " is misaligned or outside the text section");
+            const u32 wordIdx = (value - textAddr) / 4;
+            if (wordIdx >= img.words.size())
+                return fail(path + ": symbol `" + name +
+                            "` points past end of text");
+            img.symbols[name] = wordIdx;
+        }
+        break;
+    }
+
+    return {std::move(img), {}};
+}
+
+ImageLoadResult
+loadKernelImage(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return fail(path + ": cannot open file");
+    std::vector<u8> bytes((std::istreambuf_iterator<char>(in)),
+                          std::istreambuf_iterator<char>());
+
+    const std::string ext = fileExtension(path);
+    ImageLoadResult result;
+    if (ext == ".hex") {
+        result = parseHexImage(
+            std::string(bytes.begin(), bytes.end()), path);
+    } else if (ext == ".bin") {
+        result = parseBinImage(bytes, path);
+    } else {
+        result = parseElfImage(bytes, path);
+    }
+    if (result.ok())
+        result.image->sha256 = sha256Hex(std::span<const u8>(bytes));
+    return result;
+}
+
+} // namespace warpcomp

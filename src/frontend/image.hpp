@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Kernel image loader: turns a file on disk into a flat vector of
+ * 32-bit RV32 instruction words plus launch metadata.
+ *
+ * Three container formats, selected by file extension:
+ *
+ *   - `.hex`  — line-oriented text. `#` starts a comment, blank lines
+ *     are skipped. Directives: `.name <ident>`, `.block <n>` (threads
+ *     per CTA), `.smem <bytes>`. A line `@symbol` defines a label at
+ *     the next word (usable as `entry=symbol`). Any other line is one
+ *     32-bit instruction word in hex. This is the checked-in example
+ *     format: it keeps CI free of a cross-compiler while staying
+ *     diffable.
+ *   - `.bin`  — raw little-endian instruction words, no metadata.
+ *   - anything else — minimal 32-bit little-endian RISC-V ELF
+ *     (ET_REL/ET_EXEC, e_machine=243). The first SHF_EXECINSTR
+ *     PROGBITS section is the text image; SHT_SYMTAB symbols inside
+ *     it become entry labels. Absolute symbols `__block` / `__smem`
+ *     carry launch metadata in st_value.
+ *
+ * All failures are structured (message naming file/line/offset), never
+ * exceptions: the harness turns them into clean exit-1 diagnostics.
+ */
+
+#ifndef WARPCOMP_FRONTEND_IMAGE_HPP
+#define WARPCOMP_FRONTEND_IMAGE_HPP
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace warpcomp {
+
+/** A loaded kernel image: words + metadata, pre-translation. */
+struct KernelImage
+{
+    std::string name;                   ///< kernel name (.name / file stem)
+    std::string path;                   ///< source file path
+    std::string sha256;                 ///< SHA-256 of the raw file bytes
+    u32 blockDim = 32;                  ///< threads per CTA (.block)
+    u32 smemBytes = 0;                  ///< shared memory bytes (.smem)
+    std::vector<u32> words;             ///< instruction words
+    std::map<std::string, u32> symbols; ///< label -> word index
+};
+
+/** Image load outcome: an image or a diagnostic. */
+struct ImageLoadResult
+{
+    std::optional<KernelImage> image;
+    std::string error;
+
+    bool ok() const { return image.has_value(); }
+};
+
+/** Load a kernel image from @p path, dispatching on extension. */
+ImageLoadResult loadKernelImage(const std::string &path);
+
+/** Parse hex-format text (exposed for tests; @p path names diagnostics). */
+ImageLoadResult parseHexImage(const std::string &text,
+                              const std::string &path);
+
+/** Parse an in-memory blob as raw .bin / ELF (exposed for tests). */
+ImageLoadResult parseBinImage(const std::vector<u8> &bytes,
+                              const std::string &path);
+ImageLoadResult parseElfImage(const std::vector<u8> &bytes,
+                              const std::string &path);
+
+} // namespace warpcomp
+
+#endif // WARPCOMP_FRONTEND_IMAGE_HPP

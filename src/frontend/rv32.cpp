@@ -1,0 +1,334 @@
+#include "frontend/rv32.hpp"
+
+#include <sstream>
+
+#include "common/log.hpp"
+
+namespace warpcomp {
+
+namespace {
+
+// Base-opcode field values (bits [6:0]).
+constexpr u32 kOpLui = 0x37;
+constexpr u32 kOpAuipc = 0x17;
+constexpr u32 kOpJal = 0x6F;
+constexpr u32 kOpJalr = 0x67;
+constexpr u32 kOpBranch = 0x63;
+constexpr u32 kOpLoad = 0x03;
+constexpr u32 kOpStore = 0x23;
+constexpr u32 kOpImm = 0x13;
+constexpr u32 kOpReg = 0x33;
+constexpr u32 kOpFence = 0x0F;
+constexpr u32 kOpSystem = 0x73;
+constexpr u32 kOpCustom0 = 0x0B;    // LDS.W
+constexpr u32 kOpCustom1 = 0x2B;    // STS.W
+
+u8
+fieldRd(u32 w)
+{
+    return static_cast<u8>((w >> 7) & 0x1F);
+}
+
+u8
+fieldRs1(u32 w)
+{
+    return static_cast<u8>((w >> 15) & 0x1F);
+}
+
+u8
+fieldRs2(u32 w)
+{
+    return static_cast<u8>((w >> 20) & 0x1F);
+}
+
+u32
+fieldFunct3(u32 w)
+{
+    return (w >> 12) & 0x7;
+}
+
+u32
+fieldFunct7(u32 w)
+{
+    return w >> 25;
+}
+
+i32
+immI(u32 w)
+{
+    return static_cast<i32>(w) >> 20;
+}
+
+i32
+immS(u32 w)
+{
+    return ((static_cast<i32>(w) >> 25) << 5) |
+           static_cast<i32>((w >> 7) & 0x1F);
+}
+
+i32
+immB(u32 w)
+{
+    const i32 sign = (static_cast<i32>(w) >> 31) << 12;
+    const i32 b11 = static_cast<i32>((w >> 7) & 1) << 11;
+    const i32 b10_5 = static_cast<i32>((w >> 25) & 0x3F) << 5;
+    const i32 b4_1 = static_cast<i32>((w >> 8) & 0xF) << 1;
+    return sign | b11 | b10_5 | b4_1;
+}
+
+i32
+immU(u32 w)
+{
+    return static_cast<i32>(w & 0xFFFFF000u);
+}
+
+i32
+immJ(u32 w)
+{
+    const i32 sign = (static_cast<i32>(w) >> 31) << 20;
+    const i32 b19_12 = static_cast<i32>((w >> 12) & 0xFF) << 12;
+    const i32 b11 = static_cast<i32>((w >> 20) & 1) << 11;
+    const i32 b10_1 = static_cast<i32>((w >> 21) & 0x3FF) << 1;
+    return sign | b19_12 | b11 | b10_1;
+}
+
+RvDecodeResult
+ok(RvInst in, u32 raw)
+{
+    in.raw = raw;
+    return {in, std::nullopt};
+}
+
+RvDecodeResult
+fail(u32 raw, std::string reason)
+{
+    return {std::nullopt, RvDecodeError{raw, std::move(reason)}};
+}
+
+} // namespace
+
+RvDecodeResult
+decodeRv32(u32 w)
+{
+    const u32 opcode = w & 0x7F;
+    const u32 f3 = fieldFunct3(w);
+    const u32 f7 = fieldFunct7(w);
+    RvInst in;
+    in.rd = fieldRd(w);
+    in.rs1 = fieldRs1(w);
+    in.rs2 = fieldRs2(w);
+
+    switch (opcode) {
+      case kOpLui:
+        in.op = RvOp::Lui;
+        in.imm = immU(w);
+        return ok(in, w);
+      case kOpAuipc:
+        in.op = RvOp::Auipc;
+        in.imm = immU(w);
+        return ok(in, w);
+      case kOpJal:
+        in.op = RvOp::Jal;
+        in.imm = immJ(w);
+        return ok(in, w);
+      case kOpJalr:
+        if (f3 != 0)
+            return fail(w, "malformed JALR");
+        in.op = RvOp::Jalr;
+        in.imm = immI(w);
+        return ok(in, w);
+      case kOpBranch:
+        switch (f3) {
+          case 0b000: in.op = RvOp::Beq; break;
+          case 0b001: in.op = RvOp::Bne; break;
+          case 0b100: in.op = RvOp::Blt; break;
+          case 0b101: in.op = RvOp::Bge; break;
+          case 0b110: in.op = RvOp::Bltu; break;
+          case 0b111: in.op = RvOp::Bgeu; break;
+          default: return fail(w, "malformed branch funct3");
+        }
+        in.imm = immB(w);
+        return ok(in, w);
+      case kOpLoad:
+        if (f3 != 0b010)
+            return fail(w, "only 32-bit loads (LW) are supported");
+        in.op = RvOp::Lw;
+        in.imm = immI(w);
+        return ok(in, w);
+      case kOpStore:
+        if (f3 != 0b010)
+            return fail(w, "only 32-bit stores (SW) are supported");
+        in.op = RvOp::Sw;
+        in.imm = immS(w);
+        return ok(in, w);
+      case kOpImm:
+        in.imm = immI(w);
+        switch (f3) {
+          case 0b000: in.op = RvOp::Addi; return ok(in, w);
+          case 0b010: in.op = RvOp::Slti; return ok(in, w);
+          case 0b011: in.op = RvOp::Sltiu; return ok(in, w);
+          case 0b100: in.op = RvOp::Xori; return ok(in, w);
+          case 0b110: in.op = RvOp::Ori; return ok(in, w);
+          case 0b111: in.op = RvOp::Andi; return ok(in, w);
+          case 0b001:
+            if (f7 != 0)
+                return fail(w, "malformed SLLI");
+            in.op = RvOp::Slli;
+            in.imm = static_cast<i32>(in.rs2);
+            return ok(in, w);
+          case 0b101:
+            if (f7 == 0)
+                in.op = RvOp::Srli;
+            else if (f7 == 0b0100000)
+                in.op = RvOp::Srai;
+            else
+                return fail(w, "malformed shift funct7");
+            in.imm = static_cast<i32>(in.rs2);
+            return ok(in, w);
+          default:
+            return fail(w, "malformed OP-IMM funct3");
+        }
+      case kOpReg:
+        if (f7 == 0b0000001) {
+            switch (f3) {
+              case 0b000: in.op = RvOp::Mul; break;
+              case 0b001: in.op = RvOp::Mulh; break;
+              case 0b010: in.op = RvOp::Mulhsu; break;
+              case 0b011: in.op = RvOp::Mulhu; break;
+              case 0b100: in.op = RvOp::Div; break;
+              case 0b101: in.op = RvOp::Divu; break;
+              case 0b110: in.op = RvOp::Rem; break;
+              case 0b111: in.op = RvOp::Remu; break;
+              default: return fail(w, "malformed M-extension funct3");
+            }
+            return ok(in, w);
+        }
+        if (f7 != 0 && f7 != 0b0100000)
+            return fail(w, "malformed OP funct7");
+        switch (f3) {
+          case 0b000: in.op = f7 == 0 ? RvOp::Add : RvOp::Sub; break;
+          case 0b001: in.op = RvOp::Sll; break;
+          case 0b010: in.op = RvOp::Slt; break;
+          case 0b011: in.op = RvOp::Sltu; break;
+          case 0b100: in.op = RvOp::Xor; break;
+          case 0b101: in.op = f7 == 0 ? RvOp::Srl : RvOp::Sra; break;
+          case 0b110: in.op = RvOp::Or; break;
+          case 0b111: in.op = RvOp::And; break;
+          default: return fail(w, "malformed OP funct3");
+        }
+        if (f7 == 0b0100000 && in.op != RvOp::Sub && in.op != RvOp::Sra)
+            return fail(w, "malformed OP funct7");
+        return ok(in, w);
+      case kOpFence:
+        if (f3 != 0)
+            return fail(w, "only FENCE (CTA barrier) is supported");
+        in.op = RvOp::Fence;
+        return ok(in, w);
+      case kOpSystem:
+        if (f3 == 0) {
+            const u32 funct12 = w >> 20;
+            if (funct12 == 0 && in.rs1 == 0 && in.rd == 0) {
+                in.op = RvOp::Ecall;
+                return ok(in, w);
+            }
+            if (funct12 == 1)
+                return fail(w, "EBREAK is not supported");
+            return fail(w, "malformed SYSTEM instruction");
+        }
+        // csrrs rd, csr, x0 is the canonical `csrr` special-register
+        // read; writes (rs1 != x0) and other CSR ops have no meaning
+        // in the SIMT model.
+        if (f3 == 0b010 && in.rs1 == 0) {
+            in.op = RvOp::Csrr;
+            in.csr = w >> 20;
+            return ok(in, w);
+        }
+        return fail(w, "only CSRRS rd, csr, x0 (csrr) is supported");
+      case kOpCustom0:
+        if (f3 != 0b010)
+            return fail(w, "unknown custom-0 instruction (LDS.W uses "
+                           "funct3=2)");
+        in.op = RvOp::LdsW;
+        in.imm = immI(w);
+        return ok(in, w);
+      case kOpCustom1:
+        if (f3 != 0b010)
+            return fail(w, "unknown custom-1 instruction (STS.W uses "
+                           "funct3=2)");
+        in.op = RvOp::StsW;
+        in.imm = immS(w);
+        return ok(in, w);
+      default:
+        break;
+    }
+    std::ostringstream reason;
+    reason << "unsupported RV32 opcode 0x" << std::hex << opcode
+           << " (RV32IM subset + GPU conventions only)";
+    return fail(w, reason.str());
+}
+
+const char *
+rvOpName(RvOp op)
+{
+    switch (op) {
+      case RvOp::Lui: return "lui";
+      case RvOp::Auipc: return "auipc";
+      case RvOp::Jal: return "jal";
+      case RvOp::Jalr: return "jalr";
+      case RvOp::Beq: return "beq";
+      case RvOp::Bne: return "bne";
+      case RvOp::Blt: return "blt";
+      case RvOp::Bge: return "bge";
+      case RvOp::Bltu: return "bltu";
+      case RvOp::Bgeu: return "bgeu";
+      case RvOp::Lw: return "lw";
+      case RvOp::Sw: return "sw";
+      case RvOp::Addi: return "addi";
+      case RvOp::Slti: return "slti";
+      case RvOp::Sltiu: return "sltiu";
+      case RvOp::Xori: return "xori";
+      case RvOp::Ori: return "ori";
+      case RvOp::Andi: return "andi";
+      case RvOp::Slli: return "slli";
+      case RvOp::Srli: return "srli";
+      case RvOp::Srai: return "srai";
+      case RvOp::Add: return "add";
+      case RvOp::Sub: return "sub";
+      case RvOp::Sll: return "sll";
+      case RvOp::Slt: return "slt";
+      case RvOp::Sltu: return "sltu";
+      case RvOp::Xor: return "xor";
+      case RvOp::Srl: return "srl";
+      case RvOp::Sra: return "sra";
+      case RvOp::Or: return "or";
+      case RvOp::And: return "and";
+      case RvOp::Mul: return "mul";
+      case RvOp::Mulh: return "mulh";
+      case RvOp::Mulhsu: return "mulhsu";
+      case RvOp::Mulhu: return "mulhu";
+      case RvOp::Div: return "div";
+      case RvOp::Divu: return "divu";
+      case RvOp::Rem: return "rem";
+      case RvOp::Remu: return "remu";
+      case RvOp::Fence: return "fence";
+      case RvOp::Ecall: return "ecall";
+      case RvOp::Csrr: return "csrr";
+      case RvOp::LdsW: return "lds.w";
+      case RvOp::StsW: return "sts.w";
+      default: WC_PANIC("unknown RvOp");
+    }
+}
+
+std::string
+rvDisasm(const RvInst &in)
+{
+    std::ostringstream os;
+    os << rvOpName(in.op) << " x" << static_cast<int>(in.rd) << ", x"
+       << static_cast<int>(in.rs1) << ", x" << static_cast<int>(in.rs2)
+       << ", " << in.imm;
+    if (in.op == RvOp::Csrr)
+        os << " csr=0x" << std::hex << in.csr;
+    return os.str();
+}
+
+} // namespace warpcomp

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * RV32IM instruction-word decoder for the binary kernel frontend.
+ *
+ * Covers the integer base (R/I/S/B/U/J formats), the M extension, and
+ * the warpcomp GPU conventions layered on the custom opcode space:
+ *
+ *   - CSR reads `csrr rd, 0xCC0..0xCC4` expose tid/ctaid/ntid/nctaid/
+ *     laneid (the S2R special registers).
+ *   - custom-0 (opcode 0x0B, funct3 0b010) is LDS.W — shared-memory
+ *     word load, I-type.
+ *   - custom-1 (opcode 0x2B, funct3 0b010) is STS.W — shared-memory
+ *     word store, S-type.
+ *   - FENCE is the CTA-wide barrier (BAR), ECALL is thread exit.
+ *
+ * Decoding is purely syntactic: every recognized word maps to one
+ * RvInst; anything else is reported as a structured decode error with
+ * the raw word, so the loader can name the offending pc.
+ */
+
+#ifndef WARPCOMP_FRONTEND_RV32_HPP
+#define WARPCOMP_FRONTEND_RV32_HPP
+
+#include <optional>
+#include <string>
+
+#include "common/types.hpp"
+
+namespace warpcomp {
+
+/** Decoded RV32 operations the translator understands. */
+enum class RvOp : u8 {
+    // U / J
+    Lui, Auipc, Jal, Jalr,
+    // B
+    Beq, Bne, Blt, Bge, Bltu, Bgeu,
+    // Loads / stores (32-bit only; byte/halfword are decode errors)
+    Lw, Sw,
+    // I-type ALU
+    Addi, Slti, Sltiu, Xori, Ori, Andi, Slli, Srli, Srai,
+    // R-type ALU
+    Add, Sub, Sll, Slt, Sltu, Xor, Srl, Sra, Or, And,
+    // M extension
+    Mul, Mulh, Mulhsu, Mulhu, Div, Divu, Rem, Remu,
+    // System / GPU conventions
+    Fence,      ///< CTA barrier
+    Ecall,      ///< thread exit
+    Csrr,       ///< csrrs rd, csr, x0 — special-register read
+    LdsW,       ///< custom-0: shared-memory word load
+    StsW,       ///< custom-1: shared-memory word store
+};
+
+/** One decoded instruction. Fields unused by the format are zero. */
+struct RvInst
+{
+    RvOp op = RvOp::Addi;
+    u8 rd = 0;
+    u8 rs1 = 0;
+    u8 rs2 = 0;
+    i32 imm = 0;    ///< sign-extended immediate (U-type: already shifted)
+    u32 csr = 0;    ///< CSR number for Csrr
+    u32 raw = 0;    ///< original instruction word
+};
+
+/** Decode failure: which word and why. */
+struct RvDecodeError
+{
+    u32 raw = 0;
+    std::string reason;
+};
+
+/** Result of decoding one word: an instruction or an error. */
+struct RvDecodeResult
+{
+    std::optional<RvInst> inst;
+    std::optional<RvDecodeError> error;
+
+    bool ok() const { return inst.has_value(); }
+};
+
+/** Decode one 32-bit little-endian instruction word. */
+RvDecodeResult decodeRv32(u32 word);
+
+/** Mnemonic for a decoded operation. */
+const char *rvOpName(RvOp op);
+
+/** One-line disassembly of a decoded instruction (debugging aid). */
+std::string rvDisasm(const RvInst &inst);
+
+} // namespace warpcomp
+
+#endif // WARPCOMP_FRONTEND_RV32_HPP

@@ -1,0 +1,681 @@
+#include "frontend/translate.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <sstream>
+#include <vector>
+
+#include "frontend/rv32.hpp"
+
+namespace warpcomp {
+
+namespace {
+
+/** Which encoding fields an operation actually uses. */
+struct RvUse
+{
+    bool rs1 = false;
+    bool rs2 = false;
+    bool rd = false;
+};
+
+RvUse
+usesOf(RvOp op)
+{
+    switch (op) {
+      case RvOp::Lui:
+      case RvOp::Auipc:
+      case RvOp::Csrr:
+        return {false, false, true};
+      case RvOp::Jal:
+        return {false, false, true};
+      case RvOp::Jalr:
+        return {true, false, true};
+      case RvOp::Beq:
+      case RvOp::Bne:
+      case RvOp::Blt:
+      case RvOp::Bge:
+      case RvOp::Bltu:
+      case RvOp::Bgeu:
+        return {true, true, false};
+      case RvOp::Lw:
+      case RvOp::LdsW:
+        return {true, false, true};
+      case RvOp::Sw:
+      case RvOp::StsW:
+        return {true, true, false};
+      case RvOp::Addi:
+      case RvOp::Slti:
+      case RvOp::Sltiu:
+      case RvOp::Xori:
+      case RvOp::Ori:
+      case RvOp::Andi:
+      case RvOp::Slli:
+      case RvOp::Srli:
+      case RvOp::Srai:
+        return {true, false, true};
+      case RvOp::Fence:
+      case RvOp::Ecall:
+        return {false, false, false};
+      default:
+        // R-type ALU and the full M extension.
+        return {true, true, true};
+    }
+}
+
+bool
+isCondBranch(RvOp op)
+{
+    return op == RvOp::Beq || op == RvOp::Bne || op == RvOp::Blt ||
+           op == RvOp::Bge;
+}
+
+/** Writes rd but has no side effect: a write to x0 is a no-op. Control
+ *  flow is excluded — `jal x0, L` discards the link but still jumps. */
+bool
+skippableWhenRdZero(RvOp op)
+{
+    return usesOf(op).rd && op != RvOp::Jal && op != RvOp::Jalr;
+}
+
+/** Inverted comparison: the branch is TAKEN when CC holds, the lowered
+ *  `@!p BRA` is taken when p is false, so p must test !CC. */
+CmpOp
+invertedCmp(RvOp op)
+{
+    switch (op) {
+      case RvOp::Beq: return CmpOp::Ne;
+      case RvOp::Bne: return CmpOp::Eq;
+      case RvOp::Blt: return CmpOp::Ge;
+      case RvOp::Bge: return CmpOp::Lt;
+      default: WC_PANIC("not a lowerable branch");
+    }
+}
+
+struct SregMap
+{
+    u32 csr;
+    SpecialReg sreg;
+};
+
+constexpr SregMap kSregMap[] = {
+    {0xCC0, SpecialReg::TidX},    {0xCC1, SpecialReg::CtaIdX},
+    {0xCC2, SpecialReg::NTidX},   {0xCC3, SpecialReg::NCtaIdX},
+    {0xCC4, SpecialReg::LaneId},
+};
+
+class Translator
+{
+  public:
+    Translator(const KernelImage &image, u32 entry,
+               const TranslateOptions &opt)
+        : image_(image), entry_(entry), opt_(opt)
+    {
+    }
+
+    TranslateResult run();
+
+  private:
+    bool fail(u32 pc, const std::string &msg);
+    bool decodeAll();
+    bool checkSupport();
+    void computeIpdom();
+    bool mapRegisters();
+    void layout();
+    bool emitAll();
+
+    Operand srcOf(u32 pc, u8 xreg) const;
+    u8 denseOf(u8 xreg) const;
+
+    const KernelImage &image_;
+    u32 entry_;
+    TranslateOptions opt_;
+
+    u32 n_ = 0;                      ///< RV instruction count
+    std::vector<RvInst> prog_;
+    std::vector<bool> skipped_;      ///< rd == x0 no-ops
+    std::vector<i64> branchTo_;      ///< RV-index branch target, or -1
+    std::vector<u32> ipdom_;         ///< RV-index ipdom (n_ = virtual exit)
+    std::vector<u8> denseReg_;       ///< x-reg -> dense index (or kNoReg)
+    std::vector<u8> predOf_;         ///< pc -> predicate number (or kNoPred)
+    std::vector<u32> startIndex_;    ///< RV pc -> first translated index
+    u32 regCount_ = 0;
+    u32 predCount_ = 0;
+    u32 emitted_ = 0;                ///< total translated instructions
+    std::vector<Instruction> out_;
+    std::string error_;
+};
+
+bool
+Translator::fail(u32 pc, const std::string &msg)
+{
+    std::ostringstream os;
+    os << image_.path << ": pc " << pc;
+    if (pc < n_) {
+        os << " (word 0x" << std::hex << prog_[pc].raw << std::dec << ", `"
+           << rvDisasm(prog_[pc]) << "`)";
+    }
+    os << ": " << msg;
+    error_ = os.str();
+    return false;
+}
+
+bool
+Translator::decodeAll()
+{
+    for (u32 i = 0; i < n_; ++i) {
+        const RvDecodeResult r = decodeRv32(image_.words[entry_ + i]);
+        if (!r.ok()) {
+            std::ostringstream os;
+            os << image_.path << ": pc " << i << " (word 0x" << std::hex
+               << r.error->raw << std::dec << "): " << r.error->reason;
+            error_ = os.str();
+            return false;
+        }
+        prog_[i] = *r.inst;
+    }
+    return true;
+}
+
+bool
+Translator::checkSupport()
+{
+    for (u32 i = 0; i < n_; ++i) {
+        const RvInst &in = prog_[i];
+        switch (in.op) {
+          case RvOp::Auipc:
+            return fail(i, "AUIPC (pc-relative addressing) is not "
+                           "supported; kernels have no data in the text "
+                           "image");
+          case RvOp::Jalr:
+            return fail(i, "JALR (indirect jumps / returns) is not "
+                           "supported; kernels are single leaf functions");
+          case RvOp::Bltu:
+          case RvOp::Bgeu:
+          case RvOp::Sltu:
+          case RvOp::Sltiu:
+            return fail(i, "unsigned comparisons have no warpcomp CmpOp; "
+                           "use the signed forms");
+          case RvOp::Mulhsu:
+            return fail(i, "MULHSU has no warpcomp equivalent");
+          case RvOp::Jal:
+            if (in.rd != 0)
+                return fail(i, "JAL with a link register (function call) "
+                               "is not supported");
+            break;
+          case RvOp::Csrr: {
+            bool known = false;
+            for (const SregMap &m : kSregMap)
+                known = known || m.csr == in.csr;
+            if (!known)
+                return fail(i, "unknown CSR (expected 0xCC0..0xCC4 "
+                               "tid/ctaid/ntid/nctaid/laneid)");
+            break;
+          }
+          case RvOp::Sw:
+            if (in.rs1 == 0)
+                return fail(i, "store with base x0 targets the read-only "
+                               "constant bank");
+            break;
+          case RvOp::LdsW:
+          case RvOp::StsW:
+            if (in.rs1 == 0)
+                return fail(i, "shared-memory access needs a register "
+                               "base (x0 given)");
+            break;
+          default:
+            break;
+        }
+
+        if (isCondBranch(in.op) || in.op == RvOp::Jal) {
+            if (in.imm % 4 != 0)
+                return fail(i, "misaligned branch offset");
+            const i64 t = static_cast<i64>(i) + in.imm / 4;
+            if (t < 0 || t >= static_cast<i64>(n_))
+                return fail(i, "branch target out of range");
+            branchTo_[i] = t;
+        }
+    }
+    return true;
+}
+
+void
+Translator::computeIpdom()
+{
+    // Postdominator dataflow over RV instructions plus a virtual exit
+    // node E = n_. Sets are bit vectors over the n_ + 1 nodes.
+    const u32 numNodes = n_ + 1;
+    const u32 wordsPer = (numNodes + 63) / 64;
+    std::vector<u64> pdom(static_cast<size_t>(numNodes) * wordsPer,
+                          ~0ull);
+    auto setOf = [&](u32 node) { return &pdom[node * wordsPer]; };
+
+    // E postdominates only itself.
+    {
+        u64 *e = setOf(n_);
+        for (u32 w = 0; w < wordsPer; ++w)
+            e[w] = 0;
+        e[n_ / 64] = 1ull << (n_ % 64);
+    }
+
+    auto successors = [&](u32 i, u32 succ[2]) -> u32 {
+        const RvInst &in = prog_[i];
+        if (in.op == RvOp::Ecall) {
+            succ[0] = n_;
+            return 1;
+        }
+        if (in.op == RvOp::Jal) {
+            succ[0] = static_cast<u32>(branchTo_[i]);
+            return 1;
+        }
+        const u32 next = i + 1 < n_ ? i + 1 : n_;
+        if (isCondBranch(in.op)) {
+            succ[0] = next;
+            succ[1] = static_cast<u32>(branchTo_[i]);
+            return 2;
+        }
+        succ[0] = next;
+        return 1;
+    };
+
+    std::vector<u64> meet(wordsPer);
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (i64 i = static_cast<i64>(n_) - 1; i >= 0; --i) {
+            u32 succ[2];
+            const u32 ns = successors(static_cast<u32>(i), succ);
+            for (u32 w = 0; w < wordsPer; ++w)
+                meet[w] = ~0ull;
+            for (u32 s = 0; s < ns; ++s) {
+                const u64 *sp = setOf(succ[s]);
+                for (u32 w = 0; w < wordsPer; ++w)
+                    meet[w] &= sp[w];
+            }
+            meet[i / 64] |= 1ull << (i % 64);
+            u64 *self = setOf(static_cast<u32>(i));
+            for (u32 w = 0; w < wordsPer; ++w) {
+                if (self[w] != meet[w]) {
+                    self[w] = meet[w];
+                    changed = true;
+                }
+            }
+        }
+    }
+
+    // The immediate postdominator is the strict postdominator with the
+    // largest pdom set (postdominators of a node form a chain).
+    ipdom_.assign(n_, n_);
+    for (u32 i = 0; i < n_; ++i) {
+        const u64 *self = setOf(i);
+        u32 best = n_;
+        u32 bestSize = 0;
+        for (u32 d = 0; d < numNodes; ++d) {
+            if (d == i || !(self[d / 64] & (1ull << (d % 64))))
+                continue;
+            u32 size = 0;
+            const u64 *dp = setOf(d);
+            for (u32 w = 0; w < wordsPer; ++w)
+                size += static_cast<u32>(std::popcount(dp[w]));
+            if (size > bestSize) {
+                bestSize = size;
+                best = d;
+            }
+        }
+        ipdom_[i] = best;
+    }
+}
+
+bool
+Translator::mapRegisters()
+{
+    denseReg_.assign(32, kNoReg);
+    auto map = [&](u32 pc, u8 x) -> bool {
+        if (x == 0 || denseReg_[x] != kNoReg)
+            return true;
+        if (regCount_ >= opt_.maxRegs)
+            return fail(pc, "register x" + std::to_string(x) +
+                            " exceeds the " +
+                            std::to_string(opt_.maxRegs) +
+                            "-register budget");
+        denseReg_[x] = static_cast<u8>(regCount_++);
+        return true;
+    };
+    for (u32 i = 0; i < n_; ++i) {
+        if (skipped_[i])
+            continue;
+        const RvUse u = usesOf(prog_[i].op);
+        if (u.rs1 && !map(i, prog_[i].rs1))
+            return false;
+        if (u.rs2 && !map(i, prog_[i].rs2))
+            return false;
+        if (u.rd && !map(i, prog_[i].rd))
+            return false;
+    }
+
+    // Predicates: one per compare site in program order, reused
+    // round-robin. Each is written by an ISetP and consumed by the
+    // immediately-following instruction, so reuse is always safe.
+    predOf_.assign(n_, kNoPred);
+    for (u32 i = 0; i < n_; ++i) {
+        if (skipped_[i])
+            continue;
+        const RvOp op = prog_[i].op;
+        if (isCondBranch(op) || op == RvOp::Slt || op == RvOp::Slti)
+            predOf_[i] = static_cast<u8>(predCount_++ % opt_.maxPreds);
+    }
+    return true;
+}
+
+void
+Translator::layout()
+{
+    startIndex_.assign(n_ + 1, 0);
+    u32 at = 0;
+    for (u32 i = 0; i < n_; ++i) {
+        startIndex_[i] = at;
+        if (skipped_[i])
+            continue;
+        const RvOp op = prog_[i].op;
+        const bool two = isCondBranch(op) || op == RvOp::Slt ||
+                         op == RvOp::Slti;
+        at += two ? 2 : 1;
+    }
+    startIndex_[n_] = at;
+    emitted_ = at;
+}
+
+u8
+Translator::denseOf(u8 xreg) const
+{
+    WC_ASSERT(xreg != 0 && denseReg_[xreg] != kNoReg,
+              "unmapped register x" << static_cast<int>(xreg));
+    return denseReg_[xreg];
+}
+
+Operand
+Translator::srcOf(u32 pc, u8 xreg) const
+{
+    (void)pc;
+    if (xreg == 0)
+        return Operand::fromImm(0);
+    return Operand::fromReg(denseOf(xreg));
+}
+
+bool
+Translator::emitAll()
+{
+    out_.clear();
+    out_.reserve(emitted_ + 1);
+
+    // Reconvergence fallback when the ipdom is the virtual exit: the
+    // final Exit instruction (divergent paths that both exit).
+    const bool endsWithEcall = prog_[n_ - 1].op == RvOp::Ecall;
+    const u32 exitIdx = endsWithEcall ? startIndex_[n_ - 1] : emitted_;
+
+    for (u32 i = 0; i < n_; ++i) {
+        if (skipped_[i])
+            continue;
+        const RvInst &in = prog_[i];
+        Instruction e;
+
+        auto alu2 = [&](Opcode op, Operand a, Operand b) {
+            e.op = op;
+            e.dst = denseOf(in.rd);
+            e.src[0] = a;
+            e.src[1] = b;
+        };
+        auto alu1 = [&](Opcode op, Operand a) {
+            e.op = op;
+            e.dst = denseOf(in.rd);
+            e.src[0] = a;
+        };
+        const Operand imm = Operand::fromImm(in.imm);
+
+        switch (in.op) {
+          case RvOp::Lui:
+            e.op = Opcode::MovImm;
+            e.dst = denseOf(in.rd);
+            e.src[0] = imm;
+            break;
+          case RvOp::Addi:
+            if (in.rs1 == 0) {
+                e.op = Opcode::MovImm;     // li rd, imm
+                e.dst = denseOf(in.rd);
+                e.src[0] = imm;
+            } else if (in.imm == 0) {
+                alu1(Opcode::Mov, srcOf(i, in.rs1));    // mv rd, rs
+            } else {
+                alu2(Opcode::IAdd, srcOf(i, in.rs1), imm);
+            }
+            break;
+          case RvOp::Xori:
+            if (in.imm == -1)
+                alu1(Opcode::Not, srcOf(i, in.rs1));    // not rd, rs
+            else
+                alu2(Opcode::Xor, srcOf(i, in.rs1), imm);
+            break;
+          case RvOp::Ori:
+            alu2(Opcode::Or, srcOf(i, in.rs1), imm);
+            break;
+          case RvOp::Andi:
+            alu2(Opcode::And, srcOf(i, in.rs1), imm);
+            break;
+          case RvOp::Slli:
+            alu2(Opcode::Shl, srcOf(i, in.rs1), imm);
+            break;
+          case RvOp::Srli:
+            alu2(Opcode::Shr, srcOf(i, in.rs1), imm);
+            break;
+          case RvOp::Srai:
+            alu2(Opcode::Sra, srcOf(i, in.rs1), imm);
+            break;
+          case RvOp::Add:
+            if (in.rs1 == 0)
+                alu1(Opcode::Mov, srcOf(i, in.rs2));    // mv rd, rs2
+            else if (in.rs2 == 0)
+                alu1(Opcode::Mov, srcOf(i, in.rs1));
+            else
+                alu2(Opcode::IAdd, srcOf(i, in.rs1), srcOf(i, in.rs2));
+            break;
+          case RvOp::Sub:
+            alu2(Opcode::ISub, srcOf(i, in.rs1), srcOf(i, in.rs2));
+            break;
+          case RvOp::Sll:
+            alu2(Opcode::Shl, srcOf(i, in.rs1), srcOf(i, in.rs2));
+            break;
+          case RvOp::Xor:
+            alu2(Opcode::Xor, srcOf(i, in.rs1), srcOf(i, in.rs2));
+            break;
+          case RvOp::Srl:
+            alu2(Opcode::Shr, srcOf(i, in.rs1), srcOf(i, in.rs2));
+            break;
+          case RvOp::Sra:
+            alu2(Opcode::Sra, srcOf(i, in.rs1), srcOf(i, in.rs2));
+            break;
+          case RvOp::Or:
+            alu2(Opcode::Or, srcOf(i, in.rs1), srcOf(i, in.rs2));
+            break;
+          case RvOp::And:
+            alu2(Opcode::And, srcOf(i, in.rs1), srcOf(i, in.rs2));
+            break;
+          case RvOp::Mul:
+            alu2(Opcode::IMul, srcOf(i, in.rs1), srcOf(i, in.rs2));
+            break;
+          case RvOp::Mulh:
+            alu2(Opcode::IMulHi, srcOf(i, in.rs1), srcOf(i, in.rs2));
+            break;
+          case RvOp::Mulhu:
+            alu2(Opcode::IMulHiU, srcOf(i, in.rs1), srcOf(i, in.rs2));
+            break;
+          case RvOp::Div:
+            alu2(Opcode::IDiv, srcOf(i, in.rs1), srcOf(i, in.rs2));
+            break;
+          case RvOp::Divu:
+            alu2(Opcode::IDivU, srcOf(i, in.rs1), srcOf(i, in.rs2));
+            break;
+          case RvOp::Rem:
+            alu2(Opcode::IRem, srcOf(i, in.rs1), srcOf(i, in.rs2));
+            break;
+          case RvOp::Remu:
+            alu2(Opcode::IRemU, srcOf(i, in.rs1), srcOf(i, in.rs2));
+            break;
+          case RvOp::Slt:
+          case RvOp::Slti: {
+            // ISetP.LT p, rs1, b ; SELP rd, p, 1, 0
+            Instruction cmp;
+            cmp.op = Opcode::ISetP;
+            cmp.dstPred = predOf_[i];
+            cmp.cmp = CmpOp::Lt;
+            cmp.src[0] = srcOf(i, in.rs1);
+            cmp.src[1] = in.op == RvOp::Slt ? srcOf(i, in.rs2) : imm;
+            out_.push_back(cmp);
+            e.op = Opcode::SelP;
+            e.dst = denseOf(in.rd);
+            e.srcPred = predOf_[i];
+            e.src[0] = Operand::fromImm(1);
+            e.src[1] = Operand::fromImm(0);
+            break;
+          }
+          case RvOp::Csrr: {
+            e.op = Opcode::S2R;
+            e.dst = denseOf(in.rd);
+            for (const SregMap &m : kSregMap) {
+                if (m.csr == in.csr)
+                    e.sreg = m.sreg;
+            }
+            break;
+          }
+          case RvOp::Lw:
+            if (in.rs1 == 0) {
+                e.op = Opcode::Ldc;        // parameter load
+                e.dst = denseOf(in.rd);
+                e.src[0] = Operand::fromImm(0);
+                e.memOffset = in.imm;
+            } else {
+                e.op = Opcode::Ldg;
+                e.dst = denseOf(in.rd);
+                e.src[0] = srcOf(i, in.rs1);
+                e.memOffset = in.imm;
+            }
+            break;
+          case RvOp::Sw:
+            e.op = Opcode::Stg;
+            e.src[0] = srcOf(i, in.rs1);
+            e.src[1] = srcOf(i, in.rs2);
+            e.memOffset = in.imm;
+            break;
+          case RvOp::LdsW:
+            e.op = Opcode::Lds;
+            e.dst = denseOf(in.rd);
+            e.src[0] = srcOf(i, in.rs1);
+            e.memOffset = in.imm;
+            break;
+          case RvOp::StsW:
+            e.op = Opcode::Sts;
+            e.src[0] = srcOf(i, in.rs1);
+            e.src[1] = srcOf(i, in.rs2);
+            e.memOffset = in.imm;
+            break;
+          case RvOp::Fence:
+            e.op = Opcode::Bar;
+            break;
+          case RvOp::Ecall:
+            e.op = Opcode::Exit;
+            break;
+          case RvOp::Jal: {
+            e.op = Opcode::Bra;
+            const u32 t = startIndex_[static_cast<u32>(branchTo_[i])];
+            e.target = t;
+            e.reconv = t;    // matches builder back edges / joins
+            break;
+          }
+          case RvOp::Beq:
+          case RvOp::Bne:
+          case RvOp::Blt:
+          case RvOp::Bge: {
+            Instruction cmp;
+            cmp.op = Opcode::ISetP;
+            cmp.dstPred = predOf_[i];
+            cmp.cmp = invertedCmp(in.op);
+            cmp.src[0] = srcOf(i, in.rs1);
+            cmp.src[1] = srcOf(i, in.rs2);
+            out_.push_back(cmp);
+            e.op = Opcode::Bra;
+            e.guardPred = predOf_[i];
+            e.guardNegate = true;
+            e.target = startIndex_[static_cast<u32>(branchTo_[i])];
+            e.reconv = ipdom_[i] == n_ ? exitIdx
+                                       : startIndex_[ipdom_[i]];
+            break;
+          }
+          default:
+            return fail(i, "internal: unlowerable operation survived "
+                           "support check");
+        }
+        out_.push_back(e);
+    }
+
+    if (out_.empty() || !out_.back().isExit()) {
+        Instruction exit;
+        exit.op = Opcode::Exit;
+        out_.push_back(exit);
+    }
+    return true;
+}
+
+TranslateResult
+Translator::run()
+{
+    if (image_.words.empty()) {
+        error_ = image_.path + ": image contains no instruction words";
+        return {std::nullopt, error_};
+    }
+    if (entry_ >= image_.words.size()) {
+        error_ = image_.path + ": entry word index " +
+                 std::to_string(entry_) + " is past the end of the image (" +
+                 std::to_string(image_.words.size()) + " words)";
+        return {std::nullopt, error_};
+    }
+    n_ = static_cast<u32>(image_.words.size()) - entry_;
+    prog_.resize(n_);
+    branchTo_.assign(n_, -1);
+
+    if (!decodeAll())
+        return {std::nullopt, error_};
+
+    // A write to x0 is architecturally a no-op; drop such instructions
+    // before register mapping so they cost nothing.
+    skipped_.assign(n_, false);
+    for (u32 i = 0; i < n_; ++i)
+        skipped_[i] = skippableWhenRdZero(prog_[i].op) && prog_[i].rd == 0;
+
+    if (!checkSupport())
+        return {std::nullopt, error_};
+    computeIpdom();
+    if (!mapRegisters())
+        return {std::nullopt, error_};
+    layout();
+    if (!emitAll())
+        return {std::nullopt, error_};
+
+    Kernel k(image_.name, regCount_ == 0 ? 1 : regCount_,
+             predCount_ == 0 ? 1 : std::min(predCount_, opt_.maxPreds),
+             image_.smemBytes);
+    for (const Instruction &in : out_)
+        k.append(in);
+    k.validate();
+    return {std::move(k), {}};
+}
+
+} // namespace
+
+TranslateResult
+translateImage(const KernelImage &image, u32 entry,
+               const TranslateOptions &opt)
+{
+    Translator t(image, entry, opt);
+    return t.run();
+}
+
+} // namespace warpcomp

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * RV32IM -> warpcomp IR translator.
+ *
+ * Pipeline: decode every word from the entry point, build the
+ * RV-instruction CFG, compute immediate postdominators for SIMT
+ * reconvergence, assign dense GPR/predicate numbers, then lower each
+ * instruction. The lowering intentionally mirrors what KernelBuilder's
+ * structured constructs emit (see DESIGN.md "Binary kernel frontend"),
+ * so a binary kernel and its hand-written DSL twin disassemble — and
+ * therefore simulate — identically:
+ *
+ *   - `bCC rs1, rs2, L`  ->  `ISetP.!CC p; @!p BRA L` with
+ *     reconv = ipdom, matching `if_` / `while_` exit branches.
+ *   - `jal x0, L`        ->  unguarded `BRA L` with reconv = L,
+ *     matching `while_` back edges and `ifElse_` joins.
+ *   - `lw rd, off(x0)`   ->  LDC (constant-bank parameter load),
+ *     matching `loadParam`.
+ *   - `addi rd, x0, imm` ->  MOVIMM; `mv` spellings -> MOV.
+ *   - GPR numbers are assigned densely by first appearance in program
+ *     order (rs1, rs2, then rd per instruction; x0 is the immediate 0);
+ *     predicates by conditional-branch order, reused round-robin.
+ *
+ * Every rejection is a structured error naming the word index (pc) of
+ * the offending instruction.
+ */
+
+#ifndef WARPCOMP_FRONTEND_TRANSLATE_HPP
+#define WARPCOMP_FRONTEND_TRANSLATE_HPP
+
+#include <optional>
+#include <string>
+
+#include "frontend/image.hpp"
+#include "isa/kernel.hpp"
+
+namespace warpcomp {
+
+/** Tunables, exposed so tests can exercise resource-limit errors. */
+struct TranslateOptions
+{
+    u32 maxRegs = kMaxRegsPerThread;
+    u32 maxPreds = kMaxPredsPerThread;
+};
+
+/** Translation outcome: a kernel or a diagnostic naming the pc. */
+struct TranslateResult
+{
+    std::optional<Kernel> kernel;
+    std::string error;
+
+    bool ok() const { return kernel.has_value(); }
+};
+
+/**
+ * Translate @p image starting at word index @p entry (instructions
+ * before the entry are ignored; branches may not escape the
+ * [entry, end) range).
+ */
+TranslateResult translateImage(const KernelImage &image, u32 entry = 0,
+                               const TranslateOptions &opt = {});
+
+} // namespace warpcomp
+
+#endif // WARPCOMP_FRONTEND_TRANSLATE_HPP

@@ -1,0 +1,182 @@
+#include "frontend/twins.hpp"
+
+#include "frontend/env.hpp"
+
+namespace warpcomp {
+
+namespace {
+
+constexpr u32 kElementwiseBlock = 128;
+constexpr u32 kReductionBlock = 64;
+
+Operand
+imm(i32 v)
+{
+    return KernelBuilder::imm(v);
+}
+
+/** Shared prologue: params, thread indices, global id, bounds pred. */
+struct Prologue
+{
+    Reg a, b, out, n, gid;
+    Pred inBounds;
+};
+
+Prologue
+elementwisePrologue(KernelBuilder &b)
+{
+    Prologue p;
+    p.a = loadParam(b, 0);
+    p.b = loadParam(b, 1);
+    p.out = loadParam(b, 2);
+    p.n = loadParam(b, 3);
+    Reg tid = b.newReg(), cta = b.newReg(), ntid = b.newReg();
+    b.s2r(tid, SpecialReg::TidX);
+    b.s2r(cta, SpecialReg::CtaIdX);
+    b.s2r(ntid, SpecialReg::NTidX);
+    p.gid = b.newReg();
+    b.imul(p.gid, cta, ntid);
+    b.iadd(p.gid, p.gid, tid);
+    return p;
+}
+
+} // namespace
+
+WorkloadInstance
+makeVecaddTwin(u32 scale, u64 salt)
+{
+    KernelEnv env = makeKernelEnv(kElementwiseBlock, scale, salt);
+
+    KernelBuilder b("vecadd");
+    Prologue p = elementwisePrologue(b);
+    p.inBounds = b.newPred();
+    b.isetp(p.inBounds, CmpOp::Lt, p.gid, p.n);
+    b.if_(p.inBounds, [&] {
+        Reg off = b.newReg();
+        b.shl(off, p.gid, imm(2));
+        Reg x = b.newReg();
+        b.iadd(x, p.a, off);
+        b.ldg(x, x, 0);
+        Reg y = b.newReg();
+        b.iadd(y, p.b, off);
+        b.ldg(y, y, 0);
+        b.iadd(x, x, y);
+        b.iadd(y, p.out, off);
+        b.stg(y, x, 0);
+    });
+    return {"vecadd", b.build(), env.dims, std::move(env.gmem),
+            std::move(env.cmem)};
+}
+
+WorkloadInstance
+makeSaxpyTwin(u32 scale, u64 salt)
+{
+    KernelEnv env = makeKernelEnv(kElementwiseBlock, scale, salt);
+
+    KernelBuilder b("saxpy");
+    Reg a = loadParam(b, 0);
+    Reg y0 = loadParam(b, 1);
+    Reg out = loadParam(b, 2);
+    Reg n = loadParam(b, 3);
+    Reg alpha = loadParam(b, 4);
+    Reg tid = b.newReg(), cta = b.newReg(), ntid = b.newReg();
+    b.s2r(tid, SpecialReg::TidX);
+    b.s2r(cta, SpecialReg::CtaIdX);
+    b.s2r(ntid, SpecialReg::NTidX);
+    Reg gid = b.newReg();
+    b.imul(gid, cta, ntid);
+    b.iadd(gid, gid, tid);
+    Pred inBounds = b.newPred();
+    b.isetp(inBounds, CmpOp::Lt, gid, n);
+    b.if_(inBounds, [&] {
+        Reg off = b.newReg();
+        b.shl(off, gid, imm(2));
+        Reg x = b.newReg();
+        b.iadd(x, a, off);
+        b.ldg(x, x, 0);
+        b.imul(x, x, alpha);
+        Reg y = b.newReg();
+        b.iadd(y, y0, off);
+        b.ldg(y, y, 0);
+        b.iadd(x, x, y);
+        b.iadd(y, out, off);
+        b.stg(y, x, 0);
+    });
+    return {"saxpy", b.build(), env.dims, std::move(env.gmem),
+            std::move(env.cmem)};
+}
+
+WorkloadInstance
+makeReductionTwin(u32 scale, u64 salt)
+{
+    KernelEnv env = makeKernelEnv(kReductionBlock, scale, salt);
+
+    KernelBuilder b("reduction", kReductionBlock * 4);
+    Reg a = loadParam(b, 0);
+    Reg out = loadParam(b, 2);
+    Reg n = loadParam(b, 3);
+    Reg tid = b.newReg(), cta = b.newReg(), ntid = b.newReg();
+    b.s2r(tid, SpecialReg::TidX);
+    b.s2r(cta, SpecialReg::CtaIdX);
+    b.s2r(ntid, SpecialReg::NTidX);
+    Reg gid = b.newReg();
+    b.imul(gid, cta, ntid);
+    b.iadd(gid, gid, tid);
+
+    // x = gid < n ? a[gid] : 0
+    Reg x = b.newReg();
+    b.movImm(x, 0);
+    Pred inBounds = b.newPred();
+    b.isetp(inBounds, CmpOp::Lt, gid, n);
+    b.if_(inBounds, [&] {
+        b.shl(x, gid, imm(2));
+        b.iadd(x, a, x);
+        b.ldg(x, x, 0);
+    });
+
+    // smem[tid] = x; barrier; tree-sum with halving stride.
+    Reg saddr = b.newReg();
+    b.shl(saddr, tid, imm(2));
+    b.sts(saddr, x, 0);
+    b.bar();
+
+    Reg stride = b.newReg();
+    b.movImm(stride, static_cast<i32>(kReductionBlock / 2));
+    Pred loopP = b.newPred();
+    Reg t{}, own{};
+    b.while_(
+        [&] {
+            b.isetp(loopP, CmpOp::Lt, imm(0), stride);
+            return loopP;
+        },
+        [&] {
+            Pred active = b.newPred();
+            b.isetp(active, CmpOp::Lt, tid, stride);
+            b.if_(active, [&] {
+                t = b.newReg();
+                b.iadd(t, tid, stride);
+                b.shl(t, t, imm(2));
+                b.lds(t, t, 0);
+                own = b.newReg();
+                b.lds(own, saddr, 0);
+                b.iadd(own, own, t);
+                b.sts(saddr, own, 0);
+            });
+            b.bar();
+            b.sra(stride, stride, imm(1));
+        });
+
+    // Lane 0 writes the CTA's partial sum to out[ctaid].
+    Pred isLeader = b.newPred();
+    b.isetp(isLeader, CmpOp::Eq, tid, imm(0));
+    b.if_(isLeader, [&] {
+        b.lds(t, saddr, 0);
+        b.shl(own, cta, imm(2));
+        b.iadd(own, out, own);
+        b.stg(own, t, 0);
+    });
+    return {"reduction", b.build(), env.dims, std::move(env.gmem),
+            std::move(env.cmem)};
+}
+
+} // namespace warpcomp

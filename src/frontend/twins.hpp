@@ -1,0 +1,32 @@
+/**
+ * @file
+ * DSL twins of the checked-in RV32 example kernels.
+ *
+ * Each twin is hand-written against KernelBuilder to emit the exact
+ * instruction stream the translator produces for the corresponding
+ * hex image under examples/kernels/ — same opcodes, same dense register
+ * numbers, same predicates, same branch/reconvergence structure — and
+ * runs in the same canonical environment (env.hpp). The differential
+ * test suite asserts disassembly equality and bit-identical figure
+ * stats between the pairs; any drift in either frontend breaks it.
+ */
+
+#ifndef WARPCOMP_FRONTEND_TWINS_HPP
+#define WARPCOMP_FRONTEND_TWINS_HPP
+
+#include "workloads/workload.hpp"
+
+namespace warpcomp {
+
+/** out[i] = a[i] + b[i], guarded tail. Twin of vecadd.hex. */
+WorkloadInstance makeVecaddTwin(u32 scale, u64 salt);
+
+/** out[i] = alpha * a[i] + b[i] (integer). Twin of saxpy.hex. */
+WorkloadInstance makeSaxpyTwin(u32 scale, u64 salt);
+
+/** Per-CTA shared-memory tree sum of a[]. Twin of reduction.hex. */
+WorkloadInstance makeReductionTwin(u32 scale, u64 salt);
+
+} // namespace warpcomp
+
+#endif // WARPCOMP_FRONTEND_TWINS_HPP

@@ -49,7 +49,9 @@ runWorkload(const std::string &name, const ExperimentConfig &cfg)
     RunResult run = gpu.run(wl.kernel, wl.dims, cfg.collectBdiBreakdown);
     const std::chrono::duration<double> wall =
         std::chrono::steady_clock::now() - t0;
-    return ExperimentResult{wl.name, std::move(run), wall.count()};
+    return ExperimentResult{wl.name, std::move(run), wall.count(),
+                            std::move(wl.frontend),
+                            std::move(wl.imageSha)};
 }
 
 std::vector<ExperimentResult>
@@ -155,6 +157,22 @@ parseHarnessArgs(int argc, char **argv)
             opt.threads = static_cast<u32>(n);
         } else if (std::strncmp(arg, "--only=", 7) == 0) {
             opt.only = arg + 7;
+        } else if (std::strncmp(arg, "--kernel=", 9) == 0) {
+            const char *spec = arg + 9;
+            const char *comma = std::strchr(spec, ',');
+            if (comma == nullptr) {
+                opt.kernelPath = spec;
+            } else {
+                opt.kernelPath.assign(spec, comma);
+                if (std::strncmp(comma + 1, "entry=", 6) != 0 ||
+                    *(comma + 7) == '\0')
+                    WC_FATAL("--kernel wants FILE or FILE,entry=SYM "
+                             "(e.g. --kernel=k.hex,entry=main), got '"
+                             << (comma + 1) << "'");
+                opt.kernelEntry = comma + 7;
+            }
+            if (opt.kernelPath.empty())
+                WC_FATAL("--kernel needs a file path");
         } else if (std::strncmp(arg, "--json=", 7) == 0) {
             opt.jsonPath = arg + 7;
             if (opt.jsonPath.empty())

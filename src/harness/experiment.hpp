@@ -69,6 +69,10 @@ struct ExperimentResult
     RunResult run;
     /** Host wall-clock seconds this simulation took (perf baseline). */
     double wallSeconds = 0.0;
+    /** Frontend provenance: "dsl" or "rv32" (see WorkloadInstance). */
+    std::string frontend = "dsl";
+    /** SHA-256 of the binary image for "rv32" kernels; empty for DSL. */
+    std::string imageSha;
 };
 
 /** Assemble GpuParams from an ExperimentConfig. */
@@ -114,6 +118,11 @@ struct HarnessOptions
     u32 threads = 0;
     /** Restrict to a single workload (empty = all). */
     std::string only;
+    /** Binary kernel image via --kernel=FILE[,entry=SYM] (empty =
+     *  disabled). Runs the image instead of the built-in suite. */
+    std::string kernelPath;
+    /** Entry symbol inside the image ("" = first word). */
+    std::string kernelEntry;
     /** Write a machine-readable perf record here (empty = disabled). */
     std::string jsonPath;
     /** Basename of argv[0]; names the bench in the perf record. */
@@ -138,7 +147,8 @@ struct HarnessOptions
 
 /**
  * Parse --scale=N --sms=N --threads=N --only=name --json=FILE
- * --faults=BER,POLICY --fault-seed=N --seu=RATE,SCHEME --seu-seed=N
+ * --kernel=FILE[,entry=SYM] --faults=BER,POLICY --fault-seed=N
+ * --seu=RATE,SCHEME --seu-seed=N
  * --seu-scrub=CYCLES --trace=FILE[,START,END] --trace-window=N
  * --stats-json=FILE --no-skip; ignores unknown arguments. Malformed values
  * (non-numeric, NaN, negative rates, unknown policy/scheme names) are

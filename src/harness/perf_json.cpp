@@ -106,6 +106,9 @@ PerfRecorder::writeJson(std::ostream &os) const
             w.field("workload", row.workload);
             w.field("cycles", row.cycles);
             w.field("wall_seconds", row.wallSeconds);
+            w.field("frontend", row.frontend);
+            if (!row.imageSha.empty())
+                w.field("image_sha256", row.imageSha);
             w.endObject();
         }
         w.endArray();

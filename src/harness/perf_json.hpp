@@ -27,6 +27,10 @@ struct PerfWorkloadRow
      *  rows of a parallel suite overlap and do not sum to the suite
      *  wall time). */
     double wallSeconds = 0.0;
+    /** Frontend provenance: "dsl" or "rv32" (binary image). */
+    std::string frontend = "dsl";
+    /** SHA-256 of the binary image for "rv32" rows; empty for DSL. */
+    std::string imageSha;
 };
 
 /** One timed suite run (one runSelected call). */

@@ -26,6 +26,12 @@ opcodeName(Opcode op)
       case Opcode::Shl: return "SHL";
       case Opcode::Shr: return "SHR";
       case Opcode::Sra: return "SRA";
+      case Opcode::IMulHi: return "IMULHI";
+      case Opcode::IMulHiU: return "IMULHI.U";
+      case Opcode::IDiv: return "IDIV";
+      case Opcode::IDivU: return "IDIV.U";
+      case Opcode::IRem: return "IREM";
+      case Opcode::IRemU: return "IREM.U";
       case Opcode::ISetP: return "ISETP";
       case Opcode::SelP: return "SELP";
       case Opcode::PAnd: return "PAND";
@@ -80,6 +86,12 @@ execClass(Opcode op)
         return ExecClass::Alu;
       case Opcode::IMul:
       case Opcode::IMad:
+      case Opcode::IMulHi:
+      case Opcode::IMulHiU:
+      case Opcode::IDiv:
+      case Opcode::IDivU:
+      case Opcode::IRem:
+      case Opcode::IRemU:
         return ExecClass::Mul;
       case Opcode::FAdd:
       case Opcode::FMul:
@@ -140,6 +152,12 @@ writesGpr(Opcode op)
       case Opcode::Shl:
       case Opcode::Shr:
       case Opcode::Sra:
+      case Opcode::IMulHi:
+      case Opcode::IMulHiU:
+      case Opcode::IDiv:
+      case Opcode::IDivU:
+      case Opcode::IRem:
+      case Opcode::IRemU:
       case Opcode::SelP:
       case Opcode::FAdd:
       case Opcode::FMul:

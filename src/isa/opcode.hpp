@@ -28,9 +28,19 @@ enum class Opcode : u8 {
     IAdd, ISub, IMul, IMad, IMin, IMax, IAbs,
     And, Or, Xor, Not, Shl, Shr, Sra,
 
+    // Integer multiply-high / divide / remainder (RV32M binary
+    // frontend surface; RISC-V semantics: x/0 = -1, x%0 = x,
+    // INT_MIN/-1 = INT_MIN with remainder 0).
+    IMulHi,     ///< signed 32x32 -> upper 32 bits
+    IMulHiU,    ///< unsigned 32x32 -> upper 32 bits
+    IDiv,       ///< signed quotient
+    IDivU,      ///< unsigned quotient
+    IRem,       ///< signed remainder
+    IRemU,      ///< unsigned remainder
+
     // Predicates and select
     ISetP,      ///< integer compare, writes a predicate
-    SelP,       ///< dst = pred ? src0 : src1
+    SelP,       ///< dst = srcPred ? src0 : src1
     PAnd,       ///< dstPred = srcPred & srcPred2
     POr,        ///< dstPred = srcPred | srcPred2
     PNot,       ///< dstPred = !srcPred

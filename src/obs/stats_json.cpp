@@ -294,6 +294,9 @@ StatsRecorder::writeJson(std::ostream &os) const
         for (const StatsRunRow &row : suite.rows) {
             w.beginObject();
             w.field("workload", row.workload);
+            w.field("frontend", row.frontend);
+            if (!row.imageSha.empty())
+                w.field("image_sha256", row.imageSha);
             w.key("run");
             writeRunStatsJson(w, row.run, suite.numSms);
             w.endObject();

@@ -46,6 +46,11 @@ struct StatsRunRow
 {
     std::string workload;
     RunResult run;
+    /** Frontend provenance: "dsl" or "rv32" (binary image). */
+    std::string frontend = "dsl";
+    /** SHA-256 of the binary image for "rv32" rows; empty for DSL.
+     *  Content-addressed, so it keeps the document deterministic. */
+    std::string imageSha;
 };
 
 /** One suite recorded for the stats dump. */

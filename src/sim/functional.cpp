@@ -2,6 +2,7 @@
 
 #include <bit>
 #include <cmath>
+#include <cstdint>
 
 #include "common/bitops.hpp"
 #include "common/log.hpp"
@@ -203,6 +204,57 @@ FunctionalExecutor::execute(Warp &warp, u32 pc, SharedMemory *smem,
         lanewise([&](u32 lane) {
             return static_cast<u32>(static_cast<i32>(s0(lane)) >>
                                     (s1(lane) & 31));
+        });
+        break;
+      case Opcode::IMulHi:
+        lanewise([&](u32 lane) {
+            const i64 p = static_cast<i64>(static_cast<i32>(s0(lane))) *
+                          static_cast<i64>(static_cast<i32>(s1(lane)));
+            return static_cast<u32>(static_cast<u64>(p) >> 32);
+        });
+        break;
+      case Opcode::IMulHiU:
+        lanewise([&](u32 lane) {
+            const u64 p = static_cast<u64>(s0(lane)) *
+                          static_cast<u64>(s1(lane));
+            return static_cast<u32>(p >> 32);
+        });
+        break;
+      // Division follows the RISC-V M rules the binary frontend relies
+      // on: x/0 = -1 (all ones), x%0 = x, INT_MIN / -1 = INT_MIN with
+      // remainder 0 — no lane ever traps.
+      case Opcode::IDiv:
+        lanewise([&](u32 lane) {
+            const i32 a = static_cast<i32>(s0(lane));
+            const i32 b = static_cast<i32>(s1(lane));
+            if (b == 0)
+                return ~0u;
+            if (a == INT32_MIN && b == -1)
+                return static_cast<u32>(INT32_MIN);
+            return static_cast<u32>(a / b);
+        });
+        break;
+      case Opcode::IDivU:
+        lanewise([&](u32 lane) {
+            const u32 b = s1(lane);
+            return b == 0 ? ~0u : s0(lane) / b;
+        });
+        break;
+      case Opcode::IRem:
+        lanewise([&](u32 lane) {
+            const i32 a = static_cast<i32>(s0(lane));
+            const i32 b = static_cast<i32>(s1(lane));
+            if (b == 0)
+                return static_cast<u32>(a);
+            if (a == INT32_MIN && b == -1)
+                return 0u;
+            return static_cast<u32>(a % b);
+        });
+        break;
+      case Opcode::IRemU:
+        lanewise([&](u32 lane) {
+            const u32 b = s1(lane);
+            return b == 0 ? s0(lane) : s0(lane) % b;
         });
         break;
       case Opcode::ISetP: {

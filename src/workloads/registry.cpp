@@ -1,6 +1,8 @@
 #include "workloads/registry.hpp"
 
 #include "common/log.hpp"
+#include "frontend/frontend.hpp"
+#include "frontend/twins.hpp"
 
 namespace warpcomp {
 
@@ -19,6 +21,15 @@ WorkloadInstance
 makeWorkload(const std::string &name, u32 scale, u64 salt)
 {
     WC_ASSERT(scale >= 1, "workload scale must be at least 1");
+    // Binary kernel images (--kernel=FILE -> "file:FILE[,entry=SYM]").
+    if (isKernelFileSpec(name))
+        return makeKernelFileWorkload(name, scale, salt);
+    // DSL twins of the checked-in RV32 example kernels. Not part of
+    // workloadNames(): the figure suite is unchanged; these exist for
+    // the DSL-vs-binary differential tests and ad-hoc runs.
+    if (name == "vecadd") return makeVecaddTwin(scale, salt);
+    if (name == "saxpy") return makeSaxpyTwin(scale, salt);
+    if (name == "reduction") return makeReductionTwin(scale, salt);
     if (name == "backprop") return makeBackprop(scale, salt);
     if (name == "bfs") return makeBfs(scale, salt);
     if (name == "gaussian") return makeGaussian(scale, salt);

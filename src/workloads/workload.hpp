@@ -27,6 +27,11 @@ struct WorkloadInstance
     LaunchDims dims;
     std::unique_ptr<GlobalMemory> gmem;
     std::unique_ptr<ConstantMemory> cmem;
+    /** Which frontend produced the kernel: "dsl" (KernelBuilder
+     *  workloads) or "rv32" (binary images via `--kernel`). */
+    std::string frontend = "dsl";
+    /** SHA-256 of the binary image for "rv32" kernels; empty for DSL. */
+    std::string imageSha;
 };
 
 /** Load 32-bit kernel parameter @p index from the constant bank. */

@@ -1,0 +1,191 @@
+/**
+ * @file
+ * Disassembler golden-string test: every opcode, rendered from a
+ * canonical instruction, must produce exactly the expected text. The
+ * table is size-checked against Opcode::NumOpcodes, so adding an
+ * opcode without a golden entry fails to compile — the disassembly
+ * format is load-bearing (the frontend differential suite asserts
+ * listing equality), so format drift must be a deliberate act.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/disasm.hpp"
+#include "isa/instruction.hpp"
+
+using namespace warpcomp;
+
+namespace {
+
+/** Canonical operand assignment per opcode shape: dst=r1, sources
+ *  r2/r3/r4, predicates p0/p1/p2, memory offset +4, branch 5->7. */
+Instruction
+canonical(Opcode op)
+{
+    Instruction in;
+    in.op = op;
+    if (writesGpr(op))
+        in.dst = 1;
+    if (writesPred(op))
+        in.dstPred = 0;
+
+    const auto r = [](u8 n) { return Operand::fromReg(n); };
+    switch (op) {
+      case Opcode::Nop:
+      case Opcode::Bar:
+      case Opcode::Exit:
+        break;
+      case Opcode::S2R:
+        in.sreg = SpecialReg::TidX;
+        break;
+      case Opcode::Mov:
+      case Opcode::IAbs:
+      case Opcode::Not:
+      case Opcode::I2F:
+      case Opcode::F2I:
+      case Opcode::FRcp:
+        in.src[0] = r(2);
+        break;
+      case Opcode::MovImm:
+        in.src[0] = Operand::fromImm(7);
+        break;
+      case Opcode::IMad:
+      case Opcode::FFma:
+        in.src[0] = r(2);
+        in.src[1] = r(3);
+        in.src[2] = r(4);
+        break;
+      case Opcode::ISetP:
+      case Opcode::FSetP:
+        in.cmp = CmpOp::Lt;
+        in.src[0] = r(2);
+        in.src[1] = r(3);
+        break;
+      case Opcode::SelP:
+        in.srcPred = 1;
+        in.src[0] = r(2);
+        in.src[1] = r(3);
+        break;
+      case Opcode::PAnd:
+      case Opcode::POr:
+        in.srcPred = 1;
+        in.srcPred2 = 2;
+        break;
+      case Opcode::PNot:
+        in.srcPred = 1;
+        break;
+      case Opcode::Ldg:
+      case Opcode::Lds:
+        in.src[0] = r(2);
+        in.memOffset = 4;
+        break;
+      case Opcode::Ldc:
+        in.src[0] = Operand::fromImm(0);
+        in.memOffset = 4;
+        break;
+      case Opcode::Stg:
+      case Opcode::Sts:
+        in.src[0] = r(2);
+        in.src[1] = r(3);
+        in.memOffset = 4;
+        break;
+      case Opcode::Bra:
+        in.target = 5;
+        in.reconv = 7;
+        break;
+      default: // two-source ALU / FP
+        in.src[0] = r(2);
+        in.src[1] = r(3);
+        break;
+    }
+    return in;
+}
+
+struct Golden
+{
+    Opcode op;
+    const char *text;
+};
+
+const Golden kGolden[] = {
+    {Opcode::Nop, "NOP"},
+    {Opcode::S2R, "S2R r1, SR_TID.X"},
+    {Opcode::Mov, "MOV r1, r2"},
+    {Opcode::MovImm, "MOV32I r1, #7"},
+    {Opcode::IAdd, "IADD r1, r2, r3"},
+    {Opcode::ISub, "ISUB r1, r2, r3"},
+    {Opcode::IMul, "IMUL r1, r2, r3"},
+    {Opcode::IMad, "IMAD r1, r2, r3, r4"},
+    {Opcode::IMin, "IMIN r1, r2, r3"},
+    {Opcode::IMax, "IMAX r1, r2, r3"},
+    {Opcode::IAbs, "IABS r1, r2"},
+    {Opcode::And, "AND r1, r2, r3"},
+    {Opcode::Or, "OR r1, r2, r3"},
+    {Opcode::Xor, "XOR r1, r2, r3"},
+    {Opcode::Not, "NOT r1, r2"},
+    {Opcode::Shl, "SHL r1, r2, r3"},
+    {Opcode::Shr, "SHR r1, r2, r3"},
+    {Opcode::Sra, "SRA r1, r2, r3"},
+    {Opcode::IMulHi, "IMULHI r1, r2, r3"},
+    {Opcode::IMulHiU, "IMULHI.U r1, r2, r3"},
+    {Opcode::IDiv, "IDIV r1, r2, r3"},
+    {Opcode::IDivU, "IDIV.U r1, r2, r3"},
+    {Opcode::IRem, "IREM r1, r2, r3"},
+    {Opcode::IRemU, "IREM.U r1, r2, r3"},
+    {Opcode::ISetP, "ISETP.LT p0, r2, r3"},
+    {Opcode::SelP, "SELP r1, p1, r2, r3"},
+    {Opcode::PAnd, "PAND p0, p1, p2"},
+    {Opcode::POr, "POR p0, p1, p2"},
+    {Opcode::PNot, "PNOT p0, p1"},
+    {Opcode::FAdd, "FADD r1, r2, r3"},
+    {Opcode::FMul, "FMUL r1, r2, r3"},
+    {Opcode::FFma, "FFMA r1, r2, r3, r4"},
+    {Opcode::FMin, "FMIN r1, r2, r3"},
+    {Opcode::FMax, "FMAX r1, r2, r3"},
+    {Opcode::FSetP, "FSETP.LT p0, r2, r3"},
+    {Opcode::I2F, "I2F r1, r2"},
+    {Opcode::F2I, "F2I r1, r2"},
+    {Opcode::FRcp, "FRCP r1, r2"},
+    {Opcode::Ldg, "LDG r1, r2 +4"},
+    {Opcode::Stg, "STG r2, r3 +4"},
+    {Opcode::Lds, "LDS r1, r2 +4"},
+    {Opcode::Sts, "STS r2, r3 +4"},
+    {Opcode::Ldc, "LDC r1, #0 +4"},
+    {Opcode::Bra, "BRA ->5 (reconv 7)"},
+    {Opcode::Bar, "BAR"},
+    {Opcode::Exit, "EXIT"},
+};
+
+static_assert(sizeof(kGolden) / sizeof(kGolden[0]) ==
+                  static_cast<size_t>(Opcode::NumOpcodes),
+              "every opcode needs a golden disassembly entry");
+
+} // namespace
+
+TEST(DisasmRoundTrip, EveryOpcodeMatchesGolden)
+{
+    for (size_t i = 0; i < sizeof(kGolden) / sizeof(kGolden[0]); ++i) {
+        // Table order mirrors the enum, so a reorder is caught too.
+        ASSERT_EQ(static_cast<size_t>(kGolden[i].op), i)
+            << "golden table out of order at index " << i;
+        EXPECT_EQ(disassemble(canonical(kGolden[i].op)), kGolden[i].text)
+            << "opcode " << opcodeName(kGolden[i].op);
+    }
+}
+
+TEST(DisasmRoundTrip, GuardPrefixes)
+{
+    Instruction in = canonical(Opcode::Bra);
+    in.guardPred = 1;
+    in.guardNegate = true;
+    EXPECT_EQ(disassemble(in), "@!p1 BRA ->5 (reconv 7)");
+    in.guardNegate = false;
+    EXPECT_EQ(disassemble(in), "@p1 BRA ->5 (reconv 7)");
+}
+
+TEST(DisasmRoundTrip, ZeroOffsetIsElided)
+{
+    Instruction in = canonical(Opcode::Ldg);
+    in.memOffset = 0;
+    EXPECT_EQ(disassemble(in), "LDG r1, r2");
+}

@@ -1,0 +1,283 @@
+#!/usr/bin/env python3
+"""Minimal two-pass assembler for the warpcomp RV32IM kernel subset.
+
+Turns the `.s` sources under examples/kernels/ into the `.hex` images
+the binary frontend loads, so the repository carries no cross-compiler
+dependency: the checked-in `.hex` files are the build artifacts, and
+this script is how they were produced (and how to regenerate them).
+
+    python3 tools/rv32_asm.py examples/kernels/vecadd.s \
+        -o examples/kernels/vecadd.hex
+
+Supported surface (exactly what src/frontend accepts):
+  - directives .name NAME / .block N / .smem BYTES (passed through)
+  - labels `foo:` (emitted as `@foo` hex-image symbols)
+  - RV32I integer core (no byte/halfword memory ops), RV32M,
+  - `csrr rd, CSR` with CSR in {tid, ctaid, ntid, nctaid, laneid}
+    or a numeric 0xCC0..0xCC4,
+  - GPU conventions: `lds.w rd, off(rs1)`, `sts.w rs2, off(rs1)`,
+    `fence` (CTA barrier), `ecall` (thread exit),
+  - aliases: li, mv, not, neg, j, nop.
+"""
+
+import argparse
+import re
+import sys
+
+ABI_REGS = {
+    "zero": 0, "ra": 1, "sp": 2, "gp": 3, "tp": 4,
+    "t0": 5, "t1": 6, "t2": 7, "s0": 8, "fp": 8, "s1": 9,
+    "a0": 10, "a1": 11, "a2": 12, "a3": 13, "a4": 14, "a5": 15,
+    "a6": 16, "a7": 17, "s2": 18, "s3": 19, "s4": 20, "s5": 21,
+    "s6": 22, "s7": 23, "s8": 24, "s9": 25, "s10": 26, "s11": 27,
+    "t3": 28, "t4": 29, "t5": 30, "t6": 31,
+}
+
+CSRS = {"tid": 0xCC0, "ctaid": 0xCC1, "ntid": 0xCC2, "nctaid": 0xCC3,
+        "laneid": 0xCC4}
+
+# mnemonic -> (funct3, funct7) for R-type ops at opcode 0x33
+R_OPS = {
+    "add": (0b000, 0b0000000), "sub": (0b000, 0b0100000),
+    "sll": (0b001, 0b0000000), "slt": (0b010, 0b0000000),
+    "sltu": (0b011, 0b0000000), "xor": (0b100, 0b0000000),
+    "srl": (0b101, 0b0000000), "sra": (0b101, 0b0100000),
+    "or": (0b110, 0b0000000), "and": (0b111, 0b0000000),
+    "mul": (0b000, 0b0000001), "mulh": (0b001, 0b0000001),
+    "mulhsu": (0b010, 0b0000001), "mulhu": (0b011, 0b0000001),
+    "div": (0b100, 0b0000001), "divu": (0b101, 0b0000001),
+    "rem": (0b110, 0b0000001), "remu": (0b111, 0b0000001),
+}
+
+# mnemonic -> funct3 for I-type ALU ops at opcode 0x13
+I_OPS = {"addi": 0b000, "slti": 0b010, "sltiu": 0b011, "xori": 0b100,
+         "ori": 0b110, "andi": 0b111}
+SHIFT_OPS = {"slli": (0b001, 0b0000000), "srli": (0b101, 0b0000000),
+             "srai": (0b101, 0b0100000)}
+
+# mnemonic -> funct3 for branches at opcode 0x63
+B_OPS = {"beq": 0b000, "bne": 0b001, "blt": 0b100, "bge": 0b101,
+         "bltu": 0b110, "bgeu": 0b111}
+
+
+class AsmError(Exception):
+    pass
+
+
+def reg(tok):
+    tok = tok.strip().lower()
+    if tok in ABI_REGS:
+        return ABI_REGS[tok]
+    if re.fullmatch(r"x([0-9]|[12][0-9]|3[01])", tok):
+        return int(tok[1:])
+    raise AsmError(f"bad register '{tok}'")
+
+
+def intval(tok):
+    tok = tok.strip()
+    try:
+        return int(tok, 0)
+    except ValueError:
+        raise AsmError(f"bad integer '{tok}'") from None
+
+
+def mem_operand(tok):
+    """Parse 'off(rs)' -> (off, rs)."""
+    m = re.fullmatch(r"\s*(-?[\w]+)\s*\(\s*([\w]+)\s*\)\s*", tok)
+    if not m:
+        raise AsmError(f"bad memory operand '{tok}'")
+    return intval(m.group(1)), reg(m.group(2))
+
+
+def enc_r(f7, rs2, rs1, f3, rd, opcode=0x33):
+    return (f7 << 25) | (rs2 << 20) | (rs1 << 15) | (f3 << 12) | \
+           (rd << 7) | opcode
+
+
+def enc_i(imm, rs1, f3, rd, opcode):
+    if not -2048 <= imm <= 2047:
+        raise AsmError(f"I-immediate {imm} out of range")
+    return ((imm & 0xFFF) << 20) | (rs1 << 15) | (f3 << 12) | \
+           (rd << 7) | opcode
+
+
+def enc_s(imm, rs2, rs1, f3, opcode):
+    if not -2048 <= imm <= 2047:
+        raise AsmError(f"S-immediate {imm} out of range")
+    imm &= 0xFFF
+    return ((imm >> 5) << 25) | (rs2 << 20) | (rs1 << 15) | \
+           (f3 << 12) | ((imm & 0x1F) << 7) | opcode
+
+
+def enc_b(imm, rs2, rs1, f3):
+    if imm % 2 or not -4096 <= imm <= 4094:
+        raise AsmError(f"branch offset {imm} invalid")
+    u = imm & 0x1FFF
+    return (((u >> 12) & 1) << 31) | (((u >> 5) & 0x3F) << 25) | \
+           (rs2 << 20) | (rs1 << 15) | (f3 << 12) | \
+           (((u >> 1) & 0xF) << 8) | (((u >> 11) & 1) << 7) | 0x63
+
+
+def enc_j(imm, rd):
+    if imm % 2 or not -(1 << 20) <= imm <= (1 << 20) - 2:
+        raise AsmError(f"jump offset {imm} invalid")
+    u = imm & 0x1FFFFF
+    return (((u >> 20) & 1) << 31) | (((u >> 1) & 0x3FF) << 21) | \
+           (((u >> 11) & 1) << 20) | (((u >> 12) & 0xFF) << 12) | \
+           (rd << 7) | 0x6F
+
+
+def split_ops(rest):
+    return [t.strip() for t in rest.split(",")] if rest.strip() else []
+
+
+def assemble_line(mn, ops, pc, labels):
+    """Encode one instruction; pc/labels in word units for branches."""
+
+    def branch_off(target):
+        if target not in labels:
+            raise AsmError(f"undefined label '{target}'")
+        return (labels[target] - pc) * 4
+
+    if mn in R_OPS:
+        f3, f7 = R_OPS[mn]
+        rd, rs1, rs2 = reg(ops[0]), reg(ops[1]), reg(ops[2])
+        return enc_r(f7, rs2, rs1, f3, rd)
+    if mn in I_OPS:
+        rd, rs1, imm = reg(ops[0]), reg(ops[1]), intval(ops[2])
+        return enc_i(imm, rs1, I_OPS[mn], rd, 0x13)
+    if mn in SHIFT_OPS:
+        f3, f7 = SHIFT_OPS[mn]
+        rd, rs1, sh = reg(ops[0]), reg(ops[1]), intval(ops[2])
+        if not 0 <= sh <= 31:
+            raise AsmError(f"shift amount {sh} out of range")
+        return enc_i((f7 << 5) | sh, rs1, f3, rd, 0x13)
+    if mn in B_OPS:
+        rs1, rs2 = reg(ops[0]), reg(ops[1])
+        return enc_b(branch_off(ops[2]), rs2, rs1, B_OPS[mn])
+    if mn == "lw":
+        rd = reg(ops[0])
+        off, rs1 = mem_operand(ops[1])
+        return enc_i(off, rs1, 0b010, rd, 0x03)
+    if mn == "sw":
+        rs2 = reg(ops[0])
+        off, rs1 = mem_operand(ops[1])
+        return enc_s(off, rs2, rs1, 0b010, 0x23)
+    if mn == "lds.w":
+        rd = reg(ops[0])
+        off, rs1 = mem_operand(ops[1])
+        return enc_i(off, rs1, 0b010, rd, 0x0B)
+    if mn == "sts.w":
+        rs2 = reg(ops[0])
+        off, rs1 = mem_operand(ops[1])
+        return enc_s(off, rs2, rs1, 0b010, 0x2B)
+    if mn == "lui":
+        return ((intval(ops[1]) & 0xFFFFF) << 12) | (reg(ops[0]) << 7) \
+               | 0x37
+    if mn == "csrr":
+        rd = reg(ops[0])
+        csr_tok = ops[1].strip().lower()
+        csr = CSRS.get(csr_tok)
+        if csr is None:
+            csr = intval(ops[1])
+        return (csr << 20) | (0 << 15) | (0b010 << 12) | (rd << 7) | 0x73
+    if mn == "jal":
+        if len(ops) == 1:
+            return enc_j(branch_off(ops[0]), 0)
+        return enc_j(branch_off(ops[1]), reg(ops[0]))
+    if mn == "j":
+        return enc_j(branch_off(ops[0]), 0)
+    if mn == "li":
+        return enc_i(intval(ops[1]), 0, 0b000, reg(ops[0]), 0x13)
+    if mn == "mv":
+        return enc_i(0, reg(ops[1]), 0b000, reg(ops[0]), 0x13)
+    if mn == "not":
+        return enc_i(-1, reg(ops[1]), 0b100, reg(ops[0]), 0x13)
+    if mn == "neg":
+        return enc_r(0b0100000, reg(ops[1]), 0, 0b000, reg(ops[0]))
+    if mn == "nop":
+        return enc_i(0, 0, 0b000, 0, 0x13)
+    if mn == "fence":
+        return 0x0000000F
+    if mn == "ecall":
+        return 0x00000073
+    raise AsmError(f"unknown mnemonic '{mn}'")
+
+
+def assemble(text, src_name):
+    """Two passes: collect labels/word positions, then encode."""
+    directives = []
+    items = []          # ("label", name) | ("inst", lineno, mn, ops)
+    word = 0
+    labels = {}
+    for lineno, raw in enumerate(text.splitlines(), 1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        if line.startswith("."):
+            parts = line.split()
+            if parts[0] not in (".name", ".block", ".smem"):
+                raise AsmError(f"{src_name}:{lineno}: unknown directive "
+                               f"'{parts[0]}'")
+            if len(parts) != 2:
+                raise AsmError(f"{src_name}:{lineno}: '{parts[0]}' wants "
+                               "one argument")
+            directives.append(line)
+            continue
+        while line:
+            m = re.match(r"^([A-Za-z_.][\w.]*)\s*:\s*", line)
+            if m:
+                label = m.group(1)
+                if label in labels:
+                    raise AsmError(f"{src_name}:{lineno}: duplicate "
+                                   f"label '{label}'")
+                labels[label] = word
+                items.append(("label", label))
+                line = line[m.end():]
+                continue
+            break
+        if not line:
+            continue
+        parts = line.split(None, 1)
+        mn = parts[0].lower()
+        ops = split_ops(parts[1]) if len(parts) > 1 else []
+        items.append(("inst", lineno, mn, ops, line))
+        word += 1
+
+    out = [f"# generated by tools/rv32_asm.py from {src_name}"]
+    out += directives
+    pc = 0
+    for item in items:
+        if item[0] == "label":
+            out.append(f"@{item[1]}")
+            continue
+        _, lineno, mn, ops, src = item
+        try:
+            encoded = assemble_line(mn, ops, pc, labels)
+        except AsmError as e:
+            raise AsmError(f"{src_name}:{lineno}: {e}") from None
+        out.append(f"{encoded:08x}    # {src}")
+        pc += 1
+    return "\n".join(out) + "\n"
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("source")
+    ap.add_argument("-o", "--output", required=True)
+    args = ap.parse_args()
+
+    with open(args.source, encoding="utf-8") as f:
+        text = f.read()
+    try:
+        hex_text = assemble(text, args.source)
+    except AsmError as e:
+        print(f"rv32_asm: {e}", file=sys.stderr)
+        return 1
+    with open(args.output, "w", encoding="utf-8") as f:
+        f.write(hex_text)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
