@@ -63,6 +63,8 @@ runSelected(const HarnessOptions &opt, ExperimentConfig cfg,
         cfg.faults = opt.faults;
     if (opt.seu.enabled())
         cfg.seu = opt.seu;
+    if (opt.hangBudget > 0)
+        cfg.faults.hangCycles = opt.hangBudget;
     if (!opt.jsonPath.empty())
         perfRecorder().setOutput(opt.benchName, opt.jsonPath);
     if (!opt.statsJsonPath.empty())

@@ -6,12 +6,19 @@
  * Emits a deterministic JSON document on stdout — every field is a
  * pure function of (seed, config), so fixed seeds give byte-identical
  * output run over run.
+ *
+ * Under `--isolate` every grid point runs in a supervised child
+ * process (watchdog, retry/backoff, optional `--journal`/`--resume`);
+ * a point that exhausts its attempts is counted in the `failed` field
+ * and dropped from the averages instead of aborting the sweep. The
+ * default in-process path always reports `failed: 0`.
  */
 
 #include <array>
 
 #include "bench_common.hpp"
 #include "common/json_writer.hpp"
+#include "sweep/sweep.hpp"
 
 using namespace warpcomp;
 
@@ -23,7 +30,7 @@ constexpr std::array<FaultPolicy, 3> kPolicies = {
     FaultPolicy::CompressRemap};
 
 /** One sweep point aggregated over the workload suite. */
-struct SweepPoint
+struct FaultSweepRow
 {
     double ber = 0.0;
     FaultPolicy policy = FaultPolicy::None;
@@ -37,6 +44,7 @@ struct SweepPoint
     u64 unrecoverableAccesses = 0;
     u32 unschedulable = 0;          ///< workloads that could not launch
     u32 hung = 0;                   ///< workloads livelocked by corruption
+    u32 failed = 0;                 ///< isolated points past their attempts
 };
 
 } // namespace
@@ -45,13 +53,18 @@ int
 main(int argc, char **argv)
 {
     const HarnessOptions opt = parseHarnessArgs(argc, argv);
+    const SweepOptions sopt = parseSweepArgs(argc, argv);
+    if (sopt.isChild())
+        return runSweepChildPoint(sopt);
 
     // Config 0 is the fault-free reference; the rest is the
-    // BER x policy cross product, all flattened onto one thread pool.
+    // BER x policy cross product, all flattened onto one pool.
     std::vector<ExperimentConfig> configs;
     ExperimentConfig base;
     base.scale = opt.scale;
     base.numSms = opt.numSms;
+    if (opt.hangBudget > 0)
+        base.faults.hangCycles = opt.hangBudget;
     configs.push_back(base);
     for (double ber : kBers) {
         for (FaultPolicy policy : kPolicies) {
@@ -64,31 +77,42 @@ main(int argc, char **argv)
     }
 
     const std::vector<std::string> workloads = bench::selectedWorkloads(opt);
-    const auto grid = runGrid(configs, workloads, opt.threads);
+    const auto grid =
+        runPointsGrid(argv[0], configs, workloads, sopt, opt.threads);
     const auto &ref = grid[0];
 
     double ref_energy_total = 0.0;
-    for (const ExperimentResult &r : ref)
-        ref_energy_total += bench::totalEnergy(r, base.energy);
+    for (const auto &r : ref)
+        if (r.has_value())
+            ref_energy_total += r->energyPj;
 
-    std::vector<SweepPoint> points;
+    std::vector<FaultSweepRow> points;
     for (std::size_t c = 1; c < grid.size(); ++c) {
         const auto &runs = grid[c];
-        SweepPoint pt;
+        FaultSweepRow pt;
         pt.ber = configs[c].faults.ber;
         pt.policy = configs[c].faults.policy;
 
         // Capacity census is a property of the fault map + policy, not
         // of the workload; read it off the first completed run.
-        const FaultStats &census = runs[0].run.fault;
-        pt.usableCapacity = static_cast<double>(census.usableRegs) /
-            static_cast<double>(census.totalRegs);
+        for (const auto &cell : runs) {
+            if (cell.has_value()) {
+                pt.usableCapacity =
+                    static_cast<double>(cell->fault.usableRegs) /
+                    static_cast<double>(cell->fault.totalRegs);
+                break;
+            }
+        }
 
         std::vector<double> cyc_ratios;
         double energy = 0.0;
         double ref_energy = 0.0;
         for (std::size_t w = 0; w < runs.size(); ++w) {
-            const RunResult &run = runs[w].run;
+            if (!runs[w].has_value()) {
+                ++pt.failed;
+                continue;
+            }
+            const PointStats &run = *runs[w];
             pt.toleratedWrites += run.fault.toleratedWrites;
             pt.remapWrites += run.fault.remapWrites;
             pt.remapReads += run.fault.remapReads;
@@ -101,10 +125,12 @@ main(int argc, char **argv)
                 pt.hung += run.hung ? 1 : 0;
                 continue;
             }
+            if (!ref[w].has_value())
+                continue;   // baseline point failed: no ratio to form
             cyc_ratios.push_back(static_cast<double>(run.cycles) /
-                                 static_cast<double>(ref[w].run.cycles));
-            energy += bench::totalEnergy(runs[w], base.energy);
-            ref_energy += bench::totalEnergy(ref[w], base.energy);
+                                 static_cast<double>(ref[w]->cycles));
+            energy += run.energyPj;
+            ref_energy += ref[w]->energyPj;
         }
         pt.relCycles = geomean(cyc_ratios);
         pt.relEnergy = ref_energy > 0.0 ? energy / ref_energy : 0.0;
@@ -119,7 +145,7 @@ main(int argc, char **argv)
     w.field("baseline_energy_pj", ref_energy_total);
     w.key("points");
     w.beginArray();
-    for (const SweepPoint &p : points) {
+    for (const FaultSweepRow &p : points) {
         w.beginObject();
         w.field("ber", p.ber);
         w.field("policy", faultPolicyName(p.policy));
@@ -133,6 +159,7 @@ main(int argc, char **argv)
         w.field("unrecoverable_accesses", p.unrecoverableAccesses);
         w.field("unschedulable", p.unschedulable);
         w.field("hung", p.hung);
+        w.field("failed", p.failed);
         w.endObject();
     }
     w.endArray();

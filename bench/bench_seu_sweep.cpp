@@ -12,12 +12,19 @@
  * pure function of (seed, config), so fixed seeds give byte-identical
  * output run over run and across --threads values (the CI determinism
  * gate diffs two runs of this binary).
+ *
+ * Under `--isolate` every grid point runs in a supervised child
+ * process (watchdog, retry/backoff, optional `--journal`/`--resume`);
+ * a point that exhausts its attempts is counted in the `failed` field
+ * and dropped from the averages instead of aborting the sweep. The
+ * default in-process path always reports `failed: 0`.
  */
 
 #include <array>
 
 #include "bench_common.hpp"
 #include "common/json_writer.hpp"
+#include "sweep/sweep.hpp"
 
 using namespace warpcomp;
 
@@ -38,7 +45,7 @@ constexpr double kScrubSweepRate = 1e-3;
 constexpr Cycle kHangBudget = 2'000'000;
 
 /** One sweep point aggregated over the workload suite. */
-struct SweepPoint
+struct SeuSweepRow
 {
     ExperimentConfig cfg;
     /** Index into the per-compression reference runs. */
@@ -50,10 +57,11 @@ struct SweepPoint
     u32 corruptedRuns = 0;          ///< runs with any silent corruption
     u32 unschedulable = 0;
     u32 hung = 0;
+    u32 failed = 0;                 ///< isolated points past their attempts
 };
 
 void
-writePoint(JsonWriter &w, const SweepPoint &p, std::size_t workloads)
+writePoint(JsonWriter &w, const SeuSweepRow &p, std::size_t workloads)
 {
     w.beginObject();
     w.field("rate", p.cfg.seu.flipsPerCycle);
@@ -78,6 +86,7 @@ writePoint(JsonWriter &w, const SweepPoint &p, std::size_t workloads)
     w.field("rel_energy", p.relEnergy);
     w.field("unschedulable", p.unschedulable);
     w.field("hung", p.hung);
+    w.field("failed", p.failed);
     w.endObject();
 }
 
@@ -87,12 +96,16 @@ int
 main(int argc, char **argv)
 {
     const HarnessOptions opt = parseHarnessArgs(argc, argv);
+    const SweepOptions sopt = parseSweepArgs(argc, argv);
+    if (sopt.isChild())
+        return runSweepChildPoint(sopt);
 
     ExperimentConfig base;
     base.scale = opt.scale;
     base.numSms = opt.numSms;
     base.faults = opt.faults;       // compose with a stuck-at map if asked
-    base.faults.hangCycles = kHangBudget;
+    base.faults.hangCycles =
+        opt.hangBudget > 0 ? opt.hangBudget : kHangBudget;
     base.seu.seed = opt.seu.seed;
 
     // Configs 0..1 are the SEU-free references per compression scheme;
@@ -131,18 +144,20 @@ main(int argc, char **argv)
     }
 
     const std::vector<std::string> workloads = bench::selectedWorkloads(opt);
-    const auto grid = runGrid(configs, workloads, opt.threads);
+    const auto grid =
+        runPointsGrid(argv[0], configs, workloads, sopt, opt.threads);
 
     std::array<double, 2> ref_energy_total{};
     for (std::size_t ci = 0; ci < kCompression.size(); ++ci)
-        for (const ExperimentResult &r : grid[ci])
-            ref_energy_total[ci] += bench::totalEnergy(r, base.energy);
+        for (const auto &r : grid[ci])
+            if (r.has_value())
+                ref_energy_total[ci] += r->energyPj;
 
-    std::vector<SweepPoint> points;
+    std::vector<SeuSweepRow> points;
     for (std::size_t c = kCompression.size(); c < grid.size(); ++c) {
         const auto &runs = grid[c];
         const auto &ref = grid[ref_of[c - kCompression.size()]];
-        SweepPoint pt;
+        SeuSweepRow pt;
         pt.cfg = configs[c];
         pt.refIndex = ref_of[c - kCompression.size()];
 
@@ -150,7 +165,11 @@ main(int argc, char **argv)
         double energy = 0.0;
         double ref_energy = 0.0;
         for (std::size_t w = 0; w < runs.size(); ++w) {
-            const RunResult &run = runs[w].run;
+            if (!runs[w].has_value()) {
+                ++pt.failed;
+                continue;
+            }
+            const PointStats &run = *runs[w];
             pt.seu.merge(run.seu);
             pt.unrecoverableAccesses += run.fault.unrecoverableAccesses;
             if (run.seu.corruptedReads > 0 || run.hung ||
@@ -163,10 +182,12 @@ main(int argc, char **argv)
                 pt.hung += run.hung ? 1 : 0;
                 continue;
             }
+            if (!ref[w].has_value())
+                continue;   // baseline point failed: no ratio to form
             cyc_ratios.push_back(static_cast<double>(run.cycles) /
-                                 static_cast<double>(ref[w].run.cycles));
-            energy += bench::totalEnergy(runs[w], base.energy);
-            ref_energy += bench::totalEnergy(ref[w], base.energy);
+                                 static_cast<double>(ref[w]->cycles));
+            energy += run.energyPj;
+            ref_energy += ref[w]->energyPj;
         }
         pt.relCycles = geomean(cyc_ratios);
         pt.relEnergy = ref_energy > 0.0 ? energy / ref_energy : 0.0;

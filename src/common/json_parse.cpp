@@ -1,0 +1,418 @@
+#include "common/json_parse.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+
+namespace warpcomp {
+
+namespace {
+
+constexpr u32 kMaxDepth = 64;
+
+/** Recursive-descent parser over one immutable text span. */
+class Parser
+{
+  public:
+    explicit Parser(std::string_view text) : text_(text) {}
+
+    JsonParseOutcome
+    run()
+    {
+        skipWs();
+        JsonValue v;
+        if (!parseValue(v, 0))
+            return {std::nullopt, error_};
+        skipWs();
+        if (pos_ != text_.size())
+            return {std::nullopt, fail("trailing garbage after document")};
+        return {std::move(v), {}};
+    }
+
+  private:
+    std::string
+    fail(const std::string &msg)
+    {
+        if (error_.empty())
+            error_ = "byte " + std::to_string(pos_) + ": " + msg;
+        return error_;
+    }
+
+    void
+    skipWs()
+    {
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_];
+            if (c != ' ' && c != '\t' && c != '\n' && c != '\r')
+                break;
+            ++pos_;
+        }
+    }
+
+    bool
+    expect(char c)
+    {
+        if (pos_ >= text_.size() || text_[pos_] != c) {
+            fail(std::string("expected '") + c + "'");
+            return false;
+        }
+        ++pos_;
+        return true;
+    }
+
+    bool
+    literal(std::string_view word)
+    {
+        if (text_.substr(pos_, word.size()) != word) {
+            fail("bad literal");
+            return false;
+        }
+        pos_ += word.size();
+        return true;
+    }
+
+    /** UTF-8-encode one code point onto @p out. */
+    static void
+    encodeUtf8(u32 cp, std::string &out)
+    {
+        if (cp < 0x80) {
+            out += static_cast<char>(cp);
+        } else if (cp < 0x800) {
+            out += static_cast<char>(0xC0 | (cp >> 6));
+            out += static_cast<char>(0x80 | (cp & 0x3F));
+        } else if (cp < 0x10000) {
+            out += static_cast<char>(0xE0 | (cp >> 12));
+            out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (cp & 0x3F));
+        } else {
+            out += static_cast<char>(0xF0 | (cp >> 18));
+            out += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
+            out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (cp & 0x3F));
+        }
+    }
+
+    bool
+    hex4(u32 &out)
+    {
+        if (pos_ + 4 > text_.size()) {
+            fail("truncated \\u escape");
+            return false;
+        }
+        out = 0;
+        for (int i = 0; i < 4; ++i) {
+            const char c = text_[pos_ + static_cast<size_t>(i)];
+            u32 digit;
+            if (c >= '0' && c <= '9')
+                digit = static_cast<u32>(c - '0');
+            else if (c >= 'a' && c <= 'f')
+                digit = static_cast<u32>(c - 'a' + 10);
+            else if (c >= 'A' && c <= 'F')
+                digit = static_cast<u32>(c - 'A' + 10);
+            else {
+                fail("bad \\u escape digit");
+                return false;
+            }
+            out = (out << 4) | digit;
+        }
+        pos_ += 4;
+        return true;
+    }
+
+    bool
+    parseString(std::string &out)
+    {
+        if (!expect('"'))
+            return false;
+        while (true) {
+            if (pos_ >= text_.size()) {
+                fail("unterminated string");
+                return false;
+            }
+            const char c = text_[pos_];
+            if (c == '"') {
+                ++pos_;
+                return true;
+            }
+            if (static_cast<unsigned char>(c) < 0x20) {
+                fail("raw control character in string");
+                return false;
+            }
+            if (c != '\\') {
+                out += c;
+                ++pos_;
+                continue;
+            }
+            ++pos_;
+            if (pos_ >= text_.size()) {
+                fail("truncated escape");
+                return false;
+            }
+            const char esc = text_[pos_++];
+            switch (esc) {
+              case '"': out += '"'; break;
+              case '\\': out += '\\'; break;
+              case '/': out += '/'; break;
+              case 'b': out += '\b'; break;
+              case 'f': out += '\f'; break;
+              case 'n': out += '\n'; break;
+              case 'r': out += '\r'; break;
+              case 't': out += '\t'; break;
+              case 'u': {
+                  u32 cp = 0;
+                  if (!hex4(cp))
+                      return false;
+                  if (cp >= 0xD800 && cp < 0xDC00) {
+                      // High surrogate: a \uXXXX low surrogate must
+                      // follow to form one supplementary code point.
+                      if (text_.substr(pos_, 2) != "\\u") {
+                          fail("unpaired high surrogate");
+                          return false;
+                      }
+                      pos_ += 2;
+                      u32 lo = 0;
+                      if (!hex4(lo))
+                          return false;
+                      if (lo < 0xDC00 || lo > 0xDFFF) {
+                          fail("bad low surrogate");
+                          return false;
+                      }
+                      cp = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+                  } else if (cp >= 0xDC00 && cp < 0xE000) {
+                      fail("unpaired low surrogate");
+                      return false;
+                  }
+                  encodeUtf8(cp, out);
+                  break;
+              }
+              default:
+                fail("unknown escape");
+                return false;
+            }
+        }
+    }
+
+    bool
+    parseNumber(JsonValue &v)
+    {
+        const size_t start = pos_;
+        if (pos_ < text_.size() && text_[pos_] == '-')
+            ++pos_;
+        auto digits = [&]() {
+            const size_t first = pos_;
+            while (pos_ < text_.size() &&
+                   std::isdigit(static_cast<unsigned char>(text_[pos_])))
+                ++pos_;
+            return pos_ > first;
+        };
+        if (!digits()) {
+            fail("bad number");
+            return false;
+        }
+        if (pos_ < text_.size() && text_[pos_] == '.') {
+            ++pos_;
+            if (!digits()) {
+                fail("bad number fraction");
+                return false;
+            }
+        }
+        if (pos_ < text_.size() &&
+            (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+            ++pos_;
+            if (pos_ < text_.size() &&
+                (text_[pos_] == '+' || text_[pos_] == '-'))
+                ++pos_;
+            if (!digits()) {
+                fail("bad number exponent");
+                return false;
+            }
+        }
+        v.kind = JsonValue::Kind::Number;
+        v.text = std::string(text_.substr(start, pos_ - start));
+        v.number = std::strtod(v.text.c_str(), nullptr);
+        return true;
+    }
+
+    bool
+    parseValue(JsonValue &v, u32 depth)
+    {
+        if (depth > kMaxDepth) {
+            fail("nesting too deep");
+            return false;
+        }
+        if (pos_ >= text_.size()) {
+            fail("unexpected end of document");
+            return false;
+        }
+        const char c = text_[pos_];
+        if (c == '{') {
+            ++pos_;
+            v.kind = JsonValue::Kind::Object;
+            skipWs();
+            if (pos_ < text_.size() && text_[pos_] == '}') {
+                ++pos_;
+                return true;
+            }
+            while (true) {
+                skipWs();
+                std::string key;
+                if (!parseString(key))
+                    return false;
+                skipWs();
+                if (!expect(':'))
+                    return false;
+                skipWs();
+                JsonValue member;
+                if (!parseValue(member, depth + 1))
+                    return false;
+                v.members.emplace_back(std::move(key), std::move(member));
+                skipWs();
+                if (pos_ < text_.size() && text_[pos_] == ',') {
+                    ++pos_;
+                    continue;
+                }
+                return expect('}');
+            }
+        }
+        if (c == '[') {
+            ++pos_;
+            v.kind = JsonValue::Kind::Array;
+            skipWs();
+            if (pos_ < text_.size() && text_[pos_] == ']') {
+                ++pos_;
+                return true;
+            }
+            while (true) {
+                skipWs();
+                JsonValue item;
+                if (!parseValue(item, depth + 1))
+                    return false;
+                v.items.push_back(std::move(item));
+                skipWs();
+                if (pos_ < text_.size() && text_[pos_] == ',') {
+                    ++pos_;
+                    continue;
+                }
+                return expect(']');
+            }
+        }
+        if (c == '"') {
+            v.kind = JsonValue::Kind::String;
+            return parseString(v.text);
+        }
+        if (c == 't') {
+            v.kind = JsonValue::Kind::Bool;
+            v.boolean = true;
+            return literal("true");
+        }
+        if (c == 'f') {
+            v.kind = JsonValue::Kind::Bool;
+            v.boolean = false;
+            return literal("false");
+        }
+        if (c == 'n') {
+            v.kind = JsonValue::Kind::Null;
+            return literal("null");
+        }
+        return parseNumber(v);
+    }
+
+    std::string_view text_;
+    size_t pos_ = 0;
+    std::string error_;
+};
+
+} // namespace
+
+const JsonValue *
+JsonValue::find(std::string_view key) const
+{
+    if (kind != Kind::Object)
+        return nullptr;
+    for (const auto &[k, v] : members)
+        if (k == key)
+            return &v;
+    return nullptr;
+}
+
+std::optional<double>
+JsonValue::asDouble() const
+{
+    if (kind != Kind::Number)
+        return std::nullopt;
+    return number;
+}
+
+std::optional<u64>
+JsonValue::asU64() const
+{
+    if (kind != Kind::Number || text.empty() || text[0] == '-')
+        return std::nullopt;
+    for (char c : text)
+        if (!std::isdigit(static_cast<unsigned char>(c)))
+            return std::nullopt;    // fractional/exponent literal
+    char *end = nullptr;
+    const u64 v = std::strtoull(text.c_str(), &end, 10);
+    if (end != text.c_str() + text.size())
+        return std::nullopt;
+    // strtoull saturates at ULLONG_MAX with errno; reject by
+    // round-tripping instead of depending on errno state.
+    if (std::to_string(v) != text)
+        return std::nullopt;
+    return v;
+}
+
+std::optional<bool>
+JsonValue::asBool() const
+{
+    if (kind != Kind::Bool)
+        return std::nullopt;
+    return boolean;
+}
+
+const std::string *
+JsonValue::asString() const
+{
+    return kind == Kind::String ? &text : nullptr;
+}
+
+JsonParseOutcome
+parseJson(std::string_view text)
+{
+    return Parser(text).run();
+}
+
+void
+writeJson(JsonWriter &w, const JsonValue &v)
+{
+    switch (v.kind) {
+      case JsonValue::Kind::Null:
+        w.valueNull();
+        break;
+      case JsonValue::Kind::Bool:
+        w.value(v.boolean);
+        break;
+      case JsonValue::Kind::Number:
+        w.rawValue(v.text);
+        break;
+      case JsonValue::Kind::String:
+        w.value(v.text);
+        break;
+      case JsonValue::Kind::Array:
+        w.beginArray();
+        for (const JsonValue &item : v.items)
+            writeJson(w, item);
+        w.endArray();
+        break;
+      case JsonValue::Kind::Object:
+        w.beginObject();
+        for (const auto &[k, member] : v.members) {
+            w.key(k);
+            writeJson(w, member);
+        }
+        w.endObject();
+        break;
+    }
+}
+
+} // namespace warpcomp

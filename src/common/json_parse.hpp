@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Minimal JSON reader, the inverse of JsonWriter. The sweep runner
+ * round-trips its own documents through this pair: child processes
+ * emit per-point stats with JsonWriter, the supervisor parses them
+ * back, the journal stores them, and the merged report re-emits them.
+ *
+ * Numbers keep their source literal alongside the double value, so
+ * re-emitting a parsed document through JsonWriter::rawValue is
+ * byte-exact even for u64 counters above 2^53 — the property the
+ * checkpoint/resume byte-identity gate depends on.
+ *
+ * Errors are structured (byte offset + one-line message), never
+ * exceptions or crashes: the loader has to survive truncated journal
+ * tails from a SIGKILLed sweep.
+ */
+
+#ifndef WARPCOMP_COMMON_JSON_PARSE_HPP
+#define WARPCOMP_COMMON_JSON_PARSE_HPP
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/json_writer.hpp"
+#include "common/types.hpp"
+
+namespace warpcomp {
+
+/** One parsed JSON value (object members keep document order). */
+struct JsonValue
+{
+    enum class Kind : u8 { Null, Bool, Number, String, Array, Object };
+
+    Kind kind = Kind::Null;
+    bool boolean = false;
+    double number = 0.0;
+    /** String: decoded text. Number: the verbatim source literal. */
+    std::string text;
+    std::vector<JsonValue> items;                           ///< Array
+    std::vector<std::pair<std::string, JsonValue>> members; ///< Object
+
+    bool isObject() const { return kind == Kind::Object; }
+    bool isArray() const { return kind == Kind::Array; }
+
+    /** Member lookup (Object only); nullptr when absent. */
+    const JsonValue *find(std::string_view key) const;
+
+    /** Typed accessors; nullopt/nullptr on kind mismatch. */
+    std::optional<double> asDouble() const;
+    /** Number with a non-negative integral literal that fits u64. */
+    std::optional<u64> asU64() const;
+    std::optional<bool> asBool() const;
+    const std::string *asString() const;
+};
+
+/** Parse outcome: a value, or a one-line diagnostic with offset. */
+struct JsonParseOutcome
+{
+    std::optional<JsonValue> value;
+    std::string error;  ///< "byte N: message" when !ok()
+
+    bool ok() const { return value.has_value(); }
+};
+
+/**
+ * Parse one complete JSON document (trailing whitespace allowed,
+ * trailing garbage is an error). Depth is capped at 64 so hostile
+ * input cannot exhaust the stack.
+ */
+JsonParseOutcome parseJson(std::string_view text);
+
+/**
+ * Re-emit a parsed value through @p w (caller positions the writer on
+ * a key or array slot). Numbers are spliced from their source literal,
+ * so writer-produced documents round-trip byte-for-byte.
+ */
+void writeJson(JsonWriter &w, const JsonValue &v);
+
+} // namespace warpcomp
+
+#endif // WARPCOMP_COMMON_JSON_PARSE_HPP

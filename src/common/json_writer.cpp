@@ -47,6 +47,8 @@ JsonWriter::formatDouble(double v)
 void
 JsonWriter::newlineIndent()
 {
+    if (style_ == Style::Compact)
+        return;
     os_ << '\n';
     for (std::size_t i = 0; i < stack_.size(); ++i)
         os_ << "  ";
@@ -78,7 +80,8 @@ JsonWriter::key(std::string_view k)
         os_ << ',';
     newlineIndent();
     ++counts_.back();
-    os_ << '"' << escape(k) << "\": ";
+    os_ << '"' << escape(k)
+        << (style_ == Style::Compact ? "\":" : "\": ");
     pendingKey_ = true;
 }
 
@@ -99,13 +102,13 @@ JsonWriter::endObject()
     const bool empty = counts_.back() == 0;
     stack_.pop_back();
     counts_.pop_back();
-    if (!empty) {
+    if (!empty && style_ != Style::Compact) {
         os_ << '\n';
         for (std::size_t i = 0; i < stack_.size(); ++i)
             os_ << "  ";
     }
     os_ << '}';
-    if (stack_.empty())
+    if (stack_.empty() && style_ != Style::Compact)
         os_ << '\n';
 }
 
@@ -126,13 +129,13 @@ JsonWriter::endArray()
     const bool empty = counts_.back() == 0;
     stack_.pop_back();
     counts_.pop_back();
-    if (!empty) {
+    if (!empty && style_ != Style::Compact) {
         os_ << '\n';
         for (std::size_t i = 0; i < stack_.size(); ++i)
             os_ << "  ";
     }
     os_ << ']';
-    if (stack_.empty())
+    if (stack_.empty() && style_ != Style::Compact)
         os_ << '\n';
 }
 
@@ -176,6 +179,14 @@ JsonWriter::valueNull()
 {
     beforeValue();
     os_ << "null";
+}
+
+void
+JsonWriter::rawValue(std::string_view raw)
+{
+    WC_ASSERT(!raw.empty(), "empty raw JSON value");
+    beforeValue();
+    os_ << raw;
 }
 
 } // namespace warpcomp

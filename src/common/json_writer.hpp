@@ -24,12 +24,19 @@ namespace warpcomp {
  * key() inside objects, value() for leaves; commas and newlines are
  * inserted automatically. Layout is fixed: containers indent by two
  * spaces per level, one element per line, so output is both diffable
- * and byte-stable across runs.
+ * and byte-stable across runs. The Compact style drops all whitespace
+ * (one document per line) for append-only journals where a record must
+ * be exactly one line.
  */
 class JsonWriter
 {
   public:
-    explicit JsonWriter(std::ostream &os) : os_(os) {}
+    enum class Style : u8 { Pretty, Compact };
+
+    explicit JsonWriter(std::ostream &os, Style style = Style::Pretty)
+        : os_(os), style_(style)
+    {
+    }
 
     void beginObject();
     void endObject();
@@ -51,6 +58,14 @@ class JsonWriter
     void value(i32 v) { value(static_cast<i64>(v)); }
     /** JSON null (also what non-finite doubles degrade to). */
     void valueNull();
+
+    /**
+     * Splice @p raw — one complete, already-serialized JSON value —
+     * into the current value slot verbatim. Used to re-emit numeric
+     * literals byte-for-byte when copying a parsed document (going
+     * through double would round u64 counters above 2^53).
+     */
+    void rawValue(std::string_view raw);
 
     /** key + value in one call. */
     template <typename T>
@@ -79,6 +94,7 @@ class JsonWriter
     void newlineIndent();
 
     std::ostream &os_;
+    Style style_ = Style::Pretty;
     std::vector<Ctx> stack_;
     /** Elements already emitted at each open level. */
     std::vector<u32> counts_;

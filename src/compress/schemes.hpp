@@ -8,6 +8,7 @@
 #ifndef WARPCOMP_COMPRESS_SCHEMES_HPP
 #define WARPCOMP_COMPRESS_SCHEMES_HPP
 
+#include <optional>
 #include <span>
 #include <string>
 
@@ -30,6 +31,13 @@ std::span<const BdiParams> schemeCandidates(CompressionScheme scheme);
 
 /** Human-readable scheme name. */
 std::string schemeName(CompressionScheme scheme);
+
+/** Stable identifier for serialization ("None", "Warped", "Fixed40",
+ *  ...); unlike schemeName these round-trip through schemeFromId. */
+std::string schemeId(CompressionScheme scheme);
+
+/** Inverse of schemeId; nullopt on unknown identifiers. */
+std::optional<CompressionScheme> schemeFromId(const std::string &id);
 
 /**
  * The 2-bit compression-range indicator the bank arbiter stores per warp

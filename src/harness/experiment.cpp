@@ -262,6 +262,22 @@ parseHarnessArgs(int argc, char **argv)
             opt.statsJsonPath = arg + 13;
             if (opt.statsJsonPath.empty())
                 WC_FATAL("--stats-json needs a file path");
+        } else if (std::strncmp(arg, "--hang-budget=", 14) == 0) {
+            // Strict integer parse: strtoull silently wraps negative
+            // input, so reject any non-digit (including '-') up front.
+            const char *spec = arg + 14;
+            bool digits_only = *spec != '\0';
+            for (const char *p = spec; *p != '\0'; ++p)
+                if (*p < '0' || *p > '9')
+                    digits_only = false;
+            char *end = nullptr;
+            const u64 budget =
+                digits_only ? std::strtoull(spec, &end, 10) : 0;
+            if (!digits_only || end != spec + std::strlen(spec) ||
+                budget < 1)
+                WC_FATAL("--hang-budget must be a cycle count >= 1, "
+                         "got '" << spec << "'");
+            opt.hangBudget = budget;
         } else if (std::strcmp(arg, "--no-skip") == 0) {
             opt.noSkip = true;
         }

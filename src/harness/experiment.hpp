@@ -143,6 +143,14 @@ struct HarnessOptions
     /** Disable event-driven idle-cycle skipping via --no-skip (for
      *  differential checks against per-cycle stepping). */
     bool noSkip = false;
+    /**
+     * In-sim hang budget override via --hang-budget=N: the cycle count
+     * at which a run under uncontained corruption stops and reports
+     * RunResult::hung (FaultParams::hangCycles). 0 = keep the
+     * configured default. Independent of the sweep runner's wall-clock
+     * watchdog, so both layers are tunable separately.
+     */
+    Cycle hangBudget = 0;
 };
 
 /**
@@ -150,9 +158,10 @@ struct HarnessOptions
  * --kernel=FILE[,entry=SYM] --faults=BER,POLICY --fault-seed=N
  * --seu=RATE,SCHEME --seu-seed=N
  * --seu-scrub=CYCLES --trace=FILE[,START,END] --trace-window=N
- * --stats-json=FILE --no-skip; ignores unknown arguments. Malformed values
- * (non-numeric, NaN, negative rates, unknown policy/scheme names) are
- * a one-line fatal error with nonzero exit, never a silent default.
+ * --stats-json=FILE --no-skip --hang-budget=N; ignores unknown
+ * arguments. Malformed values (non-numeric, NaN, negative rates,
+ * unknown policy/scheme names) are a one-line fatal error with nonzero
+ * exit, never a silent default.
  */
 HarnessOptions parseHarnessArgs(int argc, char **argv);
 

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Chaos hook for the resilient sweep runner (test/CI only): child
+ * processes deterministically injure themselves — crash, hang, or run
+ * slow — as a pure function of (point key, attempt, seed), proving the
+ * supervision path (watchdog, retry/backoff, graceful degradation)
+ * without any real flakiness.
+ *
+ * Determinism is the load-bearing property: a chaos sweep that is
+ * killed mid-grid and resumed re-derives the exact same injuries per
+ * (point, attempt), so its merged report is byte-identical to an
+ * uninterrupted run.
+ */
+
+#ifndef WARPCOMP_SWEEP_CHAOS_HPP
+#define WARPCOMP_SWEEP_CHAOS_HPP
+
+#include <optional>
+#include <string>
+
+#include "common/types.hpp"
+
+namespace warpcomp {
+
+/** What an injured child does. */
+enum class ChaosMode : u8 {
+    None,
+    Crash,  ///< _exit with kChaosCrashExit before simulating
+    Hang,   ///< spin forever (the watchdog must SIGKILL it)
+    Slow,   ///< sleep kChaosSlowMs, then complete normally
+    Mix     ///< pick one of the three per (point, attempt)
+};
+
+/** Exit code a chaos-crashed child dies with. */
+constexpr int kChaosCrashExit = 66;
+
+/** Sleep a "slow" child takes before proceeding. */
+constexpr u32 kChaosSlowMs = 200;
+
+/** Parsed `--chaos=MODE,RATE,SEED` spec. */
+struct ChaosSpec
+{
+    ChaosMode mode = ChaosMode::None;
+    double rate = 0.0;  ///< injury probability per (point, attempt)
+    u64 seed = 0;
+
+    bool enabled() const { return mode != ChaosMode::None && rate > 0.0; }
+};
+
+/** Strict parse of `MODE,RATE,SEED` (crash|hang|slow|mix, rate in
+ *  [0,1], integer seed); nullopt + @p error on malformed input. */
+std::optional<ChaosSpec> chaosFromSpec(const std::string &spec,
+                                       std::string *error);
+
+/** Inverse of chaosFromSpec (canonical form, for child argv). */
+std::string chaosToSpec(const ChaosSpec &spec);
+
+/**
+ * The injury (or None) this (point, attempt) suffers — a pure
+ * function, identical in parent and child, run over run.
+ */
+ChaosMode chaosAction(const ChaosSpec &spec, const std::string &point_key,
+                      u32 attempt);
+
+/**
+ * Child-side execution of one injury. Crash never returns; Hang spins
+ * until killed; Slow sleeps and returns; None returns immediately.
+ */
+void applyChaos(ChaosMode action);
+
+} // namespace warpcomp
+
+#endif // WARPCOMP_SWEEP_CHAOS_HPP

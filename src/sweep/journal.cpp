@@ -1,0 +1,182 @@
+#include "sweep/journal.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include "common/log.hpp"
+
+#ifndef WC_GIT_SHA
+#define WC_GIT_SHA "unknown"
+#endif
+
+namespace warpcomp {
+
+const char *
+sweepGitSha()
+{
+    return WC_GIT_SHA;
+}
+
+SweepJournal::SweepJournal(std::string path) : path_(std::move(path))
+{
+    WC_ASSERT(!path_.empty(), "journal path must not be empty");
+}
+
+SweepJournal::~SweepJournal()
+{
+    if (fd_ >= 0)
+        ::close(fd_);
+}
+
+std::string
+journalLine(const JournalRecord &record)
+{
+    std::ostringstream ss;
+    JsonWriter w(ss, JsonWriter::Style::Compact);
+    w.beginObject();
+    w.field("v", static_cast<u64>(1));
+    w.field("key", record.key);
+    w.field("git_sha", sweepGitSha());
+    w.field("workload", record.workload);
+    w.field("config", record.configSpec);
+    w.field("status", record.status);
+    w.field("attempts", record.attempts);
+    if (!record.reason.empty())
+        w.field("reason", record.reason);
+    if (record.stats.has_value()) {
+        w.key("stats");
+        writeJson(w, *record.stats);
+    }
+    w.endObject();
+    return ss.str();
+}
+
+void
+SweepJournal::append(const JournalRecord &record)
+{
+    if (fd_ < 0) {
+        fd_ = ::open(path_.c_str(),
+                     O_WRONLY | O_CREAT | O_APPEND | O_CLOEXEC, 0644);
+        if (fd_ < 0)
+            WC_FATAL("cannot open sweep journal '" << path_ << "'");
+    }
+    const std::string line = journalLine(record) + "\n";
+    // One write(2) for the whole line: appends from concurrent sweeps
+    // on the same journal interleave at line granularity, and a torn
+    // tail can only be the final line (which the loader drops).
+    size_t off = 0;
+    while (off < line.size()) {
+        const ssize_t n =
+            ::write(fd_, line.data() + off, line.size() - off);
+        if (n < 0)
+            WC_FATAL("cannot append to sweep journal '" << path_ << "'");
+        off += static_cast<size_t>(n);
+    }
+    if (::fsync(fd_) != 0)
+        WC_FATAL("cannot fsync sweep journal '" << path_ << "'");
+}
+
+std::optional<JournalRecord>
+journalRecordFromLine(const std::string &line)
+{
+    const JsonParseOutcome parsed = parseJson(line);
+    if (!parsed.ok() || !parsed.value->isObject())
+        return std::nullopt;
+    const JsonValue &v = *parsed.value;
+
+    const JsonValue *version = v.find("v");
+    if (version == nullptr || version->asU64() != std::optional<u64>(1))
+        return std::nullopt;
+
+    JournalRecord rec;
+    auto str = [&](const char *key, std::string *out) {
+        const JsonValue *f = v.find(key);
+        if (f == nullptr || f->asString() == nullptr)
+            return false;
+        *out = *f->asString();
+        return true;
+    };
+    std::string git_sha;
+    if (!str("key", &rec.key) || !str("git_sha", &git_sha) ||
+        !str("workload", &rec.workload) ||
+        !str("config", &rec.configSpec) || !str("status", &rec.status))
+        return std::nullopt;
+    if (rec.status != "ok" && rec.status != "failed")
+        return std::nullopt;
+
+    const JsonValue *attempts = v.find("attempts");
+    const auto attempts_v =
+        attempts != nullptr ? attempts->asU64() : std::nullopt;
+    if (!attempts_v.has_value() || *attempts_v < 1 ||
+        *attempts_v > 0xFFFFFFFFull)
+        return std::nullopt;
+    rec.attempts = static_cast<u32>(*attempts_v);
+
+    if (const JsonValue *reason = v.find("reason")) {
+        if (reason->asString() == nullptr)
+            return std::nullopt;
+        rec.reason = *reason->asString();
+    }
+    if (const JsonValue *stats = v.find("stats")) {
+        if (!stats->isObject())
+            return std::nullopt;
+        rec.stats = *stats;
+    }
+    if (rec.ok() && !rec.stats.has_value())
+        return std::nullopt;    // a successful point must carry stats
+
+    // Stale-cache guard: a record minted by a different source revision
+    // may describe different simulator behaviour. Encode the mismatch
+    // in-band so the caller can count it as stale rather than garbage.
+    if (git_sha != sweepGitSha()) {
+        rec.status = "stale";
+        return rec;
+    }
+    return rec;
+}
+
+std::optional<JournalIndex>
+loadJournal(const std::string &path, std::string *error)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        if (error != nullptr)
+            *error = "cannot open journal '" + path + "'";
+        return std::nullopt;
+    }
+    std::string content((std::istreambuf_iterator<char>(in)),
+                        std::istreambuf_iterator<char>());
+
+    JournalIndex index;
+    size_t pos = 0;
+    while (pos < content.size()) {
+        const size_t nl = content.find('\n', pos);
+        if (nl == std::string::npos) {
+            // Torn tail: the writer died mid-line. Drop it.
+            ++index.skippedLines;
+            break;
+        }
+        const std::string line = content.substr(pos, nl - pos);
+        pos = nl + 1;
+        if (line.empty())
+            continue;
+        const auto rec = journalRecordFromLine(line);
+        if (!rec.has_value()) {
+            ++index.skippedLines;
+            continue;
+        }
+        if (rec->status == "stale") {
+            ++index.staleRecords;
+            continue;
+        }
+        // Later records win: a re-run may have replaced an earlier
+        // failure with a success.
+        index.byKey[rec->key] = *rec;
+    }
+    return index;
+}
+
+} // namespace warpcomp

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Append-only sweep journal: durable checkpointing for multi-hour
+ * grids. Every completed point — successful or failed-after-retries —
+ * is one compact JSON line, fsynced on append, keyed by (point key,
+ * git SHA). `--resume=JOURNAL` loads the file and serves finished
+ * points from it, so re-running an interrupted grid is incremental and
+ * the journal doubles as a result cache (repeated points are free).
+ *
+ * The loader is deliberately forgiving about the file's tail and
+ * hostile about its content: a line without a trailing newline (a
+ * SIGKILL landed mid-write) or an unparseable line is skipped and
+ * counted, never fatal; a record whose git SHA differs from the
+ * running binary is stale and skipped (the simulator may have changed
+ * behaviour).
+ */
+
+#ifndef WARPCOMP_SWEEP_JOURNAL_HPP
+#define WARPCOMP_SWEEP_JOURNAL_HPP
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "common/json_parse.hpp"
+
+namespace warpcomp {
+
+/** One journaled point outcome. */
+struct JournalRecord
+{
+    std::string key;        ///< pointKey()
+    std::string workload;
+    std::string configSpec; ///< configToSpec() (for humans/tools)
+    std::string status;     ///< "ok" | "failed"
+    u32 attempts = 1;
+    std::string reason;     ///< failure taxonomy; empty when ok
+    /** Parsed PointStats payload; absent for failed points. */
+    std::optional<JsonValue> stats;
+
+    bool ok() const { return status == "ok"; }
+};
+
+/** Journal loaded into memory, keyed for cache lookups. */
+struct JournalIndex
+{
+    std::map<std::string, JournalRecord> byKey;
+    u64 skippedLines = 0;   ///< truncated/garbage lines tolerated
+    u64 staleRecords = 0;   ///< records from another git SHA
+
+    const JournalRecord *
+    find(const std::string &key) const
+    {
+        const auto it = byKey.find(key);
+        return it == byKey.end() ? nullptr : &it->second;
+    }
+};
+
+/** The git SHA journal records are stamped and validated with. */
+const char *sweepGitSha();
+
+/**
+ * Append-only journal writer. Opens lazily on first append (creating
+ * the file), writes one line per record with a single write(2) call,
+ * and fsyncs before returning, so a record is either durable or absent
+ * — never half-present after a crash (the loader drops a torn tail).
+ */
+class SweepJournal
+{
+  public:
+    explicit SweepJournal(std::string path);
+    ~SweepJournal();
+
+    SweepJournal(const SweepJournal &) = delete;
+    SweepJournal &operator=(const SweepJournal &) = delete;
+
+    const std::string &path() const { return path_; }
+
+    /** Append one completed point; fatal on I/O errors (a sweep that
+     *  cannot checkpoint should fail loudly, not silently). */
+    void append(const JournalRecord &record);
+
+  private:
+    std::string path_;
+    int fd_ = -1;
+};
+
+/**
+ * Load @p path into an index. A missing file is an error (a mistyped
+ * --resume path must not silently run the whole grid); an empty file
+ * is a valid empty journal.
+ */
+std::optional<JournalIndex> loadJournal(const std::string &path,
+                                        std::string *error);
+
+/** Serialize one record as a single compact JSON line (no newline). */
+std::string journalLine(const JournalRecord &record);
+
+/** Parse one journal line; nullopt on malformed input. */
+std::optional<JournalRecord> journalRecordFromLine(const std::string &line);
+
+} // namespace warpcomp
+
+#endif // WARPCOMP_SWEEP_JOURNAL_HPP

@@ -280,6 +280,87 @@ TEST(ElfImage, RejectsBadMagicAndMachine)
     EXPECT_NE(r.error.find("RISC-V"), std::string::npos) << r.error;
 }
 
+TEST(ElfImage, EveryTruncationPrefixFailsCleanly)
+{
+    // Chop a valid ELF at every possible length: each prefix must come
+    // back as a structured error — never a crash or an out-of-bounds
+    // read (the ASan lane runs this too). Only the full image parses.
+    const std::vector<u8> full = tinyElf({0x00000513, 0x00000073});
+    for (size_t len = 0; len < full.size(); ++len) {
+        const std::vector<u8> prefix(full.begin(),
+                                     full.begin() +
+                                         static_cast<long>(len));
+        const ImageLoadResult r = parseElfImage(prefix, "trunc.elf");
+        EXPECT_FALSE(r.ok()) << "prefix of " << len << " bytes parsed";
+        EXPECT_FALSE(r.error.empty()) << len;
+    }
+    EXPECT_TRUE(parseElfImage(full, "full.elf").ok());
+}
+
+TEST(ElfImage, HostileHeaderFieldsFailCleanly)
+{
+    // Section table pointers far past the end of the file, oversized
+    // entry counts, and a section whose payload overruns the image:
+    // all must be rejected without touching out-of-bounds memory.
+    const std::vector<u8> good = tinyElf({0x00000073});
+    for (auto mutate : {
+             +[](std::vector<u8> &v) { put32(v, 32, 0xFFFFFFF0u); },
+             +[](std::vector<u8> &v) { put16(v, 48, 0xFFFF); },
+             +[](std::vector<u8> &v) { put16(v, 46, 0); },
+             +[](std::vector<u8> &v) {
+                 put32(v, 52 + 40 + 20, 0xFFFFFFF0u);    // sh_size
+             },
+             +[](std::vector<u8> &v) {
+                 put32(v, 52 + 40 + 16, 0xFFFFFFF0u);    // sh_offset
+             },
+         }) {
+        std::vector<u8> bad = good;
+        mutate(bad);
+        const ImageLoadResult r = parseElfImage(bad, "hostile.elf");
+        EXPECT_FALSE(r.ok());
+        EXPECT_FALSE(r.error.empty());
+    }
+}
+
+TEST(ImageParsers, DeterministicGarbageNeverCrashes)
+{
+    // Seeded pseudo-random byte soup through all three container
+    // parsers; every outcome must be ok-or-structured-error, and the
+    // wrong-magic soups must be errors.
+    u64 state = 0x1234567890ABCDEFull;
+    auto next = [&state]() {
+        state = state * 6364136223846793005ull + 1442695040888963407ull;
+        return static_cast<u8>(state >> 56);
+    };
+    for (int round = 0; round < 64; ++round) {
+        std::vector<u8> soup(static_cast<size_t>(round) * 7 + 1);
+        for (u8 &b : soup)
+            b = next();
+        const ImageLoadResult elf = parseElfImage(soup, "soup.elf");
+        EXPECT_FALSE(elf.ok());
+        EXPECT_FALSE(elf.error.empty());
+        // .bin accepts any word-multiple payload (it is raw words), so
+        // only the structural invariant applies: ok() or an error.
+        const ImageLoadResult bin = parseBinImage(soup, "soup.bin");
+        EXPECT_TRUE(bin.ok() || !bin.error.empty());
+        const std::string text(soup.begin(), soup.end());
+        const ImageLoadResult hex = parseHexImage(text, "soup.hex");
+        EXPECT_TRUE(hex.ok() || !hex.error.empty());
+    }
+}
+
+TEST(HexImage, GarbageLinesAreStructuredErrors)
+{
+    for (const char *text :
+         {"xyzzy\n", "0000005G\n", "@\n", "00000073 junk\n",
+          ".block ten\n", ".name a b\n", ""}) {
+        const ImageLoadResult r = parseHexImage(text, "bad.hex");
+        EXPECT_FALSE(r.ok()) << text;
+        EXPECT_NE(r.error.find("bad.hex"), std::string::npos)
+            << "diagnostic must name the file: " << r.error;
+    }
+}
+
 // ---------------------------------------------------------------------
 // Translation
 

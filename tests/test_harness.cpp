@@ -85,6 +85,34 @@ TEST(Harness, FaultAndSeuArgsParse)
     EXPECT_EQ(opt.seu.scrubInterval, 128u);
 }
 
+TEST(Harness, HangBudgetParses)
+{
+    EXPECT_EQ(parseOne("--hang-budget=1").hangBudget, 1u);
+    EXPECT_EQ(parseOne("--hang-budget=5000000").hangBudget, 5'000'000u);
+    // Default: 0 = keep the configured FaultParams::hangCycles.
+    const char *argv[] = {"bench"};
+    EXPECT_EQ(parseHarnessArgs(1, const_cast<char **>(argv)).hangBudget,
+              0u);
+}
+
+TEST(HarnessDeathTest, MalformedHangBudgetExitsNonzero)
+{
+    // strtoull would silently wrap a negative value; the parser must
+    // reject anything that is not a plain positive integer.
+    EXPECT_EXIT(parseOne("--hang-budget="),
+                ::testing::ExitedWithCode(1), "cycle count >= 1");
+    EXPECT_EXIT(parseOne("--hang-budget=0"),
+                ::testing::ExitedWithCode(1), "cycle count >= 1");
+    EXPECT_EXIT(parseOne("--hang-budget=-5"),
+                ::testing::ExitedWithCode(1), "cycle count >= 1");
+    EXPECT_EXIT(parseOne("--hang-budget=nan"),
+                ::testing::ExitedWithCode(1), "cycle count >= 1");
+    EXPECT_EXIT(parseOne("--hang-budget=1e6"),
+                ::testing::ExitedWithCode(1), "cycle count >= 1");
+    EXPECT_EXIT(parseOne("--hang-budget=12junk"),
+                ::testing::ExitedWithCode(1), "cycle count >= 1");
+}
+
 TEST(HarnessDeathTest, MalformedFaultSpecsExitNonzero)
 {
     // Malformed rates must be a one-line fatal error with nonzero

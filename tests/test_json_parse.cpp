@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Unit tests for the minimal JSON reader (common/json_parse): parse
+ * correctness, structured error diagnostics, and the byte-exact
+ * re-emission property the sweep journal's resume path depends on.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/json_parse.hpp"
+#include "common/json_writer.hpp"
+
+using namespace warpcomp;
+
+namespace {
+
+JsonValue
+parseOk(const std::string &text)
+{
+    const JsonParseOutcome out = parseJson(text);
+    EXPECT_TRUE(out.ok()) << text << " -> " << out.error;
+    return out.ok() ? *out.value : JsonValue{};
+}
+
+std::string
+reemit(const JsonValue &v)
+{
+    std::ostringstream ss;
+    JsonWriter w(ss, JsonWriter::Style::Compact);
+    writeJson(w, v);
+    return ss.str();
+}
+
+TEST(JsonParse, Scalars)
+{
+    EXPECT_EQ(parseOk("null").kind, JsonValue::Kind::Null);
+    EXPECT_EQ(parseOk("true").asBool(), std::optional<bool>(true));
+    EXPECT_EQ(parseOk("false").asBool(), std::optional<bool>(false));
+    EXPECT_EQ(parseOk("42").asDouble(), std::optional<double>(42.0));
+    EXPECT_EQ(parseOk("-1.5e3").asDouble(),
+              std::optional<double>(-1500.0));
+    EXPECT_EQ(*parseOk("\"hi\"").asString(), "hi");
+}
+
+TEST(JsonParse, StringEscapes)
+{
+    EXPECT_EQ(*parseOk(R"("a\"b\\c\n\t")").asString(), "a\"b\\c\n\t");
+    // \u escape, including a surrogate pair (UTF-8 encoded out).
+    EXPECT_EQ(*parseOk(R"("A")").asString(), "A");
+    EXPECT_EQ(*parseOk(R"("😀")").asString(),
+              "\xF0\x9F\x98\x80");
+}
+
+TEST(JsonParse, Containers)
+{
+    const JsonValue v = parseOk(R"({"a": [1, 2, 3], "b": {"c": true}})");
+    ASSERT_TRUE(v.isObject());
+    const JsonValue *a = v.find("a");
+    ASSERT_NE(a, nullptr);
+    ASSERT_TRUE(a->isArray());
+    ASSERT_EQ(a->items.size(), 3u);
+    EXPECT_EQ(a->items[1].asU64(), std::optional<u64>(2));
+    const JsonValue *b = v.find("b");
+    ASSERT_NE(b, nullptr);
+    ASSERT_NE(b->find("c"), nullptr);
+    EXPECT_EQ(v.find("missing"), nullptr);
+}
+
+TEST(JsonParse, U64FidelityAbove2To53)
+{
+    // 2^63 + 1 is not representable as a double; the verbatim literal
+    // must survive the round trip anyway.
+    const std::string big = "9223372036854775809";
+    const JsonValue v = parseOk(big);
+    EXPECT_EQ(v.asU64(), std::optional<u64>(9223372036854775809ull));
+    EXPECT_EQ(reemit(v), big);
+}
+
+TEST(JsonParse, U64RejectsNonIntegral)
+{
+    EXPECT_EQ(parseOk("1.5").asU64(), std::nullopt);
+    EXPECT_EQ(parseOk("-3").asU64(), std::nullopt);
+    EXPECT_EQ(parseOk("1e3").asU64(), std::nullopt);
+    // Larger than u64 max: must refuse, not saturate.
+    EXPECT_EQ(parseOk("99999999999999999999").asU64(), std::nullopt);
+}
+
+TEST(JsonParse, ErrorsAreStructuredNotFatal)
+{
+    const char *bad[] = {
+        "",           "{",       "[1,",       "{\"a\" 1}",
+        "tru",        "\"unterminated",       "{\"a\":1}x",
+        "[1,]",       "{\"a\":}", "nan",      "- 1",
+    };
+    for (const char *text : bad) {
+        const JsonParseOutcome out = parseJson(text);
+        EXPECT_FALSE(out.ok()) << "accepted: " << text;
+        EXPECT_NE(out.error.find("byte "), std::string::npos)
+            << "no offset in: " << out.error;
+    }
+}
+
+TEST(JsonParse, DepthCapStopsHostileNesting)
+{
+    std::string deep(1000, '[');
+    deep += std::string(1000, ']');
+    EXPECT_FALSE(parseJson(deep).ok());
+}
+
+TEST(JsonParse, WriterOutputRoundTripsByteExact)
+{
+    // A document shaped like the sweep journal's stats payload.
+    std::ostringstream ss;
+    {
+        JsonWriter w(ss, JsonWriter::Style::Compact);
+        w.beginObject();
+        w.field("cycles", u64{18446744073709551615ull});
+        w.field("energy_pj", 1234.5678);
+        w.field("rate", 1e-05);
+        w.field("hung", false);
+        w.field("name", std::string("nw \"quoted\""));
+        w.key("nested");
+        w.beginArray();
+        w.value(u64{0});
+        w.value(2.5);
+        w.endArray();
+        w.endObject();
+    }
+    const std::string doc = ss.str();
+    const JsonValue v = parseOk(doc);
+    EXPECT_EQ(reemit(v), doc);
+}
+
+} // namespace

@@ -13,6 +13,10 @@ Both files are ``--json`` records written by ``bench_perf``. The gate
   purpose, so wall clocks measure different work;
 * exits 1 when the serial-suite wall clock regressed by more than
   ``--max-regress`` (default 10%);
+* exits 2 ("no usable baseline") when either record is missing,
+  unreadable, or not valid JSON — one line, no traceback. CI treats
+  this as a skip on the first run of a new baseline cache, never as a
+  pass or a crash;
 * exits 0 otherwise, printing both wall clocks and the ratio.
 
 Only the serial suite ("suite serial", threads == 1) is gated: parallel
@@ -25,10 +29,25 @@ import sys
 
 METADATA_KEYS = ("compiler", "cxx_flags", "simd_isa")
 
+# Exit code for "no usable baseline": distinct from 0 (pass/skip) and
+# 1 (regression) so CI can treat a missing or corrupt record as a skip
+# on the first run without ever mistaking a crash for a pass.
+EXIT_NO_BASELINE = 2
 
-def load(path):
-    with open(path, encoding="utf-8") as f:
-        return json.load(f)
+
+def load(path, role):
+    """Parse one record, or None with a one-line message on any I/O or
+    JSON problem (a half-written cache file must not crash the gate)."""
+    try:
+        with open(path, encoding="utf-8") as f:
+            return json.load(f)
+    except OSError as e:
+        print(f"perf gate: NO BASELINE — cannot read {role} "
+              f"'{path}': {e.strerror or e}")
+    except json.JSONDecodeError as e:
+        print(f"perf gate: NO BASELINE — {role} '{path}' is not "
+              f"valid JSON ({e.msg} at line {e.lineno})")
+    return None
 
 
 def serial_suite(record):
@@ -51,8 +70,10 @@ def main():
                     help="allowed fractional serial-wall-clock growth")
     args = ap.parse_args()
 
-    base = load(args.baseline)
-    cur = load(args.current)
+    base = load(args.baseline, "baseline")
+    cur = load(args.current, "current record")
+    if base is None or cur is None:
+        return EXIT_NO_BASELINE
 
     for key in METADATA_KEYS:
         if base.get(key) != cur.get(key):
