@@ -49,7 +49,10 @@ selectedWorkloads(const HarnessOptions &opt)
  * Observability: --stats-json=FILE arms the StatsRecorder (every suite
  * is recorded, flushed at exit); --trace=FILE writes a Chrome trace of
  * the FIRST suite the process runs and requires --only so the file
- * holds exactly one workload's lanes. Both enable windowed counters at
+ * holds exactly one workload's lanes; --trace-out=FILE streams the
+ * FIRST suite's full event record to a binary dump for offline
+ * analysis with `wc_trace` (same --only requirement, same optional
+ * --trace START,END window). All three enable windowed counters at
  * the --trace-window interval.
  */
 inline std::vector<ExperimentResult>
@@ -75,7 +78,8 @@ runSelected(const HarnessOptions &opt, ExperimentConfig cfg,
     const std::string suite_label = label.empty()
         ? "suite " + std::to_string(suite_counter) : std::move(label);
 
-    if (!opt.tracePath.empty() || !opt.statsJsonPath.empty())
+    if (!opt.tracePath.empty() || !opt.statsJsonPath.empty() ||
+        !opt.traceOutPath.empty())
         cfg.obs.windowInterval = opt.traceWindow;
     static bool trace_taken = false;
     const bool trace_this = !opt.tracePath.empty() && !trace_taken;
@@ -85,6 +89,18 @@ runSelected(const HarnessOptions &opt, ExperimentConfig cfg,
             WC_FATAL("--trace requires --only=WORKLOAD (one trace file "
                      "holds one workload's warp/bank lanes)");
         cfg.obs.trace = true;
+        cfg.obs.traceStart = opt.traceStart;
+        cfg.obs.traceEnd = opt.traceEnd;
+    }
+    static bool stream_taken = false;
+    const bool stream_this = !opt.traceOutPath.empty() && !stream_taken;
+    if (stream_this) {
+        stream_taken = true;
+        if (opt.only.empty())
+            WC_FATAL("--trace-out requires --only=WORKLOAD (one dump "
+                     "holds one workload's event record)");
+        cfg.obs.streamPath = opt.traceOutPath;
+        cfg.obs.streamLabel = suite_label;
         cfg.obs.traceStart = opt.traceStart;
         cfg.obs.traceEnd = opt.traceEnd;
     }
@@ -107,6 +123,21 @@ runSelected(const HarnessOptions &opt, ExperimentConfig cfg,
         if (!os)
             WC_FATAL("cannot write trace to '" << opt.tracePath << "'");
         writeChromeTrace(os, *results.front().run.obs, meta);
+    }
+
+    // Ring wrap-around loses the oldest events; that is invisible in
+    // the trace file itself, so say it out loud and name the fix.
+    if (opt.traceOutPath.empty()) {
+        for (const ExperimentResult &r : results) {
+            if (r.run.obs == nullptr)
+                continue;
+            const u64 dropped = r.run.obs->ring().dropped();
+            if (dropped > 0)
+                std::cerr << "warning: trace ring dropped " << dropped
+                          << " events for '" << r.workload
+                          << "' (oldest overwritten); stream the full "
+                             "run with --trace-out=FILE\n";
+        }
     }
 
     if (statsRecorder().enabled()) {

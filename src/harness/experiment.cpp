@@ -4,11 +4,13 @@
 #include <cmath>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <optional>
 #include <utility>
 
 #include "common/log.hpp"
 #include "harness/thread_pool.hpp"
+#include "obs/trace_stream.hpp"
 
 namespace warpcomp {
 
@@ -44,9 +46,33 @@ runWorkload(const std::string &name, const ExperimentConfig &cfg)
 {
     const auto t0 = std::chrono::steady_clock::now();
     WorkloadInstance wl = makeWorkload(name, cfg.scale, cfg.seedSalt);
-    const GpuParams gp = makeGpuParams(cfg);
+    GpuParams gp = makeGpuParams(cfg);
+    // The streaming sink is armed here, not in the simulator: this is
+    // the one place that knows the full provenance (frontend, image
+    // SHA, config label) before the run starts.
+    std::unique_ptr<TraceStreamSink> sink;
+    if (!cfg.obs.streamPath.empty()) {
+        TraceStreamMeta meta;
+        meta.gitSha = traceStreamGitSha();
+        meta.workload = wl.name;
+        meta.frontend = wl.frontend;
+        meta.imageSha = wl.imageSha;
+        meta.config = cfg.obs.streamLabel;
+        meta.numSms = cfg.numSms;
+        meta.numBanks = gp.sm.regfile.numBanks;
+        meta.windowInterval = cfg.obs.windowInterval;
+        meta.traceStart = cfg.obs.traceStart;
+        meta.traceEnd = cfg.obs.traceEnd;
+        meta.compressLatency = cfg.compressLatency;
+        meta.decompressLatency = cfg.decompressLatency;
+        sink = std::make_unique<TraceStreamSink>(cfg.obs.streamPath,
+                                                 meta);
+        gp.obs.sink = sink.get();
+    }
     Gpu gpu(gp, *wl.gmem, *wl.cmem);
     RunResult run = gpu.run(wl.kernel, wl.dims, cfg.collectBdiBreakdown);
+    if (sink != nullptr && run.obs != nullptr)
+        sink->finalize(run.cycles, run.obs->windows());
     const std::chrono::duration<double> wall =
         std::chrono::steady_clock::now() - t0;
     return ExperimentResult{wl.name, std::move(run), wall.count(),
@@ -125,6 +151,27 @@ parseRate(const char *spec, const char *end)
     char *parsed = nullptr;
     const double v = std::strtod(spec, &parsed);
     if (parsed != end || !std::isfinite(v))
+        return std::nullopt;
+    return v;
+}
+
+/**
+ * Strict cycle-count parse over [spec, end): digits only. strtoull
+ * alone silently wraps negative input ("-5" becomes 2^64-5), so every
+ * cycle field ('--trace' START/END, --hang-budget) rejects any
+ * non-digit up front.
+ */
+std::optional<u64>
+parseCycles(const char *spec, const char *end)
+{
+    if (spec == end)
+        return std::nullopt;
+    for (const char *p = spec; p != end; ++p)
+        if (*p < '0' || *p > '9')
+            return std::nullopt;
+    char *parsed = nullptr;
+    const u64 v = std::strtoull(spec, &parsed, 10);
+    if (parsed != end)
         return std::nullopt;
     return v;
 }
@@ -234,23 +281,29 @@ parseHarnessArgs(int argc, char **argv)
                 opt.tracePath.assign(spec, comma);
                 const char *start_spec = comma + 1;
                 const char *comma2 = std::strchr(start_spec, ',');
-                char *end = nullptr;
                 if (comma2 == nullptr)
                     WC_FATAL("--trace wants FILE or FILE,START,END "
                              "(e.g. --trace=t.json,1000,5000)");
-                opt.traceStart = std::strtoull(start_spec, &end, 0);
-                if (end != comma2)
+                const auto start = parseCycles(start_spec, comma2);
+                if (!start.has_value())
                     WC_FATAL("--trace START must be a cycle count, "
                              "got '" << std::string(start_spec, comma2)
                              << "'");
-                opt.traceEnd = std::strtoull(comma2 + 1, &end, 0);
-                if (end == comma2 + 1 || *end != '\0' ||
-                    opt.traceEnd <= opt.traceStart)
+                opt.traceStart = *start;
+                const char *end_spec = comma2 + 1;
+                const auto end = parseCycles(
+                    end_spec, end_spec + std::strlen(end_spec));
+                if (!end.has_value() || *end <= opt.traceStart)
                     WC_FATAL("--trace END must be a cycle count > "
-                             "START, got '" << (comma2 + 1) << "'");
+                             "START, got '" << end_spec << "'");
+                opt.traceEnd = *end;
             }
             if (opt.tracePath.empty())
                 WC_FATAL("--trace needs a file path");
+        } else if (std::strncmp(arg, "--trace-out=", 12) == 0) {
+            opt.traceOutPath = arg + 12;
+            if (opt.traceOutPath.empty())
+                WC_FATAL("--trace-out needs a file path");
         } else if (std::strncmp(arg, "--trace-window=", 15) == 0) {
             char *end = nullptr;
             const u64 interval = std::strtoull(arg + 15, &end, 0);
@@ -263,21 +316,13 @@ parseHarnessArgs(int argc, char **argv)
             if (opt.statsJsonPath.empty())
                 WC_FATAL("--stats-json needs a file path");
         } else if (std::strncmp(arg, "--hang-budget=", 14) == 0) {
-            // Strict integer parse: strtoull silently wraps negative
-            // input, so reject any non-digit (including '-') up front.
             const char *spec = arg + 14;
-            bool digits_only = *spec != '\0';
-            for (const char *p = spec; *p != '\0'; ++p)
-                if (*p < '0' || *p > '9')
-                    digits_only = false;
-            char *end = nullptr;
-            const u64 budget =
-                digits_only ? std::strtoull(spec, &end, 10) : 0;
-            if (!digits_only || end != spec + std::strlen(spec) ||
-                budget < 1)
+            const auto budget =
+                parseCycles(spec, spec + std::strlen(spec));
+            if (!budget.has_value() || *budget < 1)
                 WC_FATAL("--hang-budget must be a cycle count >= 1, "
                          "got '" << spec << "'");
-            opt.hangBudget = budget;
+            opt.hangBudget = *budget;
         } else if (std::strcmp(arg, "--no-skip") == 0) {
             opt.noSkip = true;
         }

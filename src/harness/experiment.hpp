@@ -136,6 +136,10 @@ struct HarnessOptions
     std::string tracePath;
     Cycle traceStart = 0;
     Cycle traceEnd = std::numeric_limits<Cycle>::max();
+    /** Streaming binary dump via --trace-out=FILE (empty = disabled).
+     *  Requires --only; the first suite run streams. Shares the
+     *  --trace START/END window when both are given. */
+    std::string traceOutPath;
     /** Windowed-counter interval via --trace-window=N. */
     u32 traceWindow = 1000;
     /** Structured stats dump via --stats-json=FILE (empty = disabled). */
@@ -157,7 +161,8 @@ struct HarnessOptions
  * Parse --scale=N --sms=N --threads=N --only=name --json=FILE
  * --kernel=FILE[,entry=SYM] --faults=BER,POLICY --fault-seed=N
  * --seu=RATE,SCHEME --seu-seed=N
- * --seu-scrub=CYCLES --trace=FILE[,START,END] --trace-window=N
+ * --seu-scrub=CYCLES --trace=FILE[,START,END] --trace-out=FILE
+ * --trace-window=N
  * --stats-json=FILE --no-skip --hang-budget=N; ignores unknown
  * arguments. Malformed values (non-numeric, NaN, negative rates,
  * unknown policy/scheme names) are a one-line fatal error with nonzero

@@ -25,6 +25,7 @@ isBankLaneEvent(TraceEventKind kind)
       case TraceEventKind::GateOff:
       case TraceEventKind::GateWake:
       case TraceEventKind::ScrubVisit:
+      case TraceEventKind::BankConflict:
         return true;
       default:
         return false;
@@ -101,6 +102,7 @@ eventArgs(JsonWriter &w, const TraceEvent &ev)
       case TraceEventKind::CompressDecision:
         w.field("achieved_bytes", ev.a);
         w.field("stored_bytes", ev.b);
+        w.field("reg", ev.c);
         break;
       case TraceEventKind::OperandCollect:
         w.field("ops", ev.a);
@@ -120,6 +122,9 @@ eventArgs(JsonWriter &w, const TraceEvent &ev)
       case TraceEventKind::GateWake:
         w.field("wakeup_latency", ev.a);
         break;
+      case TraceEventKind::BankConflict:
+        w.field("warp", ev.a);
+        break;
       default:
         break;
     }
@@ -129,24 +134,22 @@ eventArgs(JsonWriter &w, const TraceEvent &ev)
 } // namespace
 
 void
-writeChromeTrace(std::ostream &os, const ObsRun &obs,
+writeChromeTrace(std::ostream &os, const ChromeTraceView &view,
                  const ChromeTraceMeta &meta)
 {
-    const TraceRing &ring = obs.ring();
-    const ObsParams &cfg = obs.params();
+    const std::vector<TraceEvent> &events = view.events;
     // Gate intervals are clamped to the traced window; a wake with no
     // recorded gate-off means the bank was gated since before the
     // window opened (banks reset gated in the compressed design).
-    const Cycle window_start = cfg.traceStart;
+    const Cycle window_start = view.traceStart;
     const Cycle window_end =
-        std::min<Cycle>(meta.cycles, cfg.traceEnd);
+        std::min<Cycle>(meta.cycles, view.traceEnd);
 
     // Pass 1: lanes present, so every lane gets a stable name.
     std::set<u16> sms;
     std::set<std::pair<u16, u16>> warp_lanes; // (sm, warp slot)
     std::set<std::pair<u16, u16>> bank_lanes; // (sm, bank)
-    for (std::size_t i = 0; i < ring.size(); ++i) {
-        const TraceEvent &ev = ring.at(i);
+    for (const TraceEvent &ev : events) {
         sms.insert(ev.sm);
         if (isBankLaneEvent(ev.kind))
             bank_lanes.insert({ev.sm, ev.lane});
@@ -165,9 +168,9 @@ writeChromeTrace(std::ostream &os, const ObsRun &obs,
     w.field("cycles", static_cast<u64>(meta.cycles));
     w.field("trace_start", static_cast<u64>(window_start));
     w.field("trace_end", static_cast<u64>(window_end));
-    w.field("events_recorded", static_cast<u64>(ring.size()));
-    w.field("events_dropped", ring.dropped());
-    w.field("window_interval", obs.windows().interval());
+    w.field("events_recorded", static_cast<u64>(events.size()));
+    w.field("events_dropped", view.dropped);
+    w.field("window_interval", view.windowInterval);
     w.field("timestamp_unit", "cycle");
     w.endObject();
 
@@ -176,7 +179,7 @@ writeChromeTrace(std::ostream &os, const ObsRun &obs,
 
     // Lane metadata. Bank lanes sort after warp lanes via their tid
     // offset; sort indices make Perfetto keep that order.
-    const bool have_counters = !obs.windows().rows().empty();
+    const bool have_counters = !view.windows.empty();
     if (have_counters)
         metadataEvent(w, "process_name", 0, 0, "name", "GPU");
     for (u16 sm : sms) {
@@ -198,8 +201,7 @@ writeChromeTrace(std::ostream &os, const ObsRun &obs,
     // interval covering the wakeup latency); everything else is an
     // instant event.
     std::map<std::pair<u16, u16>, Cycle> open_off;
-    for (std::size_t i = 0; i < ring.size(); ++i) {
-        const TraceEvent &ev = ring.at(i);
+    for (const TraceEvent &ev : events) {
         const u32 pid = pidOfSm(ev.sm);
         if (ev.kind == TraceEventKind::GateOff) {
             open_off[{ev.sm, ev.lane}] = ev.cycle;
@@ -236,10 +238,9 @@ writeChromeTrace(std::ostream &os, const ObsRun &obs,
     }
 
     // GPU-wide counter tracks from the windowed timelines.
-    const ObsWindows &win = obs.windows();
-    for (std::size_t i = 0; i < win.rows().size(); ++i) {
-        const WindowRow &r = win.rows()[i];
-        const Cycle ts = static_cast<Cycle>(i) * win.interval();
+    for (std::size_t i = 0; i < view.windows.size(); ++i) {
+        const WindowRow &r = view.windows[i];
+        const Cycle ts = static_cast<Cycle>(i) * view.windowInterval;
         const double cycles_in_window = meta.numSms > 0
             ? static_cast<double>(r.smCycles) /
                 static_cast<double>(meta.numSms)
@@ -263,6 +264,24 @@ writeChromeTrace(std::ostream &os, const ObsRun &obs,
 
     w.endArray();
     w.endObject();
+}
+
+void
+writeChromeTrace(std::ostream &os, const ObsRun &obs,
+                 const ChromeTraceMeta &meta)
+{
+    const TraceRing &ring = obs.ring();
+    std::vector<TraceEvent> events;
+    events.reserve(ring.size());
+    for (std::size_t i = 0; i < ring.size(); ++i)
+        events.push_back(ring.at(i));
+    const ChromeTraceView view{events,
+                               obs.windows().rows(),
+                               obs.windows().interval(),
+                               obs.params().traceStart,
+                               obs.params().traceEnd,
+                               ring.dropped()};
+    writeChromeTrace(os, view, meta);
 }
 
 } // namespace warpcomp

@@ -3,10 +3,17 @@
  * Chrome trace-event JSON exporter for one traced run. The document
  * loads in Perfetto / chrome://tracing: one process per SM, one thread
  * lane per warp slot (pipeline events) and per register bank
- * (power-gate intervals, scrub visits), plus GPU-wide counter tracks
- * derived from the windowed timelines (IPC, compression ratio, gated
- * banks). Timestamps are simulation cycles, exported 1 cycle = 1 µs so
- * viewer zoom levels behave.
+ * (power-gate intervals, scrub visits, port conflicts), plus GPU-wide
+ * counter tracks derived from the windowed timelines (IPC, compression
+ * ratio, gated banks). Timestamps are simulation cycles, exported
+ * 1 cycle = 1 µs so viewer zoom levels behave.
+ *
+ * Two producers share one serializer: the live path (`--trace`, events
+ * from the in-memory ring) and the offline path (`wc_trace export
+ * --chrome`, events from a streamed dump). Both funnel through
+ * ChromeTraceView so the emitted bytes depend only on the event/window
+ * data — a dump replayed offline is byte-identical to the live export
+ * of the same run.
  */
 
 #ifndef WARPCOMP_OBS_CHROME_TRACE_HPP
@@ -14,6 +21,7 @@
 
 #include <ostream>
 #include <string>
+#include <vector>
 
 #include "obs/obs.hpp"
 
@@ -32,7 +40,23 @@ struct ChromeTraceMeta
 /** Thread-id base for bank lanes (warp lanes use the slot id). */
 inline constexpr u32 kBankLaneBase = 1000;
 
-/** Serialize @p obs as Chrome trace-event JSON onto @p os. */
+/** Source-agnostic input to the serializer: chronological events plus
+ *  the window table, however they were obtained. Non-owning. */
+struct ChromeTraceView
+{
+    const std::vector<TraceEvent> &events;
+    const std::vector<WindowRow> &windows;
+    u32 windowInterval = 0;
+    Cycle traceStart = 0;
+    Cycle traceEnd = std::numeric_limits<Cycle>::max();
+    u64 dropped = 0;        ///< ring losses (0 for streamed dumps)
+};
+
+/** Serialize @p view as Chrome trace-event JSON onto @p os. */
+void writeChromeTrace(std::ostream &os, const ChromeTraceView &view,
+                      const ChromeTraceMeta &meta);
+
+/** Live-run convenience wrapper: snapshots the ring and serializes. */
 void writeChromeTrace(std::ostream &os, const ObsRun &obs,
                       const ChromeTraceMeta &meta);
 

@@ -1,6 +1,7 @@
 #include "obs/obs.hpp"
 
 #include "common/log.hpp"
+#include "obs/trace_stream.hpp"
 
 namespace warpcomp {
 
@@ -20,8 +21,16 @@ traceEventName(TraceEventKind kind)
       case TraceEventKind::ScrubVisit: return "scrub";
       case TraceEventKind::FaultCorruptedWrite:
         return "fault_corrupted_write";
+      case TraceEventKind::BankConflict: return "bank_conflict";
     }
     WC_PANIC("unknown trace event kind");
+}
+
+void
+ObsRun::streamEvent(const TraceEvent &ev)
+{
+    cfg_.sink->push(ev);
+    ++streamedEvents_;
 }
 
 StatGroup
@@ -31,6 +40,7 @@ ObsRun::statGroup() const
     g.counter("events_recorded") += ring_.size();
     g.counter("events_dropped") += ring_.dropped();
     g.counter("events_offered") += ring_.pushed();
+    g.counter("events_streamed") += streamedEvents_;
     g.counter("windows") += windows_.rows().size();
     return g;
 }

@@ -31,7 +31,10 @@
 
 namespace warpcomp {
 
-/** Observability configuration (see --trace / --trace-window). */
+class TraceStreamSink;
+
+/** Observability configuration (see --trace / --trace-window /
+ *  --trace-out). */
 struct ObsParams
 {
     /** Record trace events into the ring buffer. */
@@ -43,8 +46,27 @@ struct ObsParams
     u32 windowInterval = 0;
     /** Ring capacity in events; oldest events are dropped when full. */
     u32 ringCapacity = 1u << 20;
+    /**
+     * Streaming dump path (--trace-out=FILE; empty = disabled). The
+     * harness — not the simulator — turns this into an armed `sink`
+     * with full provenance; see runWorkload.
+     */
+    std::string streamPath;
+    /** Human config label stamped into the dump header (suite label). */
+    std::string streamLabel;
+    /**
+     * Armed streaming sink (non-owning; null = disabled). Every
+     * in-window event is appended to the dump as it is emitted, so
+     * memory stays bounded regardless of run length — the ring can
+     * even be absent (`trace == false`) while streaming.
+     */
+    TraceStreamSink *sink = nullptr;
 
-    bool enabled() const { return trace || windowInterval > 0; }
+    bool
+    enabled() const
+    {
+        return trace || windowInterval > 0 || sink != nullptr;
+    }
 };
 
 /** Event taxonomy (DESIGN.md §9). */
@@ -62,15 +84,22 @@ enum class TraceEventKind : u8 {
                         ///  b=amplified by decompression
     ScrubVisit,         ///< scrub engine rewrote live rows; lane=first
                         ///  bank, a=banks visited
-    FaultCorruptedWrite ///< stuck-at cells changed a stored image
+    FaultCorruptedWrite,///< stuck-at cells changed a stored image
+    BankConflict        ///< collector read denied a bank port this
+                        ///  cycle (retries next); lane=bank, a=warp
 };
+
+/** Number of TraceEventKind values (dump format sanity checks). */
+inline constexpr u32 kNumTraceEventKinds =
+    static_cast<u32>(TraceEventKind::BankConflict) + 1;
 
 /** Stable lower-case name used in exported documents. */
 const char *traceEventName(TraceEventKind kind);
 
 /** One trace record. `lane` is a warp slot for pipeline events and a
- *  bank index for GateOff/GateWake/ScrubVisit; a/b are per-kind
- *  payloads (see TraceEventKind). */
+ *  bank index for GateOff/GateWake/ScrubVisit/BankConflict; a/b/c are
+ *  per-kind payloads (see TraceEventKind). `c` rides in what used to
+ *  be struct padding, so the event stays 24 bytes. */
 struct TraceEvent
 {
     Cycle cycle = 0;
@@ -79,6 +108,8 @@ struct TraceEvent
     u16 sm = 0;
     u16 lane = 0;
     TraceEventKind kind = TraceEventKind::WarpIssue;
+    /** Small third payload: destination register for CompressDecision. */
+    u16 c = 0;
 };
 
 /**
@@ -223,13 +254,20 @@ class ObsRun
   public:
     explicit ObsRun(const ObsParams &params)
         : cfg_(params), ring_(params.trace ? params.ringCapacity : 0),
-          windows_(params.windowInterval), windowsOn_(params.windowInterval > 0)
+          windows_(params.windowInterval),
+          windowsOn_(params.windowInterval > 0),
+          recording_(params.trace || params.sink != nullptr)
     {
     }
 
     const ObsParams &params() const { return cfg_; }
     const TraceRing &ring() const { return ring_; }
     const ObsWindows &windows() const { return windows_; }
+
+    /** Events forwarded to the streaming sink (0 when not armed).
+     *  Tracked here, not read back from the sink, so the counter stays
+     *  valid after the harness closes the dump file. */
+    u64 streamedEvents() const { return streamedEvents_; }
 
     /** Counter snapshot (events recorded/dropped, windows) as a
      *  StatGroup, for the structured-stats dump. */
@@ -255,12 +293,12 @@ class ObsRun
 
     void
     onCompressDecision(u16 sm, u16 warp, u32 achieved_bytes,
-                       u32 stored_bytes, Cycle now)
+                       u32 stored_bytes, u16 dst_reg, Cycle now)
     {
         if (windowsOn_)
             windows_.onWrite(now, stored_bytes);
         emit({now, achieved_bytes, stored_bytes, sm, warp,
-              TraceEventKind::CompressDecision});
+              TraceEventKind::CompressDecision, dst_reg});
     }
 
     void
@@ -319,6 +357,12 @@ class ObsRun
     }
 
     void
+    onBankConflict(u16 sm, u16 bank, u16 warp, Cycle now)
+    {
+        emit({now, warp, 0, sm, bank, TraceEventKind::BankConflict});
+    }
+
+    void
     onCycle(u16 /*sm*/, u32 gated_banks, u32 total_banks, Cycle now)
     {
         if (windowsOn_)
@@ -340,16 +384,28 @@ class ObsRun
     void
     emit(const TraceEvent &ev)
     {
-        if (!cfg_.trace || ev.cycle < cfg_.traceStart ||
+        if (!recording_ || ev.cycle < cfg_.traceStart ||
             ev.cycle >= cfg_.traceEnd)
             return;
-        ring_.push(ev);
+        // The ring only counts when --trace asked for it: a
+        // streaming-only run keeps events_offered/dropped at zero
+        // (nothing is lost — the sink has every event).
+        if (cfg_.trace)
+            ring_.push(ev);
+        if (cfg_.sink != nullptr)
+            streamEvent(ev);
     }
+
+    /** Out-of-line sink append (obs.cpp), so this header needs no
+     *  trace_stream dependency and the no-sink path stays a branch. */
+    void streamEvent(const TraceEvent &ev);
 
     ObsParams cfg_;
     TraceRing ring_;
     ObsWindows windows_;
     bool windowsOn_;
+    bool recording_;
+    u64 streamedEvents_ = 0;
 };
 
 } // namespace warpcomp

@@ -1,0 +1,431 @@
+#include "obs/trace_analyze.hpp"
+
+#include <algorithm>
+#include <map>
+#include <tuple>
+#include <vector>
+
+#include "common/json_writer.hpp"
+#include "obs/chrome_trace.hpp"
+
+namespace warpcomp {
+
+namespace {
+
+/** Provenance echo shared by every report, so each artifact is
+ *  self-describing on its own. */
+void
+metaBlock(JsonWriter &w, const TraceDump &dump)
+{
+    w.key("meta");
+    w.beginObject();
+    w.field("git_sha", dump.meta.gitSha);
+    w.field("workload", dump.meta.workload);
+    w.field("frontend", dump.meta.frontend);
+    w.field("image_sha256", dump.meta.imageSha);
+    w.field("config", dump.meta.config);
+    w.field("sms", dump.meta.numSms);
+    w.field("banks", dump.meta.numBanks);
+    w.field("window_interval", dump.meta.windowInterval);
+    w.field("trace_start", static_cast<u64>(dump.meta.traceStart));
+    w.field("trace_end", static_cast<u64>(dump.meta.traceEnd));
+    w.field("cycles", static_cast<u64>(dump.cycles));
+    w.endObject();
+}
+
+struct StallBuckets
+{
+    u64 collectorRetry = 0;
+    u64 decompressPenalty = 0;
+    u64 scoreboard = 0;
+    u64 issueBlocked = 0;
+};
+
+void
+stallFields(JsonWriter &w, const StallBuckets &b)
+{
+    w.key("stall_cycles");
+    w.beginObject();
+    w.field("collector_retry", b.collectorRetry);
+    w.field("decompress_penalty", b.decompressPenalty);
+    w.field("scoreboard", b.scoreboard);
+    w.field("issue_blocked", b.issueBlocked);
+    w.endObject();
+}
+
+/** Count of values in @p cycles strictly inside (lo, hi); the vectors
+ *  are chronological so a window walk suffices. */
+u64
+countInGap(const std::vector<Cycle> &cycles, Cycle lo, Cycle hi)
+{
+    auto first = std::upper_bound(cycles.begin(), cycles.end(), lo);
+    auto last = std::lower_bound(first, cycles.end(), hi);
+    return static_cast<u64>(last - first);
+}
+
+} // namespace
+
+void
+writeDumpSummary(std::ostream &os, const TraceDump &dump)
+{
+    u64 by_kind[kNumTraceEventKinds] = {};
+    for (const TraceEvent &ev : dump.events)
+        ++by_kind[static_cast<u32>(ev.kind)];
+
+    WindowRow tot;
+    for (const WindowRow &r : dump.windows) {
+        tot.issued += r.issued;
+        tot.dummyMovs += r.dummyMovs;
+        tot.regWrites += r.regWrites;
+        tot.storedBytes += r.storedBytes;
+        tot.rawBytes += r.rawBytes;
+        tot.gatedBankCycles += r.gatedBankCycles;
+        tot.bankCycles += r.bankCycles;
+        tot.smCycles += r.smCycles;
+    }
+
+    JsonWriter w(os);
+    w.beginObject();
+    w.field("report", "summary");
+    metaBlock(w, dump);
+    w.field("events", static_cast<u64>(dump.events.size()));
+    w.field("windows", static_cast<u64>(dump.windows.size()));
+    w.key("events_by_kind");
+    w.beginObject();
+    for (u32 k = 0; k < kNumTraceEventKinds; ++k)
+        w.field(traceEventName(static_cast<TraceEventKind>(k)),
+                by_kind[k]);
+    w.endObject();
+    w.key("window_totals");
+    w.beginObject();
+    w.field("issued", tot.issued);
+    w.field("dummy_movs", tot.dummyMovs);
+    w.field("reg_writes", tot.regWrites);
+    w.field("stored_bytes", tot.storedBytes);
+    w.field("raw_bytes", tot.rawBytes);
+    w.field("compression_ratio",
+            tot.storedBytes > 0
+                ? static_cast<double>(tot.rawBytes) /
+                      static_cast<double>(tot.storedBytes)
+                : 0.0);
+    w.field("gated_bank_fraction",
+            tot.bankCycles > 0
+                ? static_cast<double>(tot.gatedBankCycles) /
+                      static_cast<double>(tot.bankCycles)
+                : 0.0);
+    w.field("ipc",
+            tot.smCycles > 0
+                ? static_cast<double>(tot.issued) *
+                      static_cast<double>(
+                          dump.meta.numSms > 0 ? dump.meta.numSms : 1) /
+                      static_cast<double>(tot.smCycles)
+                : 0.0);
+    w.endObject();
+    w.endObject();
+    os << '\n';
+}
+
+void
+writeBankHeatmap(std::ostream &os, const TraceDump &dump)
+{
+    const u32 bucket = dump.meta.windowInterval > 0
+                           ? dump.meta.windowInterval
+                           : kHeatmapFallbackBucket;
+    const u64 buckets =
+        dump.cycles > 0 ? (static_cast<u64>(dump.cycles) - 1) / bucket + 1
+                        : 0;
+
+    // Dense (sm, bank) → per-bucket conflict counts. Every bank of
+    // every SM gets a row, so the matrix shape is run-independent.
+    std::map<std::pair<u16, u16>, std::vector<u64>> rows;
+    for (u32 sm = 0; sm < dump.meta.numSms; ++sm)
+        for (u32 bank = 0; bank < dump.meta.numBanks; ++bank)
+            rows[{static_cast<u16>(sm), static_cast<u16>(bank)}]
+                .assign(static_cast<std::size_t>(buckets), 0);
+    for (const TraceEvent &ev : dump.events) {
+        if (ev.kind != TraceEventKind::BankConflict)
+            continue;
+        auto it = rows.find({ev.sm, ev.lane});
+        if (it == rows.end())
+            it = rows.emplace(std::make_pair(ev.sm, ev.lane),
+                              std::vector<u64>(
+                                  static_cast<std::size_t>(buckets), 0))
+                     .first;
+        const std::size_t b =
+            static_cast<std::size_t>(ev.cycle / bucket);
+        if (b < it->second.size())
+            it->second[b] += 1;
+    }
+
+    JsonWriter w(os);
+    w.beginObject();
+    w.field("report", "heatmap");
+    metaBlock(w, dump);
+    w.field("bucket_cycles", bucket);
+    w.field("buckets", buckets);
+    w.key("rows");
+    w.beginArray();
+    u64 grand_total = 0;
+    for (const auto &[key, counts] : rows) {
+        u64 total = 0;
+        for (u64 c : counts)
+            total += c;
+        grand_total += total;
+        w.beginObject();
+        w.field("sm", key.first);
+        w.field("bank", key.second);
+        w.field("conflicts", total);
+        w.key("per_bucket");
+        w.beginArray();
+        for (u64 c : counts)
+            w.value(c);
+        w.endArray();
+        w.endObject();
+    }
+    w.endArray();
+    w.field("total_conflicts", grand_total);
+    w.endObject();
+    os << '\n';
+}
+
+void
+writeStallReport(std::ostream &os, const TraceDump &dump)
+{
+    // Per-(sm, warp slot) chronological cycle streams.
+    struct WarpStreams
+    {
+        std::vector<Cycle> issues;      // WarpIssue + DummyMov
+        std::vector<Cycle> conflicts;   // BankConflict (ev.a = warp)
+        std::vector<Cycle> decompress;  // Decompress
+        std::vector<Cycle> writebacks;  // Writeback
+    };
+    std::map<std::pair<u16, u16>, WarpStreams> warps;
+    for (const TraceEvent &ev : dump.events) {
+        switch (ev.kind) {
+          case TraceEventKind::WarpIssue:
+          case TraceEventKind::DummyMov:
+            warps[{ev.sm, ev.lane}].issues.push_back(ev.cycle);
+            break;
+          case TraceEventKind::BankConflict:
+            warps[{ev.sm, static_cast<u16>(ev.a)}].conflicts.push_back(
+                ev.cycle);
+            break;
+          case TraceEventKind::Decompress:
+            warps[{ev.sm, ev.lane}].decompress.push_back(ev.cycle);
+            break;
+          case TraceEventKind::Writeback:
+            warps[{ev.sm, ev.lane}].writebacks.push_back(ev.cycle);
+            break;
+          default:
+            break;
+        }
+    }
+
+    const u64 dlat = dump.meta.decompressLatency;
+    StallBuckets grand;
+    u64 grand_issues = 0;
+
+    JsonWriter w(os);
+    w.beginObject();
+    w.field("report", "stalls");
+    metaBlock(w, dump);
+    w.field("decompress_latency", dump.meta.decompressLatency);
+    w.key("attribution");
+    w.value("per inter-issue gap, in priority order: one cycle per "
+            "bank-conflict retry, decompress_latency per decompressor "
+            "activation, cycles up to the warp's last writeback in the "
+            "gap (scoreboard), remainder issue-blocked");
+    w.key("warps");
+    w.beginArray();
+    for (const auto &[key, ws] : warps) {
+        if (ws.issues.empty())
+            continue; // conflicts recorded against a warp that never
+                      // issued in-window: nothing to attribute
+        StallBuckets b;
+        for (std::size_t i = 1; i < ws.issues.size(); ++i) {
+            const Cycle t0 = ws.issues[i - 1];
+            const Cycle t1 = ws.issues[i];
+            if (t1 <= t0 + 1)
+                continue;
+            u64 gap = t1 - t0 - 1;
+
+            const u64 retries = countInGap(ws.conflicts, t0, t1);
+            const u64 retry_c = std::min(gap, retries);
+            b.collectorRetry += retry_c;
+            gap -= retry_c;
+
+            const u64 dec = countInGap(ws.decompress, t0, t1 + 1);
+            const u64 dec_c = std::min(gap, dec * dlat);
+            b.decompressPenalty += dec_c;
+            gap -= dec_c;
+
+            if (gap > 0) {
+                auto first = std::upper_bound(ws.writebacks.begin(),
+                                              ws.writebacks.end(), t0);
+                auto last = std::lower_bound(first, ws.writebacks.end(),
+                                             t1);
+                if (first != last) {
+                    const Cycle wl = *(last - 1);
+                    const u64 sb = std::min(gap, wl - t0);
+                    b.scoreboard += sb;
+                    gap -= sb;
+                }
+            }
+            b.issueBlocked += gap;
+        }
+        grand.collectorRetry += b.collectorRetry;
+        grand.decompressPenalty += b.decompressPenalty;
+        grand.scoreboard += b.scoreboard;
+        grand.issueBlocked += b.issueBlocked;
+        grand_issues += ws.issues.size();
+
+        w.beginObject();
+        w.field("sm", key.first);
+        w.field("warp", key.second);
+        w.field("issues", static_cast<u64>(ws.issues.size()));
+        w.field("first_issue", static_cast<u64>(ws.issues.front()));
+        w.field("last_issue", static_cast<u64>(ws.issues.back()));
+        w.field("bank_conflicts",
+                static_cast<u64>(ws.conflicts.size()));
+        w.field("decompress_activations",
+                static_cast<u64>(ws.decompress.size()));
+        stallFields(w, b);
+        w.endObject();
+    }
+    w.endArray();
+    w.key("totals");
+    w.beginObject();
+    w.field("issues", grand_issues);
+    stallFields(w, grand);
+    w.endObject();
+    w.endObject();
+    os << '\n';
+}
+
+void
+writeDecisionReport(std::ostream &os, const TraceDump &dump)
+{
+    // Per-register encode timeline: CompressDecision carries the
+    // destination register in ev.c, achieved/stored bytes in a/b.
+    struct RegAgg
+    {
+        u64 decisions = 0;
+        u64 transitions = 0;   // stored size changed vs previous write
+        u64 compressed = 0;    // stored < 128 B (kWarpRegBytes)
+        u32 minStored = ~0u;
+        u32 maxStored = 0;
+        Cycle first = 0;
+        Cycle last = 0;
+        u32 lastStored = ~0u;
+    };
+    std::map<std::tuple<u16, u16, u16>, RegAgg> regs;
+
+    // Dummy-MOV bursts per warp: maximal runs with inter-event gap
+    // ≤ kDummyMovBurstGap cycles.
+    struct BurstAgg
+    {
+        u64 total = 0;
+        u64 bursts = 0;
+        u64 longest = 0;
+        u64 current = 0;
+        Cycle lastCycle = 0;
+    };
+    std::map<std::pair<u16, u16>, BurstAgg> bursts;
+
+    for (const TraceEvent &ev : dump.events) {
+        if (ev.kind == TraceEventKind::CompressDecision) {
+            RegAgg &r = regs[{ev.sm, ev.lane, ev.c}];
+            if (r.decisions == 0)
+                r.first = ev.cycle;
+            else if (ev.b != r.lastStored)
+                ++r.transitions;
+            ++r.decisions;
+            if (ev.b < kWarpRegBytes)
+                ++r.compressed;
+            r.minStored = std::min(r.minStored, ev.b);
+            r.maxStored = std::max(r.maxStored, ev.b);
+            r.last = ev.cycle;
+            r.lastStored = ev.b;
+        } else if (ev.kind == TraceEventKind::DummyMov) {
+            BurstAgg &bu = bursts[{ev.sm, ev.lane}];
+            if (bu.total == 0 ||
+                ev.cycle > bu.lastCycle + kDummyMovBurstGap) {
+                ++bu.bursts;
+                bu.longest = std::max(bu.longest, bu.current);
+                bu.current = 0;
+            }
+            ++bu.current;
+            ++bu.total;
+            bu.lastCycle = ev.cycle;
+        }
+    }
+
+    u64 total_decisions = 0, total_transitions = 0, total_movs = 0;
+
+    JsonWriter w(os);
+    w.beginObject();
+    w.field("report", "decisions");
+    metaBlock(w, dump);
+    w.field("burst_gap_cycles", kDummyMovBurstGap);
+    w.key("registers");
+    w.beginArray();
+    for (const auto &[key, r] : regs) {
+        total_decisions += r.decisions;
+        total_transitions += r.transitions;
+        w.beginObject();
+        w.field("sm", std::get<0>(key));
+        w.field("warp", std::get<1>(key));
+        w.field("reg", std::get<2>(key));
+        w.field("decisions", r.decisions);
+        w.field("transitions", r.transitions);
+        w.field("compressed_decisions", r.compressed);
+        w.field("min_stored_bytes", r.minStored);
+        w.field("max_stored_bytes", r.maxStored);
+        w.field("first_cycle", static_cast<u64>(r.first));
+        w.field("last_cycle", static_cast<u64>(r.last));
+        w.endObject();
+    }
+    w.endArray();
+    w.key("dummy_mov_bursts");
+    w.beginArray();
+    for (auto &[key, bu] : bursts) {
+        bu.longest = std::max(bu.longest, bu.current);
+        total_movs += bu.total;
+        w.beginObject();
+        w.field("sm", key.first);
+        w.field("warp", key.second);
+        w.field("bursts", bu.bursts);
+        w.field("longest", bu.longest);
+        w.field("total_movs", bu.total);
+        w.endObject();
+    }
+    w.endArray();
+    w.key("totals");
+    w.beginObject();
+    w.field("decisions", total_decisions);
+    w.field("transitions", total_transitions);
+    w.field("dummy_movs", total_movs);
+    w.endObject();
+    w.endObject();
+    os << '\n';
+}
+
+void
+writeDumpChromeTrace(std::ostream &os, const TraceDump &dump)
+{
+    const ChromeTraceView view{dump.events,
+                               dump.windows,
+                               dump.meta.windowInterval,
+                               dump.meta.traceStart,
+                               dump.meta.traceEnd,
+                               0};
+    ChromeTraceMeta meta;
+    meta.workload = dump.meta.workload;
+    meta.config = dump.meta.config;
+    meta.numSms = dump.meta.numSms;
+    meta.numBanks = dump.meta.numBanks;
+    meta.cycles = dump.cycles;
+    writeChromeTrace(os, view, meta);
+}
+
+} // namespace warpcomp

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Offline trace analytics over streamed dumps (--trace-out files): the
+ * report generators behind the `wc_trace` CLI. Every report is a
+ * deterministic pure function of the loaded dump — JSON via the shared
+ * JsonWriter, iteration in (sm, warp/bank, cycle) order — so reports
+ * are byte-identical across reruns, machines, and the harness thread
+ * count that produced the dump. None of them rerun the simulator.
+ *
+ * Reports (DESIGN.md §9):
+ *  - summary:   provenance echo + event-kind census + window totals
+ *  - heatmap:   bank-contention matrix, (sm, bank) × time bucket
+ *               conflict counts from BankConflict events
+ *  - stalls:    per-warp stall attribution — inter-issue gaps split
+ *               into collector-retry / decompress-penalty / scoreboard
+ *               / issue-blocked buckets by a documented priority rule
+ *  - decisions: per-register BDI encoding timelines (decision counts,
+ *               stored-size transitions) + dummy-MOV burst shapes
+ *  - chrome:    the live `--trace` Perfetto document re-emitted from
+ *               the dump (shared serializer, byte-identical)
+ */
+
+#ifndef WARPCOMP_OBS_TRACE_ANALYZE_HPP
+#define WARPCOMP_OBS_TRACE_ANALYZE_HPP
+
+#include <ostream>
+
+#include "obs/trace_stream.hpp"
+
+namespace warpcomp {
+
+/** Time-bucket width when the dump has no window timeline
+ *  (window_interval == 0): heatmap columns fall back to this. */
+inline constexpr u32 kHeatmapFallbackBucket = 1024;
+
+/** Two dummy-MOV events of one warp ≤ this many cycles apart belong
+ *  to the same burst (decompression injects them back-to-back). */
+inline constexpr u64 kDummyMovBurstGap = 2;
+
+void writeDumpSummary(std::ostream &os, const TraceDump &dump);
+void writeBankHeatmap(std::ostream &os, const TraceDump &dump);
+void writeStallReport(std::ostream &os, const TraceDump &dump);
+void writeDecisionReport(std::ostream &os, const TraceDump &dump);
+void writeDumpChromeTrace(std::ostream &os, const TraceDump &dump);
+
+} // namespace warpcomp
+
+#endif // WARPCOMP_OBS_TRACE_ANALYZE_HPP

@@ -583,8 +583,15 @@ Sm::stepCollect(Cycle now)
             InFlight::OpFetch &op = f->ops[o];
             while (!op.done()) {
                 const u32 bank = op.acc.firstBank + op.granted;
-                if (!arbiter_.tryRead(bank))
+                if (!arbiter_.tryRead(bank)) {
+                    if (obs_ != nullptr)
+                        obs_->onBankConflict(obsSmId_,
+                                             static_cast<u16>(bank),
+                                             static_cast<u16>(
+                                                 f->warpSlot),
+                                             now);
                     break;
+                }
                 ++op.granted;
                 meter_.addBankReads(1);
                 rf_.noteBankRead(bank, now);
@@ -953,7 +960,7 @@ Sm::issueFrom(u32 slot, Cycle now)
             obs_->onCompressDecision(
                 obsSmId_, static_cast<u16>(slot), enc.sizeBytes(),
                 stores_compressed ? enc.sizeBytes() : kWarpRegBytes,
-                now);
+                static_cast<u16>(inst.dst), now);
         }
 
         if (params_.compressionEnabled() && !f.divergentWrite) {

@@ -10,12 +10,15 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdio>
 #include <cstdlib>
 #include <new>
+#include <string>
 
 #include "isa/builder.hpp"
 #include "mem/memory.hpp"
 #include "obs/obs.hpp"
+#include "obs/trace_stream.hpp"
 #include "sim/sm.hpp"
 
 namespace {
@@ -198,6 +201,37 @@ TEST(AllocGuard, TracingEnabledHotPathIsAllocationFree)
         << "tracing hot path allocated over 10000 cycles";
     EXPECT_GT(obs.ring().pushed(), 0u)
         << "tracing was armed but no events were recorded";
+}
+
+TEST(AllocGuard, StreamingSinkHotPathIsAllocationFree)
+{
+    // With the --trace-out sink armed, every emit additionally lands
+    // in the sink's preallocated batch buffer, and full batches leave
+    // via plain write(2) — the cycle loop still must not allocate,
+    // however many events stream out.
+    SmParams sp;
+    sp.applyScheme();
+    const std::string path =
+        ::testing::TempDir() + "wc_alloc_guard_trace.wctrace";
+    TraceStreamMeta meta;
+    meta.gitSha = traceStreamGitSha();
+    meta.workload = "spin";
+    meta.config = "alloc-guard";
+    meta.numSms = 1;
+    meta.numBanks = sp.regfile.numBanks;
+    TraceStreamSink sink(path, meta);
+    ObsParams op;
+    op.trace = true;
+    op.ringCapacity = 1u << 16;
+    op.windowInterval = 256;
+    op.sink = &sink;
+    ObsRun obs(op);
+    EXPECT_EQ(measureSteadyState(sp, &obs), 0u)
+        << "streaming-sink hot path allocated over 10000 cycles";
+    EXPECT_GT(obs.streamedEvents(), 0u)
+        << "sink was armed but no events streamed";
+    EXPECT_EQ(obs.streamedEvents(), sink.eventsWritten());
+    std::remove(path.c_str());
 }
 
 TEST(AllocGuard, SeuEccScrubPathIsAllocationFree)

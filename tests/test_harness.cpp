@@ -113,6 +113,51 @@ TEST(HarnessDeathTest, MalformedHangBudgetExitsNonzero)
                 ::testing::ExitedWithCode(1), "cycle count >= 1");
 }
 
+TEST(Harness, TraceWindowAndTraceOutParse)
+{
+    const HarnessOptions o = parseOne("--trace=t.json,1000,5000");
+    EXPECT_EQ(o.tracePath, "t.json");
+    EXPECT_EQ(o.traceStart, 1000u);
+    EXPECT_EQ(o.traceEnd, 5000u);
+    EXPECT_EQ(parseOne("--trace-out=dump.wctrace").traceOutPath,
+              "dump.wctrace");
+    EXPECT_TRUE(parseOne("--trace=t.json").traceOutPath.empty());
+}
+
+TEST(HarnessDeathTest, MalformedTraceRangeExitsNonzero)
+{
+    // The window bounds go through the strict digits-only parser:
+    // strtoull would wrap "-1" to 2^64-1 and silently trace nothing.
+    EXPECT_EXIT(parseOne("--trace=t.json,1000"),
+                ::testing::ExitedWithCode(1), "wants FILE or "
+                "FILE,START,END");
+    EXPECT_EXIT(parseOne("--trace=t.json,abc,5000"),
+                ::testing::ExitedWithCode(1),
+                "START must be a cycle count");
+    EXPECT_EXIT(parseOne("--trace=t.json,-1,5000"),
+                ::testing::ExitedWithCode(1),
+                "START must be a cycle count");
+    EXPECT_EXIT(parseOne("--trace=t.json,1e3,5000"),
+                ::testing::ExitedWithCode(1),
+                "START must be a cycle count");
+    EXPECT_EXIT(parseOne("--trace=t.json,1000,abc"),
+                ::testing::ExitedWithCode(1),
+                "END must be a cycle count");
+    EXPECT_EXIT(parseOne("--trace=t.json,1000,-5"),
+                ::testing::ExitedWithCode(1),
+                "END must be a cycle count");
+    EXPECT_EXIT(parseOne("--trace=t.json,5000,1000"),
+                ::testing::ExitedWithCode(1),
+                "END must be a cycle count > START");
+    EXPECT_EXIT(parseOne("--trace=t.json,1000,1000"),
+                ::testing::ExitedWithCode(1),
+                "END must be a cycle count > START");
+    EXPECT_EXIT(parseOne("--trace=,1000,5000"),
+                ::testing::ExitedWithCode(1), "needs a file path");
+    EXPECT_EXIT(parseOne("--trace-out="),
+                ::testing::ExitedWithCode(1), "needs a file path");
+}
+
 TEST(HarnessDeathTest, MalformedFaultSpecsExitNonzero)
 {
     // Malformed rates must be a one-line fatal error with nonzero
